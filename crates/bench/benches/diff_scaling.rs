@@ -1,0 +1,83 @@
+//! Criterion benchmark: scaling of LCS-based vs views-based trace differencing with trace
+//! length (the performance half of the paper's §5.1 evaluation — views-based differencing
+//! is linear, the LCS baseline quadratic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rprism_diff::{lcs_diff, views_diff, LcsDiffOptions, MemoryBudget, ViewsDiffOptions};
+use rprism_lang::parser::parse_program;
+use rprism_trace::{Trace, TraceMeta};
+use rprism_vm::{run_traced, VmConfig};
+
+/// Builds a pair of traces (original / regressing) whose length scales with `iterations`.
+fn trace_pair(iterations: usize, min: i64) -> (Trace, Trace) {
+    let src = |min: i64| {
+        format!(
+            r#"
+            class Ctr extends Object {{ Int i; }}
+            class Range extends Object {{ Int min; Int max; }}
+            class App extends Object {{
+                Range r;
+                Int hits;
+                Unit setup() {{ this.r = new Range({min}, 127); }}
+                Unit check(Int c) {{
+                    if ((c >= this.r.min) && (c <= this.r.max)) {{ this.hits = this.hits + 1; }}
+                }}
+            }}
+            main {{
+                let a = new App(null, 0);
+                a.setup();
+                let c = new Ctr(0);
+                while (c.i < {iterations}) {{
+                    a.check(c.i % 200);
+                    c.i = c.i + 1;
+                }}
+            }}
+            "#
+        )
+    };
+    let run = |source: &str, label: &str| {
+        run_traced(
+            &parse_program(source).unwrap(),
+            TraceMeta::new(label, "", ""),
+            VmConfig::default(),
+        )
+        .unwrap()
+        .trace
+    };
+    (run(&src(32), "old"), run(&src(min), "new"))
+}
+
+fn bench_diff_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff_scaling");
+    group.sample_size(10);
+    for iterations in [50usize, 150, 400] {
+        let (old, new) = trace_pair(iterations, 1);
+        group.bench_with_input(
+            BenchmarkId::new("views", old.len()),
+            &(&old, &new),
+            |b, (old, new)| b.iter(|| views_diff(old, new, &ViewsDiffOptions::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lcs", old.len()),
+            &(&old, &new),
+            |b, (old, new)| {
+                b.iter(|| {
+                    lcs_diff(
+                        old,
+                        new,
+                        &LcsDiffOptions {
+                            memory_budget: MemoryBudget::unlimited(),
+                            linear_space: false,
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff_scaling);
+criterion_main!(benches);

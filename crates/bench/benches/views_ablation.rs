@@ -1,0 +1,65 @@
+//! Criterion benchmark: cost of the views-based differencer under different exploration
+//! parameters (Δ radius, δ window, relaxed correlation) — the performance side of the
+//! ablation binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rprism_diff::{views_diff, ViewsDiffOptions};
+use rprism_trace::Trace;
+use rprism_workloads::{generate_bug, RhinoConfig};
+
+fn scenario_traces() -> (Trace, Trace) {
+    let bug = generate_bug(&RhinoConfig {
+        seed: 7,
+        modules: 5,
+        script_length: 30,
+        max_injection_attempts: 40,
+    })
+    .expect("seed 7 yields a bug");
+    let traces = bug.scenario.trace_all().expect("traces");
+    (traces.traces.old_regressing, traces.traces.new_regressing)
+}
+
+fn bench_views_options(c: &mut Criterion) {
+    let (old, new) = scenario_traces();
+    let mut group = c.benchmark_group("views_ablation");
+    group.sample_size(10);
+
+    let configs: Vec<(&str, ViewsDiffOptions)> = vec![
+        ("default", ViewsDiffOptions::default()),
+        (
+            "no_secondary",
+            ViewsDiffOptions {
+                delta: 0,
+                window: 0,
+                ..ViewsDiffOptions::default()
+            },
+        ),
+        (
+            "wide",
+            ViewsDiffOptions {
+                delta: 4,
+                window: 16,
+                ..ViewsDiffOptions::default()
+            },
+        ),
+        (
+            "strict_correlation",
+            ViewsDiffOptions {
+                relaxed_correlation: false,
+                ..ViewsDiffOptions::default()
+            },
+        ),
+    ];
+    for (label, options) in configs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &options,
+            |b, options| b.iter(|| views_diff(&old, &new, options)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_views_options);
+criterion_main!(benches);

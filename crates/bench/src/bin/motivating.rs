@@ -1,0 +1,79 @@
+//! Reproduces the worked example of §3.4 / Fig. 13: runs the MyFaces-1130-style motivating
+//! scenario, prints how the views-based differencing localizes the regression, and shows
+//! the final regression-cause report with dynamic state.
+//!
+//! Run with `cargo run -p rprism-bench --bin motivating --release`.
+
+use rprism_diff::{views_diff, ViewsDiffOptions};
+use rprism_regress::{render_report, DiffAlgorithm, RenderOptions};
+use rprism_views::{ViewKind, ViewWeb};
+use rprism_workloads::myfaces;
+
+fn main() {
+    let scenario = myfaces::scenario();
+    println!("Motivating example: {}\n{}\n", scenario.name, scenario.description);
+
+    let traces = scenario.trace_all().expect("scenario traces");
+    println!(
+        "trace sizes: old/regressing = {}, new/regressing = {} entries",
+        traces.traces.old_regressing.len(),
+        traces.traces.new_regressing.len()
+    );
+    println!(
+        "outputs under the regressing test: old = {:?}, new = {:?}\n",
+        traces.old_regressing_output, traces.new_regressing_output
+    );
+
+    // The views web of the original version (Fig. 2: thread view, method views, target
+    // object views).
+    let web = ViewWeb::build(&traces.traces.old_regressing);
+    let counts = web.count_by_kind();
+    println!(
+        "views of the original trace: {} total ({} thread, {} method, {} target-object, {} active-object)",
+        counts.total(),
+        counts.thread,
+        counts.method,
+        counts.target_object,
+        counts.active_object
+    );
+    for view in web.views_of_kind(ViewKind::TargetObject) {
+        if let Some(rep) = &view.representative {
+            if rep.class == "NumericEntityUtil" {
+                println!("  target object view for {rep}: {} entries", view.len());
+            }
+        }
+    }
+    println!();
+
+    // The semantic diff of Fig. 13 (old vs new under the regressing test).
+    let diff = views_diff(
+        &traces.traces.old_regressing,
+        &traces.traces.new_regressing,
+        &ViewsDiffOptions::default(),
+    );
+    println!(
+        "{}",
+        diff.render(
+            &traces.traces.old_regressing,
+            &traces.traces.new_regressing,
+            6
+        )
+    );
+
+    // The full regression-cause analysis (§4.2).
+    let (traces, report) = scenario
+        .analyze(&DiffAlgorithm::Views(ViewsDiffOptions::default()))
+        .expect("analysis succeeds");
+    println!(
+        "{}",
+        render_report(
+            &report,
+            &traces.traces.old_regressing,
+            &traces.traces.new_regressing,
+            &RenderOptions {
+                list_unrelated_sequences: true,
+                ..RenderOptions::default()
+            }
+        )
+    );
+}

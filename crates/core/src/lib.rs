@@ -1,0 +1,215 @@
+//! # rprism
+//!
+//! A Rust reproduction of **RPrism**, the system of *Semantics-Aware Trace Analysis*
+//! (Hoffman, Eugster, Jagannathan — PLDI 2009): semantic views over execution traces,
+//! linear-time views-based trace differencing, and regression-cause analysis.
+//!
+//! This crate is the user-facing facade. It re-exports the workspace crates and offers a
+//! small high-level API ([`Rprism`]) that covers the common end-to-end path:
+//!
+//! 1. trace two versions of a program on two test inputs ([`Rprism::trace`]),
+//! 2. difference a pair of traces semantically ([`Rprism::diff`]),
+//! 3. run the full regression-cause analysis ([`Rprism::analyze_regression`]).
+//!
+//! ```
+//! use rprism::Rprism;
+//!
+//! let old_src = r#"
+//!     class Range extends Object { Int min; Int max; }
+//!     class App extends Object {
+//!         Range r;
+//!         Unit setup() { this.r = new Range(32, 127); }
+//!         Bool admits(Int c) { return (c >= this.r.min) && (c <= this.r.max); }
+//!     }
+//!     main { let a = new App(null); a.setup(); a.admits(20); a.admits(64); }
+//! "#;
+//! let new_src = old_src.replace("new Range(32, 127)", "new Range(1, 127)");
+//!
+//! let rprism = Rprism::new();
+//! let old = rprism.trace_source(old_src, "old")?;
+//! let new = rprism.trace_source(&new_src, "new")?;
+//! let diff = rprism.diff(&old.trace, &new.trace);
+//! assert!(diff.num_differences() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The individual layers are available as re-exported modules: [`lang`], [`trace`], [`vm`],
+//! [`views`], [`diff`], [`regress`].
+
+pub use rprism_diff as diff;
+pub use rprism_lang as lang;
+pub use rprism_regress as regress;
+pub use rprism_trace as trace;
+pub use rprism_views as views;
+pub use rprism_vm as vm;
+
+use rprism_diff::{views_diff, TraceDiffResult, ViewsDiffOptions};
+use rprism_lang::parser::parse_program;
+use rprism_lang::Program;
+use rprism_regress::{analyze, AnalysisMode, DiffAlgorithm, RegressionReport, RegressionTraces};
+use rprism_trace::{Trace, TraceMeta};
+use rprism_vm::{run_traced, RunOutcome, VmConfig};
+
+/// Errors surfaced by the high-level API.
+#[derive(Debug)]
+pub enum Error {
+    /// Parsing or validating a program failed.
+    Lang(rprism_lang::Error),
+    /// Differencing failed (only possible with the LCS baseline's memory budget).
+    Diff(rprism_diff::DiffError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Lang(e) => write!(f, "program error: {e}"),
+            Error::Diff(e) => write!(f, "differencing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<rprism_lang::Error> for Error {
+    fn from(e: rprism_lang::Error) -> Self {
+        Error::Lang(e)
+    }
+}
+
+impl From<rprism_diff::DiffError> for Error {
+    fn from(e: rprism_diff::DiffError) -> Self {
+        Error::Diff(e)
+    }
+}
+
+/// The high-level entry point: a bundle of tracing and differencing configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Rprism {
+    /// Tracing configuration used by [`Rprism::trace`] / [`Rprism::trace_source`].
+    pub vm_config: VmConfig,
+    /// Views-based differencing options used by [`Rprism::diff`] and the regression
+    /// analysis.
+    pub diff_options: ViewsDiffOptions,
+}
+
+impl Rprism {
+    /// Creates an instance with default configuration.
+    pub fn new() -> Self {
+        Rprism::default()
+    }
+
+    /// Traces a parsed program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Lang`] when the program fails validation.
+    pub fn trace(&self, program: &Program, label: &str) -> Result<RunOutcome, Error> {
+        Ok(run_traced(
+            program,
+            TraceMeta::new(label, "", ""),
+            self.vm_config.clone(),
+        )?)
+    }
+
+    /// Parses and traces a program given in concrete syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Lang`] when the source does not parse or validate.
+    pub fn trace_source(&self, source: &str, label: &str) -> Result<RunOutcome, Error> {
+        let program = parse_program(source)?;
+        self.trace(&program, label)
+    }
+
+    /// Differences two traces with the views-based semantics.
+    pub fn diff(&self, left: &Trace, right: &Trace) -> TraceDiffResult {
+        views_diff(left, right, &self.diff_options)
+    }
+
+    /// Runs the full regression-cause analysis over four traces.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the views-based algorithm; the error type accommodates callers that
+    /// switch to the LCS baseline.
+    pub fn analyze_regression(
+        &self,
+        traces: &RegressionTraces,
+        mode: AnalysisMode,
+    ) -> Result<RegressionReport, Error> {
+        Ok(analyze(
+            traces,
+            &DiffAlgorithm::Views(self.diff_options.clone()),
+            mode,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        class Counter extends Object {
+            Int count;
+            Int bump(Int by) { this.count = this.count + by; return this.count; }
+        }
+        main { let c = new Counter(0); c.bump(2); c.bump(3); }
+    "#;
+
+    #[test]
+    fn trace_source_produces_a_trace() {
+        let rprism = Rprism::new();
+        let outcome = rprism.trace_source(SRC, "demo").unwrap();
+        assert!(outcome.succeeded());
+        assert!(outcome.trace.len() >= 10);
+    }
+
+    #[test]
+    fn diff_of_identical_traces_is_empty() {
+        let rprism = Rprism::new();
+        let a = rprism.trace_source(SRC, "a").unwrap();
+        let b = rprism.trace_source(SRC, "b").unwrap();
+        assert_eq!(rprism.diff(&a.trace, &b.trace).num_differences(), 0);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let rprism = Rprism::new();
+        let err = rprism.trace_source("main { let = ; }", "bad").unwrap_err();
+        assert!(matches!(err, Error::Lang(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn regression_analysis_end_to_end() {
+        let rprism = Rprism::new();
+        let src = |min: i64, probe: i64| {
+            format!(
+                r#"
+                class Range extends Object {{ Int min; Int max; }}
+                class App extends Object {{
+                    Range r;
+                    Int hits;
+                    Unit setup() {{ this.r = new Range({min}, 127); }}
+                    Unit check(Int c) {{
+                        if ((c >= this.r.min) && (c <= this.r.max)) {{ this.hits = this.hits + 1; }}
+                    }}
+                }}
+                main {{ let a = new App(null, 0); a.setup(); a.check({probe}); a.check(64); }}
+                "#
+            )
+        };
+        let traces = RegressionTraces {
+            old_regressing: rprism.trace_source(&src(32, 20), "or").unwrap().trace,
+            new_regressing: rprism.trace_source(&src(1, 20), "nr").unwrap().trace,
+            old_passing: rprism.trace_source(&src(32, 64), "op").unwrap().trace,
+            new_passing: rprism.trace_source(&src(1, 64), "np").unwrap().trace,
+        };
+        let report = rprism
+            .analyze_regression(&traces, AnalysisMode::Intersect)
+            .unwrap();
+        assert!(!report.suspected.is_empty());
+        assert!(report.candidates.len() <= report.suspected.len());
+    }
+}

@@ -1,0 +1,337 @@
+//! Longest-common-subsequence algorithms.
+//!
+//! These are the baselines the paper compares against (§3.2): differencing tools in the
+//! `diff` family are founded on LCS, but the standard dynamic-programming algorithm is
+//! Θ(n·m) in time *and* — when the subsequence itself (not just its length) must be
+//! reconstructed — in space, which is what makes it intractable on long execution traces.
+//!
+//! Three variants are provided, all generic over the element type and all metering their
+//! compare operations and working-set bytes through [`CostMeter`]:
+//!
+//! * [`lcs_dp`] — the textbook full-table algorithm with traceback (quadratic space;
+//!   subject to the [`MemoryBudget`]),
+//! * [`lcs_optimized`] — full-table LCS after stripping the common prefix and suffix, the
+//!   "optimized version of the LCS algorithm (common-prefix/suffix optimizations)" used as
+//!   the baseline in §5.1,
+//! * [`lcs_hirschberg`] — Hirschberg's linear-space divide-and-conquer algorithm
+//!   (cited as [9] in the paper: same result, roughly twice the computation).
+
+use crate::cost::{CostMeter, DiffError, MemoryBudget};
+
+/// Computes the length of the LCS using two rolling rows (linear space). Useful on its own
+/// and as the building block of [`lcs_hirschberg`].
+pub fn lcs_length<T: PartialEq>(left: &[T], right: &[T], meter: &mut CostMeter) -> usize {
+    *lcs_length_row(left, right, meter).last().unwrap_or(&0)
+}
+
+/// The final DP row of LCS lengths: `row[j]` = LCS length of `left` and `right[..j]`.
+fn lcs_length_row<T: PartialEq>(left: &[T], right: &[T], meter: &mut CostMeter) -> Vec<usize> {
+    let cols = right.len() + 1;
+    let mut prev = vec![0usize; cols];
+    let mut curr = vec![0usize; cols];
+    meter.allocate((cols * 2 * std::mem::size_of::<usize>()) as u64);
+    for l in left {
+        for (j, r) in right.iter().enumerate() {
+            meter.count_compares(1);
+            curr[j + 1] = if l == r {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    meter.release((cols * 2 * std::mem::size_of::<usize>()) as u64);
+    prev
+}
+
+/// Full dynamic-programming LCS with traceback.
+///
+/// Returns the matched index pairs `(left, right)` in ascending order.
+///
+/// # Errors
+///
+/// Returns [`DiffError::OutOfMemory`] when the `(|left|+1) × (|right|+1)` table exceeds
+/// the memory budget — the same failure mode the paper reports for traces beyond ~100K
+/// entries.
+pub fn lcs_dp<T: PartialEq>(
+    left: &[T],
+    right: &[T],
+    meter: &mut CostMeter,
+    budget: MemoryBudget,
+) -> Result<Vec<(usize, usize)>, DiffError> {
+    let rows = left.len() + 1;
+    let cols = right.len() + 1;
+    // Each cell stores a u32 LCS length.
+    let table_bytes = (rows as u64) * (cols as u64) * std::mem::size_of::<u32>() as u64;
+    budget.check(table_bytes)?;
+    meter.allocate(table_bytes);
+
+    let mut table = vec![0u32; rows * cols];
+    let idx = |i: usize, j: usize| i * cols + j;
+    for i in 1..rows {
+        for j in 1..cols {
+            meter.count_compares(1);
+            table[idx(i, j)] = if left[i - 1] == right[j - 1] {
+                table[idx(i - 1, j - 1)] + 1
+            } else {
+                table[idx(i - 1, j)].max(table[idx(i, j - 1)])
+            };
+        }
+    }
+
+    // Traceback from the bottom-right corner.
+    let mut pairs = Vec::with_capacity(table[idx(rows - 1, cols - 1)] as usize);
+    let (mut i, mut j) = (rows - 1, cols - 1);
+    while i > 0 && j > 0 {
+        meter.count_compares(1);
+        if left[i - 1] == right[j - 1] {
+            pairs.push((i - 1, j - 1));
+            i -= 1;
+            j -= 1;
+        } else if table[idx(i - 1, j)] >= table[idx(i, j - 1)] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    pairs.reverse();
+    meter.release(table_bytes);
+    Ok(pairs)
+}
+
+/// LCS with the common-prefix/common-suffix optimization: identical leading and trailing
+/// entries are matched directly and the quadratic algorithm only runs on the differing
+/// middle. This is the baseline configuration used in the paper's evaluation.
+///
+/// # Errors
+///
+/// Returns [`DiffError::OutOfMemory`] when the middle-section table exceeds the budget.
+pub fn lcs_optimized<T: PartialEq>(
+    left: &[T],
+    right: &[T],
+    meter: &mut CostMeter,
+    budget: MemoryBudget,
+) -> Result<Vec<(usize, usize)>, DiffError> {
+    // Common prefix.
+    let mut prefix = 0usize;
+    while prefix < left.len() && prefix < right.len() {
+        meter.count_compares(1);
+        if left[prefix] == right[prefix] {
+            prefix += 1;
+        } else {
+            break;
+        }
+    }
+    // Common suffix (not overlapping the prefix).
+    let mut suffix = 0usize;
+    while suffix < left.len() - prefix && suffix < right.len() - prefix {
+        meter.count_compares(1);
+        if left[left.len() - 1 - suffix] == right[right.len() - 1 - suffix] {
+            suffix += 1;
+        } else {
+            break;
+        }
+    }
+
+    let mid_left = &left[prefix..left.len() - suffix];
+    let mid_right = &right[prefix..right.len() - suffix];
+    let mut pairs: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
+    let middle = lcs_dp(mid_left, mid_right, meter, budget)?;
+    pairs.extend(middle.into_iter().map(|(i, j)| (i + prefix, j + prefix)));
+    pairs.extend(
+        (0..suffix)
+            .rev()
+            .map(|k| (left.len() - 1 - k, right.len() - 1 - k)),
+    );
+    Ok(pairs)
+}
+
+/// Hirschberg's linear-space LCS.
+///
+/// Produces the same kind of matched pair list as [`lcs_dp`] while never materializing the
+/// quadratic table, at the price of roughly doubling the number of compare operations.
+pub fn lcs_hirschberg<T: PartialEq + Clone>(
+    left: &[T],
+    right: &[T],
+    meter: &mut CostMeter,
+) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    hirschberg_rec(left, right, 0, 0, meter, &mut pairs);
+    pairs.sort_unstable();
+    pairs
+}
+
+fn hirschberg_rec<T: PartialEq + Clone>(
+    left: &[T],
+    right: &[T],
+    left_off: usize,
+    right_off: usize,
+    meter: &mut CostMeter,
+    pairs: &mut Vec<(usize, usize)>,
+) {
+    if left.is_empty() || right.is_empty() {
+        return;
+    }
+    if left.len() == 1 {
+        for (j, r) in right.iter().enumerate() {
+            meter.count_compares(1);
+            if left[0] == *r {
+                pairs.push((left_off, right_off + j));
+                return;
+            }
+        }
+        return;
+    }
+
+    let mid = left.len() / 2;
+    let score_l = lcs_length_row(&left[..mid], right, meter);
+    let rev_left: Vec<T> = left[mid..].iter().rev().cloned().collect();
+    let rev_right: Vec<T> = right.iter().rev().cloned().collect();
+    let score_r = lcs_length_row(&rev_left, &rev_right, meter);
+
+    // Find the split point of `right` maximizing the combined score.
+    let mut best_j = 0usize;
+    let mut best = 0usize;
+    for j in 0..=right.len() {
+        let total = score_l[j] + score_r[right.len() - j];
+        if total > best {
+            best = total;
+            best_j = j;
+        }
+    }
+
+    hirschberg_rec(&left[..mid], &right[..best_j], left_off, right_off, meter, pairs);
+    hirschberg_rec(
+        &left[mid..],
+        &right[best_j..],
+        left_off + mid,
+        right_off + best_j,
+        meter,
+        pairs,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    fn pairs_to_string(pairs: &[(usize, usize)], left: &[char]) -> String {
+        pairs.iter().map(|(i, _)| left[*i]).collect()
+    }
+
+    #[test]
+    fn dp_finds_classic_lcs() {
+        let left = chars("ABCBDAB");
+        let right = chars("BDCABA");
+        let mut meter = CostMeter::new();
+        let pairs = lcs_dp(&left, &right, &mut meter, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(pairs.len(), 4);
+        let s = pairs_to_string(&pairs, &left);
+        assert!(["BDAB", "BCAB", "BCBA"].contains(&s.as_str()), "got {s}");
+        assert!(meter.stats().compare_ops >= (left.len() * right.len()) as u64);
+    }
+
+    #[test]
+    fn dp_pairs_are_strictly_increasing_on_both_sides() {
+        let left = chars("XMJYAUZ");
+        let right = chars("MZJAWXU");
+        let mut meter = CostMeter::new();
+        let pairs = lcs_dp(&left, &right, &mut meter, MemoryBudget::unlimited()).unwrap();
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        for (i, j) in &pairs {
+            assert_eq!(left[*i], right[*j]);
+        }
+    }
+
+    #[test]
+    fn identical_sequences_match_completely() {
+        let xs = chars("HELLO");
+        let mut meter = CostMeter::new();
+        let pairs = lcs_optimized(&xs, &xs, &mut meter, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+        // Prefix optimization should avoid the quadratic cost entirely.
+        assert!(meter.stats().compare_ops <= 2 * xs.len() as u64);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let empty: Vec<char> = vec![];
+        let mut meter = CostMeter::new();
+        assert!(lcs_dp(&empty, &empty, &mut meter, MemoryBudget::unlimited())
+            .unwrap()
+            .is_empty());
+        assert!(lcs_hirschberg(&empty, &chars("AB"), &mut meter).is_empty());
+        assert_eq!(lcs_length(&chars("AB"), &empty, &mut meter), 0);
+    }
+
+    #[test]
+    fn optimized_matches_dp_result_length() {
+        let left = chars("THEQUICKBROWNFOX");
+        let right = chars("THELAZYBROWNDOG");
+        let mut m1 = CostMeter::new();
+        let mut m2 = CostMeter::new();
+        let dp = lcs_dp(&left, &right, &mut m1, MemoryBudget::unlimited()).unwrap();
+        let opt = lcs_optimized(&left, &right, &mut m2, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(dp.len(), opt.len());
+        for (i, j) in &opt {
+            assert_eq!(left[*i], right[*j]);
+        }
+        // The shared prefix "THE" lets the optimized variant do less work.
+        assert!(m2.stats().compare_ops <= m1.stats().compare_ops);
+    }
+
+    #[test]
+    fn hirschberg_matches_dp_length() {
+        let left = chars("ABCBDABXYZPQRS");
+        let right = chars("BDCABAXYZQRST");
+        let mut m1 = CostMeter::new();
+        let mut m2 = CostMeter::new();
+        let dp = lcs_dp(&left, &right, &mut m1, MemoryBudget::unlimited()).unwrap();
+        let h = lcs_hirschberg(&left, &right, &mut m2);
+        assert_eq!(dp.len(), h.len());
+        for (i, j) in &h {
+            assert_eq!(left[*i], right[*j]);
+        }
+        for w in h.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn hirschberg_never_allocates_quadratic_memory() {
+        let left: Vec<u32> = (0..500).map(|i| i % 17).collect();
+        let right: Vec<u32> = (0..480).map(|i| (i * 3) % 17).collect();
+        let mut meter = CostMeter::new();
+        let _ = lcs_hirschberg(&left, &right, &mut meter);
+        // Peak is a handful of rows, nowhere near 500*480*4 bytes.
+        assert!(meter.stats().peak_bytes < 200_000);
+    }
+
+    #[test]
+    fn dp_respects_memory_budget() {
+        let left: Vec<u32> = (0..2000).collect();
+        let right: Vec<u32> = (0..2000).collect();
+        let mut meter = CostMeter::new();
+        let result = lcs_dp(&left, &right, &mut meter, MemoryBudget::bytes(1024));
+        assert!(matches!(result, Err(DiffError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn length_agrees_with_dp() {
+        let left = chars("AGGTAB");
+        let right = chars("GXTXAYB");
+        let mut meter = CostMeter::new();
+        let len = lcs_length(&left, &right, &mut meter);
+        let pairs = lcs_dp(&left, &right, &mut meter, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(len, 4);
+        assert_eq!(pairs.len(), 4);
+    }
+}

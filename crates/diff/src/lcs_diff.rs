@@ -1,0 +1,166 @@
+//! LCS-based trace differencing (the paper's §3.2 baseline).
+//!
+//! Entries of the two traces are reduced to their [`EventKey`]s (the information `=e`
+//! compares) and an LCS over the two key sequences determines the similarity set Π. The
+//! two weaknesses the paper identifies — blind long-distance correlation of common values
+//! and Θ(n²) cost — are inherent to this baseline and are exactly what the views-based
+//! differencer (see [`crate::views_diff`]) addresses.
+
+use std::time::Instant;
+
+use rprism_trace::{EventKey, Trace};
+
+use crate::cost::{CostMeter, DiffError, MemoryBudget};
+use crate::lcs::{lcs_hirschberg, lcs_optimized};
+use crate::matching::Matching;
+use crate::result::TraceDiffResult;
+
+/// Configuration of the LCS-based trace differencer.
+#[derive(Clone, Debug)]
+pub struct LcsDiffOptions {
+    /// Memory budget for the quadratic table; the paper's baseline fails on long traces,
+    /// and a finite budget reproduces that failure mode.
+    pub memory_budget: MemoryBudget,
+    /// Use Hirschberg's linear-space algorithm instead of the full table. Slower (about
+    /// twice the compare operations) but immune to the memory budget.
+    pub linear_space: bool,
+}
+
+impl Default for LcsDiffOptions {
+    fn default() -> Self {
+        LcsDiffOptions {
+            memory_budget: MemoryBudget::unlimited(),
+            linear_space: false,
+        }
+    }
+}
+
+/// Differences two traces with the (prefix/suffix-optimized) LCS baseline.
+///
+/// # Errors
+///
+/// Returns [`DiffError::OutOfMemory`] when the quadratic table would exceed the memory
+/// budget (only with `linear_space: false`).
+pub fn lcs_diff(
+    left: &Trace,
+    right: &Trace,
+    options: &LcsDiffOptions,
+) -> Result<TraceDiffResult, DiffError> {
+    let start = Instant::now();
+    let mut meter = CostMeter::new();
+
+    let left_keys: Vec<EventKey> = left.iter().map(EventKey::of).collect();
+    let right_keys: Vec<EventKey> = right.iter().map(EventKey::of).collect();
+    meter.allocate(((left_keys.len() + right_keys.len()) * 64) as u64);
+
+    let pairs = if options.linear_space {
+        lcs_hirschberg(&left_keys, &right_keys, &mut meter)
+    } else {
+        lcs_optimized(&left_keys, &right_keys, &mut meter, options.memory_budget)?
+    };
+
+    let matching = Matching::from_pairs(left.len(), right.len(), pairs);
+    let sequences = matching.difference_sequences();
+    Ok(TraceDiffResult {
+        matching,
+        sequences,
+        cost: meter.stats(),
+        elapsed: start.elapsed(),
+        algorithm: "lcs",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_lang::parser::parse_program;
+    use rprism_trace::TraceMeta;
+    use rprism_vm::{run_traced, VmConfig};
+
+    fn trace_of(src: &str, name: &str) -> Trace {
+        let program = parse_program(src).unwrap();
+        run_traced(&program, TraceMeta::new(name, "v", "c"), VmConfig::default())
+            .unwrap()
+            .trace
+    }
+
+    const BASE: &str = r#"
+        class Range extends Object { Int min; Int max; }
+        class SP extends Object {
+            Range r;
+            Unit config(Int lo) { this.r = new Range(lo, 127); }
+            Int probe() { return this.r.min; }
+        }
+        main {
+            let sp = new SP(null);
+            sp.config(32);
+            sp.probe();
+            sp.probe();
+        }
+    "#;
+
+    #[test]
+    fn identical_traces_have_no_differences() {
+        let a = trace_of(BASE, "a");
+        let b = trace_of(BASE, "b");
+        let result = lcs_diff(&a, &b, &LcsDiffOptions::default()).unwrap();
+        assert_eq!(result.num_differences(), 0);
+        assert_eq!(result.num_similar(), a.len());
+        assert!(result.sequences.is_empty());
+    }
+
+    #[test]
+    fn changed_constant_shows_up_as_differences() {
+        let a = trace_of(BASE, "old");
+        let b = trace_of(&BASE.replace("sp.config(32)", "sp.config(1)"), "new");
+        let result = lcs_diff(&a, &b, &LcsDiffOptions::default()).unwrap();
+        assert!(result.num_differences() > 0);
+        assert!(result.num_sequences() >= 1);
+        // Entries not touched by the changed value (object creation of SP, the thread
+        // end, the probe call events on the unchanged SP object) still match.
+        assert!(result.num_similar() >= 4, "similar = {}", result.num_similar());
+    }
+
+    #[test]
+    fn memory_budget_failure_is_reported() {
+        let a = trace_of(BASE, "a");
+        let opts = LcsDiffOptions {
+            memory_budget: MemoryBudget::bytes(16),
+            linear_space: false,
+        };
+        // With identical traces the prefix optimization avoids the table entirely, so
+        // force a difference in the first entry by comparing against a different program.
+        let c = trace_of(&BASE.replace("new SP(null)", "new SP(new Range(0,0))"), "c");
+        let result = lcs_diff(&a, &c, &opts);
+        assert!(matches!(result, Err(DiffError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn linear_space_variant_ignores_budget_and_agrees_on_count() {
+        let a = trace_of(BASE, "old");
+        let b = trace_of(&BASE.replace("sp.config(32)", "sp.config(1)"), "new");
+        let quad = lcs_diff(&a, &b, &LcsDiffOptions::default()).unwrap();
+        let lin = lcs_diff(
+            &a,
+            &b,
+            &LcsDiffOptions {
+                memory_budget: MemoryBudget::bytes(1),
+                linear_space: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(quad.num_similar(), lin.num_similar());
+        // Linear-space pays more compares.
+        assert!(lin.cost.compare_ops >= quad.cost.compare_ops);
+    }
+
+    #[test]
+    fn cost_statistics_are_populated() {
+        let a = trace_of(BASE, "old");
+        let b = trace_of(&BASE.replace("sp.config(32)", "sp.config(1)"), "new");
+        let result = lcs_diff(&a, &b, &LcsDiffOptions::default()).unwrap();
+        assert!(result.cost.compare_ops > 0);
+        assert!(result.cost.peak_bytes > 0);
+        assert_eq!(result.algorithm, "lcs");
+    }
+}

@@ -1,0 +1,54 @@
+//! # rprism-diff
+//!
+//! Trace differencing for the RPrism reproduction of *Semantics-Aware Trace Analysis*
+//! (PLDI 2009, §3): given two execution traces (typically an original and a new version of
+//! a program run on the same input), compute the set of entries that are semantically
+//! similar and, from it, the set of differences organized into difference sequences.
+//!
+//! Two differencing semantics are provided:
+//!
+//! * [`lcs_diff`](lcs_diff::lcs_diff) — the §3.2 baseline: longest common subsequence over
+//!   the two traces under event equality `=e`, with the common-prefix/suffix optimization,
+//!   an explicit memory budget (the quadratic table fails on long traces exactly as in the
+//!   paper) and a Hirschberg linear-space variant;
+//! * [`views_diff`](views_diff::views_diff) — the §3.3 contribution: lock-step scanning of
+//!   correlated thread views, with windowed LCS over correlated *secondary* views
+//!   (method/object views) at mismatch points, yielding linear time and space.
+//!
+//! Both produce a [`TraceDiffResult`] carrying the similarity set, the difference
+//! sequences and the compare-operation / memory cost model used by the evaluation
+//! benchmarks.
+//!
+//! ```
+//! use rprism_diff::{lcs_diff::lcs_diff, lcs_diff::LcsDiffOptions};
+//! use rprism_diff::views_diff::{views_diff, ViewsDiffOptions};
+//! use rprism_lang::parser::parse_program;
+//! use rprism_trace::TraceMeta;
+//! use rprism_vm::{run_traced, VmConfig};
+//!
+//! let src = |v: i64| format!(
+//!     "class C extends Object {{ Int x; Unit set(Int v) {{ this.x = v; }} }}
+//!      main {{ let c = new C(0); c.set({v}); }}");
+//! let old = run_traced(&parse_program(&src(32))?, TraceMeta::new("old", "v1", "t"), VmConfig::default())?.trace;
+//! let new = run_traced(&parse_program(&src(1))?, TraceMeta::new("new", "v2", "t"), VmConfig::default())?.trace;
+//!
+//! let views = views_diff(&old, &new, &ViewsDiffOptions::default());
+//! let lcs = lcs_diff(&old, &new, &LcsDiffOptions::default())?;
+//! assert!(views.num_differences() > 0);
+//! assert!(views.num_differences() <= lcs.num_differences());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cost;
+pub mod lcs;
+mod proptests;
+pub mod lcs_diff;
+pub mod matching;
+pub mod result;
+pub mod views_diff;
+
+pub use cost::{CostMeter, CostStats, DiffError, MemoryBudget};
+pub use lcs_diff::{lcs_diff, LcsDiffOptions};
+pub use matching::{DiffKind, DiffSequence, Matching};
+pub use result::TraceDiffResult;
+pub use views_diff::{views_diff, views_diff_with_webs, ViewsDiffOptions};

@@ -1,0 +1,278 @@
+//! Matchings between two traces and their decomposition into difference sequences.
+//!
+//! Both differencing semantics (LCS-based and views-based) produce the same kind of
+//! result: a set Π of entry pairs considered *similar* across the two traces. Everything
+//! the regression analysis needs — the differences on each side, and the grouping of
+//! contiguous differences into "difference sequences" (§5.1) — is derived from Π here.
+
+use std::collections::HashSet;
+
+/// A set of similar-entry pairs `(left index, right index)` between two traces, together
+/// with the trace lengths it refers to.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Matching {
+    pairs: Vec<(usize, usize)>,
+    left_len: usize,
+    right_len: usize,
+}
+
+impl Matching {
+    /// Creates a matching over traces of the given lengths.
+    pub fn new(left_len: usize, right_len: usize) -> Self {
+        Matching {
+            pairs: Vec::new(),
+            left_len,
+            right_len,
+        }
+    }
+
+    /// Creates a matching from an existing pair list.
+    pub fn from_pairs(left_len: usize, right_len: usize, mut pairs: Vec<(usize, usize)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        Matching {
+            pairs,
+            left_len,
+            right_len,
+        }
+    }
+
+    /// Adds a similar pair.
+    pub fn push(&mut self, left: usize, right: usize) {
+        self.pairs.push((left, right));
+    }
+
+    /// Merges another matching (over the same traces) into this one.
+    pub fn extend(&mut self, other: &Matching) {
+        self.pairs.extend_from_slice(&other.pairs);
+    }
+
+    /// The pairs, sorted by left index then right index, deduplicated.
+    pub fn normalized_pairs(&self) -> Vec<(usize, usize)> {
+        let mut p = self.pairs.clone();
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+
+    /// Number of (deduplicated) similar pairs.
+    pub fn len(&self) -> usize {
+        self.normalized_pairs().len()
+    }
+
+    /// Returns `true` when no pairs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The left-trace length this matching refers to.
+    pub fn left_len(&self) -> usize {
+        self.left_len
+    }
+
+    /// The right-trace length this matching refers to.
+    pub fn right_len(&self) -> usize {
+        self.right_len
+    }
+
+    /// The set of matched left indices.
+    pub fn matched_left(&self) -> HashSet<usize> {
+        self.pairs.iter().map(|(l, _)| *l).collect()
+    }
+
+    /// The set of matched right indices.
+    pub fn matched_right(&self) -> HashSet<usize> {
+        self.pairs.iter().map(|(_, r)| *r).collect()
+    }
+
+    /// Left-trace indices *not* matched by any pair — the left differences.
+    pub fn unmatched_left(&self) -> Vec<usize> {
+        let matched = self.matched_left();
+        (0..self.left_len).filter(|i| !matched.contains(i)).collect()
+    }
+
+    /// Right-trace indices *not* matched by any pair — the right differences.
+    pub fn unmatched_right(&self) -> Vec<usize> {
+        let matched = self.matched_right();
+        (0..self.right_len)
+            .filter(|i| !matched.contains(i))
+            .collect()
+    }
+
+    /// Total number of differences across both sides.
+    pub fn num_differences(&self) -> usize {
+        self.unmatched_left().len() + self.unmatched_right().len()
+    }
+
+    /// Groups the differences into contiguous *difference sequences*: maximal regions of
+    /// unmatched entries delimited by matched anchor pairs, walked in left-trace order.
+    /// Each sequence carries the unmatched indices from both sides that fall between the
+    /// same pair of anchors — the unit the paper reports as "Diff. Seqs." and the unit on
+    /// which the regression-cause analysis operates.
+    pub fn difference_sequences(&self) -> Vec<DiffSequence> {
+        let matched_left = self.matched_left();
+        let matched_right = self.matched_right();
+
+        // Crossing pairs would make interval boundaries ambiguous; keep a monotone subset
+        // (pairs are normally monotone already for both algorithms).
+        let mut anchors: Vec<(usize, usize)> = Vec::new();
+        let mut last_r = None;
+        for (l, r) in self.normalized_pairs() {
+            if last_r.map_or(true, |prev| r > prev) {
+                anchors.push((l, r));
+                last_r = Some(r);
+            }
+        }
+
+        let mut sequences = Vec::new();
+        let mut prev_l = 0usize;
+        let mut prev_r = 0usize;
+        let mut boundaries = anchors.clone();
+        boundaries.push((self.left_len, self.right_len));
+
+        for (al, ar) in boundaries {
+            let left: Vec<usize> = (prev_l..al.min(self.left_len))
+                .filter(|i| !matched_left.contains(i))
+                .collect();
+            let right: Vec<usize> = (prev_r..ar.min(self.right_len))
+                .filter(|i| !matched_right.contains(i))
+                .collect();
+            if !left.is_empty() || !right.is_empty() {
+                sequences.push(DiffSequence { left, right });
+            }
+            prev_l = al.saturating_add(1).min(self.left_len);
+            prev_r = ar.saturating_add(1).min(self.right_len);
+        }
+        sequences
+    }
+}
+
+/// One contiguous difference sequence: the unmatched entries on each side between two
+/// consecutive anchor (similar) pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiffSequence {
+    /// Unmatched left-trace indices in this region, ascending.
+    pub left: Vec<usize>,
+    /// Unmatched right-trace indices in this region, ascending.
+    pub right: Vec<usize>,
+}
+
+impl DiffSequence {
+    /// Total number of differing entries in the sequence.
+    pub fn len(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Returns `true` when the sequence contains no differences (not produced in
+    /// practice; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty() && self.right.is_empty()
+    }
+
+    /// The classification of the sequence: entries only on the left (deletion), only on
+    /// the right (insertion), or both (modification).
+    pub fn kind(&self) -> DiffKind {
+        match (self.left.is_empty(), self.right.is_empty()) {
+            (false, true) => DiffKind::Deletion,
+            (true, false) => DiffKind::Insertion,
+            _ => DiffKind::Modification,
+        }
+    }
+}
+
+/// The classification of a difference sequence, mirroring how LCS-based diffs present
+/// contiguous runs of differences (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiffKind {
+    /// Entries present only in the left (old) trace.
+    Deletion,
+    /// Entries present only in the right (new) trace.
+    Insertion,
+    /// Entries present on both sides but different.
+    Modification,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmatched_indices_are_complement_of_pairs() {
+        let m = Matching::from_pairs(5, 4, vec![(0, 0), (2, 1), (4, 3)]);
+        assert_eq!(m.unmatched_left(), vec![1, 3]);
+        assert_eq!(m.unmatched_right(), vec![2]);
+        assert_eq!(m.num_differences(), 3);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_pairs_are_collapsed() {
+        let mut m = Matching::new(3, 3);
+        m.push(1, 1);
+        m.push(1, 1);
+        m.push(0, 0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.normalized_pairs(), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn difference_sequences_group_between_anchors() {
+        // left:  A x x B y C      (indices 0..6: A=0, x=1, x=2, B=3, y=4, C=5)
+        // right: A B z z C        (indices 0..5: A=0, B=1, z=2, z=3, C=4)
+        let m = Matching::from_pairs(6, 5, vec![(0, 0), (3, 1), (5, 4)]);
+        let seqs = m.difference_sequences();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].left, vec![1, 2]);
+        assert!(seqs[0].right.is_empty());
+        assert_eq!(seqs[0].kind(), DiffKind::Deletion);
+        assert_eq!(seqs[1].left, vec![4]);
+        assert_eq!(seqs[1].right, vec![2, 3]);
+        assert_eq!(seqs[1].kind(), DiffKind::Modification);
+    }
+
+    #[test]
+    fn leading_and_trailing_differences_form_sequences() {
+        let m = Matching::from_pairs(4, 4, vec![(1, 1), (2, 2)]);
+        let seqs = m.difference_sequences();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].left, vec![0]);
+        assert_eq!(seqs[0].right, vec![0]);
+        assert_eq!(seqs[1].left, vec![3]);
+        assert_eq!(seqs[1].right, vec![3]);
+    }
+
+    #[test]
+    fn identical_traces_have_no_sequences() {
+        let m = Matching::from_pairs(3, 3, vec![(0, 0), (1, 1), (2, 2)]);
+        assert!(m.difference_sequences().is_empty());
+        assert_eq!(m.num_differences(), 0);
+    }
+
+    #[test]
+    fn insertion_only_sequence() {
+        let m = Matching::from_pairs(2, 4, vec![(0, 0), (1, 3)]);
+        let seqs = m.difference_sequences();
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].kind(), DiffKind::Insertion);
+        assert_eq!(seqs[0].right, vec![1, 2]);
+    }
+
+    #[test]
+    fn crossing_pairs_do_not_break_sequencing() {
+        // A non-monotone pair (3,0) is ignored for interval construction but still counts
+        // as matched for difference computation.
+        let m = Matching::from_pairs(4, 4, vec![(1, 2), (3, 0)]);
+        let seqs = m.difference_sequences();
+        assert!(!seqs.is_empty());
+        let total: usize = seqs.iter().map(DiffSequence::len).sum();
+        assert_eq!(total, m.num_differences());
+    }
+
+    #[test]
+    fn extend_merges_matchings() {
+        let mut a = Matching::from_pairs(4, 4, vec![(0, 0)]);
+        let b = Matching::from_pairs(4, 4, vec![(1, 1), (0, 0)]);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

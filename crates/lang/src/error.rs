@@ -1,0 +1,116 @@
+//! Error type shared by the parser, class table and validator.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating programs of the core calculus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A lexical error at the given line/column.
+    Lex {
+        /// 1-based line of the offending character.
+        line: usize,
+        /// 1-based column of the offending character.
+        col: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntax error at the given line/column.
+    Parse {
+        /// 1-based line where parsing failed.
+        line: usize,
+        /// 1-based column where parsing failed.
+        col: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A class was defined more than once.
+    DuplicateClass(String),
+    /// A class (or superclass) reference could not be resolved.
+    UnknownClass(String),
+    /// The class hierarchy contains a cycle through the named class.
+    CyclicInheritance(String),
+    /// A field was declared twice along an inheritance chain.
+    DuplicateField {
+        /// The class in which the duplicate appears.
+        class: String,
+        /// The duplicated field name.
+        field: String,
+    },
+    /// A method was declared twice in the same class.
+    DuplicateMethod {
+        /// The class in which the duplicate appears.
+        class: String,
+        /// The duplicated method name.
+        method: String,
+    },
+    /// A `new C(...)` expression had the wrong number of constructor arguments.
+    ConstructorArity {
+        /// The instantiated class.
+        class: String,
+        /// Number of fields (expected arguments).
+        expected: usize,
+        /// Number of arguments found.
+        found: usize,
+    },
+    /// A generic validation failure with a human-readable description.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, col, message } => {
+                write!(f, "lexical error at {line}:{col}: {message}")
+            }
+            Error::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            Error::DuplicateClass(c) => write!(f, "class `{c}` is defined more than once"),
+            Error::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            Error::CyclicInheritance(c) => {
+                write!(f, "cyclic inheritance involving class `{c}`")
+            }
+            Error::DuplicateField { class, field } => {
+                write!(f, "field `{field}` duplicated in class `{class}`")
+            }
+            Error::DuplicateMethod { class, method } => {
+                write!(f, "method `{method}` duplicated in class `{class}`")
+            }
+            Error::ConstructorArity {
+                class,
+                expected,
+                found,
+            } => write!(
+                f,
+                "constructor of `{class}` expects {expected} arguments, found {found}"
+            ),
+            Error::Invalid(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::ConstructorArity {
+            class: "Counter".into(),
+            expected: 2,
+            found: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Counter"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('1'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

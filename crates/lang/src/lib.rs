@@ -1,0 +1,57 @@
+//! # rprism-lang
+//!
+//! The core object-oriented calculus used throughout the RPrism reproduction of
+//! *Semantics-Aware Trace Analysis* (Hoffman, Eugster, Jagannathan — PLDI 2009).
+//!
+//! The paper formalizes its trace model against a subset of Java: Featherweight Java
+//! extended with locations, field assignment, term sequences, primitive value objects and
+//! threads (paper §2.1, Fig. 3). This crate implements that calculus as a plain Rust data
+//! structure ([`ast`]), together with:
+//!
+//! * a [`ClassTable`](classtable::ClassTable) providing the `fields` and `mbody` auxiliary
+//!   functions of Fig. 5,
+//! * a hand-written [parser](parser) and [pretty printer](pretty) for a concrete syntax,
+//! * a fluent [builder API](build) used by the synthetic workload generators,
+//! * [static validation](validate) of programs (well-formed class hierarchies, known
+//!   fields/methods, constructor arity).
+//!
+//! The calculus is extended — as documented in `DESIGN.md` — with conditionals, a bounded
+//! loop, let-bindings, primitive operators and string literals so that the evaluation
+//! workloads of the paper (boundary-condition bugs, control-flow bugs, …) can be expressed.
+//! These extensions only affect program evaluation in `rprism-vm`; the *trace grammar*
+//! consumed by the analyses is exactly the paper's.
+//!
+//! ## Example
+//!
+//! ```
+//! use rprism_lang::parser::parse_program;
+//!
+//! let src = r#"
+//!     class Counter extends Object {
+//!         Int count;
+//!         Int bump(Int by) { this.count = this.count + by; return this.count; }
+//!     }
+//!     main {
+//!         let c = new Counter(0);
+//!         c.bump(2);
+//!         c.bump(3);
+//!     }
+//! "#;
+//! let program = parse_program(src)?;
+//! assert_eq!(program.classes.len(), 1);
+//! # Ok::<(), rprism_lang::Error>(())
+//! ```
+
+pub mod ast;
+pub mod build;
+pub mod classtable;
+pub mod error;
+pub mod names;
+pub mod parser;
+pub mod pretty;
+pub mod validate;
+
+pub use ast::{ClassDef, MethodDef, Program, Term, Type};
+pub use classtable::ClassTable;
+pub use error::Error;
+pub use names::{ClassName, FieldName, MethodName, VarName};

@@ -1,0 +1,456 @@
+//! Hand-written lexer for the concrete syntax of the core calculus.
+
+use crate::error::Error;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// The kinds of tokens produced by the lexer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal (contents, unescaped).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::LBrace => "`{`".to_owned(),
+            TokenKind::RBrace => "`}`".to_owned(),
+            TokenKind::LParen => "`(`".to_owned(),
+            TokenKind::RParen => "`)`".to_owned(),
+            TokenKind::Semi => "`;`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::Dot => "`.`".to_owned(),
+            TokenKind::Assign => "`=`".to_owned(),
+            TokenKind::EqEq => "`==`".to_owned(),
+            TokenKind::NotEq => "`!=`".to_owned(),
+            TokenKind::Lt => "`<`".to_owned(),
+            TokenKind::Le => "`<=`".to_owned(),
+            TokenKind::Gt => "`>`".to_owned(),
+            TokenKind::Ge => "`>=`".to_owned(),
+            TokenKind::Plus => "`+`".to_owned(),
+            TokenKind::Minus => "`-`".to_owned(),
+            TokenKind::Star => "`*`".to_owned(),
+            TokenKind::Slash => "`/`".to_owned(),
+            TokenKind::Percent => "`%`".to_owned(),
+            TokenKind::AndAnd => "`&&`".to_owned(),
+            TokenKind::OrOr => "`||`".to_owned(),
+            TokenKind::Bang => "`!`".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+/// Tokenizes `source` into a vector of tokens terminated by [`TokenKind::Eof`].
+///
+/// Line comments beginning with `//` are skipped.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on unterminated strings, malformed numbers or unexpected
+/// characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $line:expr, $col:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                line: $line,
+                col: $col,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                push!(TokenKind::LBrace, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push!(TokenKind::RBrace, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push!(TokenKind::LParen, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(TokenKind::RParen, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push!(TokenKind::Semi, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(TokenKind::Comma, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                push!(TokenKind::Dot, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push!(TokenKind::Plus, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push!(TokenKind::Minus, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(TokenKind::Star, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push!(TokenKind::Slash, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                push!(TokenKind::Percent, tline, tcol);
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(TokenKind::EqEq, tline, tcol);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Assign, tline, tcol);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(TokenKind::NotEq, tline, tcol);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Bang, tline, tcol);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(TokenKind::Le, tline, tcol);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Lt, tline, tcol);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(TokenKind::Ge, tline, tcol);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Gt, tline, tcol);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < chars.len() && chars[i + 1] == '&' {
+                    push!(TokenKind::AndAnd, tline, tcol);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(Error::Lex {
+                        line,
+                        col,
+                        message: "expected `&&`".to_owned(),
+                    });
+                }
+            }
+            '|' => {
+                if i + 1 < chars.len() && chars[i + 1] == '|' {
+                    push!(TokenKind::OrOr, tline, tcol);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(Error::Lex {
+                        line,
+                        col,
+                        message: "expected `||`".to_owned(),
+                    });
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                col += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(Error::Lex {
+                            line,
+                            col,
+                            message: "unterminated string literal".to_owned(),
+                        });
+                    }
+                    match chars[i] {
+                        '"' => {
+                            i += 1;
+                            col += 1;
+                            break;
+                        }
+                        '\\' if i + 1 < chars.len() => {
+                            let esc = chars[i + 1];
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '"' => '"',
+                                '\\' => '\\',
+                                other => other,
+                            });
+                            i += 2;
+                            col += 2;
+                        }
+                        '\n' => {
+                            return Err(Error::Lex {
+                                line,
+                                col,
+                                message: "newline in string literal".to_owned(),
+                            });
+                        }
+                        other => {
+                            s.push(other);
+                            i += 1;
+                            col += 1;
+                        }
+                    }
+                }
+                push!(TokenKind::Str(s), tline, tcol);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    col += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| Error::Lex {
+                        line: tline,
+                        col: tcol,
+                        message: format!("invalid float literal `{text}`: {e}"),
+                    })?;
+                    push!(TokenKind::Float(v), tline, tcol);
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| Error::Lex {
+                        line: tline,
+                        col: tcol,
+                        message: format!("invalid integer literal `{text}`: {e}"),
+                    })?;
+                    push!(TokenKind::Int(v), tline, tcol);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                push!(TokenKind::Ident(text), tline, tcol);
+            }
+            other => {
+                return Err(Error::Lex {
+                    line,
+                    col,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_identifiers() {
+        let ks = kinds("class Foo extends Object { }");
+        assert_eq!(ks[0], TokenKind::Ident("class".into()));
+        assert_eq!(ks[1], TokenKind::Ident("Foo".into()));
+        assert_eq!(ks[3], TokenKind::Ident("Object".into()));
+        assert_eq!(ks[4], TokenKind::LBrace);
+        assert_eq!(ks.last().unwrap(), &TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_numbers_and_strings() {
+        let ks = kinds(r#"42 3.25 "hi\n" "#);
+        assert_eq!(ks[0], TokenKind::Int(42));
+        assert_eq!(ks[1], TokenKind::Float(3.25));
+        assert_eq!(ks[2], TokenKind::Str("hi\n".into()));
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        let ks = kinds("== != <= >= && || = < > !");
+        assert_eq!(
+            &ks[..10],
+            &[
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Bang,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = tokenize("a // comment\n  b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(matches!(tokenize("\"abc"), Err(Error::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        assert!(matches!(tokenize("a & b"), Err(Error::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(matches!(tokenize("a # b"), Err(Error::Lex { .. })));
+    }
+}

@@ -1,0 +1,741 @@
+//! Recursive-descent parser for the concrete syntax of the core calculus.
+//!
+//! Concrete syntax summary (see the crate-level docs for a full example):
+//!
+//! ```text
+//! program   := (classdef)* "main" "{" stmt* "}"
+//! classdef  := "class" IDENT "extends" IDENT "{" fielddecl* methoddef* "}"
+//! fielddecl := type IDENT ";"
+//! methoddef := type IDENT "(" params? ")" "{" stmt* "}"
+//! stmt      := "let" IDENT "=" expr ";"
+//!            | "return" expr ";"
+//!            | "if" "(" expr ")" block ("else" block)?
+//!            | "while" "(" expr ")" block
+//!            | "spawn" block
+//!            | expr ";"
+//! expr      := or-expr with assignment to fields: postfix "." IDENT "=" expr
+//! ```
+//!
+//! `return expr;` is sugar — the expression simply becomes the last term of the body, as
+//! in the paper's `{ t̄; return t; }` method shape.
+
+pub mod lexer;
+
+use crate::ast::{BinOp, ClassDef, Lit, MethodDef, PrimType, Program, Term, Type, UnOp};
+use crate::error::Error;
+use crate::names::{ClassName, FieldName, MethodName, VarName};
+
+use lexer::{tokenize, Token, TokenKind};
+
+/// Parses a complete program.
+///
+/// # Errors
+///
+/// Returns an [`Error::Lex`] or [`Error::Parse`] describing the first problem encountered.
+///
+/// ```
+/// let p = rprism_lang::parser::parse_program("main { let x = 1 + 2; }")?;
+/// assert_eq!(p.main.len(), 1);
+/// # Ok::<(), rprism_lang::Error>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, Error> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+/// Parses a single expression (useful in tests and in the interactive view explorer
+/// example).
+///
+/// # Errors
+///
+/// Returns an error when the source is not a single well-formed expression.
+pub fn parse_expr(source: &str) -> Result<Term, Error> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let t = parser.expr()?;
+    parser.expect_eof()?;
+    Ok(t)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        let t = self.peek();
+        Error::Parse {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, Error> {
+        if self.peek_kind() == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek_kind().describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), Error> {
+        if matches!(self.peek_kind(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected end of input, found {}",
+                self.peek_kind().describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, Error> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        match self.peek_kind() {
+            TokenKind::Ident(s) if s == kw => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw)
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Declarations
+    // -----------------------------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, Error> {
+        let mut classes = Vec::new();
+        while self.at_keyword("class") {
+            classes.push(self.class_def()?);
+        }
+        let mut main = Vec::new();
+        if self.at_keyword("main") {
+            self.expect_keyword("main")?;
+            self.expect(&TokenKind::LBrace)?;
+            main = self.stmt_list()?;
+            self.expect(&TokenKind::RBrace)?;
+        }
+        self.expect_eof()?;
+        Ok(Program { classes, main })
+    }
+
+    fn class_def(&mut self) -> Result<ClassDef, Error> {
+        self.expect_keyword("class")?;
+        let name = self.expect_ident()?;
+        self.expect_keyword("extends")?;
+        let superclass = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !matches!(self.peek_kind(), TokenKind::RBrace | TokenKind::Eof) {
+            // Both fields and methods start with `Type IDENT`; disambiguate on the token
+            // after the member name: `;` for fields, `(` for methods.
+            let ty = self.type_ref()?;
+            let member = self.expect_ident()?;
+            match self.peek_kind() {
+                TokenKind::Semi => {
+                    self.advance();
+                    fields.push((FieldName::new(member), ty));
+                }
+                TokenKind::LParen => {
+                    methods.push(self.method_rest(member, ty)?);
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected `;` or `(` after member `{member}`, found {}",
+                        other.describe()
+                    )));
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(ClassDef {
+            name: ClassName::new(name),
+            superclass: ClassName::new(superclass),
+            fields,
+            methods,
+        })
+    }
+
+    fn method_rest(&mut self, name: String, return_type: Type) -> Result<MethodDef, Error> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek_kind(), TokenKind::RParen) {
+            loop {
+                let ty = self.type_ref()?;
+                let pname = self.expect_ident()?;
+                params.push((VarName::new(pname), ty));
+                if matches!(self.peek_kind(), TokenKind::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.stmt_list()?;
+        self.expect(&TokenKind::RBrace)?;
+        Ok(MethodDef {
+            name: MethodName::new(name),
+            params,
+            return_type,
+            body,
+        })
+    }
+
+    fn type_ref(&mut self) -> Result<Type, Error> {
+        let name = self.expect_ident()?;
+        Ok(match name.as_str() {
+            "Int" => Type::Prim(PrimType::Int),
+            "Bool" => Type::Prim(PrimType::Bool),
+            "Float" => Type::Prim(PrimType::Float),
+            "Str" => Type::Prim(PrimType::Str),
+            "Unit" => Type::Prim(PrimType::Unit),
+            _ => Type::Class(ClassName::new(name)),
+        })
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------------------------
+
+    fn stmt_list(&mut self) -> Result<Vec<Term>, Error> {
+        let mut stmts = Vec::new();
+        while !matches!(self.peek_kind(), TokenKind::RBrace | TokenKind::Eof) {
+            stmts.push(self.stmt()?);
+        }
+        // Fold trailing `let` chains: a `let` statement scopes over the remaining
+        // statements of the block, so rebuild right-associatively.
+        Ok(stmts)
+    }
+
+    fn block(&mut self) -> Result<Term, Error> {
+        self.expect(&TokenKind::LBrace)?;
+        let stmts = self.stmt_list()?;
+        self.expect(&TokenKind::RBrace)?;
+        Ok(match stmts.len() {
+            0 => Term::unit(),
+            1 => stmts.into_iter().next().expect("length checked"),
+            _ => Term::Seq(stmts),
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Term, Error> {
+        if self.at_keyword("let") {
+            self.expect_keyword("let")?;
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Assign)?;
+            let value = self.expr()?;
+            self.expect(&TokenKind::Semi)?;
+            // The body of the let is the rest of the enclosing block.
+            let rest = self.stmt_list()?;
+            let body = match rest.len() {
+                0 => Term::unit(),
+                1 => rest.into_iter().next().expect("length checked"),
+                _ => Term::Seq(rest),
+            };
+            return Ok(Term::Let {
+                var: VarName::new(name),
+                value: Box::new(value),
+                body: Box::new(body),
+            });
+        }
+        if self.at_keyword("return") {
+            self.expect_keyword("return")?;
+            let value = self.expr()?;
+            self.expect(&TokenKind::Semi)?;
+            return Ok(Term::Return(Box::new(value)));
+        }
+        if self.at_keyword("if") {
+            self.expect_keyword("if")?;
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            let then_branch = self.block()?;
+            let else_branch = if self.at_keyword("else") {
+                self.expect_keyword("else")?;
+                self.block()?
+            } else {
+                Term::unit()
+            };
+            return Ok(Term::If {
+                cond: Box::new(cond),
+                then_branch: Box::new(then_branch),
+                else_branch: Box::new(else_branch),
+            });
+        }
+        if self.at_keyword("while") {
+            self.expect_keyword("while")?;
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            let body = self.block()?;
+            return Ok(Term::While {
+                cond: Box::new(cond),
+                body: Box::new(body),
+            });
+        }
+        if self.at_keyword("spawn") {
+            self.expect_keyword("spawn")?;
+            self.expect(&TokenKind::LBrace)?;
+            let body = self.stmt_list()?;
+            self.expect(&TokenKind::RBrace)?;
+            return Ok(Term::Spawn { body });
+        }
+        let e = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(e)
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Term, Error> {
+        let lhs = self.or_expr()?;
+        // Field assignment: `postfix.field = expr`. Detect the pattern after parsing: the
+        // parsed lhs must be a FieldGet and the next token `=`.
+        if matches!(self.peek_kind(), TokenKind::Assign) {
+            if let Term::FieldGet { target, field } = lhs {
+                self.advance();
+                let value = self.expr()?;
+                return Ok(Term::FieldSet {
+                    target,
+                    field,
+                    value: Box::new(value),
+                });
+            }
+            return Err(self.error("left-hand side of `=` must be a field access"));
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> Result<Term, Error> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek_kind(), TokenKind::OrOr) {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = Term::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Term, Error> {
+        let mut lhs = self.equality_expr()?;
+        while matches!(self.peek_kind(), TokenKind::AndAnd) {
+            self.advance();
+            let rhs = self.equality_expr()?;
+            lhs = Term::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Term, Error> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.relational_expr()?;
+            lhs = Term::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Term, Error> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.additive_expr()?;
+            lhs = Term::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Term, Error> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.multiplicative_expr()?;
+            lhs = Term::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Term, Error> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            lhs = Term::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Term, Error> {
+        match self.peek_kind() {
+            TokenKind::Bang => {
+                self.advance();
+                let operand = self.unary_expr()?;
+                Ok(Term::Un {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                })
+            }
+            TokenKind::Minus => {
+                self.advance();
+                let operand = self.unary_expr()?;
+                Ok(Term::Un {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Term, Error> {
+        let mut expr = self.primary_expr()?;
+        while matches!(self.peek_kind(), TokenKind::Dot) {
+            self.advance();
+            let member = self.expect_ident()?;
+            if matches!(self.peek_kind(), TokenKind::LParen) {
+                self.advance();
+                let mut args = Vec::new();
+                if !matches!(self.peek_kind(), TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if matches!(self.peek_kind(), TokenKind::Comma) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                expr = Term::Call {
+                    target: Box::new(expr),
+                    method: MethodName::new(member),
+                    args,
+                };
+            } else {
+                expr = Term::FieldGet {
+                    target: Box::new(expr),
+                    field: FieldName::new(member),
+                };
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> Result<Term, Error> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Term::Lit(Lit::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Term::Lit(Lit::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Term::Lit(Lit::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(word) => match word.as_str() {
+                "true" => {
+                    self.advance();
+                    Ok(Term::Lit(Lit::Bool(true)))
+                }
+                "false" => {
+                    self.advance();
+                    Ok(Term::Lit(Lit::Bool(false)))
+                }
+                "null" => {
+                    self.advance();
+                    Ok(Term::Lit(Lit::Null))
+                }
+                "unit" => {
+                    self.advance();
+                    Ok(Term::Lit(Lit::Unit))
+                }
+                "this" => {
+                    self.advance();
+                    Ok(Term::This)
+                }
+                "new" => {
+                    self.advance();
+                    let class = self.expect_ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek_kind(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if matches!(self.peek_kind(), TokenKind::Comma) {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Term::New {
+                        class: ClassName::new(class),
+                        args,
+                    })
+                }
+                _ => {
+                    self.advance();
+                    Ok(Term::Var(VarName::new(word)))
+                }
+            },
+            other => Err(self.error(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse_program("main { 1 + 2; }").unwrap();
+        assert_eq!(p.main.len(), 1);
+        assert!(matches!(p.main[0], Term::Bin { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn parses_class_with_fields_and_methods() {
+        let src = r#"
+            class Counter extends Object {
+                Int count;
+                Int bump(Int by) {
+                    this.count = this.count + by;
+                    return this.count;
+                }
+            }
+            main {
+                let c = new Counter(0);
+                c.bump(2);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.classes.len(), 1);
+        let c = &p.classes[0];
+        assert_eq!(c.fields.len(), 1);
+        assert_eq!(c.methods.len(), 1);
+        assert_eq!(c.methods[0].body.len(), 2);
+        // main: single Let whose body is the rest of the block
+        assert!(matches!(p.main[0], Term::Let { .. }));
+    }
+
+    #[test]
+    fn let_scopes_over_remaining_block() {
+        let p = parse_program("main { let a = 1; let b = 2; a + b; }").unwrap();
+        match &p.main[0] {
+            Term::Let { var, body, .. } => {
+                assert_eq!(var.as_str(), "a");
+                assert!(matches!(**body, Term::Let { .. }));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let t = parse_expr("1 + 2 * 3").unwrap();
+        match t {
+            Term::Bin {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => assert!(matches!(*rhs, Term::Bin { op: BinOp::Mul, .. })),
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_comparison_over_and() {
+        let t = parse_expr("a < 3 && b >= 4").unwrap();
+        assert!(matches!(t, Term::Bin { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn parses_chained_calls_and_field_access() {
+        let t = parse_expr("obj.helper().value").unwrap();
+        match t {
+            Term::FieldGet { target, field } => {
+                assert_eq!(field.as_str(), "value");
+                assert!(matches!(*target, Term::Call { .. }));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_field_assignment() {
+        let t = parse_expr("this.min = 32").unwrap();
+        assert!(matches!(t, Term::FieldSet { .. }));
+    }
+
+    #[test]
+    fn rejects_assignment_to_non_field() {
+        assert!(parse_expr("x = 3").is_err());
+    }
+
+    #[test]
+    fn parses_if_while_spawn() {
+        let src = r#"
+            main {
+                if (x < 10) { x.work(); } else { x.idle(); }
+                while (x.more()) { x.step(); }
+                spawn { x.background(); }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.main.len(), 3);
+        assert!(matches!(p.main[0], Term::If { .. }));
+        assert!(matches!(p.main[1], Term::While { .. }));
+        assert!(matches!(p.main[2], Term::Spawn { .. }));
+    }
+
+    #[test]
+    fn parses_literals() {
+        assert!(matches!(
+            parse_expr("true").unwrap(),
+            Term::Lit(Lit::Bool(true))
+        ));
+        assert!(matches!(parse_expr("null").unwrap(), Term::Lit(Lit::Null)));
+        assert!(matches!(parse_expr("unit").unwrap(), Term::Lit(Lit::Unit)));
+        assert!(matches!(
+            parse_expr("\"text/html\"").unwrap(),
+            Term::Lit(Lit::Str(_))
+        ));
+        assert!(matches!(
+            parse_expr("-5").unwrap(),
+            Term::Un { op: UnOp::Neg, .. }
+        ));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("main { let = 3; }").unwrap_err();
+        match err {
+            Error::Parse { line, col, .. } => {
+                assert_eq!(line, 1);
+                assert!(col > 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_source_is_empty_program() {
+        let p = parse_program("").unwrap();
+        assert!(p.classes.is_empty());
+        assert!(p.main.is_empty());
+    }
+
+    #[test]
+    fn parses_new_with_nested_args() {
+        let t = parse_expr("new NumericEntityUtil(32, 127)").unwrap();
+        match t {
+            Term::New { class, args } => {
+                assert_eq!(class.as_str(), "NumericEntityUtil");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The regression-cause analysis algorithm (paper §4.1).
+//!
+//! Given traces of the original (non-regressing) and new (regressing) program versions
+//! under a regressing test case and a similar non-regressing test case, the analysis
+//! computes:
+//!
+//! * **A** — the *suspected differences set*: old vs new under the regressing test,
+//! * **B** — the *expected differences set*: old vs new under the passing test (differences
+//!   due to ordinary program evolution, unlikely to be regression-related),
+//! * **C** — the *regression differences set*: passing vs regressing test on the *new*
+//!   version (differences caused by the differing inputs, which include the regression's
+//!   trigger and manifestation),
+//! * **D** — the candidate causes: `D = (A − B) ∩ C`, or `D = (A − B) − C` when the
+//!   regression is suspected to be caused by *removed* code (§4.1's variant).
+//!
+//! Finally, the difference sequences of the suspected comparison are classified: a
+//! sequence is reported as regression-related when it contains at least one difference
+//! whose signature survives into D.
+
+use std::time::{Duration, Instant};
+
+use rprism_diff::{
+    lcs_diff, views_diff_with_webs, DiffError, DiffSequence, LcsDiffOptions, TraceDiffResult,
+    ViewsDiffOptions,
+};
+use rprism_trace::Trace;
+use rprism_views::ViewWeb;
+
+use crate::sets::{DiffSet, DiffSignature};
+
+/// The four traces the analysis consumes.
+#[derive(Clone, Debug)]
+pub struct RegressionTraces {
+    /// Original (correct) version, regressing test case.
+    pub old_regressing: Trace,
+    /// New (regressing) version, regressing test case.
+    pub new_regressing: Trace,
+    /// Original version, similar but non-regressing test case.
+    pub old_passing: Trace,
+    /// New version, similar but non-regressing test case.
+    pub new_passing: Trace,
+}
+
+/// Which differencing semantics the analysis uses for all three comparisons.
+#[derive(Clone, Debug)]
+pub enum DiffAlgorithm {
+    /// The views-based differencing of §3.3 (RPrism proper).
+    Views(ViewsDiffOptions),
+    /// The LCS baseline of §3.2.
+    Lcs(LcsDiffOptions),
+}
+
+impl DiffAlgorithm {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiffAlgorithm::Views(_) => "views",
+            DiffAlgorithm::Lcs(_) => "lcs",
+        }
+    }
+}
+
+/// How the candidate set D is computed from A, B and C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AnalysisMode {
+    /// `D = (A − B) ∩ C` — the default, for regressions caused by added/changed code.
+    #[default]
+    Intersect,
+    /// `D = (A − B) − C` — for regressions caused by *removal* of code in the new version.
+    SubtractRegressionSet,
+}
+
+/// One difference sequence of the suspected comparison, classified by the analysis.
+#[derive(Clone, Debug)]
+pub struct SequenceVerdict {
+    /// The sequence (indices into the suspected comparison's traces).
+    pub sequence: DiffSequence,
+    /// `true` when the analysis considers the sequence regression-related (it contains a
+    /// difference that survives into D).
+    pub regression_related: bool,
+}
+
+/// The complete output of one regression-cause analysis run.
+#[derive(Clone, Debug)]
+pub struct RegressionReport {
+    /// Label of the differencing algorithm used.
+    pub algorithm: &'static str,
+    /// The suspected differences set A.
+    pub suspected: DiffSet,
+    /// The expected differences set B.
+    pub expected: DiffSet,
+    /// The regression differences set C.
+    pub regression: DiffSet,
+    /// The candidate causes D.
+    pub candidates: DiffSet,
+    /// The analysis mode that produced D.
+    pub mode: AnalysisMode,
+    /// The raw differencing result of the suspected comparison (old vs new, regressing
+    /// test) — the semantic diff the developer ultimately inspects.
+    pub suspected_diff: TraceDiffResult,
+    /// Every difference sequence of the suspected comparison with its verdict.
+    pub sequences: Vec<SequenceVerdict>,
+    /// Total wall-clock time of the three differencing runs plus the set algebra.
+    pub analysis_time: Duration,
+    /// Sum of compare operations across the three differencing runs.
+    pub compare_ops: u64,
+    /// Peak working-set bytes across the three differencing runs.
+    pub peak_bytes: u64,
+}
+
+impl RegressionReport {
+    /// The difference sequences reported to the developer as regression-related.
+    pub fn regression_sequences(&self) -> Vec<&SequenceVerdict> {
+        self.sequences
+            .iter()
+            .filter(|s| s.regression_related)
+            .collect()
+    }
+
+    /// Number of regression-related difference sequences (the paper's "Regression Diff.
+    /// Seqs." column).
+    pub fn num_regression_sequences(&self) -> usize {
+        self.regression_sequences().len()
+    }
+
+    /// The size of the reported output relative to the executed trace, as a percentage —
+    /// the metric the paper uses to compare against dynamic slicing (§6).
+    pub fn reported_fraction_of_trace(&self, total_entries: usize) -> f64 {
+        if total_entries == 0 {
+            return 0.0;
+        }
+        let reported: usize = self
+            .regression_sequences()
+            .iter()
+            .map(|s| s.sequence.len())
+            .sum();
+        reported as f64 / total_entries as f64 * 100.0
+    }
+}
+
+/// Runs the full regression-cause analysis.
+///
+/// # Errors
+///
+/// Returns a [`DiffError`] when the LCS baseline exhausts its memory budget on any of the
+/// three comparisons (the views-based algorithm never fails).
+pub fn analyze(
+    traces: &RegressionTraces,
+    algorithm: &DiffAlgorithm,
+    mode: AnalysisMode,
+) -> Result<RegressionReport, DiffError> {
+    let start = Instant::now();
+
+    // Pre-build webs once per trace for the views algorithm (each trace participates in
+    // up to two comparisons).
+    let diff_pair = |left: &Trace, right: &Trace| -> Result<TraceDiffResult, DiffError> {
+        match algorithm {
+            DiffAlgorithm::Views(options) => {
+                let lweb = ViewWeb::build(left);
+                let rweb = ViewWeb::build(right);
+                Ok(views_diff_with_webs(left, right, &lweb, &rweb, options))
+            }
+            DiffAlgorithm::Lcs(options) => lcs_diff(left, right, options),
+        }
+    };
+
+    // Step 1: A — old vs new under the regressing test.
+    let suspected_diff = diff_pair(&traces.old_regressing, &traces.new_regressing)?;
+    let suspected = DiffSet::from_diff(
+        &suspected_diff,
+        &traces.old_regressing,
+        &traces.new_regressing,
+    );
+
+    // Step 2: B — old vs new under the passing test.
+    let expected_diff = diff_pair(&traces.old_passing, &traces.new_passing)?;
+    let expected = DiffSet::from_diff(&expected_diff, &traces.old_passing, &traces.new_passing);
+
+    // Step 3: C — passing vs regressing test on the new version.
+    let regression_diff = diff_pair(&traces.new_passing, &traces.new_regressing)?;
+    let regression = DiffSet::from_diff(
+        &regression_diff,
+        &traces.new_passing,
+        &traces.new_regressing,
+    );
+
+    // Step 4: D.
+    let a_minus_b = suspected.subtract(&expected);
+    let candidates = match mode {
+        AnalysisMode::Intersect => a_minus_b.intersect(&regression),
+        AnalysisMode::SubtractRegressionSet => a_minus_b.subtract(&regression),
+    };
+
+    // Classify the suspected comparison's difference sequences.
+    let sequences = suspected_diff
+        .sequences
+        .iter()
+        .map(|sequence| {
+            let related = sequence
+                .left
+                .iter()
+                .filter_map(|i| traces.old_regressing.entries.get(*i))
+                .chain(
+                    sequence
+                        .right
+                        .iter()
+                        .filter_map(|i| traces.new_regressing.entries.get(*i)),
+                )
+                .any(|entry| candidates.contains(&DiffSignature::of(entry)));
+            SequenceVerdict {
+                sequence: sequence.clone(),
+                regression_related: related,
+            }
+        })
+        .collect();
+
+    let compare_ops = suspected_diff.cost.compare_ops
+        + expected_diff.cost.compare_ops
+        + regression_diff.cost.compare_ops;
+    let peak_bytes = suspected_diff
+        .cost
+        .peak_bytes
+        .max(expected_diff.cost.peak_bytes)
+        .max(regression_diff.cost.peak_bytes);
+
+    Ok(RegressionReport {
+        algorithm: algorithm.label(),
+        suspected,
+        expected,
+        regression,
+        candidates,
+        mode,
+        suspected_diff,
+        sequences,
+        analysis_time: start.elapsed(),
+        compare_ops,
+        peak_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_lang::parser::parse_program;
+    use rprism_trace::TraceMeta;
+    use rprism_vm::{run_traced, VmConfig};
+
+    /// The motivating-example shape: a conversion range initialized during request setup,
+    /// consulted much later during processing; the regression flips the range's lower
+    /// bound and only manifests for the "text/html" input.
+    fn program(range_min: i64) -> String {
+        format!(
+            r#"
+            class Log extends Object {{
+                Int n;
+                Unit addMsg(Str m) {{ this.n = this.n + 1; }}
+            }}
+            class Num extends Object {{
+                Int min; Int max;
+                Bool convert(Int c) {{ return (c < this.min) || (c > this.max); }}
+            }}
+            class SP extends Object {{
+                Log log; Num conv; Int converted;
+                Unit setRequestType(Str ty) {{
+                    this.log.addMsg("Handling request");
+                    if (ty == "text/html") {{
+                        this.conv = new Num({range_min}, 127);
+                    }}
+                    this.log.addMsg("Set req type");
+                }}
+                Unit emit(Int c) {{
+                    if (ty_is_html(this)) {{
+                        if (this.conv.convert(c)) {{
+                            this.converted = this.converted + 1;
+                        }}
+                    }}
+                }}
+            }}
+            "#
+        )
+        .replace("ty_is_html(this)", "this.conv != null")
+    }
+
+    fn main_for(doc_type: &str) -> String {
+        format!(
+            r#"
+            main {{
+                let log = new Log(0);
+                let sp = new SP(log, null, 0);
+                sp.setRequestType("{doc_type}");
+                sp.emit(20);
+                sp.emit(64);
+                sp.emit(200);
+            }}
+            "#
+        )
+    }
+
+    fn trace(range_min: i64, doc_type: &str, name: &str) -> Trace {
+        let src = format!("{}{}", program(range_min), main_for(doc_type));
+        let p = parse_program(&src).unwrap();
+        run_traced(&p, TraceMeta::new(name, "", ""), VmConfig::default())
+            .unwrap()
+            .trace
+    }
+
+    fn scenario() -> RegressionTraces {
+        RegressionTraces {
+            old_regressing: trace(32, "text/html", "old-reg"),
+            new_regressing: trace(1, "text/html", "new-reg"),
+            old_passing: trace(32, "text/plain", "old-pass"),
+            new_passing: trace(1, "text/plain", "new-pass"),
+        }
+    }
+
+    #[test]
+    fn candidate_set_is_smaller_than_suspected_set() {
+        let report = analyze(
+            &scenario(),
+            &DiffAlgorithm::Views(ViewsDiffOptions::default()),
+            AnalysisMode::Intersect,
+        )
+        .unwrap();
+        assert!(!report.suspected.is_empty(), "A must not be empty");
+        assert!(!report.candidates.is_empty(), "D must not be empty");
+        assert!(report.candidates.len() <= report.suspected.len());
+        // The filtered result points at the changed range initialization: at least one
+        // candidate mentions the Num class or its min field.
+        let mentions_cause = report
+            .candidates
+            .iter()
+            .any(|sig| sig.key.name.as_deref() == Some("min") || sig.key.name.as_deref() == Some("Num"));
+        assert!(mentions_cause, "candidates: {:?}", report.candidates);
+    }
+
+    #[test]
+    fn regression_sequences_are_a_subset_of_all_sequences() {
+        let report = analyze(
+            &scenario(),
+            &DiffAlgorithm::Views(ViewsDiffOptions::default()),
+            AnalysisMode::Intersect,
+        )
+        .unwrap();
+        assert!(report.num_regression_sequences() <= report.sequences.len());
+        assert!(report.num_regression_sequences() >= 1);
+        assert!(report.reported_fraction_of_trace(10_000) < 100.0);
+    }
+
+    #[test]
+    fn passing_tests_only_produce_no_candidates() {
+        // If the "regressing" test behaves identically in both versions (we use the
+        // passing input for all four traces), A captures only version differences and C is
+        // empty, so D must be empty.
+        let traces = RegressionTraces {
+            old_regressing: trace(32, "text/plain", "old-reg"),
+            new_regressing: trace(1, "text/plain", "new-reg"),
+            old_passing: trace(32, "text/plain", "old-pass"),
+            new_passing: trace(1, "text/plain", "new-pass"),
+        };
+        let report = analyze(
+            &traces,
+            &DiffAlgorithm::Views(ViewsDiffOptions::default()),
+            AnalysisMode::Intersect,
+        )
+        .unwrap();
+        assert!(report.regression.is_empty());
+        assert!(report.candidates.is_empty());
+        assert_eq!(report.num_regression_sequences(), 0);
+    }
+
+    #[test]
+    fn lcs_and_views_modes_both_run() {
+        let views = analyze(
+            &scenario(),
+            &DiffAlgorithm::Views(ViewsDiffOptions::default()),
+            AnalysisMode::Intersect,
+        )
+        .unwrap();
+        let lcs = analyze(
+            &scenario(),
+            &DiffAlgorithm::Lcs(LcsDiffOptions::default()),
+            AnalysisMode::Intersect,
+        )
+        .unwrap();
+        assert_eq!(views.algorithm, "views");
+        assert_eq!(lcs.algorithm, "lcs");
+        assert!(views.compare_ops > 0 && lcs.compare_ops > 0);
+    }
+
+    #[test]
+    fn subtract_mode_for_code_removal() {
+        let report = analyze(
+            &scenario(),
+            &DiffAlgorithm::Views(ViewsDiffOptions::default()),
+            AnalysisMode::SubtractRegressionSet,
+        )
+        .unwrap();
+        // (A − B) − C never contains anything that Intersect-mode D contains together with
+        // C; sanity-check the algebra: D_subtract ∩ C = ∅.
+        assert!(report.candidates.intersect(&report.regression).is_empty());
+        assert_eq!(report.mode, AnalysisMode::SubtractRegressionSet);
+    }
+}

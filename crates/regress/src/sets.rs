@@ -1,0 +1,200 @@
+//! Difference signatures and the difference sets of the regression-cause analysis (§4.1).
+//!
+//! The analysis manipulates *sets of semantic differences* coming from different trace
+//! pairs (old vs new under the regressing test, old vs new under a passing test, passing
+//! vs regressing test on the new version). To subtract and intersect differences that
+//! originate from different traces, each differing entry is canonicalized into a
+//! version-independent [`DiffSignature`]: the event's semantic content ([`EventKey`]) plus
+//! its enclosing context (method and active-object class). Two differences from different
+//! comparisons are "the same difference" when their signatures are equal.
+
+use std::collections::HashSet;
+
+use rprism_trace::{EventKey, Trace, TraceEntry};
+
+use rprism_diff::TraceDiffResult;
+
+/// A canonical, trace-independent identity for one semantic difference.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DiffSignature {
+    /// The semantic content of the differing event.
+    pub key: EventKey,
+    /// The method in whose context the event occurred.
+    pub method: String,
+    /// The class of the active object in whose context the event occurred.
+    pub active_class: String,
+}
+
+impl DiffSignature {
+    /// Builds the signature of a trace entry.
+    pub fn of(entry: &TraceEntry) -> Self {
+        DiffSignature {
+            key: EventKey::of(entry),
+            method: entry.method.as_str().to_owned(),
+            active_class: entry.active.class.clone(),
+        }
+    }
+}
+
+/// A set of semantic differences (one of the paper's sets A, B, C or D).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiffSet {
+    signatures: HashSet<DiffSignature>,
+}
+
+impl DiffSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DiffSet::default()
+    }
+
+    /// Builds the difference set of a trace comparison: the signatures of every unmatched
+    /// entry on either side.
+    pub fn from_diff(result: &TraceDiffResult, left: &Trace, right: &Trace) -> Self {
+        let mut signatures = HashSet::new();
+        for idx in result.matching.unmatched_left() {
+            if let Some(entry) = left.entries.get(idx) {
+                signatures.insert(DiffSignature::of(entry));
+            }
+        }
+        for idx in result.matching.unmatched_right() {
+            if let Some(entry) = right.entries.get(idx) {
+                signatures.insert(DiffSignature::of(entry));
+            }
+        }
+        DiffSet { signatures }
+    }
+
+    /// Inserts a signature.
+    pub fn insert(&mut self, signature: DiffSignature) {
+        self.signatures.insert(signature);
+    }
+
+    /// Number of distinct differences.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, signature: &DiffSignature) -> bool {
+        self.signatures.contains(signature)
+    }
+
+    /// Set difference `self − other`.
+    pub fn subtract(&self, other: &DiffSet) -> DiffSet {
+        DiffSet {
+            signatures: self
+                .signatures
+                .difference(&other.signatures)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Set intersection `self ∩ other`.
+    pub fn intersect(&self, other: &DiffSet) -> DiffSet {
+        DiffSet {
+            signatures: self
+                .signatures
+                .intersection(&other.signatures)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Iterates over the signatures in the set (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &DiffSignature> {
+        self.signatures.iter()
+    }
+}
+
+impl FromIterator<DiffSignature> for DiffSet {
+    fn from_iter<T: IntoIterator<Item = DiffSignature>>(iter: T) -> Self {
+        DiffSet {
+            signatures: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<DiffSignature> for DiffSet {
+    fn extend<T: IntoIterator<Item = DiffSignature>>(&mut self, iter: T) {
+        self.signatures.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_lang::{FieldName, MethodName};
+    use rprism_trace::{CreationSeq, EntryId, Event, Loc, ObjRep, ThreadId};
+
+    fn entry(method: &str, field: &str, value: i64) -> TraceEntry {
+        TraceEntry::new(
+            EntryId(0),
+            ThreadId(0),
+            MethodName::new(method),
+            ObjRep::opaque_object(Loc(1), "SP", CreationSeq(0)),
+            Event::Set {
+                target: ObjRep::opaque_object(Loc(2), "NUM", CreationSeq(0)),
+                field: FieldName::new(field),
+                value: ObjRep::prim("Int", value.to_string()),
+            },
+        )
+    }
+
+    #[test]
+    fn signatures_identify_semantic_content_and_context() {
+        assert_eq!(
+            DiffSignature::of(&entry("config", "_min", 32)),
+            DiffSignature::of(&entry("config", "_min", 32))
+        );
+        assert_ne!(
+            DiffSignature::of(&entry("config", "_min", 32)),
+            DiffSignature::of(&entry("config", "_min", 1))
+        );
+        assert_ne!(
+            DiffSignature::of(&entry("config", "_min", 32)),
+            DiffSignature::of(&entry("other", "_min", 32))
+        );
+    }
+
+    #[test]
+    fn set_algebra_behaves_like_sets() {
+        let a: DiffSet = [
+            DiffSignature::of(&entry("m", "x", 1)),
+            DiffSignature::of(&entry("m", "x", 2)),
+            DiffSignature::of(&entry("m", "x", 3)),
+        ]
+        .into_iter()
+        .collect();
+        let b: DiffSet = [
+            DiffSignature::of(&entry("m", "x", 2)),
+            DiffSignature::of(&entry("m", "x", 9)),
+        ]
+        .into_iter()
+        .collect();
+
+        let a_minus_b = a.subtract(&b);
+        assert_eq!(a_minus_b.len(), 2);
+        assert!(!a_minus_b.contains(&DiffSignature::of(&entry("m", "x", 2))));
+
+        let inter = a.intersect(&b);
+        assert_eq!(inter.len(), 1);
+        assert!(inter.contains(&DiffSignature::of(&entry("m", "x", 2))));
+
+        assert!(DiffSet::new().is_empty());
+    }
+
+    #[test]
+    fn duplicate_signatures_collapse() {
+        let mut s = DiffSet::new();
+        s.insert(DiffSignature::of(&entry("m", "x", 1)));
+        s.insert(DiffSignature::of(&entry("m", "x", 1)));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rprism-trace
+//!
+//! The execution-trace model of *Semantics-Aware Trace Analysis* (PLDI 2009), §2.2–§2.3
+//! and Fig. 4/Fig. 8:
+//!
+//! * [`event`] — the trace event grammar: field events (`get`/`set`), method events
+//!   (`call`/`return`), object events (`init`), and thread events (`fork`/`end`);
+//! * [`entry`] — trace entries `entry(eid, tid, m, θ, e)` carrying the generic context
+//!   (thread, enclosing method, enclosing receiver) plus an event;
+//! * [`objrep`] — object representations: locations extended with recursively-computed
+//!   value fingerprints (`E'#` of Fig. 8) and per-class creation sequence numbers, the two
+//!   correlation bases used by the analyses;
+//! * [`stack`] — call stacks `s(m, θ, θ')` and stack snapshots recorded by `fork`/`end`
+//!   events (thread parentage);
+//! * [`trace`] — trace containers, including segmented storage mimicking RPrism's
+//!   "smart trace segmentation" (§5);
+//! * [`eq`] — the event-equality relation `=e` on which all differencing is built.
+//!
+//! The crate is deliberately independent of the interpreter: traces can be constructed by
+//! `rprism-vm`, loaded from serialized form, or synthesized directly in tests.
+
+pub mod entry;
+pub mod eq;
+pub mod event;
+pub mod objrep;
+pub mod stack;
+pub mod trace;
+
+pub use entry::{EntryId, ThreadId, TraceEntry};
+pub use eq::{event_eq, EventKey};
+pub use event::Event;
+pub use objrep::{CreationSeq, Loc, ObjRep, ValueFingerprint, ValueRepr};
+pub use stack::{StackFrame, StackSnapshot};
+pub use trace::{SegmentedTrace, Trace, TraceMeta};

@@ -1,0 +1,377 @@
+//! View correlation functions `X_τ` (paper §3.1, Fig. 9).
+//!
+//! A correlation function decides whether a view in the *left* execution semantically
+//! corresponds to a view in the *right* execution. One function is defined per view type:
+//!
+//! * **Threads** (`X_TH`) — all possible thread pairings are considered and each left
+//!   thread is matched with the right thread whose spawn ancestry (spawn-point call stack
+//!   of the thread and of its ancestors) is the closest match.
+//! * **Methods** (`X_CM`) — two method views correlate when their fully qualified
+//!   signatures are equal.
+//! * **Target / active objects** (`X_TO`, `X_AO`) — two object views correlate when their
+//!   objects' value representations are equal, or their class-specific creation sequence
+//!   numbers are equal (see [`ObjRep::correlates_with`]).
+//!
+//! Because correlations relate abstractions across *different executions* using only view
+//! structure, they are heuristics (§3.1); [`relaxed`] additionally provides the
+//! context-sensitive relaxation described in §5, which correlates views whose entries sit
+//! at the same distance from a pair of already-correlated anchor points — the mechanism
+//! that makes the analysis tolerant to method/class rename refactorings.
+
+use std::collections::HashMap;
+
+use rprism_trace::stack::ancestry_similarity;
+use rprism_trace::{ObjRep, ThreadId, TraceEntry};
+
+use crate::view::{
+    active_object_view_name, method_view_name, target_object_view_name, thread_view_name,
+    ViewKind, ViewName,
+};
+use crate::web::ViewWeb;
+
+/// A complete correlation between the views of two webs.
+#[derive(Clone, Debug, Default)]
+pub struct Correlation {
+    /// Left thread → right thread.
+    pub threads: HashMap<ThreadId, ThreadId>,
+    /// Left object view name → right object view name (target-object views).
+    pub target_objects: HashMap<ViewName, ViewName>,
+    /// Left object view name → right object view name (active-object views).
+    pub active_objects: HashMap<ViewName, ViewName>,
+}
+
+impl Correlation {
+    /// Builds the full correlation between two webs.
+    pub fn build(left: &ViewWeb, right: &ViewWeb) -> Self {
+        Correlation {
+            threads: correlate_threads(left, right),
+            target_objects: correlate_objects(left, right, ViewKind::TargetObject),
+            active_objects: correlate_objects(left, right, ViewKind::ActiveObject),
+        }
+    }
+
+    /// The correlated pairs of thread views, left thread first, main thread pair first.
+    pub fn thread_pairs(&self) -> Vec<(ThreadId, ThreadId)> {
+        let mut pairs: Vec<(ThreadId, ThreadId)> = self
+            .threads
+            .iter()
+            .map(|(l, r)| (*l, *r))
+            .collect();
+        pairs.sort();
+        pairs
+    }
+}
+
+/// `X_TH`: greedy best-match assignment of left threads to right threads by spawn-ancestry
+/// similarity. The main threads always correlate with each other.
+pub fn correlate_threads(left: &ViewWeb, right: &ViewWeb) -> HashMap<ThreadId, ThreadId> {
+    let left_threads: Vec<ThreadId> = left
+        .views_of_kind(ViewKind::Thread)
+        .iter()
+        .filter_map(|v| match v.name {
+            ViewName::Thread(tid) => Some(tid),
+            _ => None,
+        })
+        .collect();
+    let right_threads: Vec<ThreadId> = right
+        .views_of_kind(ViewKind::Thread)
+        .iter()
+        .filter_map(|v| match v.name {
+            ViewName::Thread(tid) => Some(tid),
+            _ => None,
+        })
+        .collect();
+
+    let mut result = HashMap::new();
+    let mut taken: Vec<ThreadId> = Vec::new();
+
+    // Main ↔ main.
+    if left_threads.contains(&ThreadId::MAIN) && right_threads.contains(&ThreadId::MAIN) {
+        result.insert(ThreadId::MAIN, ThreadId::MAIN);
+        taken.push(ThreadId::MAIN);
+    }
+
+    // Score every remaining pair and assign greedily, highest similarity first.
+    let mut scored: Vec<(f64, ThreadId, ThreadId)> = Vec::new();
+    for l in left_threads.iter().filter(|t| **t != ThreadId::MAIN) {
+        let l_anc = left.thread_ancestry(*l).unwrap_or(&[]);
+        for r in right_threads.iter().filter(|t| **t != ThreadId::MAIN) {
+            let r_anc = right.thread_ancestry(*r).unwrap_or(&[]);
+            scored.push((ancestry_similarity(l_anc, r_anc), *l, *r));
+        }
+    }
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    for (_, l, r) in scored {
+        if result.contains_key(&l) || taken.contains(&r) {
+            continue;
+        }
+        result.insert(l, r);
+        taken.push(r);
+    }
+    result
+}
+
+/// `X_TO` / `X_AO`: pairs of object views whose representative objects correlate (equal
+/// value representations or equal class-specific creation sequence numbers). Each right
+/// view is matched at most once.
+pub fn correlate_objects(
+    left: &ViewWeb,
+    right: &ViewWeb,
+    kind: ViewKind,
+) -> HashMap<ViewName, ViewName> {
+    let right_views = right.views_of_kind(kind);
+    let mut taken = vec![false; right_views.len()];
+    let mut result = HashMap::new();
+
+    for lview in left.views_of_kind(kind) {
+        let Some(lrep) = lview.representative.as_ref() else {
+            continue;
+        };
+        // Prefer a value-representation match; fall back to creation-sequence match.
+        let mut chosen: Option<usize> = None;
+        for (i, rview) in right_views.iter().enumerate() {
+            if taken[i] {
+                continue;
+            }
+            let Some(rrep) = rview.representative.as_ref() else {
+                continue;
+            };
+            if lrep.class == rrep.class
+                && lrep.fingerprint.is_meaningful()
+                && lrep.fingerprint == rrep.fingerprint
+            {
+                chosen = Some(i);
+                break;
+            }
+            if chosen.is_none() && lrep.correlates_with(rrep) {
+                chosen = Some(i);
+            }
+        }
+        if let Some(i) = chosen {
+            taken[i] = true;
+            result.insert(lview.name.clone(), right_views[i].name.clone());
+        }
+    }
+    result
+}
+
+/// The per-entry correlation function `X_τ(γ_L, γ_R)` of Fig. 9: given one entry from each
+/// trace, returns the pair of correlated view names of type `kind` that the two entries
+/// belong to, or `None` when their views of that type do not correlate.
+pub fn correlate_entry_views(
+    kind: ViewKind,
+    correlation: &Correlation,
+    left_entry: &TraceEntry,
+    right_entry: &TraceEntry,
+) -> Option<(ViewName, ViewName)> {
+    match kind {
+        ViewKind::Thread => {
+            let l = thread_view_name(left_entry);
+            let r = thread_view_name(right_entry);
+            let (ViewName::Thread(lt), ViewName::Thread(rt)) = (&l, &r) else {
+                return None;
+            };
+            (correlation.threads.get(lt) == Some(rt)).then(|| (l.clone(), r.clone()))
+        }
+        ViewKind::Method => {
+            let l = method_view_name(left_entry);
+            let r = method_view_name(right_entry);
+            (l == r).then_some((l, r))
+        }
+        ViewKind::TargetObject => {
+            let l = target_object_view_name(left_entry)?;
+            let r = target_object_view_name(right_entry)?;
+            let lo = left_entry.event.target_object()?;
+            let ro = right_entry.event.target_object()?;
+            object_pair_correlates(&correlation.target_objects, &l, &r, lo, ro)
+                .then_some((l, r))
+        }
+        ViewKind::ActiveObject => {
+            let l = active_object_view_name(left_entry)?;
+            let r = active_object_view_name(right_entry)?;
+            object_pair_correlates(
+                &correlation.active_objects,
+                &l,
+                &r,
+                &left_entry.active,
+                &right_entry.active,
+            )
+            .then_some((l, r))
+        }
+    }
+}
+
+fn object_pair_correlates(
+    map: &HashMap<ViewName, ViewName>,
+    left_name: &ViewName,
+    right_name: &ViewName,
+    left_obj: &ObjRep,
+    right_obj: &ObjRep,
+) -> bool {
+    match map.get(left_name) {
+        Some(mapped) => mapped == right_name,
+        // Views not present in the pre-built correlation (e.g. objects created only in one
+        // version) fall back to the direct object-correlation heuristic.
+        None => left_obj.correlates_with(right_obj),
+    }
+}
+
+/// The context-sensitive correlation relaxation of §5.
+pub mod relaxed {
+    /// Decides whether two views should be correlated *contextually*: their entries lie at
+    /// the same distance (number of trace entries) from a pair of positions that are
+    /// already known to correspond. The paper uses this to tolerate refactorings such as
+    /// method renames, where name-based method correlation fails but the surrounding
+    /// anchor structure still matches.
+    ///
+    /// `left_anchor` / `right_anchor` are base-trace indices of a known-correlated pair
+    /// (an element of the similarity set); `left_index` / `right_index` are the candidate
+    /// entries whose views are being considered.
+    pub fn same_distance_from_anchor(
+        left_anchor: usize,
+        right_anchor: usize,
+        left_index: usize,
+        right_index: usize,
+        tolerance: usize,
+    ) -> bool {
+        let ld = left_index as i64 - left_anchor as i64;
+        let rd = right_index as i64 - right_anchor as i64;
+        (ld - rd).unsigned_abs() as usize <= tolerance && ld.signum() == rd.signum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_lang::parser::parse_program;
+    use rprism_trace::{Trace, TraceMeta};
+    use rprism_vm::{run_traced, VmConfig};
+
+    fn trace_of(src: &str, name: &str) -> Trace {
+        let program = parse_program(src).unwrap();
+        run_traced(&program, TraceMeta::new(name, "v", "c"), VmConfig::default())
+            .unwrap()
+            .trace
+    }
+
+    const LEFT: &str = r#"
+        class Range extends Object { Int min; Int max; }
+        class SP extends Object {
+            Range r;
+            Unit set(Int lo) { this.r = new Range(lo, 127); }
+        }
+        main {
+            let sp = new SP(null);
+            sp.set(32);
+            spawn { sp.set(32); }
+        }
+    "#;
+
+    // Same program modulo a changed constant (the "new version").
+    const RIGHT: &str = r#"
+        class Range extends Object { Int min; Int max; }
+        class SP extends Object {
+            Range r;
+            Unit set(Int lo) { this.r = new Range(lo, 127); }
+        }
+        main {
+            let sp = new SP(null);
+            sp.set(1);
+            spawn { sp.set(1); }
+        }
+    "#;
+
+    #[test]
+    fn main_threads_always_correlate() {
+        let (lt, rt) = (trace_of(LEFT, "L"), trace_of(RIGHT, "R"));
+        let (lw, rw) = (ViewWeb::build(&lt), ViewWeb::build(&rt));
+        let corr = Correlation::build(&lw, &rw);
+        assert_eq!(corr.threads.get(&ThreadId::MAIN), Some(&ThreadId::MAIN));
+        // The single spawned thread on each side correlates too.
+        assert_eq!(corr.threads.len(), 2);
+    }
+
+    #[test]
+    fn object_views_correlate_by_creation_sequence_despite_value_change() {
+        let (lt, rt) = (trace_of(LEFT, "L"), trace_of(RIGHT, "R"));
+        let (lw, rw) = (ViewWeb::build(&lt), ViewWeb::build(&rt));
+        let corr = Correlation::build(&lw, &rw);
+        // SP-1 and both Range objects should correlate (SP by identical value rep of
+        // `null` field initially... by creation seq in general).
+        assert!(!corr.target_objects.is_empty());
+        for (l, r) in &corr.target_objects {
+            let lrep = lw.view(l).unwrap().representative.as_ref().unwrap();
+            let rrep = rw.view(r).unwrap().representative.as_ref().unwrap();
+            assert_eq!(lrep.class, rrep.class, "correlated views must agree on class");
+        }
+    }
+
+    #[test]
+    fn identical_traces_correlate_objects_one_to_one() {
+        let lt = trace_of(LEFT, "L1");
+        let rt = trace_of(LEFT, "L2");
+        let (lw, rw) = (ViewWeb::build(&lt), ViewWeb::build(&rt));
+        let corr = Correlation::build(&lw, &rw);
+        assert_eq!(
+            corr.target_objects.len(),
+            lw.views_of_kind(ViewKind::TargetObject).len()
+        );
+        // Right-side views are matched at most once.
+        let mut rights: Vec<&ViewName> = corr.target_objects.values().collect();
+        rights.sort();
+        rights.dedup();
+        assert_eq!(rights.len(), corr.target_objects.len());
+    }
+
+    #[test]
+    fn entry_level_method_correlation_requires_equal_signature() {
+        let lt = trace_of(LEFT, "L");
+        let rt = trace_of(RIGHT, "R");
+        let (lw, rw) = (ViewWeb::build(&lt), ViewWeb::build(&rt));
+        let corr = Correlation::build(&lw, &rw);
+
+        // Pick one entry executing inside SP.set from each side.
+        let l_entry = lt
+            .iter()
+            .find(|e| e.method.as_str() == "set")
+            .expect("left set entry");
+        let r_entry = rt
+            .iter()
+            .find(|e| e.method.as_str() == "set")
+            .expect("right set entry");
+        let pair = correlate_entry_views(ViewKind::Method, &corr, l_entry, r_entry);
+        assert!(pair.is_some());
+
+        let r_main = rt
+            .iter()
+            .find(|e| e.method.as_str() == "<main>")
+            .expect("right main entry");
+        assert!(correlate_entry_views(ViewKind::Method, &corr, l_entry, r_main).is_none());
+    }
+
+    #[test]
+    fn relaxed_correlation_matches_same_offsets() {
+        use relaxed::same_distance_from_anchor;
+        assert!(same_distance_from_anchor(10, 20, 13, 23, 0));
+        assert!(same_distance_from_anchor(10, 20, 13, 24, 1));
+        assert!(!same_distance_from_anchor(10, 20, 13, 25, 1));
+        // Opposite directions from the anchors never correlate.
+        assert!(!same_distance_from_anchor(10, 20, 13, 17, 5));
+    }
+
+    #[test]
+    fn thread_pairs_are_sorted_and_stable() {
+        let (lt, rt) = (trace_of(LEFT, "L"), trace_of(RIGHT, "R"));
+        let corr = Correlation::build(&ViewWeb::build(&lt), &ViewWeb::build(&rt));
+        let pairs = corr.thread_pairs();
+        assert_eq!(pairs.first(), Some(&(ThreadId::MAIN, ThreadId::MAIN)));
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted);
+    }
+}

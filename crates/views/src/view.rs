@@ -1,0 +1,295 @@
+//! View names and the entry→view mapping functions `σ_τ` (paper Fig. 7).
+//!
+//! A *view* is a named projection of the base trace. Four view types are defined:
+//!
+//! * **Thread views** (`TH`) — one per executing thread; contains the events of that
+//!   thread in execution order.
+//! * **Method views** (`CM`) — one per fully qualified method name; contains the events
+//!   that occur while that method is on top of the call stack.
+//! * **Target-object views** (`TO`) — one per object; contains the events for which the
+//!   object is the *target* of a call, return, field access or creation.
+//! * **Active-object views** (`AO`) — one per object; contains the events that occur while
+//!   the object is on top of the call stack (it is the receiver of the executing method).
+//!
+//! The mapping functions compute, for a given trace entry, the name of the view of each
+//! type the entry belongs to (or `None`, e.g. thread events have no target object view).
+
+use rprism_trace::{CreationSeq, Loc, ObjRep, ThreadId, TraceEntry};
+
+/// The four view types of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ViewKind {
+    /// Thread views (`TH`).
+    Thread,
+    /// Method views (`CM`).
+    Method,
+    /// Target-object views (`TO`).
+    TargetObject,
+    /// Active-object views (`AO`).
+    ActiveObject,
+}
+
+impl ViewKind {
+    /// All view kinds, in a fixed order.
+    pub const ALL: [ViewKind; 4] = [
+        ViewKind::Thread,
+        ViewKind::Method,
+        ViewKind::TargetObject,
+        ViewKind::ActiveObject,
+    ];
+
+    /// The short label used in reports (`TH`, `CM`, `TO`, `AO`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViewKind::Thread => "TH",
+            ViewKind::Method => "CM",
+            ViewKind::TargetObject => "TO",
+            ViewKind::ActiveObject => "AO",
+        }
+    }
+}
+
+impl std::fmt::Display for ViewKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An object identity *within one trace*: the heap location. Object views are named by
+/// location (as in Fig. 7, `⟨TO, l#(θ)⟩`); correlation across traces never uses the
+/// location itself but the view's representative [`ObjRep`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub Loc);
+
+/// The name of a specific view: a view kind plus the key identifying which thread, method
+/// or object the view belongs to.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ViewName {
+    /// `⟨TH, tid⟩`
+    Thread(ThreadId),
+    /// `⟨CM, C.m⟩` — the fully qualified method name (receiver class + method).
+    Method {
+        /// The class of the receiver executing the method.
+        class: String,
+        /// The method name.
+        method: String,
+    },
+    /// `⟨TO, l⟩`
+    TargetObject(ObjectId),
+    /// `⟨AO, l⟩`
+    ActiveObject(ObjectId),
+}
+
+impl ViewName {
+    /// The kind of this view.
+    pub fn kind(&self) -> ViewKind {
+        match self {
+            ViewName::Thread(_) => ViewKind::Thread,
+            ViewName::Method { .. } => ViewKind::Method,
+            ViewName::TargetObject(_) => ViewKind::TargetObject,
+            ViewName::ActiveObject(_) => ViewKind::ActiveObject,
+        }
+    }
+}
+
+impl std::fmt::Display for ViewName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewName::Thread(tid) => write!(f, "TH:{tid}"),
+            ViewName::Method { class, method } => write!(f, "CM:{class}.{method}"),
+            ViewName::TargetObject(ObjectId(loc)) => write!(f, "TO:{loc}"),
+            ViewName::ActiveObject(ObjectId(loc)) => write!(f, "AO:{loc}"),
+        }
+    }
+}
+
+/// `σ_TH`: every entry belongs to the thread view of its thread.
+pub fn thread_view_name(entry: &TraceEntry) -> ViewName {
+    ViewName::Thread(entry.tid)
+}
+
+/// `σ_CM`: every entry belongs to the method view of the method under execution,
+/// qualified by the class of the active object.
+pub fn method_view_name(entry: &TraceEntry) -> ViewName {
+    ViewName::Method {
+        class: entry.active.class.clone(),
+        method: entry.method.as_str().to_owned(),
+    }
+}
+
+/// `σ_TO`: entries whose event has a target heap object belong to that object's
+/// target-object view; thread events (and events targeting primitives) have none.
+pub fn target_object_view_name(entry: &TraceEntry) -> Option<ViewName> {
+    let target = entry.event.target_object()?;
+    let loc = target.loc?;
+    Some(ViewName::TargetObject(ObjectId(loc)))
+}
+
+/// `σ_AO`: entries whose active object is a heap object belong to that object's
+/// active-object view.
+pub fn active_object_view_name(entry: &TraceEntry) -> Option<ViewName> {
+    let loc = entry.active.loc?;
+    Some(ViewName::ActiveObject(ObjectId(loc)))
+}
+
+/// The union of all mapping functions: every view the entry is a member of.
+pub fn view_names(entry: &TraceEntry) -> Vec<ViewName> {
+    let mut names = vec![thread_view_name(entry), method_view_name(entry)];
+    if let Some(n) = target_object_view_name(entry) {
+        names.push(n);
+    }
+    if let Some(n) = active_object_view_name(entry) {
+        names.push(n);
+    }
+    names
+}
+
+/// A single view: its name, the indices (into the base trace) of its member entries in
+/// execution order, and — for object views — a representative object representation used
+/// for cross-trace correlation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct View {
+    /// The view's name.
+    pub name: ViewName,
+    /// Member entry indices into the base trace, strictly increasing.
+    pub entries: Vec<usize>,
+    /// For object views: the representation of the object this view is about, captured
+    /// from the first member entry. `None` for thread and method views.
+    pub representative: Option<ObjRep>,
+}
+
+impl View {
+    /// Number of member entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the view has no member entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The position of a base-trace entry index within this view, if the entry is a
+    /// member. This is the "link" used to navigate from the base trace into the view.
+    pub fn position_of(&self, trace_index: usize) -> Option<usize> {
+        self.entries.binary_search(&trace_index).ok()
+    }
+
+    /// The paper's `win(γ, Δ)` restricted to this view: member entry indices within
+    /// `±delta` positions of the member at `position`.
+    pub fn window(&self, position: usize, delta: usize) -> &[usize] {
+        if self.entries.is_empty() {
+            return &[];
+        }
+        let lo = position.saturating_sub(delta);
+        let hi = (position + delta + 1).min(self.entries.len());
+        &self.entries[lo..hi]
+    }
+
+    /// The class + creation sequence identity of the object this view is about, when that
+    /// is derivable (object views only).
+    pub fn object_identity(&self) -> Option<(&str, CreationSeq)> {
+        let rep = self.representative.as_ref()?;
+        Some((rep.class.as_str(), rep.creation_seq?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_lang::{FieldName, MethodName};
+    use rprism_trace::{EntryId, Event, ObjRep, StackSnapshot};
+
+    fn obj(class: &str, loc: u64, seq: u64) -> ObjRep {
+        ObjRep::opaque_object(Loc(loc), class, CreationSeq(seq))
+    }
+
+    fn entry(tid: u64, method: &str, active: ObjRep, event: Event) -> TraceEntry {
+        TraceEntry::new(EntryId(0), ThreadId(tid), MethodName::new(method), active, event)
+    }
+
+    #[test]
+    fn field_event_belongs_to_four_views() {
+        let e = entry(
+            0,
+            "setRequestType",
+            obj("SP", 1, 0),
+            Event::Set {
+                target: obj("NUM", 2, 0),
+                field: FieldName::new("_min"),
+                value: ObjRep::prim("Int", "32"),
+            },
+        );
+        let names = view_names(&e);
+        assert_eq!(names.len(), 4);
+        assert_eq!(names[0], ViewName::Thread(ThreadId(0)));
+        assert_eq!(
+            names[1],
+            ViewName::Method {
+                class: "SP".into(),
+                method: "setRequestType".into()
+            }
+        );
+        assert_eq!(names[2], ViewName::TargetObject(ObjectId(Loc(2))));
+        assert_eq!(names[3], ViewName::ActiveObject(ObjectId(Loc(1))));
+    }
+
+    #[test]
+    fn thread_events_have_no_object_views() {
+        let e = entry(
+            0,
+            "<main>",
+            ObjRep::null(),
+            Event::End {
+                stack: StackSnapshot::empty(),
+            },
+        );
+        let names = view_names(&e);
+        assert_eq!(names.len(), 2);
+        assert!(names.iter().all(|n| matches!(
+            n.kind(),
+            ViewKind::Thread | ViewKind::Method
+        )));
+    }
+
+    #[test]
+    fn view_window_and_position() {
+        let v = View {
+            name: ViewName::Thread(ThreadId(0)),
+            entries: vec![3, 7, 11, 20, 22],
+            representative: None,
+        };
+        assert_eq!(v.position_of(11), Some(2));
+        assert_eq!(v.position_of(12), None);
+        assert_eq!(v.window(2, 1), &[7, 11, 20]);
+        assert_eq!(v.window(0, 2), &[3, 7, 11]);
+        assert_eq!(v.window(4, 10), &[3, 7, 11, 20, 22]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn display_of_view_names() {
+        assert_eq!(ViewName::Thread(ThreadId(2)).to_string(), "TH:t2");
+        assert_eq!(
+            ViewName::Method {
+                class: "SP".into(),
+                method: "run".into()
+            }
+            .to_string(),
+            "CM:SP.run"
+        );
+        assert_eq!(ViewKind::TargetObject.label(), "TO");
+    }
+
+    #[test]
+    fn object_identity_requires_representative() {
+        let mut v = View {
+            name: ViewName::TargetObject(ObjectId(Loc(5))),
+            entries: vec![0],
+            representative: Some(obj("NUM", 5, 3)),
+        };
+        assert_eq!(v.object_identity(), Some(("NUM", CreationSeq(3))));
+        v.representative = None;
+        assert_eq!(v.object_identity(), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! The *view web*: every view of a trace, linked back to the base trace.
+//!
+//! The paper models a program execution as "a complex web of interconnected views"
+//! (§2.4): each trace entry is a member of one view per applicable view type, and the
+//! entry's base-trace index is the link that lets an analysis navigate from any position
+//! in any view to all semantically related views. [`ViewWeb`] materializes that web for
+//! one trace.
+
+use std::collections::HashMap;
+
+use rprism_trace::{StackSnapshot, ThreadId, Trace, TraceEntry};
+
+use crate::view::{view_names, View, ViewKind, ViewName};
+
+/// All views of one trace, plus the reverse index from entries to their views.
+#[derive(Clone, Debug)]
+pub struct ViewWeb {
+    views: HashMap<ViewName, View>,
+    /// For each base-trace index, the names of the views that entry belongs to.
+    memberships: Vec<Vec<ViewName>>,
+    /// For each thread, the spawn ancestry recorded by its `fork` event (empty for the
+    /// main thread); used by thread-view correlation.
+    thread_ancestry: HashMap<ThreadId, Vec<StackSnapshot>>,
+}
+
+impl ViewWeb {
+    /// Builds the full view web of a trace in a single pass.
+    pub fn build(trace: &Trace) -> Self {
+        let mut views: HashMap<ViewName, View> = HashMap::new();
+        let mut memberships: Vec<Vec<ViewName>> = Vec::with_capacity(trace.len());
+        let mut thread_ancestry: HashMap<ThreadId, Vec<StackSnapshot>> = HashMap::new();
+        thread_ancestry.insert(ThreadId::MAIN, Vec::new());
+
+        for (index, entry) in trace.iter().enumerate() {
+            if let rprism_trace::Event::Fork { child, parentage } = &entry.event {
+                thread_ancestry.insert(*child, parentage.clone());
+            }
+            let names = view_names(entry);
+            for name in &names {
+                let view = views.entry(name.clone()).or_insert_with(|| View {
+                    name: name.clone(),
+                    entries: Vec::new(),
+                    representative: representative_for(name, entry),
+                });
+                view.entries.push(index);
+            }
+            memberships.push(names);
+        }
+
+        ViewWeb {
+            views,
+            memberships,
+            thread_ancestry,
+        }
+    }
+
+    /// The view with the given name, if it exists.
+    pub fn view(&self, name: &ViewName) -> Option<&View> {
+        self.views.get(name)
+    }
+
+    /// Iterates over all views.
+    pub fn views(&self) -> impl Iterator<Item = &View> {
+        self.views.values()
+    }
+
+    /// All views of a given kind.
+    pub fn views_of_kind(&self, kind: ViewKind) -> Vec<&View> {
+        let mut v: Vec<&View> = self
+            .views
+            .values()
+            .filter(|view| view.name.kind() == kind)
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// The names of the views that the entry at `trace_index` belongs to — the outgoing
+    /// links from a base-trace position into the web.
+    pub fn views_of_entry(&self, trace_index: usize) -> &[ViewName] {
+        self.memberships
+            .get(trace_index)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Navigates from a base-trace position to its position inside one of its views.
+    pub fn position_in_view(&self, name: &ViewName, trace_index: usize) -> Option<usize> {
+        self.views.get(name)?.position_of(trace_index)
+    }
+
+    /// The spawn ancestry of a thread (empty for the main thread, `None` for unknown
+    /// threads).
+    pub fn thread_ancestry(&self, tid: ThreadId) -> Option<&[StackSnapshot]> {
+        self.thread_ancestry.get(&tid).map(Vec::as_slice)
+    }
+
+    /// Total number of views.
+    pub fn total_views(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of views of each kind, in [`ViewKind::ALL`] order — the quantities reported
+    /// in the paper's Table 2.
+    pub fn count_by_kind(&self) -> ViewCounts {
+        let mut counts = ViewCounts::default();
+        for view in self.views.values() {
+            match view.name.kind() {
+                ViewKind::Thread => counts.thread += 1,
+                ViewKind::Method => counts.method += 1,
+                ViewKind::TargetObject => counts.target_object += 1,
+                ViewKind::ActiveObject => counts.active_object += 1,
+            }
+        }
+        counts
+    }
+}
+
+fn representative_for(name: &ViewName, entry: &TraceEntry) -> Option<rprism_trace::ObjRep> {
+    match name {
+        ViewName::TargetObject(_) => entry.event.target_object().cloned(),
+        ViewName::ActiveObject(_) => Some(entry.active.clone()),
+        _ => None,
+    }
+}
+
+/// Per-kind view counts (paper Table 2: "Number of Views").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewCounts {
+    /// Number of thread views.
+    pub thread: usize,
+    /// Number of method views.
+    pub method: usize,
+    /// Number of target-object views.
+    pub target_object: usize,
+    /// Number of active-object views.
+    pub active_object: usize,
+}
+
+impl ViewCounts {
+    /// Total number of views across all kinds.
+    pub fn total(&self) -> usize {
+        self.thread + self.method + self.target_object + self.active_object
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_lang::parser::parse_program;
+    use rprism_trace::TraceMeta;
+    use rprism_vm::{run_traced, VmConfig};
+
+    fn trace_of(src: &str) -> Trace {
+        let program = parse_program(src).unwrap();
+        run_traced(&program, TraceMeta::new("t", "v", "c"), VmConfig::default())
+            .unwrap()
+            .trace
+    }
+
+    const SAMPLE: &str = r#"
+        class Logger extends Object {
+            Int count;
+            Unit addMsg(Str msg) { this.count = this.count + 1; }
+        }
+        class SP extends Object {
+            Logger log;
+            Unit setRequestType(Str ty) {
+                this.log.addMsg("set");
+                this.log.addMsg("done");
+            }
+        }
+        main {
+            let log = new Logger(0);
+            let sp = new SP(log);
+            sp.setRequestType("text/html");
+        }
+    "#;
+
+    #[test]
+    fn web_partitions_entries_into_thread_views() {
+        let trace = trace_of(SAMPLE);
+        let web = ViewWeb::build(&trace);
+        let thread_views = web.views_of_kind(ViewKind::Thread);
+        assert_eq!(thread_views.len(), 1);
+        // Single-threaded: the thread view is identical to the full trace (paper Fig. 2).
+        assert_eq!(thread_views[0].entries.len(), trace.len());
+    }
+
+    #[test]
+    fn method_views_capture_top_of_stack_events() {
+        let trace = trace_of(SAMPLE);
+        let web = ViewWeb::build(&trace);
+        let set_req = web
+            .views_of_kind(ViewKind::Method)
+            .into_iter()
+            .find(|v| matches!(&v.name, ViewName::Method { method, .. } if method == "setRequestType"))
+            .expect("setRequestType method view exists");
+        // Its entries are the two addMsg calls and their returns (recorded in the caller's
+        // context, i.e. while setRequestType is on top of the stack).
+        for idx in &set_req.entries {
+            assert_eq!(trace[*idx].method.as_str(), "setRequestType");
+        }
+        assert!(set_req.len() >= 4);
+    }
+
+    #[test]
+    fn target_object_views_collect_events_on_that_object() {
+        let trace = trace_of(SAMPLE);
+        let web = ViewWeb::build(&trace);
+        let logger_view = web
+            .views_of_kind(ViewKind::TargetObject)
+            .into_iter()
+            .find(|v| v.representative.as_ref().map(|r| r.class.as_str()) == Some("Logger"))
+            .expect("Logger target object view");
+        for idx in &logger_view.entries {
+            assert_eq!(
+                trace[*idx].event.target_object().unwrap().class,
+                "Logger"
+            );
+        }
+        // init + 2 × (call + get + set + return)  — at least 7.
+        assert!(logger_view.len() >= 7, "got {}", logger_view.len());
+    }
+
+    #[test]
+    fn membership_links_are_navigable_in_both_directions() {
+        let trace = trace_of(SAMPLE);
+        let web = ViewWeb::build(&trace);
+        for idx in 0..trace.len() {
+            for name in web.views_of_entry(idx) {
+                let pos = web
+                    .position_in_view(name, idx)
+                    .expect("entry must be present in its view");
+                assert_eq!(web.view(name).unwrap().entries[pos], idx);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_kind_partition() {
+        let trace = trace_of(SAMPLE);
+        let web = ViewWeb::build(&trace);
+        let counts = web.count_by_kind();
+        assert_eq!(counts.total(), web.total_views());
+        assert_eq!(counts.thread, 1);
+        assert!(counts.method >= 3);
+        // Two heap objects are ever the target of events: the Logger and the SP.
+        assert_eq!(counts.target_object, 2);
+    }
+
+    #[test]
+    fn fork_ancestry_is_recorded() {
+        let src = r#"
+            class W extends Object { Int n; Unit work() { this.n = this.n + 1; } }
+            main {
+                let w = new W(0);
+                spawn { w.work(); }
+                w.work();
+            }
+        "#;
+        let trace = trace_of(src);
+        let web = ViewWeb::build(&trace);
+        assert_eq!(web.thread_ancestry(ThreadId::MAIN).unwrap().len(), 0);
+        let spawned: Vec<ThreadId> = trace
+            .thread_ids()
+            .into_iter()
+            .filter(|t| *t != ThreadId::MAIN)
+            .collect();
+        assert_eq!(spawned.len(), 1);
+        let ancestry = web.thread_ancestry(spawned[0]).unwrap();
+        assert!(!ancestry.is_empty());
+        assert!(web.thread_ancestry(ThreadId(99)).is_none());
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_web() {
+        let trace = Trace::named("empty");
+        let web = ViewWeb::build(&trace);
+        assert_eq!(web.total_views(), 0);
+        assert!(web.views_of_entry(0).is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Runtime errors raised while evaluating programs.
+
+use std::fmt;
+
+use rprism_trace::ThreadId;
+
+/// An error raised during evaluation.
+///
+/// Errors do not discard the trace collected so far: the [`RunOutcome`](crate::RunOutcome)
+/// carries both, which is essential for the Derby-style case study where the regressing
+/// version *throws* during query compilation and the analysis still has to difference the
+/// partial trace against the passing run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuntimeError {
+    /// A field or method was accessed on the null reference.
+    NullDereference {
+        /// What was being accessed (field or method name).
+        member: String,
+    },
+    /// A method was not found on the receiver's class (or any superclass).
+    UnknownMethod {
+        /// The receiver's dynamic class.
+        class: String,
+        /// The missing method.
+        method: String,
+    },
+    /// A field was not found on the target object.
+    UnknownField {
+        /// The target's dynamic class.
+        class: String,
+        /// The missing field.
+        field: String,
+    },
+    /// Instantiation of an undefined class.
+    UnknownClass(String),
+    /// A constructor was called with the wrong number of arguments.
+    ConstructorArity {
+        /// The instantiated class.
+        class: String,
+        /// Expected argument count (number of fields).
+        expected: usize,
+        /// Found argument count.
+        found: usize,
+    },
+    /// A method was called with the wrong number of arguments.
+    CallArity {
+        /// The receiver class.
+        class: String,
+        /// The method name.
+        method: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Found argument count.
+        found: usize,
+    },
+    /// An unbound variable was referenced.
+    UnboundVariable(String),
+    /// A primitive operator was applied to operands of the wrong type.
+    TypeError {
+        /// Description of the operation and operands.
+        message: String,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// The per-run step budget was exhausted (runaway-program guard).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A single `while` loop exceeded the configured iteration bound.
+    LoopLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// An explicit failure raised by the program via the `Sys.fail(msg)` builtin,
+    /// modelling thrown exceptions.
+    Raised {
+        /// The failure message.
+        message: String,
+    },
+    /// A spawned thread failed; recorded against the spawning program run.
+    ThreadFailed {
+        /// The failing thread.
+        tid: ThreadId,
+        /// The underlying error, boxed to keep this enum small.
+        cause: Box<RuntimeError>,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NullDereference { member } => {
+                write!(f, "null dereference while accessing `{member}`")
+            }
+            RuntimeError::UnknownMethod { class, method } => {
+                write!(f, "class `{class}` has no method `{method}`")
+            }
+            RuntimeError::UnknownField { class, field } => {
+                write!(f, "class `{class}` has no field `{field}`")
+            }
+            RuntimeError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            RuntimeError::ConstructorArity {
+                class,
+                expected,
+                found,
+            } => write!(
+                f,
+                "constructor of `{class}` expects {expected} arguments, found {found}"
+            ),
+            RuntimeError::CallArity {
+                class,
+                method,
+                expected,
+                found,
+            } => write!(
+                f,
+                "method `{class}.{method}` expects {expected} arguments, found {found}"
+            ),
+            RuntimeError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            RuntimeError::TypeError { message } => write!(f, "type error: {message}"),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::StepLimitExceeded { limit } => {
+                write!(f, "evaluation exceeded the step limit of {limit}")
+            }
+            RuntimeError::LoopLimitExceeded { limit } => {
+                write!(f, "a loop exceeded the iteration limit of {limit}")
+            }
+            RuntimeError::Raised { message } => write!(f, "program failure: {message}"),
+            RuntimeError::ThreadFailed { tid, cause } => {
+                write!(f, "thread {tid} failed: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_useful_messages() {
+        let e = RuntimeError::UnknownMethod {
+            class: "Counter".into(),
+            method: "bump".into(),
+        };
+        assert!(e.to_string().contains("Counter"));
+        assert!(e.to_string().contains("bump"));
+
+        let t = RuntimeError::ThreadFailed {
+            tid: ThreadId(3),
+            cause: Box::new(RuntimeError::DivisionByZero),
+        };
+        assert!(t.to_string().contains("t3"));
+        assert!(t.to_string().contains("division"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<RuntimeError>();
+    }
+}

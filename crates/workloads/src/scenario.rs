@@ -1,0 +1,397 @@
+//! Regression scenarios: the unit of evaluation.
+//!
+//! A [`Scenario`] bundles everything needed to exercise the regression-cause analysis
+//! end-to-end: the original and new program versions, the regressing and passing test
+//! drivers (main bodies), the tracing configuration, and ground truth about the injected
+//! or documented cause. Scenarios are produced by the [`crate::myfaces`] motivating
+//! example, the [`crate::rhino`] generator and the four [`crate::casestudies`].
+
+use rprism_diff::DiffError;
+use rprism_lang::ast::{Program, Term};
+use rprism_lang::pretty::program_to_string;
+use rprism_regress::{
+    analyze, AnalysisMode, DiffAlgorithm, GroundTruth, RegressionReport, RegressionTraces,
+};
+use rprism_trace::TraceMeta;
+use rprism_vm::{run_traced, RunOutcome, VmConfig};
+
+/// A complete regression scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Short scenario name (used in benchmark tables).
+    pub name: String,
+    /// A one-line description of the regression being modelled.
+    pub description: String,
+    /// The original (correct) version: class definitions only, `main` ignored.
+    pub old_version: Program,
+    /// The new (regressing) version: class definitions only, `main` ignored.
+    pub new_version: Program,
+    /// The main body that triggers the regression (used for the old version, and for the
+    /// new version too unless [`Scenario::new_regressing_main`] overrides it).
+    pub regressing_main: Vec<Term>,
+    /// The main body of a similar, non-regressing test case (used for the old version, and
+    /// for the new version too unless [`Scenario::new_passing_main`] overrides it).
+    pub passing_main: Vec<Term>,
+    /// Optional new-version override of the regressing driver, for scenarios where the
+    /// rewrite changes constructors or entry points (e.g. the Xalan-1802 re-architecture).
+    pub new_regressing_main: Option<Vec<Term>>,
+    /// Optional new-version override of the passing driver.
+    pub new_passing_main: Option<Vec<Term>>,
+    /// Markers identifying the true cause locations.
+    pub ground_truth: GroundTruth,
+    /// Tracing configuration used for all four runs.
+    pub vm_config: VmConfig,
+    /// Whether the regression is caused by code *removal* (selects the `(A − B) − C`
+    /// analysis variant).
+    pub code_removal: bool,
+}
+
+/// An error produced while materializing a scenario's traces.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A program failed static validation.
+    Invalid(rprism_lang::Error),
+    /// Differencing failed (LCS memory exhaustion).
+    Diff(DiffError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Invalid(e) => write!(f, "invalid scenario program: {e}"),
+            ScenarioError::Diff(e) => write!(f, "differencing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<rprism_lang::Error> for ScenarioError {
+    fn from(e: rprism_lang::Error) -> Self {
+        ScenarioError::Invalid(e)
+    }
+}
+
+impl From<DiffError> for ScenarioError {
+    fn from(e: DiffError) -> Self {
+        ScenarioError::Diff(e)
+    }
+}
+
+/// The four traces of a scenario plus per-run metadata (outputs, timing).
+#[derive(Clone, Debug)]
+pub struct ScenarioTraces {
+    /// The four traces consumed by the analysis.
+    pub traces: RegressionTraces,
+    /// Output of the old version under the regressing test.
+    pub old_regressing_output: Vec<String>,
+    /// Output of the new version under the regressing test.
+    pub new_regressing_output: Vec<String>,
+    /// Output of the old version under the passing test.
+    pub old_passing_output: Vec<String>,
+    /// Output of the new version under the passing test.
+    pub new_passing_output: Vec<String>,
+    /// Whether the new version failed with a runtime error under the regressing test
+    /// (Derby-style regressions).
+    pub new_regressing_errored: bool,
+    /// Total wall-clock seconds spent tracing the four runs.
+    pub tracing_seconds: f64,
+}
+
+impl ScenarioTraces {
+    /// Returns `true` when the scenario actually regresses: the two versions disagree on
+    /// the regressing test (by output or by error) but agree on the passing test.
+    pub fn exhibits_regression(&self) -> bool {
+        let regresses = self.old_regressing_output != self.new_regressing_output
+            || self.new_regressing_errored;
+        let passes = self.old_passing_output == self.new_passing_output;
+        regresses && passes
+    }
+}
+
+impl Scenario {
+    /// The program actually executed for a given (version, main body) combination.
+    fn instantiate(version: &Program, main: &[Term]) -> Program {
+        Program {
+            classes: version.classes.clone(),
+            main: main.to_vec(),
+        }
+    }
+
+    /// The analysis mode appropriate for this scenario.
+    pub fn analysis_mode(&self) -> AnalysisMode {
+        if self.code_removal {
+            AnalysisMode::SubtractRegressionSet
+        } else {
+            AnalysisMode::Intersect
+        }
+    }
+
+    /// An approximate "lines of code" figure for the scenario (pretty-printed source lines
+    /// of the new version), reported in the Table 1 reproduction.
+    pub fn loc_estimate(&self) -> usize {
+        program_to_string(&Scenario::instantiate(
+            &self.new_version,
+            &self.regressing_main,
+        ))
+        .lines()
+        .count()
+    }
+
+    /// Runs one of the four configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] when the composed program fails validation.
+    pub fn run(
+        &self,
+        version: Version,
+        test: TestCase,
+    ) -> Result<RunOutcome, ScenarioError> {
+        let program = match version {
+            Version::Old => Scenario::instantiate(&self.old_version, self.main_for(version, test)),
+            Version::New => Scenario::instantiate(&self.new_version, self.main_for(version, test)),
+        };
+        let meta = TraceMeta::new(
+            format!("{}/{:?}/{:?}", self.name, version, test),
+            format!("{version:?}"),
+            format!("{test:?}"),
+        );
+        Ok(run_traced(&program, meta, self.vm_config.clone())?)
+    }
+
+    fn main_for(&self, version: Version, test: TestCase) -> &[Term] {
+        match (version, test) {
+            (Version::Old, TestCase::Regressing) => &self.regressing_main,
+            (Version::Old, TestCase::Passing) => &self.passing_main,
+            (Version::New, TestCase::Regressing) => self
+                .new_regressing_main
+                .as_deref()
+                .unwrap_or(&self.regressing_main),
+            (Version::New, TestCase::Passing) => self
+                .new_passing_main
+                .as_deref()
+                .unwrap_or(&self.passing_main),
+        }
+    }
+
+    /// Overrides the new-version drivers, for scenarios whose rewrite changes the driver
+    /// code itself (constructor shapes, entry points).
+    pub fn with_version_specific_mains(
+        mut self,
+        new_regressing_main: Vec<Term>,
+        new_passing_main: Vec<Term>,
+    ) -> Self {
+        self.new_regressing_main = Some(new_regressing_main);
+        self.new_passing_main = Some(new_passing_main);
+        self
+    }
+
+    /// Traces all four configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] when any composed program fails validation.
+    pub fn trace_all(&self) -> Result<ScenarioTraces, ScenarioError> {
+        let start = std::time::Instant::now();
+        let old_reg = self.run(Version::Old, TestCase::Regressing)?;
+        let new_reg = self.run(Version::New, TestCase::Regressing)?;
+        let old_pass = self.run(Version::Old, TestCase::Passing)?;
+        let new_pass = self.run(Version::New, TestCase::Passing)?;
+        let tracing_seconds = start.elapsed().as_secs_f64();
+        Ok(ScenarioTraces {
+            new_regressing_errored: new_reg.result.is_err() && old_reg.result.is_ok(),
+            traces: RegressionTraces {
+                old_regressing: old_reg.trace,
+                new_regressing: new_reg.trace,
+                old_passing: old_pass.trace,
+                new_passing: new_pass.trace,
+            },
+            old_regressing_output: old_reg.output,
+            new_regressing_output: new_reg.output,
+            old_passing_output: old_pass.output,
+            new_passing_output: new_pass.output,
+            tracing_seconds,
+        })
+    }
+
+    /// Traces the scenario and runs the regression-cause analysis with the given
+    /// differencing algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when a program fails validation or the LCS baseline runs
+    /// out of memory.
+    pub fn analyze(
+        &self,
+        algorithm: &DiffAlgorithm,
+    ) -> Result<(ScenarioTraces, RegressionReport), ScenarioError> {
+        let traces = self.trace_all()?;
+        let report = analyze(&traces.traces, algorithm, self.analysis_mode())?;
+        Ok((traces, report))
+    }
+
+    /// Convenience accessor: run the analysis and evaluate it against the scenario's
+    /// ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::analyze`].
+    pub fn analyze_and_evaluate(
+        &self,
+        algorithm: &DiffAlgorithm,
+    ) -> Result<ScenarioOutcome, ScenarioError> {
+        let (traces, report) = self.analyze(algorithm)?;
+        let quality = rprism_regress::evaluate(
+            &report,
+            &traces.traces.old_regressing,
+            &traces.traces.new_regressing,
+            &self.ground_truth,
+        );
+        Ok(ScenarioOutcome {
+            traces,
+            report,
+            quality,
+        })
+    }
+}
+
+/// Which program version to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Version {
+    /// The original, correct version.
+    Old,
+    /// The new, regressing version.
+    New,
+}
+
+/// Which test case to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestCase {
+    /// The test case that exhibits the regression.
+    Regressing,
+    /// The similar test case that does not.
+    Passing,
+}
+
+/// The bundled result of running and evaluating a scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The four traces and run metadata.
+    pub traces: ScenarioTraces,
+    /// The regression-cause analysis report.
+    pub report: RegressionReport,
+    /// Quality metrics against the scenario's ground truth.
+    pub quality: rprism_regress::QualityMetrics,
+}
+
+/// Whether one of a scenario's traces is the largest; convenience for table harnesses.
+pub fn total_trace_entries(traces: &ScenarioTraces) -> usize {
+    traces.traces.old_regressing.len()
+        + traces.traces.new_regressing.len()
+        + traces.traces.old_passing.len()
+        + traces.traces.new_passing.len()
+}
+
+/// The number of entries of the suspected comparison (old vs new under the regressing
+/// test), the "Trace Entries" column of Table 1.
+pub fn suspected_trace_entries(traces: &ScenarioTraces) -> usize {
+    traces.traces.old_regressing.len().max(traces.traces.new_regressing.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_lang::build::*;
+
+    fn tiny_scenario(new_value: i64) -> Scenario {
+        let version = |v: i64| {
+            ProgramBuilder::new()
+                .class(
+                    ClassBuilder::new("C")
+                        .field("x", int_ty())
+                        .method(
+                            MethodBuilder::new("set", unit_ty())
+                                .body(set_field(this(), "x", int(v))),
+                        ),
+                )
+                .class_def(rprism_vm::sys_class_def())
+                .build()
+        };
+        let main_body = |probe: i64| {
+            vec![
+                let_(
+                    "sys",
+                    new("Sys", vec![]),
+                    let_(
+                        "c",
+                        new("C", vec![int(0)]),
+                        seq(vec![
+                            // The passing test (probe < 0) never exercises the changed
+                            // code, so the regression differences set C can isolate it.
+                            if_(
+                                gt(int(probe), int(0)),
+                                call(var("c"), "set", vec![]),
+                                unit(),
+                            ),
+                            if_(
+                                eq(get_field(var("c"), "x"), int(probe)),
+                                call(var("sys"), "print", vec![string("match")]),
+                                call(var("sys"), "print", vec![string("nomatch")]),
+                            ),
+                        ]),
+                    ),
+                ),
+            ]
+        };
+        Scenario {
+            name: "tiny".into(),
+            description: "constant change".into(),
+            old_version: version(32),
+            new_version: version(new_value),
+            regressing_main: main_body(32),
+            passing_main: main_body(-1),
+            new_regressing_main: None,
+            new_passing_main: None,
+            ground_truth: GroundTruth::new([".x ="]),
+            vm_config: VmConfig::default(),
+            code_removal: false,
+        }
+    }
+
+    #[test]
+    fn scenario_traces_and_detects_regression() {
+        let s = tiny_scenario(1);
+        let traces = s.trace_all().unwrap();
+        assert!(traces.exhibits_regression());
+        assert!(suspected_trace_entries(&traces) > 0);
+        assert!(total_trace_entries(&traces) > suspected_trace_entries(&traces));
+        assert!(traces.tracing_seconds >= 0.0);
+    }
+
+    #[test]
+    fn non_regressing_change_is_not_a_regression() {
+        // New version identical to old: outputs agree on both tests.
+        let s = tiny_scenario(32);
+        let traces = s.trace_all().unwrap();
+        assert!(!traces.exhibits_regression());
+    }
+
+    #[test]
+    fn analysis_produces_candidates_for_the_tiny_scenario() {
+        let s = tiny_scenario(1);
+        let outcome = s
+            .analyze_and_evaluate(&DiffAlgorithm::Views(Default::default()))
+            .unwrap();
+        assert!(!outcome.report.suspected.is_empty());
+        assert!(outcome.report.num_regression_sequences() >= 1);
+        assert_eq!(outcome.quality.false_negatives, 0);
+    }
+
+    #[test]
+    fn loc_estimate_counts_printed_lines() {
+        let s = tiny_scenario(1);
+        assert!(s.loc_estimate() > 5);
+        assert_eq!(s.analysis_mode(), AnalysisMode::Intersect);
+    }
+}

@@ -1,0 +1,41 @@
+//! The Derby-1633-style multithreaded case study: background connection workers run
+//! concurrently with the main thread while the new version's query optimizer throws during
+//! compilation. Shows per-thread views and the final analysis report.
+//!
+//! Run with `cargo run --example derby_multithreaded`.
+
+use rprism_regress::{render_report, DiffAlgorithm, RenderOptions};
+use rprism_views::{ViewKind, ViewWeb};
+use rprism_workloads::casestudies::derby;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = derby::scenario();
+    println!("{}: {}\n", scenario.name, scenario.description);
+
+    let traces = scenario.trace_all()?;
+    let web = ViewWeb::build(&traces.traces.old_regressing);
+    println!("thread views in the original version's regressing trace:");
+    for view in web.views_of_kind(ViewKind::Thread) {
+        println!("  {} — {} entries", view.name, view.len());
+    }
+    println!(
+        "\nnew version failed during query compilation: {}\n",
+        traces.new_regressing_errored
+    );
+
+    let report = rprism_regress::analyze(
+        &traces.traces,
+        &DiffAlgorithm::Views(Default::default()),
+        scenario.analysis_mode(),
+    )?;
+    println!(
+        "{}",
+        render_report(
+            &report,
+            &traces.traces.old_regressing,
+            &traces.traces.new_regressing,
+            &RenderOptions::default()
+        )
+    );
+    Ok(())
+}

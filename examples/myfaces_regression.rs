@@ -1,0 +1,29 @@
+//! The paper's motivating example end to end: the MyFaces-1130-style character-range
+//! regression, analyzed with the full regression-cause algorithm (suspected / expected /
+//! regression / candidate difference sets).
+//!
+//! Run with `cargo run --example myfaces_regression`.
+
+use rprism_regress::{render_report, DiffAlgorithm, RenderOptions};
+use rprism_workloads::myfaces;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = myfaces::scenario();
+    println!("{}: {}\n", scenario.name, scenario.description);
+
+    let (traces, report) = scenario.analyze(&DiffAlgorithm::Views(Default::default()))?;
+    println!(
+        "outputs under the regressing request: original {:?}, new {:?}\n",
+        traces.old_regressing_output, traces.new_regressing_output
+    );
+    println!(
+        "{}",
+        render_report(
+            &report,
+            &traces.traces.old_regressing,
+            &traces.traces.new_regressing,
+            &RenderOptions::default()
+        )
+    );
+    Ok(())
+}

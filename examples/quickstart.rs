@@ -1,0 +1,51 @@
+//! Quickstart: trace two versions of a tiny program, difference them semantically, and
+//! print the resulting semantic diff.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rprism::Rprism;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let old_src = r#"
+        class Range extends Object { Int min; Int max; }
+        class App extends Object {
+            Range r;
+            Int accepted;
+            Unit setup() { this.r = new Range(32, 127); }
+            Unit feed(Int c) {
+                if ((c >= this.r.min) && (c <= this.r.max)) {
+                    this.accepted = this.accepted + 1;
+                }
+            }
+        }
+        main {
+            let app = new App(null, 0);
+            app.setup();
+            app.feed(20);
+            app.feed(64);
+            app.feed(200);
+        }
+    "#;
+    // The "new version" ships an off-by-31 range.
+    let new_src = old_src.replace("new Range(32, 127)", "new Range(1, 127)");
+
+    let rprism = Rprism::new();
+    let old = rprism.trace_source(old_src, "v1")?;
+    let new = rprism.trace_source(&new_src, "v2")?;
+
+    println!(
+        "traced v1 ({} entries) and v2 ({} entries)",
+        old.trace.len(),
+        new.trace.len()
+    );
+
+    let diff = rprism.diff(&old.trace, &new.trace);
+    println!(
+        "views-based diff: {} differences in {} sequences ({} compare ops)\n",
+        diff.num_differences(),
+        diff.num_sequences(),
+        diff.cost.compare_ops
+    );
+    print!("{}", diff.render(&old.trace, &new.trace, 5));
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Explores the "web of views" of a single execution: builds every view of a trace and
+//! shows how an individual trace entry links into its thread, method and object views
+//! (the navigation structure of the paper's §2.4 / Fig. 2).
+//!
+//! Run with `cargo run --example view_explorer`.
+
+use rprism::Rprism;
+use rprism_views::{ViewKind, ViewWeb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = r#"
+        class Log extends Object {
+            Int n;
+            Unit addMsg(Str m) { this.n = this.n + 1; }
+        }
+        class Worker extends Object {
+            Log log;
+            Int done;
+            Unit work(Int v) {
+                this.log.addMsg("working");
+                this.done = this.done + v;
+            }
+        }
+        main {
+            let log = new Log(0);
+            let w = new Worker(log, 0);
+            spawn { w.work(10); }
+            w.work(1);
+            w.work(2);
+        }
+    "#;
+
+    let rprism = Rprism::new();
+    let outcome = rprism.trace_source(src, "explore")?;
+    let trace = &outcome.trace;
+    let web = ViewWeb::build(trace);
+
+    let counts = web.count_by_kind();
+    println!(
+        "trace has {} entries across {} threads; {} views total ({} TH, {} CM, {} TO, {} AO)\n",
+        trace.len(),
+        trace.thread_ids().len(),
+        counts.total(),
+        counts.thread,
+        counts.method,
+        counts.target_object,
+        counts.active_object
+    );
+
+    for kind in [ViewKind::Thread, ViewKind::Method, ViewKind::TargetObject] {
+        println!("{kind} views:");
+        for view in web.views_of_kind(kind) {
+            println!("  {} — {} entries", view.name, view.len());
+        }
+        println!();
+    }
+
+    // Pick one entry and navigate its links.
+    let probe = trace.len() / 2;
+    println!("entry #{probe}: {}", trace[probe].render());
+    println!("is a member of:");
+    for name in web.views_of_entry(probe) {
+        let pos = web.position_in_view(name, probe).expect("member");
+        let len = web.view(name).expect("view exists").len();
+        println!("  {name} at position {pos} of {len}");
+    }
+    Ok(())
+}

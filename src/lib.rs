@@ -1,0 +1,5 @@
+//! `rprism-suite` is the workspace-root package hosting the runnable examples and the
+//! cross-crate integration tests of the RPrism reproduction. It intentionally contains no
+//! library code of its own; see the [`rprism`] facade crate for the public API.
+
+pub use rprism;

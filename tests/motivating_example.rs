@@ -1,0 +1,67 @@
+//! End-to-end integration test of the paper's motivating example (§1, §3.4, §4.2):
+//! the MyFaces-1130-style character-range regression, traced, differenced and analyzed
+//! across crates.
+
+use rprism_diff::{lcs_diff, views_diff, LcsDiffOptions, ViewsDiffOptions};
+use rprism_regress::DiffAlgorithm;
+use rprism_workloads::myfaces;
+
+#[test]
+fn views_diff_localizes_the_bad_range_initialization() {
+    let scenario = myfaces::scenario();
+    let traces = scenario.trace_all().expect("traces");
+    let old = &traces.traces.old_regressing;
+    let new = &traces.traces.new_regressing;
+
+    let result = views_diff(old, new, &ViewsDiffOptions::default());
+    assert!(result.num_differences() > 0);
+
+    // The differing entries include the incorrect NumericEntityUtil initialization with
+    // dynamic state (the bad lower bound 1), as in Fig. 13.
+    let mentions_bad_range = result
+        .matching
+        .unmatched_right()
+        .iter()
+        .filter_map(|i| new.entries.get(*i))
+        .any(|e| e.render().contains("NumericEntityUtil") && e.render().contains("Int(1)"));
+    assert!(mentions_bad_range, "the bad range init must be reported as a difference");
+
+    // Events unrelated to the regression (the Logger activity) remain correlated.
+    let matched_left = result.matching.matched_left();
+    let logger_matched = old
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| matched_left.contains(i) && e.render().contains("Logger"))
+        .count();
+    assert!(logger_matched >= 4, "logger events should stay matched, got {logger_matched}");
+}
+
+#[test]
+fn views_based_differencing_is_at_least_as_accurate_as_lcs() {
+    let scenario = myfaces::scenario();
+    let traces = scenario.trace_all().expect("traces");
+    let old = &traces.traces.old_regressing;
+    let new = &traces.traces.new_regressing;
+
+    let views = views_diff(old, new, &ViewsDiffOptions::default());
+    let lcs = lcs_diff(old, new, &LcsDiffOptions::default()).expect("small traces fit in memory");
+    assert!(
+        views.accuracy_vs(&lcs) >= 0.99,
+        "views accuracy {} dropped below the LCS baseline",
+        views.accuracy_vs(&lcs)
+    );
+}
+
+#[test]
+fn regression_cause_analysis_reports_the_cause_with_context() {
+    let scenario = myfaces::scenario();
+    let outcome = scenario
+        .analyze_and_evaluate(&DiffAlgorithm::Views(ViewsDiffOptions::default().into()))
+        .expect("analysis succeeds");
+
+    // The candidate set is a strict subset of the suspected differences and the ground
+    // truth markers (the bad range / the new filter) are covered.
+    assert!(outcome.report.candidates.len() <= outcome.report.suspected.len());
+    assert!(outcome.report.num_regression_sequences() >= 1);
+    assert_eq!(outcome.quality.false_negatives, 0, "{:?}", outcome.quality);
+}

@@ -1,0 +1,75 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary generated
+//! workloads, connecting the generator, the VM, the view model and the differencers.
+
+use proptest::prelude::*;
+
+use rprism_diff::{views_diff, ViewsDiffOptions};
+use rprism_trace::eq::EventKey;
+use rprism_views::{ViewKind, ViewWeb};
+use rprism_workloads::{generate_bug, RhinoConfig};
+
+fn config(seed: u64, script_length: usize) -> RhinoConfig {
+    RhinoConfig {
+        seed,
+        modules: 4,
+        script_length,
+        max_injection_attempts: 30,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tracing is deterministic: the same seed yields byte-identical event sequences.
+    #[test]
+    fn tracing_is_deterministic(seed in 0u64..40, len in 6usize..16) {
+        let Some(bug) = generate_bug(&config(seed, len)) else { return Ok(()); };
+        let t1 = bug.scenario.trace_all().unwrap();
+        let t2 = bug.scenario.trace_all().unwrap();
+        let k1: Vec<EventKey> = t1.traces.old_regressing.iter().map(EventKey::of).collect();
+        let k2: Vec<EventKey> = t2.traces.old_regressing.iter().map(EventKey::of).collect();
+        prop_assert_eq!(k1, k2);
+    }
+
+    /// Every trace entry belongs to exactly one thread view and one method view, and all
+    /// view links are navigable back to the base trace.
+    #[test]
+    fn view_webs_partition_the_trace(seed in 0u64..40, len in 6usize..16) {
+        let Some(bug) = generate_bug(&config(seed, len)) else { return Ok(()); };
+        let trace = bug.scenario.trace_all().unwrap().traces.old_regressing;
+        let web = ViewWeb::build(&trace);
+
+        let thread_total: usize = web.views_of_kind(ViewKind::Thread).iter().map(|v| v.len()).sum();
+        let method_total: usize = web.views_of_kind(ViewKind::Method).iter().map(|v| v.len()).sum();
+        prop_assert_eq!(thread_total, trace.len());
+        prop_assert_eq!(method_total, trace.len());
+
+        for idx in 0..trace.len() {
+            for name in web.views_of_entry(idx) {
+                let pos = web.position_in_view(name, idx).expect("entry present in its view");
+                prop_assert_eq!(web.view(name).unwrap().entries[pos], idx);
+            }
+        }
+    }
+
+    /// Differencing a trace against itself yields no differences, and differencing the
+    /// original against the mutated version never reports more differences than entries.
+    #[test]
+    fn views_diff_bounds(seed in 0u64..40, len in 6usize..14) {
+        let Some(bug) = generate_bug(&config(seed, len)) else { return Ok(()); };
+        let traces = bug.scenario.trace_all().unwrap().traces;
+        let options = ViewsDiffOptions::default();
+
+        let self_diff = views_diff(&traces.old_regressing, &traces.old_regressing, &options);
+        prop_assert_eq!(self_diff.num_differences(), 0);
+
+        let cross = views_diff(&traces.old_regressing, &traces.new_regressing, &options);
+        prop_assert!(cross.num_differences() <= traces.old_regressing.len() + traces.new_regressing.len());
+        prop_assert!(cross.num_similar() <= traces.old_regressing.len().max(traces.new_regressing.len()));
+        // Matched pairs reference valid indices.
+        for (l, r) in cross.matching.normalized_pairs() {
+            prop_assert!(l < traces.old_regressing.len());
+            prop_assert!(r < traces.new_regressing.len());
+        }
+    }
+}
