@@ -1,9 +1,19 @@
-//! Criterion benchmark: scaling of LCS-based vs views-based trace differencing with trace
-//! length (the performance half of the paper's §5.1 evaluation — views-based differencing
-//! is linear, the LCS baseline quadratic).
+//! Benchmark: scaling of LCS-based vs views-based trace differencing with trace length
+//! (the performance half of the paper's §5.1 evaluation — views-based differencing is
+//! linear, the LCS baseline quadratic).
+//!
+//! The workspace is dependency-free, so this is a `harness = false` bench binary with its
+//! own measurement loop instead of a Criterion harness: each configuration runs a warmup
+//! pass plus `RPRISM_BENCH_SAMPLES` timed samples (default 10) and reports the minimum,
+//! median and mean wall time. Sizes can be overridden with `RPRISM_BENCH_SIZES`
+//! (comma-separated iteration counts), which is what the CI bench job uses to keep its
+//! runtime bounded.
+//!
+//! Run with `cargo bench -p rprism-bench --bench diff_scaling`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
+use rprism_bench::measure::{sample_env, sizes_env, summarize, Sample};
 use rprism_diff::{lcs_diff, views_diff, LcsDiffOptions, MemoryBudget, ViewsDiffOptions};
 use rprism_lang::parser::parse_program;
 use rprism_trace::{Trace, TraceMeta};
@@ -48,36 +58,45 @@ fn trace_pair(iterations: usize, min: i64) -> (Trace, Trace) {
     (run(&src(32), "old"), run(&src(min), "new"))
 }
 
-fn bench_diff_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("diff_scaling");
-    group.sample_size(10);
-    for iterations in [50usize, 150, 400] {
-        let (old, new) = trace_pair(iterations, 1);
-        group.bench_with_input(
-            BenchmarkId::new("views", old.len()),
-            &(&old, &new),
-            |b, (old, new)| b.iter(|| views_diff(old, new, &ViewsDiffOptions::default())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lcs", old.len()),
-            &(&old, &new),
-            |b, (old, new)| {
-                b.iter(|| {
-                    lcs_diff(
-                        old,
-                        new,
-                        &LcsDiffOptions {
-                            memory_budget: MemoryBudget::unlimited(),
-                            linear_space: false,
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
+fn bench<F: FnMut()>(name: &str, trace_len: usize, samples: usize, mut f: F) -> Sample {
+    // Warmup.
+    f();
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed());
     }
-    group.finish();
+    let sample = summarize(name, trace_len, times);
+    println!("{sample}");
+    sample
 }
 
-criterion_group!(benches, bench_diff_scaling);
-criterion_main!(benches);
+fn main() {
+    let samples = sample_env(10);
+    let sizes = sizes_env(&[50, 150, 400]);
+    println!("diff_scaling — {samples} samples per configuration, sizes {sizes:?}\n");
+
+    for iterations in sizes {
+        let (old, new) = trace_pair(iterations, 1);
+        // Only the differencing call is timed; result post-processing (num_differences
+        // builds index sets) stays outside the measured closure via black_box on the
+        // result itself.
+        bench("views", old.len(), samples, || {
+            let r = views_diff(&old, &new, &ViewsDiffOptions::default());
+            std::hint::black_box(&r);
+        });
+        bench("lcs", old.len(), samples, || {
+            let r = lcs_diff(
+                &old,
+                &new,
+                &LcsDiffOptions {
+                    memory_budget: MemoryBudget::unlimited(),
+                    linear_space: false,
+                },
+            )
+            .unwrap();
+            std::hint::black_box(&r);
+        });
+    }
+}

@@ -1,9 +1,13 @@
-//! Criterion benchmark: cost of the views-based differencer under different exploration
-//! parameters (Δ radius, δ window, relaxed correlation) — the performance side of the
-//! ablation binary.
+//! Benchmark: cost of the views-based differencer under different exploration parameters
+//! (Δ radius, δ window, relaxed correlation) — the performance side of the ablation
+//! binary. `harness = false` with a built-in measurement loop (see `diff_scaling.rs` for
+//! the measurement conventions).
+//!
+//! Run with `cargo bench -p rprism-bench --bench views_ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
+use rprism_bench::measure::{sample_env, summarize};
 use rprism_diff::{views_diff, ViewsDiffOptions};
 use rprism_trace::Trace;
 use rprism_workloads::{generate_bug, RhinoConfig};
@@ -20,10 +24,14 @@ fn scenario_traces() -> (Trace, Trace) {
     (traces.traces.old_regressing, traces.traces.new_regressing)
 }
 
-fn bench_views_options(c: &mut Criterion) {
+fn main() {
+    let samples = sample_env(10);
     let (old, new) = scenario_traces();
-    let mut group = c.benchmark_group("views_ablation");
-    group.sample_size(10);
+    println!(
+        "views_ablation — {samples} samples per configuration, traces {} / {} entries\n",
+        old.len(),
+        new.len()
+    );
 
     let configs: Vec<(&str, ViewsDiffOptions)> = vec![
         ("default", ViewsDiffOptions::default()),
@@ -50,16 +58,24 @@ fn bench_views_options(c: &mut Criterion) {
                 ..ViewsDiffOptions::default()
             },
         ),
+        (
+            "sequential",
+            ViewsDiffOptions {
+                parallel: false,
+                ..ViewsDiffOptions::default()
+            },
+        ),
     ];
     for (label, options) in configs {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &options,
-            |b, options| b.iter(|| views_diff(&old, &new, options)),
-        );
+        // Warmup.
+        let _ = views_diff(&old, &new, &options);
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            let r = views_diff(&old, &new, &options);
+            std::hint::black_box(&r);
+            times.push(start.elapsed());
+        }
+        println!("{}", summarize(label, old.len(), times));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_views_options);
-criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! A `cargo bench`-free perf smoke check: one large scenario differenced by the frozen
+//! seed-style baseline (owned `EventKey`s, sequential) and by the keyed pipeline
+//! (interned `CompactEventKey`s, parallel view correlation), printing wall time and
+//! `CostMeter` compare/byte counts for both plus the wall-time speedup. The `--json` flag
+//! emits the same numbers as a JSON object (the format recorded in `BENCH_1.json`).
+//!
+//! Run with `cargo run -p rprism-bench --bin perf_smoke --release [-- --json] [iterations]`.
+
+use std::time::Duration;
+
+use rprism_bench::measure::sample_env;
+use rprism_bench::seed_baseline::seed_views_diff;
+use rprism_diff::{views_diff, TraceDiffResult, ViewsDiffOptions};
+use rprism_lang::parser::parse_program;
+use rprism_trace::{Trace, TraceMeta};
+use rprism_vm::{run_traced, VmConfig};
+
+/// The `diff_scaling` bench program shape at its largest configured size.
+fn trace_pair(iterations: usize) -> (Trace, Trace) {
+    let src = |min: i64| {
+        format!(
+            r#"
+            class Ctr extends Object {{ Int i; }}
+            class Range extends Object {{ Int min; Int max; }}
+            class App extends Object {{
+                Range r;
+                Int hits;
+                Unit setup() {{ this.r = new Range({min}, 127); }}
+                Unit check(Int c) {{
+                    if ((c >= this.r.min) && (c <= this.r.max)) {{ this.hits = this.hits + 1; }}
+                }}
+            }}
+            main {{
+                let a = new App(null, 0);
+                a.setup();
+                let c = new Ctr(0);
+                while (c.i < {iterations}) {{
+                    a.check(c.i % 200);
+                    c.i = c.i + 1;
+                }}
+            }}
+            "#
+        )
+    };
+    let run = |source: &str, label: &str| {
+        run_traced(
+            &parse_program(source).unwrap(),
+            TraceMeta::new(label, "", ""),
+            VmConfig::default(),
+        )
+        .unwrap()
+        .trace
+    };
+    (run(&src(32), "old"), run(&src(1), "new"))
+}
+
+struct Measured {
+    wall: Duration,
+    result: TraceDiffResult,
+}
+
+fn measure(samples: usize, mut f: impl FnMut() -> TraceDiffResult) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..samples {
+        let result = f();
+        let wall = result.elapsed;
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(Measured { wall, result });
+        }
+    }
+    best.expect("at least one sample")
+}
+
+fn main() {
+    let mut json = false;
+    let mut iterations = 400usize;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if let Ok(n) = arg.parse() {
+            iterations = n;
+        }
+    }
+    let samples = sample_env(5);
+
+    let (old, new) = trace_pair(iterations);
+    let options = ViewsDiffOptions::default();
+
+    let seed = measure(samples, || seed_views_diff(&old, &new, &options));
+    let keyed = measure(samples, || views_diff(&old, &new, &options));
+
+    assert_eq!(
+        seed.result.matching.normalized_pairs(),
+        keyed.result.matching.normalized_pairs(),
+        "refactored pipeline diverged from the seed algorithm"
+    );
+
+    let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
+    if json {
+        println!("{{");
+        println!("  \"scenario\": \"diff_scaling largest size (iterations={iterations})\",");
+        println!("  \"trace_entries\": [{}, {}],", old.len(), new.len());
+        println!("  \"samples\": {samples},");
+        println!(
+            "  \"seed_baseline\": {{ \"wall_seconds\": {:.6}, \"compare_ops\": {}, \"peak_bytes\": {} }},",
+            seed.wall.as_secs_f64(),
+            seed.result.cost.compare_ops,
+            seed.result.cost.peak_bytes
+        );
+        println!(
+            "  \"keyed_parallel\": {{ \"wall_seconds\": {:.6}, \"compare_ops\": {}, \"peak_bytes\": {} }},",
+            keyed.wall.as_secs_f64(),
+            keyed.result.cost.compare_ops,
+            keyed.result.cost.peak_bytes
+        );
+        println!("  \"wall_time_speedup\": {speedup:.2}");
+        println!("}}");
+    } else {
+        println!(
+            "perf_smoke — diff_scaling largest size ({iterations} iterations, {} / {} trace entries, best of {samples})\n",
+            old.len(),
+            new.len()
+        );
+        println!(
+            "  seed baseline (owned EventKeys):   wall {:>10.3?}  compare_ops {:>12}  peak_bytes {:>10}",
+            seed.wall, seed.result.cost.compare_ops, seed.result.cost.peak_bytes
+        );
+        println!(
+            "  keyed pipeline (interned, parallel): wall {:>10.3?}  compare_ops {:>12}  peak_bytes {:>10}",
+            keyed.wall, keyed.result.cost.compare_ops, keyed.result.cost.peak_bytes
+        );
+        println!("\n  wall-time speedup: {speedup:.2}x");
+        println!(
+            "  results identical: {} similar pairs, {} differences",
+            keyed.result.num_similar(),
+            keyed.result.num_differences()
+        );
+    }
+}

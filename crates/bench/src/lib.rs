@@ -15,6 +15,9 @@
 //! * `ablation` — sensitivity of the views-based differencer to its window/Δ/relaxation
 //!   parameters (design-choice ablation).
 
+pub mod measure;
+pub mod seed_baseline;
+
 use std::collections::BTreeMap;
 
 use rprism_diff::{LcsDiffOptions, MemoryBudget, ViewsDiffOptions};

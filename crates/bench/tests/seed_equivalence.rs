@@ -1,0 +1,74 @@
+//! Equivalence of the keyed, parallel diff pipeline with the frozen seed-style baseline
+//! on the four §5.2 case studies: the refactor must not change *what* is computed — the
+//! similarity sets and difference sequences of the suspected comparison are identical —
+//! while the compare-op count may only shrink (prefix/suffix stripping now happens
+//! inside `lcs_dp`). The regression analysis itself must be deterministic run-to-run.
+
+use rprism_bench::seed_baseline::seed_views_diff;
+use rprism_diff::{views_diff, ViewsDiffOptions};
+use rprism_regress::{analyze, DiffAlgorithm};
+use rprism_workloads::casestudies;
+
+#[test]
+fn keyed_pipeline_matches_seed_baseline_on_all_case_studies() {
+    for scenario in casestudies::all() {
+        let traces = scenario
+            .trace_all()
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        let old = &traces.traces.old_regressing;
+        let new = &traces.traces.new_regressing;
+
+        let seed = seed_views_diff(old, new, &ViewsDiffOptions::default());
+        let keyed = views_diff(old, new, &ViewsDiffOptions::default());
+
+        assert_eq!(
+            seed.matching.normalized_pairs(),
+            keyed.matching.normalized_pairs(),
+            "{}: similarity sets diverged",
+            scenario.name
+        );
+        assert_eq!(
+            seed.sequences, keyed.sequences,
+            "{}: difference sequences diverged",
+            scenario.name
+        );
+        // The keyed pipeline folds prefix/suffix stripping into lcs_dp, so it may only
+        // ever do *less* comparison work than the seed, never more.
+        assert!(
+            keyed.cost.compare_ops <= seed.cost.compare_ops,
+            "{}: keyed pipeline did more compares ({}) than the seed ({})",
+            scenario.name,
+            keyed.cost.compare_ops,
+            seed.cost.compare_ops
+        );
+    }
+}
+
+#[test]
+fn analysis_set_sizes_are_stable_across_runs() {
+    // The full regression analysis (parallel preparation, keyed diffs, symbol-keyed
+    // difference sets) is deterministic: two runs agree on every set size and verdict.
+    for scenario in casestudies::all() {
+        let traces = scenario.trace_all().unwrap();
+        let run = || {
+            analyze(
+                &traces.traces,
+                &DiffAlgorithm::Views(ViewsDiffOptions::default()),
+                scenario.analysis_mode(),
+            )
+            .expect("views analysis never fails")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.suspected.len(), b.suspected.len(), "{}", scenario.name);
+        assert_eq!(a.expected.len(), b.expected.len(), "{}", scenario.name);
+        assert_eq!(a.regression.len(), b.regression.len(), "{}", scenario.name);
+        assert_eq!(a.candidates.len(), b.candidates.len(), "{}", scenario.name);
+        assert_eq!(a.compare_ops, b.compare_ops, "{}", scenario.name);
+        let verdicts =
+            |r: &rprism_regress::RegressionReport| -> Vec<bool> {
+                r.sequences.iter().map(|s| s.regression_related).collect()
+            };
+        assert_eq!(verdicts(&a), verdicts(&b), "{}", scenario.name);
+    }
+}

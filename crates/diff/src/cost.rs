@@ -110,6 +110,19 @@ impl CostMeter {
         self.current_bytes = self.current_bytes.saturating_sub(bytes);
     }
 
+    /// Merges a worker meter into this one, as if the worker's operations had run
+    /// sequentially at this meter's current allocation level: compare counts add up, and
+    /// the peak is the maximum of this meter's peak and the worker's peak stacked on the
+    /// current working set. Merging workers in a fixed order yields deterministic
+    /// statistics regardless of the actual parallel interleaving.
+    pub fn merge(&mut self, worker: &CostMeter) {
+        self.compare_ops += worker.compare_ops;
+        self.peak_bytes = self
+            .peak_bytes
+            .max(self.current_bytes + worker.peak_bytes);
+        self.current_bytes += worker.current_bytes;
+    }
+
     /// Finalizes the meter into immutable statistics.
     pub fn stats(&self) -> CostStats {
         CostStats {

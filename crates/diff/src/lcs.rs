@@ -47,19 +47,72 @@ fn lcs_length_row<T: PartialEq>(left: &[T], right: &[T], meter: &mut CostMeter) 
 
 /// Full dynamic-programming LCS with traceback.
 ///
+/// Identical leading and trailing entries are matched directly *before* the table is
+/// sized: the quadratic table only ever covers the differing middle, so both the memory
+/// budget check and the compare count shrink with the common prefix/suffix. This matters
+/// for the windowed secondary-view LCS calls of the views differencer, whose windows are
+/// frequently near-identical.
+///
 /// Returns the matched index pairs `(left, right)` in ascending order.
 ///
 /// # Errors
 ///
-/// Returns [`DiffError::OutOfMemory`] when the `(|left|+1) × (|right|+1)` table exceeds
-/// the memory budget — the same failure mode the paper reports for traces beyond ~100K
-/// entries.
+/// Returns [`DiffError::OutOfMemory`] when the middle-section table exceeds the memory
+/// budget — the same failure mode the paper reports for traces beyond ~100K entries.
 pub fn lcs_dp<T: PartialEq>(
     left: &[T],
     right: &[T],
     meter: &mut CostMeter,
     budget: MemoryBudget,
 ) -> Result<Vec<(usize, usize)>, DiffError> {
+    // Common prefix.
+    let mut prefix = 0usize;
+    while prefix < left.len() && prefix < right.len() {
+        meter.count_compares(1);
+        if left[prefix] == right[prefix] {
+            prefix += 1;
+        } else {
+            break;
+        }
+    }
+    // Common suffix (not overlapping the prefix).
+    let mut suffix = 0usize;
+    while suffix < left.len() - prefix && suffix < right.len() - prefix {
+        meter.count_compares(1);
+        if left[left.len() - 1 - suffix] == right[right.len() - 1 - suffix] {
+            suffix += 1;
+        } else {
+            break;
+        }
+    }
+
+    let mut pairs: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
+    let mid = lcs_dp_table(
+        &left[prefix..left.len() - suffix],
+        &right[prefix..right.len() - suffix],
+        meter,
+        budget,
+    )?;
+    pairs.extend(mid.into_iter().map(|(i, j)| (i + prefix, j + prefix)));
+    pairs.extend(
+        (0..suffix)
+            .rev()
+            .map(|k| (left.len() - 1 - k, right.len() - 1 - k)),
+    );
+    Ok(pairs)
+}
+
+/// The unstripped table core of [`lcs_dp`] (crate-visible so the property tests can
+/// compare the stripped entry point against it).
+pub(crate) fn lcs_dp_table<T: PartialEq>(
+    left: &[T],
+    right: &[T],
+    meter: &mut CostMeter,
+    budget: MemoryBudget,
+) -> Result<Vec<(usize, usize)>, DiffError> {
+    if left.is_empty() || right.is_empty() {
+        return Ok(Vec::new());
+    }
     let rows = left.len() + 1;
     let cols = right.len() + 1;
     // Each cell stores a u32 LCS length.
@@ -100,9 +153,10 @@ pub fn lcs_dp<T: PartialEq>(
     Ok(pairs)
 }
 
-/// LCS with the common-prefix/common-suffix optimization: identical leading and trailing
-/// entries are matched directly and the quadratic algorithm only runs on the differing
-/// middle. This is the baseline configuration used in the paper's evaluation.
+/// LCS with the common-prefix/common-suffix optimization — the baseline configuration
+/// used in the paper's evaluation. The optimization now lives inside [`lcs_dp`] itself,
+/// so this is an alias retained for callers (and measurements) that name the optimized
+/// variant explicitly.
 ///
 /// # Errors
 ///
@@ -113,38 +167,7 @@ pub fn lcs_optimized<T: PartialEq>(
     meter: &mut CostMeter,
     budget: MemoryBudget,
 ) -> Result<Vec<(usize, usize)>, DiffError> {
-    // Common prefix.
-    let mut prefix = 0usize;
-    while prefix < left.len() && prefix < right.len() {
-        meter.count_compares(1);
-        if left[prefix] == right[prefix] {
-            prefix += 1;
-        } else {
-            break;
-        }
-    }
-    // Common suffix (not overlapping the prefix).
-    let mut suffix = 0usize;
-    while suffix < left.len() - prefix && suffix < right.len() - prefix {
-        meter.count_compares(1);
-        if left[left.len() - 1 - suffix] == right[right.len() - 1 - suffix] {
-            suffix += 1;
-        } else {
-            break;
-        }
-    }
-
-    let mid_left = &left[prefix..left.len() - suffix];
-    let mid_right = &right[prefix..right.len() - suffix];
-    let mut pairs: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
-    let middle = lcs_dp(mid_left, mid_right, meter, budget)?;
-    pairs.extend(middle.into_iter().map(|(i, j)| (i + prefix, j + prefix)));
-    pairs.extend(
-        (0..suffix)
-            .rev()
-            .map(|k| (left.len() - 1 - k, right.len() - 1 - k)),
-    );
-    Ok(pairs)
+    lcs_dp(left, right, meter, budget)
 }
 
 /// Hirschberg's linear-space LCS.
@@ -317,11 +340,30 @@ mod tests {
 
     #[test]
     fn dp_respects_memory_budget() {
+        // No common prefix or suffix, so the full quadratic table is required.
         let left: Vec<u32> = (0..2000).collect();
-        let right: Vec<u32> = (0..2000).collect();
+        let right: Vec<u32> = (0..2000).rev().collect();
         let mut meter = CostMeter::new();
         let result = lcs_dp(&left, &right, &mut meter, MemoryBudget::bytes(1024));
         assert!(matches!(result, Err(DiffError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn dp_strips_prefix_and_suffix_before_sizing_the_table() {
+        // Identical sequences never touch the table, so even a tiny budget succeeds.
+        let xs: Vec<u32> = (0..5000).collect();
+        let mut meter = CostMeter::new();
+        let pairs = lcs_dp(&xs, &xs, &mut meter, MemoryBudget::bytes(64)).unwrap();
+        assert_eq!(pairs.len(), xs.len());
+        assert!(meter.stats().peak_bytes < 64);
+
+        // A single mid-sequence difference shrinks the table to the differing middle.
+        let mut ys = xs.clone();
+        ys[2500] = 999_999;
+        let mut meter2 = CostMeter::new();
+        let pairs2 = lcs_dp(&xs, &ys, &mut meter2, MemoryBudget::bytes(4096)).unwrap();
+        assert_eq!(pairs2.len(), xs.len() - 1);
+        assert!(meter2.stats().peak_bytes <= 4096);
     }
 
     #[test]

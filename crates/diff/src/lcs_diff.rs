@@ -1,14 +1,16 @@
 //! LCS-based trace differencing (the paper's §3.2 baseline).
 //!
-//! Entries of the two traces are reduced to their [`EventKey`]s (the information `=e`
-//! compares) and an LCS over the two key sequences determines the similarity set Π. The
-//! two weaknesses the paper identifies — blind long-distance correlation of common values
-//! and Θ(n²) cost — are inherent to this baseline and are exactly what the views-based
-//! differencer (see [`crate::views_diff`]) addresses.
+//! Entries of the two traces are reduced to precomputed interned keys (a
+//! [`KeyedTrace`] holding the information `=e` compares) and an LCS over the two key
+//! sequences determines the similarity set Π. The two weaknesses the paper identifies —
+//! blind long-distance correlation of common values and Θ(n²) cost — are inherent to this
+//! baseline and are exactly what the views-based differencer (see [`crate::views_diff`])
+//! addresses; the keyed representation merely makes each of the Θ(n²) comparisons an
+//! integer operation instead of a string/vector traversal.
 
 use std::time::Instant;
 
-use rprism_trace::{EventKey, Trace};
+use rprism_trace::{KeyRef, KeyedTrace, Trace};
 
 use crate::cost::{CostMeter, DiffError, MemoryBudget};
 use crate::lcs::{lcs_hirschberg, lcs_optimized};
@@ -49,9 +51,15 @@ pub fn lcs_diff(
     let start = Instant::now();
     let mut meter = CostMeter::new();
 
-    let left_keys: Vec<EventKey> = left.iter().map(EventKey::of).collect();
-    let right_keys: Vec<EventKey> = right.iter().map(EventKey::of).collect();
-    meter.allocate(((left_keys.len() + right_keys.len()) * 64) as u64);
+    let left_keyed = KeyedTrace::build(left);
+    let right_keyed = KeyedTrace::build(right);
+    let left_keys: Vec<KeyRef<'_>> = (0..left.len()).map(|i| left_keyed.key(i)).collect();
+    let right_keys: Vec<KeyRef<'_>> = (0..right.len()).map(|i| right_keyed.key(i)).collect();
+    meter.allocate(
+        left_keyed.estimated_bytes()
+            + right_keyed.estimated_bytes()
+            + ((left_keys.len() + right_keys.len()) * std::mem::size_of::<KeyRef<'_>>()) as u64,
+    );
 
     let pairs = if options.linear_space {
         lcs_hirschberg(&left_keys, &right_keys, &mut meter)

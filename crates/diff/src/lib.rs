@@ -48,7 +48,8 @@ pub mod result;
 pub mod views_diff;
 
 pub use cost::{CostMeter, CostStats, DiffError, MemoryBudget};
+pub use lcs::{lcs_dp, lcs_hirschberg, lcs_length, lcs_optimized};
 pub use lcs_diff::{lcs_diff, LcsDiffOptions};
 pub use matching::{DiffKind, DiffSequence, Matching};
 pub use result::TraceDiffResult;
-pub use views_diff::{views_diff, views_diff_with_webs, ViewsDiffOptions};
+pub use views_diff::{views_diff, views_diff_keyed, views_diff_with_webs, ViewsDiffOptions};

@@ -118,7 +118,7 @@ impl Matching {
         let mut anchors: Vec<(usize, usize)> = Vec::new();
         let mut last_r = None;
         for (l, r) in self.normalized_pairs() {
-            if last_r.map_or(true, |prev| r > prev) {
+            if last_r.is_none_or(|prev| r > prev) {
                 anchors.push((l, r));
                 last_r = Some(r);
             }

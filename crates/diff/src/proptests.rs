@@ -1,39 +1,49 @@
-//! Property-based tests relating the three LCS implementations and the views-based
-//! differencer on randomly generated inputs.
+//! Property-based tests relating the three LCS implementations on randomly generated
+//! inputs, plus the keyed-equality equivalence properties of the interned event-key
+//! layer. The generators are the deterministic SplitMix64-based ones from
+//! [`rprism_trace::testgen`] (the workspace is dependency-free, so no `proptest`).
 
 #![cfg(test)]
 
-use proptest::prelude::*;
+use rprism_trace::testgen::{arbitrary_entry, Rng};
+use rprism_trace::{event_eq, intern, resolve, EventKey, KeyedTrace, Trace};
 
 use crate::cost::{CostMeter, MemoryBudget};
-use crate::lcs::{lcs_dp, lcs_hirschberg, lcs_length, lcs_optimized};
+use crate::lcs::{lcs_dp, lcs_dp_table, lcs_hirschberg, lcs_length, lcs_optimized};
 
-fn sequences() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+const CASES: usize = 64;
+
+fn sequences(rng: &mut Rng, max_len: usize) -> (Vec<u8>, Vec<u8>) {
     // Small alphabets create many repeated symbols — the hard case for correlation.
-    (
-        proptest::collection::vec(0u8..6, 0..60),
-        proptest::collection::vec(0u8..6, 0..60),
-    )
+    let left = (0..rng.usize(0, max_len)).map(|_| rng.range(0, 6) as u8).collect();
+    let right = (0..rng.usize(0, max_len)).map(|_| rng.range(0, 6) as u8).collect();
+    (left, right)
 }
 
-proptest! {
-    /// All three LCS implementations agree on the subsequence length.
-    #[test]
-    fn lcs_variants_agree_on_length((left, right) in sequences()) {
+/// All three LCS implementations agree on the subsequence length.
+#[test]
+fn lcs_variants_agree_on_length() {
+    let mut rng = Rng::new(101);
+    for _ in 0..CASES {
+        let (left, right) = sequences(&mut rng, 60);
         let mut m = CostMeter::new();
         let dp = lcs_dp(&left, &right, &mut m, MemoryBudget::unlimited()).unwrap();
         let opt = lcs_optimized(&left, &right, &mut m, MemoryBudget::unlimited()).unwrap();
         let hir = lcs_hirschberg(&left, &right, &mut m);
         let len = lcs_length(&left, &right, &mut m);
-        prop_assert_eq!(dp.len(), len);
-        prop_assert_eq!(opt.len(), len);
-        prop_assert_eq!(hir.len(), len);
+        assert_eq!(dp.len(), len, "dp vs length on {left:?} / {right:?}");
+        assert_eq!(opt.len(), len, "optimized vs length on {left:?} / {right:?}");
+        assert_eq!(hir.len(), len, "hirschberg vs length on {left:?} / {right:?}");
     }
+}
 
-    /// Every matching produced is a valid common subsequence: strictly increasing on both
-    /// sides and element-wise equal.
-    #[test]
-    fn lcs_matchings_are_valid_common_subsequences((left, right) in sequences()) {
+/// Every matching produced is a valid common subsequence: strictly increasing on both
+/// sides and element-wise equal.
+#[test]
+fn lcs_matchings_are_valid_common_subsequences() {
+    let mut rng = Rng::new(202);
+    for _ in 0..CASES {
+        let (left, right) = sequences(&mut rng, 60);
         let mut m = CostMeter::new();
         for pairs in [
             lcs_dp(&left, &right, &mut m, MemoryBudget::unlimited()).unwrap(),
@@ -41,41 +51,129 @@ proptest! {
             lcs_hirschberg(&left, &right, &mut m),
         ] {
             for w in pairs.windows(2) {
-                prop_assert!(w[0].0 < w[1].0);
-                prop_assert!(w[0].1 < w[1].1);
+                assert!(w[0].0 < w[1].0);
+                assert!(w[0].1 < w[1].1);
             }
             for (i, j) in pairs {
-                prop_assert_eq!(left[i], right[j]);
+                assert_eq!(left[i], right[j]);
             }
         }
     }
+}
 
-    /// LCS length bounds: no longer than either input, and equal to the input length when
-    /// diffing a sequence against itself.
-    #[test]
-    fn lcs_length_bounds((left, right) in sequences()) {
+/// LCS length bounds: no longer than either input, and equal to the input length when
+/// diffing a sequence against itself.
+#[test]
+fn lcs_length_bounds() {
+    let mut rng = Rng::new(303);
+    for _ in 0..CASES {
+        let (left, right) = sequences(&mut rng, 60);
         let mut m = CostMeter::new();
         let len = lcs_length(&left, &right, &mut m);
-        prop_assert!(len <= left.len() && len <= right.len());
-        prop_assert_eq!(lcs_length(&left, &left, &mut m), left.len());
+        assert!(len <= left.len() && len <= right.len());
+        assert_eq!(lcs_length(&left, &left, &mut m), left.len());
     }
+}
 
-    /// The prefix/suffix optimization never changes the result length relative to plain DP,
-    /// and never performs more comparisons.
-    #[test]
-    fn optimization_is_sound_and_never_slower((shared, mid_l, mid_r) in (
-        proptest::collection::vec(0u8..6, 0..20),
-        proptest::collection::vec(0u8..6, 0..20),
-        proptest::collection::vec(0u8..6, 0..20),
-    )) {
+/// The prefix/suffix strip inside [`lcs_dp`] never changes the result length relative to
+/// the raw (unstripped) quadratic table, and never performs more comparisons than the
+/// unstripped run plus the linear strip scans.
+#[test]
+fn optimization_is_sound_and_never_slower() {
+    let mut rng = Rng::new(404);
+    for _ in 0..CASES {
+        let shared: Vec<u8> = (0..rng.usize(0, 20)).map(|_| rng.range(0, 6) as u8).collect();
+        let mid_l: Vec<u8> = (0..rng.usize(0, 20)).map(|_| rng.range(0, 6) as u8).collect();
+        let mid_r: Vec<u8> = (0..rng.usize(0, 20)).map(|_| rng.range(0, 6) as u8).collect();
         // Construct inputs with a guaranteed common prefix and suffix.
-        let left: Vec<u8> = shared.iter().copied().chain(mid_l).chain(shared.iter().copied()).collect();
-        let right: Vec<u8> = shared.iter().copied().chain(mid_r).chain(shared.iter().copied()).collect();
-        let mut m_dp = CostMeter::new();
-        let mut m_opt = CostMeter::new();
-        let dp = lcs_dp(&left, &right, &mut m_dp, MemoryBudget::unlimited()).unwrap();
-        let opt = lcs_optimized(&left, &right, &mut m_opt, MemoryBudget::unlimited()).unwrap();
-        prop_assert_eq!(dp.len(), opt.len());
-        prop_assert!(m_opt.stats().compare_ops <= m_dp.stats().compare_ops + 2 * (left.len() as u64 + right.len() as u64));
+        let left: Vec<u8> = shared
+            .iter()
+            .copied()
+            .chain(mid_l)
+            .chain(shared.iter().copied())
+            .collect();
+        let right: Vec<u8> = shared
+            .iter()
+            .copied()
+            .chain(mid_r)
+            .chain(shared.iter().copied())
+            .collect();
+        let mut m_raw = CostMeter::new();
+        let mut m_stripped = CostMeter::new();
+        // The raw table core vs the stripped public entry point.
+        let raw = lcs_dp_table(&left, &right, &mut m_raw, MemoryBudget::unlimited()).unwrap();
+        let stripped = lcs_dp(&left, &right, &mut m_stripped, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(raw.len(), stripped.len());
+        assert!(
+            m_stripped.stats().compare_ops
+                <= m_raw.stats().compare_ops + 2 * (left.len() as u64 + right.len() as u64)
+        );
+        // Stripped pairs are still a valid common subsequence.
+        for (i, j) in &stripped {
+            assert_eq!(left[*i], right[*j]);
+        }
+        // And `lcs_optimized` remains an exact alias of the stripped entry point.
+        let mut m_alias = CostMeter::new();
+        let alias = lcs_optimized(&left, &right, &mut m_alias, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(alias, stripped);
+    }
+}
+
+/// The tentpole equivalence: `CompactEventKey` equality ≡ `EventKey` equality ≡
+/// `event_eq`, over arbitrary generated events (the keyed hot path may never disagree
+/// with the structural fallback or the owned canonical key).
+#[test]
+fn compact_key_equality_equals_eventkey_equality_equals_event_eq() {
+    let mut rng = Rng::new(505);
+    let mut left = Trace::named("prop-left");
+    let mut right = Trace::named("prop-right");
+    for _ in 0..120 {
+        left.push(arbitrary_entry(&mut rng));
+        right.push(arbitrary_entry(&mut rng));
+    }
+    let lk = KeyedTrace::build(&left);
+    let rk = KeyedTrace::build(&right);
+
+    for i in 0..left.len() {
+        for j in 0..right.len() {
+            let by_compact = lk.key_eq(i, &rk, j);
+            let by_keyref = lk.key(i) == rk.key(j);
+            let by_eventkey = EventKey::of(&left[i]) == EventKey::of(&right[j]);
+            let by_structural = event_eq(&left[i], &right[j]);
+            assert_eq!(by_compact, by_eventkey, "compact vs EventKey at ({i},{j})");
+            assert_eq!(by_keyref, by_eventkey, "KeyRef vs EventKey at ({i},{j})");
+            assert_eq!(by_structural, by_eventkey, "event_eq vs EventKey at ({i},{j})");
+        }
+    }
+}
+
+/// Equal keys hash equally (hash-consistency of the precomputed 64-bit content hash).
+#[test]
+fn equal_compact_keys_share_their_precomputed_hash() {
+    let mut rng = Rng::new(606);
+    let mut trace = Trace::named("prop-hash");
+    for _ in 0..200 {
+        trace.push(arbitrary_entry(&mut rng));
+    }
+    let keyed = KeyedTrace::build(&trace);
+    for i in 0..trace.len() {
+        for j in 0..trace.len() {
+            if keyed.key_eq(i, &keyed, j) {
+                assert_eq!(keyed.compact(i).hash, keyed.compact(j).hash);
+            }
+        }
+    }
+}
+
+/// Interning round-trips arbitrary generated names, and equal strings always produce
+/// equal symbols.
+#[test]
+fn interning_round_trips_names() {
+    let mut rng = Rng::new(707);
+    for _ in 0..CASES {
+        let name = format!("name_{}_{}", rng.range(0, 12), rng.range(0, 12));
+        let sym = intern(&name);
+        assert_eq!(resolve(sym), name);
+        assert_eq!(intern(&name), sym);
     }
 }

@@ -16,13 +16,26 @@
 //! neighbourhood, the `window` size and the `max_scan_ahead` bound), the whole algorithm
 //! is linear in the trace length in both time and space — the property that lets it scale
 //! to the multi-million-entry traces where the quadratic baseline exhausts memory.
+//!
+//! ## The keyed hot path
+//!
+//! Every `=e` comparison goes through a [`KeyedTrace`]: interned, precomputed
+//! [`CompactEventKey`](rprism_trace::CompactEventKey)s built once per trace. A comparison
+//! is a 64-bit hash check (plus an integer slice compare on hash equality) — no
+//! `EventKey` construction, no string traversal, and **zero heap allocation per
+//! comparison** (enforced by a counting-allocator test). The remaining allocations in
+//! the mismatch path are per-*mismatch*, not per-comparison, and bounded by the window
+//! size: the windowed secondary LCS reuses scratch key buffers but its DP table (at most
+//! `(2·window+2)²` cells) and matched-pair output are allocated per call. Thread-view
+//! pairs are differenced concurrently on a bounded pool of scoped worker threads, each
+//! with its own [`CostMeter`], merged deterministically at the end.
 
 use std::collections::HashSet;
 use std::time::Instant;
 
-use rprism_trace::{EventKey, Trace};
+use rprism_trace::{KeyRef, KeyedTrace, Trace};
 use rprism_views::correlate::relaxed::same_distance_from_anchor;
-use rprism_views::{correlate_entry_views, Correlation, ViewKind, ViewName, ViewWeb};
+use rprism_views::{build_web_pair, correlate_entry_views, Correlation, ViewId, ViewKind, ViewWeb};
 
 use crate::cost::{CostMeter, MemoryBudget};
 use crate::lcs::lcs_dp;
@@ -44,6 +57,11 @@ pub struct ViewsDiffOptions {
     /// Enable the context-sensitive correlation relaxation of §5 (tolerates method/class
     /// renames by correlating views at equal distances from the mismatch anchor).
     pub relaxed_correlation: bool,
+    /// Use worker threads for every parallelizable stage: web/key preparation, view
+    /// correlation, and per-thread-pair differencing. `false` keeps the entire run on
+    /// the calling thread. The result is identical either way; per-worker cost meters
+    /// are merged deterministically.
+    pub parallel: bool,
 }
 
 impl Default for ViewsDiffOptions {
@@ -53,20 +71,27 @@ impl Default for ViewsDiffOptions {
             window: 8,
             max_scan_ahead: 96,
             relaxed_correlation: true,
+            parallel: true,
         }
     }
 }
 
-/// Differences two traces using the views-based semantics, building the view webs
-/// internally.
+/// Differences two traces using the views-based semantics, building the view webs and
+/// keyed traces internally (both sides are prepared concurrently unless
+/// `options.parallel` is off).
 pub fn views_diff(left: &Trace, right: &Trace, options: &ViewsDiffOptions) -> TraceDiffResult {
-    let left_web = ViewWeb::build(left);
-    let right_web = ViewWeb::build(right);
+    let (left_web, right_web) = if options.parallel {
+        build_web_pair(left, right)
+    } else {
+        (ViewWeb::build(left), ViewWeb::build(right))
+    };
     views_diff_with_webs(left, right, &left_web, &right_web, options)
 }
 
 /// Differences two traces using pre-built view webs (avoids rebuilding them when the same
-/// trace participates in several comparisons, as in the regression-cause analysis).
+/// trace participates in several comparisons, as in the regression-cause analysis). The
+/// keyed traces are built here; callers that already hold them should use
+/// [`views_diff_keyed`].
 pub fn views_diff_with_webs(
     left: &Trace,
     right: &Trace,
@@ -74,13 +99,43 @@ pub fn views_diff_with_webs(
     right_web: &ViewWeb,
     options: &ViewsDiffOptions,
 ) -> TraceDiffResult {
+    let (left_keyed, right_keyed) = if options.parallel {
+        std::thread::scope(|scope| {
+            let lk = scope.spawn(|| KeyedTrace::build(left));
+            let rk = KeyedTrace::build(right);
+            (lk.join().expect("left key build panicked"), rk)
+        })
+    } else {
+        (KeyedTrace::build(left), KeyedTrace::build(right))
+    };
+    views_diff_keyed(
+        left,
+        right,
+        left_web,
+        right_web,
+        &left_keyed,
+        &right_keyed,
+        options,
+    )
+}
+
+/// The fully precomputed entry point: traces, webs and keyed traces all supplied by the
+/// caller. This is the form the regression analysis uses — each trace participates in up
+/// to two comparisons, and its web and keys are built exactly once.
+pub fn views_diff_keyed(
+    left: &Trace,
+    right: &Trace,
+    left_web: &ViewWeb,
+    right_web: &ViewWeb,
+    left_keyed: &KeyedTrace,
+    right_keyed: &KeyedTrace,
+    options: &ViewsDiffOptions,
+) -> TraceDiffResult {
     let start = Instant::now();
     let mut meter = CostMeter::new();
-    let correlation = Correlation::build(left_web, right_web);
+    let correlation = Correlation::build_with(left_web, right_web, options.parallel);
 
-    let left_keys: Vec<EventKey> = left.iter().map(EventKey::of).collect();
-    let right_keys: Vec<EventKey> = right.iter().map(EventKey::of).collect();
-    meter.allocate(((left_keys.len() + right_keys.len()) * 64) as u64);
+    meter.allocate(keyed_bytes(left_keyed) + keyed_bytes(right_keyed));
 
     let differ = Differ {
         left,
@@ -88,17 +143,68 @@ pub fn views_diff_with_webs(
         left_web,
         right_web,
         correlation: &correlation,
-        left_keys: &left_keys,
-        right_keys: &right_keys,
+        left_keyed,
+        right_keyed,
         options,
     };
 
+    // Collect the correlated thread-view pairs up front; each pair is independent.
+    let pairs: Vec<(&[usize], &[usize])> = correlation
+        .thread_pairs()
+        .into_iter()
+        .filter_map(|(lt, rt)| {
+            let lv = left_web.thread_view_entries(lt)?;
+            let rv = right_web.thread_view_entries(rt)?;
+            Some((lv, rv))
+        })
+        .collect();
+
     let mut matching = Matching::new(left.len(), right.len());
-    for (lt, rt) in correlation.thread_pairs() {
-        let lview = left_web.view(&ViewName::Thread(lt));
-        let rview = right_web.view(&ViewName::Thread(rt));
-        if let (Some(lv), Some(rv)) = (lview, rview) {
-            differ.diff_thread_pair(&lv.entries, &rv.entries, &mut matching, &mut meter);
+    if options.parallel && pairs.len() > 1 {
+        // Bounded worker pool: thread pairs are dealt round-robin to at most
+        // `available_parallelism` workers (a trace with hundreds of threads must not
+        // spawn hundreds of OS threads). Chunk assignment is deterministic and workers
+        // are merged in worker order, so the cost accounting is deterministic too.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(pairs.len());
+        let results: Vec<(Matching, CostMeter)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let differ = &differ;
+                    let pairs = &pairs;
+                    scope.spawn(move || {
+                        let mut worker_matching =
+                            Matching::new(differ.left.len(), differ.right.len());
+                        let mut worker_meter = CostMeter::new();
+                        let mut scratch = Scratch::default();
+                        for (lv, rv) in pairs.iter().skip(w).step_by(workers) {
+                            differ.diff_thread_pair(
+                                lv,
+                                rv,
+                                &mut worker_matching,
+                                &mut worker_meter,
+                                &mut scratch,
+                            );
+                        }
+                        (worker_matching, worker_meter)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("diff worker panicked"))
+                .collect()
+        });
+        for (worker_matching, worker_meter) in results {
+            matching.extend(&worker_matching);
+            meter.merge(&worker_meter);
+        }
+    } else {
+        let mut scratch = Scratch::default();
+        for (lv, rv) in pairs {
+            differ.diff_thread_pair(lv, rv, &mut matching, &mut meter, &mut scratch);
         }
     }
 
@@ -112,18 +218,37 @@ pub fn views_diff_with_webs(
     }
 }
 
+fn keyed_bytes(keyed: &KeyedTrace) -> u64 {
+    keyed.estimated_bytes()
+}
+
+/// Reusable per-worker buffers so the mismatch exploration allocates nothing after
+/// warm-up.
+#[derive(Default)]
+struct Scratch<'a> {
+    explored: HashSet<(u32, u32)>,
+    lkeys: Vec<KeyRef<'a>>,
+    rkeys: Vec<KeyRef<'a>>,
+}
+
 struct Differ<'a> {
     left: &'a Trace,
     right: &'a Trace,
     left_web: &'a ViewWeb,
     right_web: &'a ViewWeb,
     correlation: &'a Correlation,
-    left_keys: &'a [EventKey],
-    right_keys: &'a [EventKey],
+    left_keyed: &'a KeyedTrace,
+    right_keyed: &'a KeyedTrace,
     options: &'a ViewsDiffOptions,
 }
 
-impl Differ<'_> {
+impl<'a> Differ<'a> {
+    /// `=e` between base-trace entries by precomputed key: never allocates.
+    #[inline]
+    fn entries_eq(&self, left_idx: usize, right_idx: usize) -> bool {
+        self.left_keyed.key_eq(left_idx, self.right_keyed, right_idx)
+    }
+
     /// Evaluates one pair of correlated thread views under the Fig. 12 rules.
     fn diff_thread_pair(
         &self,
@@ -131,12 +256,13 @@ impl Differ<'_> {
         rv: &[usize],
         matching: &mut Matching,
         meter: &mut CostMeter,
+        scratch: &mut Scratch<'a>,
     ) {
         let mut i = 0usize;
         let mut j = 0usize;
         while i < lv.len() && j < rv.len() {
             meter.count_compares(1);
-            if self.left_keys[lv[i]] == self.right_keys[rv[j]] {
+            if self.entries_eq(lv[i], rv[j]) {
                 // STEP-VIEW-MATCH
                 matching.push(lv[i], rv[j]);
                 i += 1;
@@ -144,7 +270,7 @@ impl Differ<'_> {
                 continue;
             }
             // STEP-VIEW-NOMATCH: explore linked secondary views near the mismatch …
-            self.explore_secondary_views(lv, rv, i, j, matching, meter);
+            self.explore_secondary_views(lv, rv, i, j, matching, meter, scratch);
             // … then skip to the next point of correspondence in the thread views.
             match self.next_correspondence(lv, rv, i, j, meter) {
                 Some((a, b)) => {
@@ -162,6 +288,7 @@ impl Differ<'_> {
     /// `LinkedSimilarEntries`: for entries within Δ of the two mismatch positions whose
     /// views of some type correlate, run LCS over fixed-size windows of the correlated
     /// views and add every matched pair to Π.
+    #[allow(clippy::too_many_arguments)]
     fn explore_secondary_views(
         &self,
         lv: &[usize],
@@ -170,9 +297,10 @@ impl Differ<'_> {
         j: usize,
         matching: &mut Matching,
         meter: &mut CostMeter,
+        scratch: &mut Scratch<'a>,
     ) {
         let delta = self.options.delta as i64;
-        let mut explored: HashSet<(ViewName, ViewName)> = HashSet::new();
+        scratch.explored.clear();
 
         for da in -delta..=delta {
             let li = i as i64 + da;
@@ -191,7 +319,16 @@ impl Differ<'_> {
 
                 for kind in ViewKind::ALL {
                     meter.count_compares(1);
-                    let pair = correlate_entry_views(kind, self.correlation, le, re);
+                    let pair = correlate_entry_views(
+                        kind,
+                        self.correlation,
+                        self.left_web,
+                        self.right_web,
+                        left_idx,
+                        right_idx,
+                        le,
+                        re,
+                    );
                     let pair = match pair {
                         Some(p) => Some(p),
                         // §5 relaxation: method views at the same distance from the
@@ -199,24 +336,22 @@ impl Differ<'_> {
                         // signatures differ (tolerating renames).
                         None if self.options.relaxed_correlation && kind == ViewKind::Method => {
                             if same_distance_from_anchor(i, j, li as usize, rj as usize, 0) {
-                                let l = rprism_views::view::method_view_name(le);
-                                let r = rprism_views::view::method_view_name(re);
-                                Some((l, r))
+                                let l = self.left_web.entry_view(left_idx, ViewKind::Method);
+                                let r = self.right_web.entry_view(right_idx, ViewKind::Method);
+                                l.zip(r)
                             } else {
                                 None
                             }
                         }
                         None => None,
                     };
-                    let Some((lname, rname)) = pair else {
+                    let Some((lid, rid)) = pair else {
                         continue;
                     };
-                    if !explored.insert((lname.clone(), rname.clone())) {
+                    if !scratch.explored.insert((lid.0, rid.0)) {
                         continue;
                     }
-                    self.windowed_secondary_lcs(
-                        &lname, &rname, left_idx, right_idx, matching, meter,
-                    );
+                    self.windowed_secondary_lcs(lid, rid, left_idx, right_idx, matching, meter, scratch);
                 }
             }
         }
@@ -224,29 +359,36 @@ impl Differ<'_> {
 
     /// LCS over `±window` neighbourhoods of the two correlated secondary views, centred on
     /// the member positions of the given base entries.
+    #[allow(clippy::too_many_arguments)]
     fn windowed_secondary_lcs(
         &self,
-        left_view: &ViewName,
-        right_view: &ViewName,
+        left_view: ViewId,
+        right_view: ViewId,
         left_idx: usize,
         right_idx: usize,
         matching: &mut Matching,
         meter: &mut CostMeter,
+        scratch: &mut Scratch<'a>,
     ) {
-        let (Some(lsec), Some(rsec)) = (self.left_web.view(left_view), self.right_web.view(right_view))
-        else {
-            return;
-        };
+        let lsec = self.left_web.view_by_id(left_view);
+        let rsec = self.right_web.view_by_id(right_view);
         let (Some(lpos), Some(rpos)) = (lsec.position_of(left_idx), rsec.position_of(right_idx))
         else {
             return;
         };
         let lwin = lsec.window(lpos, self.options.window);
         let rwin = rsec.window(rpos, self.options.window);
-        let lkeys: Vec<&EventKey> = lwin.iter().map(|&x| &self.left_keys[x]).collect();
-        let rkeys: Vec<&EventKey> = rwin.iter().map(|&x| &self.right_keys[x]).collect();
+        scratch.lkeys.clear();
+        scratch.rkeys.clear();
+        scratch
+            .lkeys
+            .extend(lwin.iter().map(|&x| self.left_keyed.key(x)));
+        scratch
+            .rkeys
+            .extend(rwin.iter().map(|&x| self.right_keyed.key(x)));
         // Windows are constant-sized, so the quadratic LCS here is O(1) per call.
-        if let Ok(pairs) = lcs_dp(&lkeys, &rkeys, meter, MemoryBudget::unlimited()) {
+        if let Ok(pairs) = lcs_dp(&scratch.lkeys, &scratch.rkeys, meter, MemoryBudget::unlimited())
+        {
             for (wi, wj) in pairs {
                 matching.push(lwin[wi], rwin[wj]);
             }
@@ -271,7 +413,7 @@ impl Differ<'_> {
                     continue;
                 }
                 meter.count_compares(1);
-                if self.left_keys[lv[li]] == self.right_keys[rv[rj]] {
+                if self.entries_eq(lv[li], rv[rj]) {
                     return Some((a, b));
                 }
             }
@@ -480,6 +622,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_runs_agree() {
+        let src = |v: i64| {
+            format!(
+                r#"
+            class W extends Object {{
+                Int total;
+                Unit work(Int v) {{ this.total = this.total + v; }}
+            }}
+            main {{
+                let w1 = new W(0);
+                let w2 = new W(0);
+                spawn {{ w1.work({v}); w1.work(2); }}
+                spawn {{ w2.work(3); w2.work(4); }}
+                w1.work(5);
+            }}
+        "#
+            )
+        };
+        let old = trace_of(&src(1), "old");
+        let new = trace_of(&src(99), "new");
+        let par = views_diff(&old, &new, &ViewsDiffOptions::default());
+        let seq = views_diff(
+            &old,
+            &new,
+            &ViewsDiffOptions {
+                parallel: false,
+                ..ViewsDiffOptions::default()
+            },
+        );
+        assert_eq!(par.matching.normalized_pairs(), seq.matching.normalized_pairs());
+        assert_eq!(par.sequences, seq.sequences);
+        assert_eq!(par.cost.compare_ops, seq.cost.compare_ops);
+    }
+
+    #[test]
     fn options_control_exploration_extent() {
         let a = trace_of(ORIGINAL, "old");
         let b = trace_of(&regressing(), "new");
@@ -491,6 +668,7 @@ mod tests {
                 window: 1,
                 max_scan_ahead: 4,
                 relaxed_correlation: false,
+                parallel: true,
             },
         );
         let wide = views_diff(&a, &b, &ViewsDiffOptions::default());

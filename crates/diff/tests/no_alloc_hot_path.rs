@@ -1,0 +1,110 @@
+//! Proof that the keyed diff hot path performs **zero heap allocation per comparison**:
+//! a counting global allocator wraps the system allocator, and the tests assert that
+//! millions of keyed `=e` comparisons (and the structural `event_eq` fallback) allocate
+//! nothing after the keys are built.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+use rprism_trace::testgen::{arbitrary_entry, Rng};
+use rprism_trace::{event_eq, KeyedTrace, Trace};
+
+fn generated_trace(seed: u64, len: usize) -> Trace {
+    let mut rng = Rng::new(seed);
+    let mut trace = Trace::named("alloc-count");
+    for _ in 0..len {
+        trace.push(arbitrary_entry(&mut rng));
+    }
+    trace
+}
+
+#[test]
+fn keyed_comparisons_do_not_allocate() {
+    let left = generated_trace(1, 300);
+    let right = generated_trace(2, 300);
+    let lk = KeyedTrace::build(&left);
+    let rk = KeyedTrace::build(&right);
+
+    // Warm up any lazily initialized state before counting.
+    let mut matches = 0u64;
+    for i in 0..10 {
+        if lk.key_eq(i, &rk, i) {
+            matches += 1;
+        }
+    }
+
+    let before = allocation_count();
+    for i in 0..left.len() {
+        for j in 0..right.len() {
+            if lk.key_eq(i, &rk, j) {
+                matches += 1;
+            }
+        }
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "keyed =e comparisons must not allocate ({} comparisons, {} matches)",
+        left.len() * right.len(),
+        matches
+    );
+    assert!(matches > 0, "generator should produce some equal events");
+}
+
+#[test]
+fn structural_event_eq_fallback_does_not_allocate() {
+    let left = generated_trace(3, 200);
+    let right = generated_trace(4, 200);
+
+    let mut matches = 0u64;
+    // Warm-up.
+    for i in 0..10 {
+        if event_eq(&left[i], &right[i]) {
+            matches += 1;
+        }
+    }
+
+    let before = allocation_count();
+    for le in left.iter() {
+        for re in right.iter() {
+            if event_eq(le, re) {
+                matches += 1;
+            }
+        }
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "structural event_eq must compare in place without allocating"
+    );
+    assert!(matches > 0);
+}

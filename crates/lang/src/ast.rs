@@ -19,12 +19,11 @@
 //! Extensions relative to the paper (see `DESIGN.md` §3): `let`, `if`, bounded `while`,
 //! primitive binary/unary operators, and string/unit literals.
 
-use serde::{Deserialize, Serialize};
 
 use crate::names::{ClassName, FieldName, MethodName, VarName};
 
 /// A static type: either a class type `C` or a primitive value type `D`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Type {
     /// A class (reference) type.
     Class(ClassName),
@@ -68,7 +67,7 @@ impl std::fmt::Display for Type {
 
 /// The primitive ("value object") types `D` of the paper: booleans, integers and floats,
 /// extended with strings and the unit type.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PrimType {
     /// The boolean type `Bool`.
     Bool,
@@ -96,7 +95,7 @@ impl PrimType {
 }
 
 /// A literal primitive value `D(d)`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Lit {
     /// A boolean literal.
     Bool(bool),
@@ -128,7 +127,7 @@ impl Lit {
 }
 
 /// Binary operators over primitive values (extension).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Addition on `Int`/`Float`, concatenation on `Str`.
     Add,
@@ -180,7 +179,7 @@ impl BinOp {
 }
 
 /// Unary operators over primitive values (extension).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Boolean negation.
     Not,
@@ -199,7 +198,7 @@ impl UnOp {
 }
 
 /// A term `t` of the calculus.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Term {
     /// A variable occurrence `x` (method parameter or `let`-bound local).
     Var(VarName),
@@ -364,7 +363,7 @@ impl Term {
 }
 
 /// A method definition `A m(Ā x̄) { t̄; return t; }`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MethodDef {
     /// The method name `m`.
     pub name: MethodName,
@@ -398,7 +397,7 @@ impl MethodDef {
 }
 
 /// A class definition `class C extends C' { Ā f̄; K M̄ }`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClassDef {
     /// The class name `C`.
     pub name: ClassName,
@@ -424,7 +423,7 @@ impl ClassDef {
 }
 
 /// A complete program: a class table plus the body of the main thread (`P ::= T(t̄;)`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Program {
     /// All user-defined classes, in declaration order.
     pub classes: Vec<ClassDef>,

@@ -20,10 +20,10 @@
 use std::time::{Duration, Instant};
 
 use rprism_diff::{
-    lcs_diff, views_diff_with_webs, DiffError, DiffSequence, LcsDiffOptions, TraceDiffResult,
+    lcs_diff, views_diff_keyed, DiffError, DiffSequence, LcsDiffOptions, TraceDiffResult,
     ViewsDiffOptions,
 };
-use rprism_trace::Trace;
+use rprism_trace::{KeyedTrace, Trace};
 use rprism_views::ViewWeb;
 
 use crate::sets::{DiffSet, DiffSignature};
@@ -151,37 +151,104 @@ pub fn analyze(
 ) -> Result<RegressionReport, DiffError> {
     let start = Instant::now();
 
-    // Pre-build webs once per trace for the views algorithm (each trace participates in
-    // up to two comparisons).
-    let diff_pair = |left: &Trace, right: &Trace| -> Result<TraceDiffResult, DiffError> {
+    // Pre-build keyed traces once per trace: each trace participates in up to two
+    // comparisons and in difference-set construction, and all of those consume the same
+    // precomputed keys. View webs are only consumed by the views algorithm, so the LCS
+    // baseline skips building them (its timings must not be inflated by unused work).
+    // The four traces are independent, so their preparation runs on scoped worker
+    // threads.
+    struct Prepared {
+        web: Option<ViewWeb>,
+        keyed: KeyedTrace,
+    }
+    let needs_webs = matches!(algorithm, DiffAlgorithm::Views(_));
+    let prepare = move |trace: &Trace| Prepared {
+        web: needs_webs.then(|| ViewWeb::build(trace)),
+        keyed: KeyedTrace::build(trace),
+    };
+    let [old_reg, new_reg, old_pass, new_pass] = {
+        let traces = [
+            &traces.old_regressing,
+            &traces.new_regressing,
+            &traces.old_passing,
+            &traces.new_passing,
+        ];
+        let mut prepared: Vec<Prepared> = std::thread::scope(|scope| {
+            let handles: Vec<_> = traces.iter().map(|t| scope.spawn(move || prepare(t))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trace preparation panicked"))
+                .collect()
+        });
+        let d = prepared.pop().unwrap();
+        let c = prepared.pop().unwrap();
+        let b = prepared.pop().unwrap();
+        let a = prepared.pop().unwrap();
+        [a, b, c, d]
+    };
+
+    let diff_pair = |left: &Trace,
+                     lprep: &Prepared,
+                     right: &Trace,
+                     rprep: &Prepared|
+     -> Result<TraceDiffResult, DiffError> {
         match algorithm {
-            DiffAlgorithm::Views(options) => {
-                let lweb = ViewWeb::build(left);
-                let rweb = ViewWeb::build(right);
-                Ok(views_diff_with_webs(left, right, &lweb, &rweb, options))
-            }
+            DiffAlgorithm::Views(options) => Ok(views_diff_keyed(
+                left,
+                right,
+                lprep.web.as_ref().expect("webs prepared for views algorithm"),
+                rprep.web.as_ref().expect("webs prepared for views algorithm"),
+                &lprep.keyed,
+                &rprep.keyed,
+                options,
+            )),
             DiffAlgorithm::Lcs(options) => lcs_diff(left, right, options),
         }
     };
 
     // Step 1: A — old vs new under the regressing test.
-    let suspected_diff = diff_pair(&traces.old_regressing, &traces.new_regressing)?;
-    let suspected = DiffSet::from_diff(
+    let suspected_diff = diff_pair(
+        &traces.old_regressing,
+        &old_reg,
+        &traces.new_regressing,
+        &new_reg,
+    )?;
+    let suspected = DiffSet::from_diff_keyed(
         &suspected_diff,
         &traces.old_regressing,
         &traces.new_regressing,
+        &old_reg.keyed,
+        &new_reg.keyed,
     );
 
     // Step 2: B — old vs new under the passing test.
-    let expected_diff = diff_pair(&traces.old_passing, &traces.new_passing)?;
-    let expected = DiffSet::from_diff(&expected_diff, &traces.old_passing, &traces.new_passing);
+    let expected_diff = diff_pair(
+        &traces.old_passing,
+        &old_pass,
+        &traces.new_passing,
+        &new_pass,
+    )?;
+    let expected = DiffSet::from_diff_keyed(
+        &expected_diff,
+        &traces.old_passing,
+        &traces.new_passing,
+        &old_pass.keyed,
+        &new_pass.keyed,
+    );
 
     // Step 3: C — passing vs regressing test on the new version.
-    let regression_diff = diff_pair(&traces.new_passing, &traces.new_regressing)?;
-    let regression = DiffSet::from_diff(
+    let regression_diff = diff_pair(
+        &traces.new_passing,
+        &new_pass,
+        &traces.new_regressing,
+        &new_reg,
+    )?;
+    let regression = DiffSet::from_diff_keyed(
         &regression_diff,
         &traces.new_passing,
         &traces.new_regressing,
+        &new_pass.keyed,
+        &new_reg.keyed,
     );
 
     // Step 4: D.
@@ -191,7 +258,8 @@ pub fn analyze(
         AnalysisMode::SubtractRegressionSet => a_minus_b.subtract(&regression),
     };
 
-    // Classify the suspected comparison's difference sequences.
+    // Classify the suspected comparison's difference sequences, reusing the precomputed
+    // keys of the two suspected-comparison traces.
     let sequences = suspected_diff
         .sequences
         .iter()
@@ -199,14 +267,21 @@ pub fn analyze(
             let related = sequence
                 .left
                 .iter()
-                .filter_map(|i| traces.old_regressing.entries.get(*i))
-                .chain(
-                    sequence
-                        .right
-                        .iter()
-                        .filter_map(|i| traces.new_regressing.entries.get(*i)),
-                )
-                .any(|entry| candidates.contains(&DiffSignature::of(entry)));
+                .filter_map(|i| {
+                    traces
+                        .old_regressing
+                        .entries
+                        .get(*i)
+                        .map(|e| DiffSignature::of_keyed(&old_reg.keyed, *i, e))
+                })
+                .chain(sequence.right.iter().filter_map(|i| {
+                    traces
+                        .new_regressing
+                        .entries
+                        .get(*i)
+                        .map(|e| DiffSignature::of_keyed(&new_reg.keyed, *i, e))
+                }))
+                .any(|signature| candidates.contains(&signature));
             SequenceVerdict {
                 sequence: sequence.clone(),
                 regression_related: related,
@@ -329,7 +404,7 @@ mod tests {
         let mentions_cause = report
             .candidates
             .iter()
-            .any(|sig| sig.key.name.as_deref() == Some("min") || sig.key.name.as_deref() == Some("Num"));
+            .any(|sig| sig.name_str() == Some("min") || sig.name_str() == Some("Num"));
         assert!(mentions_cause, "candidates: {:?}", report.candidates);
     }
 

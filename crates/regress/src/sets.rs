@@ -4,35 +4,61 @@
 //! pairs (old vs new under the regressing test, old vs new under a passing test, passing
 //! vs regressing test on the new version). To subtract and intersect differences that
 //! originate from different traces, each differing entry is canonicalized into a
-//! version-independent [`DiffSignature`]: the event's semantic content ([`EventKey`]) plus
-//! its enclosing context (method and active-object class). Two differences from different
-//! comparisons are "the same difference" when their signatures are equal.
+//! version-independent [`DiffSignature`]: the event's semantic content (the same
+//! information an [`EventKey`](rprism_trace::EventKey) canonicalizes, but held as
+//! interned symbols and fingerprints rather than owned strings) plus its enclosing
+//! context (method and active-object class). Two differences from different comparisons
+//! are "the same difference" when their signatures are equal — a handful of integer
+//! comparisons, since every name is a process-stable [`Symbol`].
 
 use std::collections::HashSet;
 
-use rprism_trace::{EventKey, Trace, TraceEntry};
+use rprism_trace::{intern, EventKind, KeyedTrace, OperandId, Symbol, Trace, TraceEntry};
 
 use rprism_diff::TraceDiffResult;
 
 /// A canonical, trace-independent identity for one semantic difference.
+///
+/// All names are interned [`Symbol`]s; the only heap data is the boxed operand list, so
+/// signatures hash and compare as plain integer sequences.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct DiffSignature {
-    /// The semantic content of the differing event.
-    pub key: EventKey,
+    /// The event form of the differing event.
+    pub kind: EventKind,
+    /// The interned field/method/class name the event mentions, if any.
+    pub name: Option<Symbol>,
+    /// The class names and value fingerprints of every operand, in event order.
+    pub operands: Box<[OperandId]>,
     /// The method in whose context the event occurred.
-    pub method: String,
+    pub method: Symbol,
     /// The class of the active object in whose context the event occurred.
-    pub active_class: String,
+    pub active_class: Symbol,
 }
 
 impl DiffSignature {
-    /// Builds the signature of a trace entry.
+    /// Builds the signature of a trace entry (non-keyed path: interns on the fly).
     pub fn of(entry: &TraceEntry) -> Self {
+        let mut keyed = KeyedTrace::default();
+        keyed.push_entry(entry);
+        Self::of_keyed(&keyed, 0, entry)
+    }
+
+    /// Builds the signature of entry `index` from its precomputed key (the hot path of
+    /// [`DiffSet::from_diff`]: no re-canonicalization, just copies of interned ids).
+    pub fn of_keyed(keyed: &KeyedTrace, index: usize, entry: &TraceEntry) -> Self {
+        let key = keyed.compact(index);
         DiffSignature {
-            key: EventKey::of(entry),
-            method: entry.method.as_str().to_owned(),
-            active_class: entry.active.class.clone(),
+            kind: key.kind,
+            name: key.name,
+            operands: keyed.operands_of(&key).into(),
+            method: intern(entry.method.as_str()),
+            active_class: intern(&entry.active.class),
         }
+    }
+
+    /// The event's name as a string, if any (reports and tests).
+    pub fn name_str(&self) -> Option<&'static str> {
+        self.name.map(Symbol::as_str)
     }
 }
 
@@ -49,17 +75,36 @@ impl DiffSet {
     }
 
     /// Builds the difference set of a trace comparison: the signatures of every unmatched
-    /// entry on either side.
+    /// entry on either side. When the caller already holds the traces' precomputed keys,
+    /// prefer [`DiffSet::from_diff_keyed`].
     pub fn from_diff(result: &TraceDiffResult, left: &Trace, right: &Trace) -> Self {
+        Self::from_diff_keyed(
+            result,
+            left,
+            right,
+            &KeyedTrace::build(left),
+            &KeyedTrace::build(right),
+        )
+    }
+
+    /// [`DiffSet::from_diff`] over precomputed keyed traces: signatures are assembled
+    /// from interned ids without re-canonicalizing any entry.
+    pub fn from_diff_keyed(
+        result: &TraceDiffResult,
+        left: &Trace,
+        right: &Trace,
+        left_keyed: &KeyedTrace,
+        right_keyed: &KeyedTrace,
+    ) -> Self {
         let mut signatures = HashSet::new();
         for idx in result.matching.unmatched_left() {
             if let Some(entry) = left.entries.get(idx) {
-                signatures.insert(DiffSignature::of(entry));
+                signatures.insert(DiffSignature::of_keyed(left_keyed, idx, entry));
             }
         }
         for idx in result.matching.unmatched_right() {
             if let Some(entry) = right.entries.get(idx) {
-                signatures.insert(DiffSignature::of(entry));
+                signatures.insert(DiffSignature::of_keyed(right_keyed, idx, entry));
             }
         }
         DiffSet { signatures }
@@ -161,6 +206,25 @@ mod tests {
             DiffSignature::of(&entry("config", "_min", 32)),
             DiffSignature::of(&entry("other", "_min", 32))
         );
+    }
+
+    #[test]
+    fn keyed_and_unkeyed_signatures_agree() {
+        let mut trace = Trace::named("sig");
+        trace.push(entry("config", "_min", 32));
+        trace.push(entry("emit", "_max", 7));
+        let keyed = KeyedTrace::build(&trace);
+        for (i, e) in trace.iter().enumerate() {
+            assert_eq!(DiffSignature::of(e), DiffSignature::of_keyed(&keyed, i, e));
+        }
+    }
+
+    #[test]
+    fn signature_names_resolve() {
+        let sig = DiffSignature::of(&entry("config", "_min", 32));
+        assert_eq!(sig.name_str(), Some("_min"));
+        assert_eq!(sig.method.as_str(), "config");
+        assert_eq!(sig.active_class.as_str(), "SP");
     }
 
     #[test]

@@ -4,7 +4,6 @@
 //! the active thread, the method under execution (the frame on top of the call stack when
 //! the event occurred), and the representation of the object that method is executing on.
 
-use serde::{Deserialize, Serialize};
 
 use rprism_lang::MethodName;
 
@@ -13,7 +12,7 @@ use crate::objrep::ObjRep;
 
 /// The index of an entry within its originating trace. Entry ids are the "links" that tie
 /// views back to the base trace and to each other.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EntryId(pub u64);
 
 impl EntryId {
@@ -30,7 +29,7 @@ impl std::fmt::Display for EntryId {
 }
 
 /// The identifier of a program thread within one execution. Thread 0 is the main thread.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ThreadId(pub u64);
 
 impl ThreadId {
@@ -45,7 +44,7 @@ impl std::fmt::Display for ThreadId {
 }
 
 /// A single trace entry `entry(eid, tid, m, θ, e)`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceEntry {
     /// The entry identifier: the index of the entry in the trace.
     pub eid: EntryId,

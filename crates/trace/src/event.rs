@@ -8,7 +8,6 @@
 //! thread event TE ::= fork(S̄) | end(S)
 //! ```
 
-use serde::{Deserialize, Serialize};
 
 use rprism_lang::{FieldName, MethodName};
 
@@ -17,7 +16,7 @@ use crate::objrep::ObjRep;
 use crate::stack::StackSnapshot;
 
 /// A trace event: the specific action captured by a trace entry.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Event {
     /// Field read `get(θ, f, θ')`: field `f` of target `θ` was read, yielding `θ'`.
     Get {
@@ -83,7 +82,7 @@ pub enum Event {
 }
 
 /// A coarse classification of events, used for filtering, statistics and reporting.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EventKind {
     /// A field read.
     Get,

@@ -1,0 +1,127 @@
+//! Global string interning for trace analysis.
+//!
+//! Every field/method/class name that flows through event equality, view naming and
+//! difference signatures is interned into a [`Symbol`] — a dense `u32` id that is stable
+//! for the lifetime of the process. Comparing and hashing symbols is a single integer
+//! operation, so the diff hot paths never touch string data; and because symbols are
+//! process-global, keys built from two different traces (or, later, two different shards)
+//! compare directly without translation.
+//!
+//! Interning is write-once: the fast path of [`intern`] takes a read lock and only
+//! upgrades to a write lock for strings never seen before. Trace vocabularies (class,
+//! field and method names) are tiny relative to trace lengths, so after the first few
+//! entries of a workload every lookup is a read-lock + hash-map hit, and the symbols
+//! themselves circulate lock-free.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a dense, process-stable `u32` id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw id. Useful for dense side-tables indexed by symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Resolves the symbol back to its string.
+    pub fn as_str(self) -> &'static str {
+        resolve(self)
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+struct InternerInner {
+    map: HashMap<&'static str, Symbol>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<InternerInner> {
+    static INTERNER: OnceLock<RwLock<InternerInner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(InternerInner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// Interns a string, returning its stable [`Symbol`].
+pub fn intern(s: &str) -> Symbol {
+    {
+        let inner = interner().read().expect("interner poisoned");
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+    }
+    let mut inner = interner().write().expect("interner poisoned");
+    // Double-check: another thread may have interned it between the locks.
+    if let Some(&sym) = inner.map.get(s) {
+        return sym;
+    }
+    let sym = Symbol(u32::try_from(inner.strings.len()).expect("interner overflow"));
+    // Interned strings live for the process lifetime; leaking gives `&'static str`
+    // resolution without reference counting on the hot path.
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    inner.strings.push(leaked);
+    inner.map.insert(leaked, sym);
+    sym
+}
+
+/// Resolves a symbol to its interned string.
+///
+/// # Panics
+///
+/// Panics if the symbol did not come from [`intern`] in this process.
+pub fn resolve(sym: Symbol) -> &'static str {
+    let inner = interner().read().expect("interner poisoned");
+    inner.strings[sym.index()]
+}
+
+/// Number of distinct strings interned so far (diagnostics / capacity planning).
+pub fn interned_count() -> usize {
+    interner().read().expect("interner poisoned").strings.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_round_trips() {
+        let a = intern("setRequestType");
+        assert_eq!(resolve(a), "setRequestType");
+        assert_eq!(a.as_str(), "setRequestType");
+    }
+
+    #[test]
+    fn equal_strings_intern_to_equal_symbols() {
+        assert_eq!(intern("minCharRange"), intern("minCharRange"));
+        assert_ne!(intern("minCharRange"), intern("maxCharRange"));
+    }
+
+    #[test]
+    fn symbols_are_stable_across_threads() {
+        let base = intern("shared-name");
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| intern("shared-name")))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), base);
+        }
+    }
+
+    #[test]
+    fn count_grows_monotonically() {
+        let before = interned_count();
+        intern("a-definitely-novel-string-for-count-test");
+        assert!(interned_count() > before || before > 0);
+    }
+}

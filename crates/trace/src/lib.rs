@@ -14,7 +14,14 @@
 //!   events (thread parentage);
 //! * [`trace`] — trace containers, including segmented storage mimicking RPrism's
 //!   "smart trace segmentation" (§5);
-//! * [`eq`] — the event-equality relation `=e` on which all differencing is built.
+//! * [`eq`] — the event-equality relation `=e` on which all differencing is built;
+//! * [`intern`] — process-global string interning: names become dense `u32`
+//!   [`Symbol`]s that compare and hash as integers;
+//! * [`keyed`] — [`KeyedTrace`]: per-entry precomputed [`CompactEventKey`]s (interned
+//!   symbols + value fingerprints + a 64-bit content hash) that make `=e` on the diff
+//!   hot paths an allocation-free integer comparison;
+//! * [`testgen`] — deterministic pseudo-random generators used by the workspace's
+//!   property-style tests (the workspace carries no external test dependencies).
 //!
 //! The crate is deliberately independent of the interpreter: traces can be constructed by
 //! `rprism-vm`, loaded from serialized form, or synthesized directly in tests.
@@ -22,13 +29,18 @@
 pub mod entry;
 pub mod eq;
 pub mod event;
+pub mod intern;
+pub mod keyed;
 pub mod objrep;
 pub mod stack;
+pub mod testgen;
 pub mod trace;
 
 pub use entry::{EntryId, ThreadId, TraceEntry};
-pub use eq::{event_eq, EventKey};
-pub use event::Event;
+pub use eq::{event_eq, events_eq, EventKey};
+pub use event::{Event, EventKind};
+pub use intern::{intern, resolve, Symbol};
+pub use keyed::{CompactEventKey, KeyRef, KeyedTrace, OperandId};
 pub use objrep::{CreationSeq, Loc, ObjRep, ValueFingerprint, ValueRepr};
 pub use stack::{StackFrame, StackSnapshot};
 pub use trace::{SegmentedTrace, Trace, TraceMeta};

@@ -23,7 +23,6 @@
 //!   and active-object view correlation ("class-specific object creation sequence number",
 //!   §3.1).
 
-use serde::{Deserialize, Serialize};
 
 /// The maximum number of characters kept from a printed value representation, mirroring
 /// RPrism's truncation of `toString` output (§5).
@@ -34,7 +33,7 @@ pub const VALUE_REPR_MAX_DEPTH: usize = 4;
 
 /// A heap location `l`. Locations are only meaningful within a single execution; they are
 /// never compared across traces.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Loc(pub u64);
 
 impl std::fmt::Display for Loc {
@@ -46,7 +45,7 @@ impl std::fmt::Display for Loc {
 /// A per-class object creation sequence number: the n-th instance of class `C` created by
 /// an execution gets sequence number `n`. Unlike locations, creation sequence numbers are
 /// comparable across executions of different program versions (paper §3.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CreationSeq(pub u64);
 
 impl std::fmt::Display for CreationSeq {
@@ -56,7 +55,7 @@ impl std::fmt::Display for CreationSeq {
 }
 
 /// The recursive value serialization `r ::= D:[d] | C:[r̄]` of Fig. 8.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ValueRepr {
     /// A primitive value `D:[d]`: the primitive type name and its printed value.
     Prim {
@@ -155,7 +154,7 @@ fn truncate_printed(s: String) -> String {
 /// A stable 64-bit hash of a [`ValueRepr`]; the version-independent identity used by
 /// event equality and object-view correlation. The zero fingerprint is reserved for
 /// representations that carry no information ([`ValueRepr::Opaque`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueFingerprint(pub u64);
 
 impl ValueFingerprint {
@@ -172,7 +171,7 @@ impl ValueFingerprint {
 /// The representation of an object (or primitive value) as recorded in a trace entry: the
 /// extended `⟨l, r⟩` tuple of Fig. 8, enriched with the dynamic class name and the
 /// per-class creation sequence number used by the correlation heuristics.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ObjRep {
     /// The heap location, when the value is a heap object (`None` for primitives and
     /// `null`). Execution-local; never compared across traces.

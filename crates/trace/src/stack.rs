@@ -6,14 +6,13 @@
 //! ancestry (spawn-point call stack, the spawner's spawn-point stack, and so on) so that
 //! thread-view correlation can find the "closest match" between executions (§2.3, §3.1).
 
-use serde::{Deserialize, Serialize};
 
 use rprism_lang::MethodName;
 
 use crate::objrep::ObjRep;
 
 /// A single stack frame `s(m, θ, θ')`: method `m` of callee `θ'` invoked from caller `θ`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StackFrame {
     /// The invoked method.
     pub method: MethodName,
@@ -35,7 +34,7 @@ impl StackFrame {
 }
 
 /// An immutable snapshot of one thread's call stack, outermost frame first.
-#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct StackSnapshot {
     /// The frames, outermost (oldest) first.
     pub frames: Vec<StackFrame>,
@@ -163,8 +162,12 @@ mod tests {
         let sa = StackSnapshot::new(vec![frame("main", "Main")]);
         let sb = StackSnapshot::new(vec![frame("main", "Main"), frame("spawnWorkers", "Pool")]);
         assert_eq!(ancestry_similarity(&[], &[]), 1.0);
-        assert_eq!(ancestry_similarity(&[sa.clone()], &[sa.clone()]), 1.0);
-        let partial = ancestry_similarity(&[sa.clone(), sb.clone()], &[sa.clone()]);
+        assert_eq!(
+            ancestry_similarity(std::slice::from_ref(&sa), std::slice::from_ref(&sa)),
+            1.0
+        );
+        let partial =
+            ancestry_similarity(&[sa.clone(), sb.clone()], std::slice::from_ref(&sa));
         assert!(partial < 1.0 && partial > 0.0);
     }
 

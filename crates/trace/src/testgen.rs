@@ -1,0 +1,176 @@
+//! Deterministic pseudo-random generators for property-style tests.
+//!
+//! The workspace is dependency-free, so instead of `proptest` the property tests use this
+//! small SplitMix64-based generator module: a seeded [`Rng`] plus arbitrary-value
+//! constructors for the trace domain (events, entries, object representations). Small
+//! name/value pools are used deliberately so that generated events collide often — the
+//! hard case for equality, interning and correlation.
+
+use rprism_lang::{FieldName, MethodName};
+
+use crate::entry::{EntryId, ThreadId, TraceEntry};
+use crate::event::Event;
+use crate::objrep::{CreationSeq, Loc, ObjRep, ValueRepr};
+use crate::stack::StackSnapshot;
+
+/// A SplitMix64 pseudo-random generator: tiny, fast, and deterministic across platforms.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[lo, hi)`; `hi` must be greater than `lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Picks one element of a slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize(0, items.len())]
+    }
+}
+
+const CLASSES: &[&str] = &["Num", "SP", "Logger", "Range", "Worker"];
+const FIELDS: &[&str] = &["min", "max", "count", "total"];
+const METHODS: &[&str] = &["setRequestType", "convert", "addMsg", "work"];
+const PRINTED: &[&str] = &["1", "32", "127", "text/html", "true"];
+
+/// An arbitrary object representation: null, primitive, opaque heap object or valued heap
+/// object, drawn from small pools so that equal representations are common.
+pub fn arbitrary_objrep(rng: &mut Rng) -> ObjRep {
+    match rng.usize(0, 4) {
+        0 => ObjRep::null(),
+        1 => ObjRep::prim(if rng.bool() { "Int" } else { "Str" }, *rng.pick(PRINTED)),
+        2 => ObjRep::opaque_object(
+            Loc(rng.range(0, 6)),
+            *rng.pick(CLASSES),
+            CreationSeq(rng.range(0, 3)),
+        ),
+        _ => {
+            let repr = ValueRepr::Object {
+                class: (*rng.pick(CLASSES)).to_owned(),
+                fields: vec![ValueRepr::Prim {
+                    type_name: "Int".to_owned(),
+                    printed: (*rng.pick(PRINTED)).to_owned(),
+                }],
+            };
+            ObjRep::object(
+                Loc(rng.range(0, 6)),
+                *rng.pick(CLASSES),
+                CreationSeq(rng.range(0, 3)),
+                &repr,
+            )
+        }
+    }
+}
+
+/// An arbitrary trace event covering every event form.
+pub fn arbitrary_event(rng: &mut Rng) -> Event {
+    match rng.usize(0, 7) {
+        0 => Event::Get {
+            target: arbitrary_objrep(rng),
+            field: FieldName::new(*rng.pick(FIELDS)),
+            value: arbitrary_objrep(rng),
+        },
+        1 => Event::Set {
+            target: arbitrary_objrep(rng),
+            field: FieldName::new(*rng.pick(FIELDS)),
+            value: arbitrary_objrep(rng),
+        },
+        2 => {
+            let args = (0..rng.usize(0, 3)).map(|_| arbitrary_objrep(rng)).collect();
+            Event::Call {
+                target: arbitrary_objrep(rng),
+                method: MethodName::new(*rng.pick(METHODS)),
+                args,
+            }
+        }
+        3 => Event::Return {
+            target: arbitrary_objrep(rng),
+            method: MethodName::new(*rng.pick(METHODS)),
+            value: arbitrary_objrep(rng),
+        },
+        4 => {
+            let args = (0..rng.usize(0, 3)).map(|_| arbitrary_objrep(rng)).collect();
+            Event::Init {
+                class: (*rng.pick(CLASSES)).to_owned(),
+                args,
+                result: arbitrary_objrep(rng),
+            }
+        }
+        5 => Event::Fork {
+            child: ThreadId(rng.range(1, 4)),
+            parentage: Vec::new(),
+        },
+        _ => Event::End {
+            stack: StackSnapshot::empty(),
+        },
+    }
+}
+
+/// An arbitrary trace entry wrapping an arbitrary event with arbitrary context.
+pub fn arbitrary_entry(rng: &mut Rng) -> TraceEntry {
+    let event = arbitrary_event(rng);
+    TraceEntry::new(
+        EntryId(rng.range(0, 1000)),
+        ThreadId(rng.range(0, 3)),
+        MethodName::new(*rng.pick(METHODS)),
+        arbitrary_objrep(rng),
+        event,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            let v = rng.range(3, 9);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn arbitrary_events_cover_all_kinds() {
+        use std::collections::HashSet;
+        let mut rng = Rng::new(42);
+        let kinds: HashSet<_> = (0..500).map(|_| arbitrary_event(&mut rng).kind()).collect();
+        assert_eq!(kinds.len(), 7, "all seven event kinds should appear");
+    }
+}

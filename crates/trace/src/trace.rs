@@ -6,14 +6,13 @@
 //! (in the real system, offloaded to disk) once full, keeping the tracing memory bounded;
 //! the analysis later walks the segments in order as one logical trace.
 
-use serde::{Deserialize, Serialize};
 
 use crate::entry::{EntryId, ThreadId, TraceEntry};
 use crate::eq::event_eq;
 
 /// Metadata identifying a trace: which program version produced it and under which test
 /// case, mirroring the paper's `π^L` / `π^R` superscript naming.
-#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct TraceMeta {
     /// A human-readable trace name (e.g. `"original/regressing-test"`).
     pub name: String,
@@ -39,7 +38,7 @@ impl TraceMeta {
 }
 
 /// A complete execution trace.
-#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct Trace {
     /// Trace identification.
     pub meta: TraceMeta,

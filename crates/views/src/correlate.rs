@@ -12,6 +12,12 @@
 //!   objects' value representations are equal, or their class-specific creation sequence
 //!   numbers are equal (see [`ObjRep::correlates_with`]).
 //!
+//! The correlation is materialized *dense*: object-view correspondences are stored as a
+//! `Vec<u32>` indexed by left [`ViewId`], so the per-entry correlation test on the diff
+//! hot path is two membership lookups plus one array read — no hashing, no `ViewName`
+//! clones. The two object-view kinds are correlated concurrently ([`Correlation::build`]
+//! runs them on scoped worker threads).
+//!
 //! Because correlations relate abstractions across *different executions* using only view
 //! structure, they are heuristics (§3.1); [`relaxed`] additionally provides the
 //! context-sensitive relaxation described in §5, which correlates views whose entries sit
@@ -23,31 +29,89 @@ use std::collections::HashMap;
 use rprism_trace::stack::ancestry_similarity;
 use rprism_trace::{ObjRep, ThreadId, TraceEntry};
 
-use crate::view::{
-    active_object_view_name, method_view_name, target_object_view_name, thread_view_name,
-    ViewKind, ViewName,
-};
-use crate::web::ViewWeb;
+use crate::view::{ViewKind, ViewName};
+use crate::web::{ViewId, ViewWeb};
+
+const NO_MATCH: u32 = u32::MAX;
 
 /// A complete correlation between the views of two webs.
 #[derive(Clone, Debug, Default)]
 pub struct Correlation {
     /// Left thread → right thread.
     pub threads: HashMap<ThreadId, ThreadId>,
-    /// Left object view name → right object view name (target-object views).
-    pub target_objects: HashMap<ViewName, ViewName>,
-    /// Left object view name → right object view name (active-object views).
-    pub active_objects: HashMap<ViewName, ViewName>,
+    /// Dense left-view-id → right-view-id map for object views (both kinds share the
+    /// id space of the left web). `u32::MAX` marks "no correlated right view".
+    objects: Vec<u32>,
 }
 
 impl Correlation {
-    /// Builds the full correlation between two webs.
+    /// Builds the full correlation between two webs. Thread correlation and the two
+    /// object-view correlations are independent, so they run concurrently.
     pub fn build(left: &ViewWeb, right: &ViewWeb) -> Self {
-        Correlation {
-            threads: correlate_threads(left, right),
-            target_objects: correlate_objects(left, right, ViewKind::TargetObject),
-            active_objects: correlate_objects(left, right, ViewKind::ActiveObject),
+        Self::build_with(left, right, true)
+    }
+
+    /// [`Correlation::build`] with explicit control over worker-thread use (`false`
+    /// keeps everything on the calling thread, for thread-restricted callers and
+    /// sequential baselines).
+    pub fn build_with(left: &ViewWeb, right: &ViewWeb, parallel: bool) -> Self {
+        let (threads, (to_pairs, ao_pairs)) = if parallel {
+            std::thread::scope(|scope| {
+                let threads = scope.spawn(|| correlate_threads(left, right));
+                let to =
+                    scope.spawn(|| correlate_objects_ids(left, right, ViewKind::TargetObject));
+                let ao = correlate_objects_ids(left, right, ViewKind::ActiveObject);
+                (
+                    threads.join().expect("thread correlation panicked"),
+                    (to.join().expect("object correlation panicked"), ao),
+                )
+            })
+        } else {
+            (
+                correlate_threads(left, right),
+                (
+                    correlate_objects_ids(left, right, ViewKind::TargetObject),
+                    correlate_objects_ids(left, right, ViewKind::ActiveObject),
+                ),
+            )
+        };
+
+        let mut objects = vec![NO_MATCH; left.total_views()];
+        for (l, r) in to_pairs.into_iter().chain(ao_pairs) {
+            objects[l.index()] = r.0;
         }
+        Correlation { threads, objects }
+    }
+
+    /// The correlated right view of a left object view, if any.
+    pub fn object_target(&self, left: ViewId) -> Option<ViewId> {
+        match self.objects.get(left.index()) {
+            Some(&raw) if raw != NO_MATCH => Some(ViewId(raw)),
+            _ => None,
+        }
+    }
+
+    /// Whether the dense map records *any* verdict for this left view (present views with
+    /// no correlated partner still fall back to the direct object heuristic).
+    fn has_object_entry(&self, left: ViewId) -> bool {
+        self.objects
+            .get(left.index())
+            .is_some_and(|&raw| raw != NO_MATCH)
+    }
+
+    /// The correlated object-view pairs of one kind, as display names (diagnostics and
+    /// tests; the hot path uses [`Correlation::object_target`]).
+    pub fn object_pairs(&self, left: &ViewWeb, right: &ViewWeb, kind: ViewKind) -> Vec<(ViewName, ViewName)> {
+        let mut pairs = Vec::new();
+        for (id, view) in left.views_with_ids() {
+            if view.key.kind() != kind {
+                continue;
+            }
+            if let Some(rid) = self.object_target(id) {
+                pairs.push((view.name.clone(), right.view_by_id(rid).name.clone()));
+            }
+        }
+        pairs
     }
 
     /// The correlated pairs of thread views, left thread first, main thread pair first.
@@ -118,23 +182,23 @@ pub fn correlate_threads(left: &ViewWeb, right: &ViewWeb) -> HashMap<ThreadId, T
 
 /// `X_TO` / `X_AO`: pairs of object views whose representative objects correlate (equal
 /// value representations or equal class-specific creation sequence numbers). Each right
-/// view is matched at most once.
-pub fn correlate_objects(
+/// view is matched at most once. Returns dense id pairs.
+pub fn correlate_objects_ids(
     left: &ViewWeb,
     right: &ViewWeb,
     kind: ViewKind,
-) -> HashMap<ViewName, ViewName> {
-    let right_views = right.views_of_kind(kind);
+) -> Vec<(ViewId, ViewId)> {
+    let right_views = right.views_of_kind_with_ids(kind);
     let mut taken = vec![false; right_views.len()];
-    let mut result = HashMap::new();
+    let mut result = Vec::new();
 
-    for lview in left.views_of_kind(kind) {
+    for (lid, lview) in left.views_of_kind_with_ids(kind) {
         let Some(lrep) = lview.representative.as_ref() else {
             continue;
         };
         // Prefer a value-representation match; fall back to creation-sequence match.
         let mut chosen: Option<usize> = None;
-        for (i, rview) in right_views.iter().enumerate() {
+        for (i, (_, rview)) in right_views.iter().enumerate() {
             if taken[i] {
                 continue;
             }
@@ -154,70 +218,90 @@ pub fn correlate_objects(
         }
         if let Some(i) = chosen {
             taken[i] = true;
-            result.insert(lview.name.clone(), right_views[i].name.clone());
+            result.push((lid, right_views[i].0));
         }
     }
     result
 }
 
+/// Name-keyed variant of [`correlate_objects_ids`], kept for reports and tests.
+pub fn correlate_objects(
+    left: &ViewWeb,
+    right: &ViewWeb,
+    kind: ViewKind,
+) -> HashMap<ViewName, ViewName> {
+    correlate_objects_ids(left, right, kind)
+        .into_iter()
+        .map(|(l, r)| {
+            (
+                left.view_by_id(l).name.clone(),
+                right.view_by_id(r).name.clone(),
+            )
+        })
+        .collect()
+}
+
 /// The per-entry correlation function `X_τ(γ_L, γ_R)` of Fig. 9: given one entry from each
-/// trace, returns the pair of correlated view names of type `kind` that the two entries
-/// belong to, or `None` when their views of that type do not correlate.
+/// trace (identified by base-trace index), returns the pair of correlated view ids of type
+/// `kind` that the two entries belong to, or `None` when their views of that type do not
+/// correlate.
+///
+/// This is the hot-path form: memberships resolve each entry's view in O(1) and the
+/// correlation verdict is an integer comparison. The entries themselves are only consulted
+/// for the direct object-correlation fallback (views absent from the pre-built
+/// correlation, e.g. objects created in only one version).
+#[allow(clippy::too_many_arguments)]
 pub fn correlate_entry_views(
     kind: ViewKind,
     correlation: &Correlation,
+    left_web: &ViewWeb,
+    right_web: &ViewWeb,
+    left_index: usize,
+    right_index: usize,
     left_entry: &TraceEntry,
     right_entry: &TraceEntry,
-) -> Option<(ViewName, ViewName)> {
-    match kind {
+) -> Option<(ViewId, ViewId)> {
+    let l = left_web.entry_view(left_index, kind)?;
+    let r = right_web.entry_view(right_index, kind)?;
+    let correlated = match kind {
         ViewKind::Thread => {
-            let l = thread_view_name(left_entry);
-            let r = thread_view_name(right_entry);
-            let (ViewName::Thread(lt), ViewName::Thread(rt)) = (&l, &r) else {
-                return None;
-            };
-            (correlation.threads.get(lt) == Some(rt)).then(|| (l.clone(), r.clone()))
+            correlation.threads.get(&left_entry.tid) == Some(&right_entry.tid)
         }
         ViewKind::Method => {
-            let l = method_view_name(left_entry);
-            let r = method_view_name(right_entry);
-            (l == r).then_some((l, r))
+            // Signatures are interned: equal fully qualified names ⇔ equal view keys.
+            left_web.view_by_id(l).key == right_web.view_by_id(r).key
         }
-        ViewKind::TargetObject => {
-            let l = target_object_view_name(left_entry)?;
-            let r = target_object_view_name(right_entry)?;
-            let lo = left_entry.event.target_object()?;
-            let ro = right_entry.event.target_object()?;
-            object_pair_correlates(&correlation.target_objects, &l, &r, lo, ro)
-                .then_some((l, r))
-        }
-        ViewKind::ActiveObject => {
-            let l = active_object_view_name(left_entry)?;
-            let r = active_object_view_name(right_entry)?;
-            object_pair_correlates(
-                &correlation.active_objects,
-                &l,
-                &r,
-                &left_entry.active,
-                &right_entry.active,
-            )
-            .then_some((l, r))
-        }
-    }
+        ViewKind::TargetObject => object_pair_correlates(
+            correlation,
+            l,
+            r,
+            left_entry.event.target_object()?,
+            right_entry.event.target_object()?,
+        ),
+        ViewKind::ActiveObject => object_pair_correlates(
+            correlation,
+            l,
+            r,
+            &left_entry.active,
+            &right_entry.active,
+        ),
+    };
+    correlated.then_some((l, r))
 }
 
 fn object_pair_correlates(
-    map: &HashMap<ViewName, ViewName>,
-    left_name: &ViewName,
-    right_name: &ViewName,
+    correlation: &Correlation,
+    left: ViewId,
+    right: ViewId,
     left_obj: &ObjRep,
     right_obj: &ObjRep,
 ) -> bool {
-    match map.get(left_name) {
-        Some(mapped) => mapped == right_name,
+    if correlation.has_object_entry(left) {
+        correlation.object_target(left) == Some(right)
+    } else {
         // Views not present in the pre-built correlation (e.g. objects created only in one
         // version) fall back to the direct object-correlation heuristic.
-        None => left_obj.correlates_with(right_obj),
+        left_obj.correlates_with(right_obj)
     }
 }
 
@@ -301,10 +385,9 @@ mod tests {
         let (lt, rt) = (trace_of(LEFT, "L"), trace_of(RIGHT, "R"));
         let (lw, rw) = (ViewWeb::build(&lt), ViewWeb::build(&rt));
         let corr = Correlation::build(&lw, &rw);
-        // SP-1 and both Range objects should correlate (SP by identical value rep of
-        // `null` field initially... by creation seq in general).
-        assert!(!corr.target_objects.is_empty());
-        for (l, r) in &corr.target_objects {
+        let pairs = corr.object_pairs(&lw, &rw, ViewKind::TargetObject);
+        assert!(!pairs.is_empty());
+        for (l, r) in &pairs {
             let lrep = lw.view(l).unwrap().representative.as_ref().unwrap();
             let rrep = rw.view(r).unwrap().representative.as_ref().unwrap();
             assert_eq!(lrep.class, rrep.class, "correlated views must agree on class");
@@ -317,15 +400,26 @@ mod tests {
         let rt = trace_of(LEFT, "L2");
         let (lw, rw) = (ViewWeb::build(&lt), ViewWeb::build(&rt));
         let corr = Correlation::build(&lw, &rw);
-        assert_eq!(
-            corr.target_objects.len(),
-            lw.views_of_kind(ViewKind::TargetObject).len()
-        );
+        let pairs = corr.object_pairs(&lw, &rw, ViewKind::TargetObject);
+        assert_eq!(pairs.len(), lw.views_of_kind(ViewKind::TargetObject).len());
         // Right-side views are matched at most once.
-        let mut rights: Vec<&ViewName> = corr.target_objects.values().collect();
+        let mut rights: Vec<&ViewName> = pairs.iter().map(|(_, r)| r).collect();
         rights.sort();
         rights.dedup();
-        assert_eq!(rights.len(), corr.target_objects.len());
+        assert_eq!(rights.len(), pairs.len());
+    }
+
+    #[test]
+    fn dense_map_agrees_with_name_keyed_map() {
+        let (lt, rt) = (trace_of(LEFT, "L"), trace_of(RIGHT, "R"));
+        let (lw, rw) = (ViewWeb::build(&lt), ViewWeb::build(&rt));
+        let corr = Correlation::build(&lw, &rw);
+        for kind in [ViewKind::TargetObject, ViewKind::ActiveObject] {
+            let by_name = correlate_objects(&lw, &rw, kind);
+            let by_id: HashMap<ViewName, ViewName> =
+                corr.object_pairs(&lw, &rw, kind).into_iter().collect();
+            assert_eq!(by_name, by_id);
+        }
     }
 
     #[test]
@@ -336,22 +430,44 @@ mod tests {
         let corr = Correlation::build(&lw, &rw);
 
         // Pick one entry executing inside SP.set from each side.
-        let l_entry = lt
+        let (li, l_entry) = lt
             .iter()
-            .find(|e| e.method.as_str() == "set")
+            .enumerate()
+            .find(|(_, e)| e.method.as_str() == "set")
             .expect("left set entry");
-        let r_entry = rt
+        let (ri, r_entry) = rt
             .iter()
-            .find(|e| e.method.as_str() == "set")
+            .enumerate()
+            .find(|(_, e)| e.method.as_str() == "set")
             .expect("right set entry");
-        let pair = correlate_entry_views(ViewKind::Method, &corr, l_entry, r_entry);
+        let pair = correlate_entry_views(
+            ViewKind::Method,
+            &corr,
+            &lw,
+            &rw,
+            li,
+            ri,
+            l_entry,
+            r_entry,
+        );
         assert!(pair.is_some());
 
-        let r_main = rt
+        let (mi, r_main) = rt
             .iter()
-            .find(|e| e.method.as_str() == "<main>")
+            .enumerate()
+            .find(|(_, e)| e.method.as_str() == "<main>")
             .expect("right main entry");
-        assert!(correlate_entry_views(ViewKind::Method, &corr, l_entry, r_main).is_none());
+        assert!(correlate_entry_views(
+            ViewKind::Method,
+            &corr,
+            &lw,
+            &rw,
+            li,
+            mi,
+            l_entry,
+            r_main
+        )
+        .is_none());
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod protocol;
 pub mod view;
 pub mod web;
 
-pub use correlate::{correlate_entry_views, correlate_objects, correlate_threads, Correlation};
+pub use correlate::{
+    correlate_entry_views, correlate_objects, correlate_objects_ids, correlate_threads,
+    Correlation,
+};
 pub use protocol::{ClassProtocol, ProtocolDrift, ProtocolModel};
-pub use view::{view_names, ObjectId, View, ViewKind, ViewName};
-pub use web::{ViewCounts, ViewWeb};
+pub use view::{view_names, ObjectId, View, ViewKey, ViewKind, ViewName};
+pub use web::{build_web_pair, EntryViews, ViewCounts, ViewId, ViewWeb};

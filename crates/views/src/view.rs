@@ -14,7 +14,7 @@
 //! The mapping functions compute, for a given trace entry, the name of the view of each
 //! type the entry belongs to (or `None`, e.g. thread events have no target object view).
 
-use rprism_trace::{CreationSeq, Loc, ObjRep, ThreadId, TraceEntry};
+use rprism_trace::{intern, CreationSeq, Loc, ObjRep, Symbol, ThreadId, TraceEntry};
 
 /// The four view types of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,6 +92,79 @@ impl ViewName {
     }
 }
 
+/// The compact, `Copy` identity of a view: the interned form of a [`ViewName`].
+///
+/// Method names are reduced to interned [`Symbol`]s, so building and comparing keys is
+/// integer work — no `String` clones. This is the key type the [`ViewWeb`](crate::web::ViewWeb)
+/// indexes by and the type the per-entry view mapping produces on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ViewKey {
+    /// `⟨TH, tid⟩`
+    Thread(ThreadId),
+    /// `⟨CM, C.m⟩` — interned receiver class and method name.
+    Method(Symbol, Symbol),
+    /// `⟨TO, l⟩`
+    TargetObject(ObjectId),
+    /// `⟨AO, l⟩`
+    ActiveObject(ObjectId),
+}
+
+impl ViewKey {
+    /// The kind of this view key.
+    pub fn kind(&self) -> ViewKind {
+        match self {
+            ViewKey::Thread(_) => ViewKind::Thread,
+            ViewKey::Method(..) => ViewKind::Method,
+            ViewKey::TargetObject(_) => ViewKind::TargetObject,
+            ViewKey::ActiveObject(_) => ViewKind::ActiveObject,
+        }
+    }
+
+    /// `σ_τ` in compact form: the key of the entry's view of the given kind, if any.
+    pub fn of_entry(kind: ViewKind, entry: &TraceEntry) -> Option<ViewKey> {
+        match kind {
+            ViewKind::Thread => Some(ViewKey::Thread(entry.tid)),
+            ViewKind::Method => Some(ViewKey::Method(
+                intern(&entry.active.class),
+                intern(entry.method.as_str()),
+            )),
+            ViewKind::TargetObject => {
+                let loc = entry.event.target_object()?.loc?;
+                Some(ViewKey::TargetObject(ObjectId(loc)))
+            }
+            ViewKind::ActiveObject => {
+                let loc = entry.active.loc?;
+                Some(ViewKey::ActiveObject(ObjectId(loc)))
+            }
+        }
+    }
+
+    /// The compact key of a full [`ViewName`].
+    pub fn of_name(name: &ViewName) -> ViewKey {
+        match name {
+            ViewName::Thread(tid) => ViewKey::Thread(*tid),
+            ViewName::Method { class, method } => {
+                ViewKey::Method(intern(class), intern(method))
+            }
+            ViewName::TargetObject(id) => ViewKey::TargetObject(*id),
+            ViewName::ActiveObject(id) => ViewKey::ActiveObject(*id),
+        }
+    }
+
+    /// Expands the key back into a display-friendly [`ViewName`].
+    pub fn to_name(self) -> ViewName {
+        match self {
+            ViewKey::Thread(tid) => ViewName::Thread(tid),
+            ViewKey::Method(class, method) => ViewName::Method {
+                class: class.as_str().to_owned(),
+                method: method.as_str().to_owned(),
+            },
+            ViewKey::TargetObject(id) => ViewName::TargetObject(id),
+            ViewKey::ActiveObject(id) => ViewName::ActiveObject(id),
+        }
+    }
+}
+
 impl std::fmt::Display for ViewName {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -104,32 +177,33 @@ impl std::fmt::Display for ViewName {
 }
 
 /// `σ_TH`: every entry belongs to the thread view of its thread.
+///
+/// The name-based mappers are thin views over [`ViewKey::of_entry`] — the single source
+/// of truth for view membership.
 pub fn thread_view_name(entry: &TraceEntry) -> ViewName {
-    ViewName::Thread(entry.tid)
+    ViewKey::of_entry(ViewKind::Thread, entry)
+        .expect("every entry has a thread view")
+        .to_name()
 }
 
 /// `σ_CM`: every entry belongs to the method view of the method under execution,
 /// qualified by the class of the active object.
 pub fn method_view_name(entry: &TraceEntry) -> ViewName {
-    ViewName::Method {
-        class: entry.active.class.clone(),
-        method: entry.method.as_str().to_owned(),
-    }
+    ViewKey::of_entry(ViewKind::Method, entry)
+        .expect("every entry has a method view")
+        .to_name()
 }
 
 /// `σ_TO`: entries whose event has a target heap object belong to that object's
 /// target-object view; thread events (and events targeting primitives) have none.
 pub fn target_object_view_name(entry: &TraceEntry) -> Option<ViewName> {
-    let target = entry.event.target_object()?;
-    let loc = target.loc?;
-    Some(ViewName::TargetObject(ObjectId(loc)))
+    Some(ViewKey::of_entry(ViewKind::TargetObject, entry)?.to_name())
 }
 
 /// `σ_AO`: entries whose active object is a heap object belong to that object's
 /// active-object view.
 pub fn active_object_view_name(entry: &TraceEntry) -> Option<ViewName> {
-    let loc = entry.active.loc?;
-    Some(ViewName::ActiveObject(ObjectId(loc)))
+    Some(ViewKey::of_entry(ViewKind::ActiveObject, entry)?.to_name())
 }
 
 /// The union of all mapping functions: every view the entry is a member of.
@@ -149,8 +223,10 @@ pub fn view_names(entry: &TraceEntry) -> Vec<ViewName> {
 /// for cross-trace correlation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct View {
-    /// The view's name.
+    /// The view's name (display form of [`View::key`], constructed once per view).
     pub name: ViewName,
+    /// The view's compact interned identity.
+    pub key: ViewKey,
     /// Member entry indices into the base trace, strictly increasing.
     pub entries: Vec<usize>,
     /// For object views: the representation of the object this view is about, captured
@@ -256,6 +332,7 @@ mod tests {
     fn view_window_and_position() {
         let v = View {
             name: ViewName::Thread(ThreadId(0)),
+            key: ViewKey::Thread(ThreadId(0)),
             entries: vec![3, 7, 11, 20, 22],
             representative: None,
         };
@@ -285,6 +362,7 @@ mod tests {
     fn object_identity_requires_representative() {
         let mut v = View {
             name: ViewName::TargetObject(ObjectId(Loc(5))),
+            key: ViewKey::TargetObject(ObjectId(Loc(5))),
             entries: vec![0],
             representative: Some(obj("NUM", 5, 3)),
         };

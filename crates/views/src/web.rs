@@ -5,19 +5,71 @@
 //! entry's base-trace index is the link that lets an analysis navigate from any position
 //! in any view to all semantically related views. [`ViewWeb`] materializes that web for
 //! one trace.
+//!
+//! Views are stored densely and identified by [`ViewId`] — a `u32` index into the web's
+//! view table. Per-entry memberships are a fixed four-slot array of view ids (one per
+//! [`ViewKind`]), so navigating from a base-trace position into the web is two array
+//! indexings with no hashing and no `ViewName` clones. The name-keyed index is retained
+//! only as a lookup front door ([`ViewWeb::view`]); every hot path works on ids.
 
 use std::collections::HashMap;
 
-use rprism_trace::{StackSnapshot, ThreadId, Trace, TraceEntry};
+use rprism_trace::{intern, StackSnapshot, ThreadId, Trace, TraceEntry};
 
-use crate::view::{view_names, View, ViewKind, ViewName};
+use crate::view::{View, ViewKey, ViewKind, ViewName};
+
+/// A dense identifier of one view within one [`ViewWeb`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(pub u32);
+
+impl ViewId {
+    /// The raw index into the web's view table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The (up to four) views one entry belongs to, one slot per [`ViewKind`], in
+/// [`ViewKind::ALL`] order. `u32::MAX` marks an absent view (e.g. thread events have no
+/// object views).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryViews {
+    ids: [u32; 4],
+}
+
+const NO_VIEW: u32 = u32::MAX;
+
+impl EntryViews {
+    fn empty() -> Self {
+        EntryViews { ids: [NO_VIEW; 4] }
+    }
+
+    fn set(&mut self, kind: ViewKind, id: ViewId) {
+        self.ids[kind as usize] = id.0;
+    }
+
+    /// The entry's view of the given kind, if any.
+    pub fn get(self, kind: ViewKind) -> Option<ViewId> {
+        let raw = self.ids[kind as usize];
+        (raw != NO_VIEW).then_some(ViewId(raw))
+    }
+
+    /// Iterates over the present view ids in [`ViewKind::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = ViewId> {
+        self.ids
+            .into_iter()
+            .filter(|&raw| raw != NO_VIEW)
+            .map(ViewId)
+    }
+}
 
 /// All views of one trace, plus the reverse index from entries to their views.
 #[derive(Clone, Debug)]
 pub struct ViewWeb {
-    views: HashMap<ViewName, View>,
-    /// For each base-trace index, the names of the views that entry belongs to.
-    memberships: Vec<Vec<ViewName>>,
+    views: Vec<View>,
+    index: HashMap<ViewKey, ViewId>,
+    /// For each base-trace index, the ids of the views that entry belongs to.
+    memberships: Vec<EntryViews>,
     /// For each thread, the spawn ancestry recorded by its `fork` event (empty for the
     /// main thread); used by thread-view correlation.
     thread_ancestry: HashMap<ThreadId, Vec<StackSnapshot>>,
@@ -26,67 +78,122 @@ pub struct ViewWeb {
 impl ViewWeb {
     /// Builds the full view web of a trace in a single pass.
     pub fn build(trace: &Trace) -> Self {
-        let mut views: HashMap<ViewName, View> = HashMap::new();
-        let mut memberships: Vec<Vec<ViewName>> = Vec::with_capacity(trace.len());
-        let mut thread_ancestry: HashMap<ThreadId, Vec<StackSnapshot>> = HashMap::new();
-        thread_ancestry.insert(ThreadId::MAIN, Vec::new());
+        let mut web = ViewWeb {
+            views: Vec::new(),
+            index: HashMap::new(),
+            memberships: Vec::with_capacity(trace.len()),
+            thread_ancestry: HashMap::new(),
+        };
+        web.thread_ancestry.insert(ThreadId::MAIN, Vec::new());
 
         for (index, entry) in trace.iter().enumerate() {
             if let rprism_trace::Event::Fork { child, parentage } = &entry.event {
-                thread_ancestry.insert(*child, parentage.clone());
+                web.thread_ancestry.insert(*child, parentage.clone());
             }
-            let names = view_names(entry);
-            for name in &names {
-                let view = views.entry(name.clone()).or_insert_with(|| View {
-                    name: name.clone(),
-                    entries: Vec::new(),
-                    representative: representative_for(name, entry),
-                });
-                view.entries.push(index);
+            let mut membership = EntryViews::empty();
+            for kind in ViewKind::ALL {
+                let Some(key) = ViewKey::of_entry(kind, entry) else {
+                    continue;
+                };
+                let id = web.view_id_or_insert(key, entry);
+                web.views[id.index()].entries.push(index);
+                membership.set(kind, id);
             }
-            memberships.push(names);
+            web.memberships.push(membership);
         }
+        web
+    }
 
-        ViewWeb {
-            views,
-            memberships,
-            thread_ancestry,
+    fn view_id_or_insert(&mut self, key: ViewKey, entry: &TraceEntry) -> ViewId {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
         }
+        let id = ViewId(u32::try_from(self.views.len()).expect("view table overflow"));
+        self.views.push(View {
+            name: key.to_name(),
+            key,
+            entries: Vec::new(),
+            representative: representative_for(key.kind(), entry),
+        });
+        self.index.insert(key, id);
+        id
+    }
+
+    /// The view with the given id.
+    pub fn view_by_id(&self, id: ViewId) -> &View {
+        &self.views[id.index()]
+    }
+
+    /// The id of the view with the given compact key, if it exists.
+    pub fn id_of_key(&self, key: ViewKey) -> Option<ViewId> {
+        self.index.get(&key).copied()
     }
 
     /// The view with the given name, if it exists.
     pub fn view(&self, name: &ViewName) -> Option<&View> {
-        self.views.get(name)
+        self.id_of_key(ViewKey::of_name(name))
+            .map(|id| self.view_by_id(id))
     }
 
-    /// Iterates over all views.
+    /// Iterates over all views in id order.
     pub fn views(&self) -> impl Iterator<Item = &View> {
-        self.views.values()
+        self.views.iter()
     }
 
-    /// All views of a given kind.
+    /// Iterates over `(id, view)` pairs in id order.
+    pub fn views_with_ids(&self) -> impl Iterator<Item = (ViewId, &View)> {
+        self.views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ViewId(i as u32), v))
+    }
+
+    /// All views of a given kind, sorted by name.
     pub fn views_of_kind(&self, kind: ViewKind) -> Vec<&View> {
         let mut v: Vec<&View> = self
             .views
-            .values()
-            .filter(|view| view.name.kind() == kind)
+            .iter()
+            .filter(|view| view.key.kind() == kind)
             .collect();
         v.sort_by(|a, b| a.name.cmp(&b.name));
         v
     }
 
-    /// The names of the views that the entry at `trace_index` belongs to — the outgoing
-    /// links from a base-trace position into the web.
-    pub fn views_of_entry(&self, trace_index: usize) -> &[ViewName] {
+    /// All `(id, view)` pairs of a given kind, sorted by name.
+    pub fn views_of_kind_with_ids(&self, kind: ViewKind) -> Vec<(ViewId, &View)> {
+        let mut v: Vec<(ViewId, &View)> = self
+            .views_with_ids()
+            .filter(|(_, view)| view.key.kind() == kind)
+            .collect();
+        v.sort_by(|a, b| a.1.name.cmp(&b.1.name));
+        v
+    }
+
+    /// The views the entry at `trace_index` belongs to — the outgoing links from a
+    /// base-trace position into the web. Out-of-range indices have no views.
+    pub fn views_of_entry(&self, trace_index: usize) -> EntryViews {
         self.memberships
             .get(trace_index)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .copied()
+            .unwrap_or_else(EntryViews::empty)
+    }
+
+    /// The entry's view of one specific kind — a pair of array indexings, no hashing.
+    #[inline]
+    pub fn entry_view(&self, trace_index: usize, kind: ViewKind) -> Option<ViewId> {
+        self.memberships.get(trace_index)?.get(kind)
     }
 
     /// Navigates from a base-trace position to its position inside one of its views.
     pub fn position_in_view(&self, name: &ViewName, trace_index: usize) -> Option<usize> {
-        self.views.get(name)?.position_of(trace_index)
+        self.view(name)?.position_of(trace_index)
+    }
+
+    /// The member entry indices of the thread view of `tid`, if that thread appears in
+    /// the trace.
+    pub fn thread_view_entries(&self, tid: ThreadId) -> Option<&[usize]> {
+        let id = self.id_of_key(ViewKey::Thread(tid))?;
+        Some(&self.view_by_id(id).entries)
     }
 
     /// The spawn ancestry of a thread (empty for the main thread, `None` for unknown
@@ -104,8 +211,8 @@ impl ViewWeb {
     /// in the paper's Table 2.
     pub fn count_by_kind(&self) -> ViewCounts {
         let mut counts = ViewCounts::default();
-        for view in self.views.values() {
-            match view.name.kind() {
+        for view in &self.views {
+            match view.key.kind() {
                 ViewKind::Thread => counts.thread += 1,
                 ViewKind::Method => counts.method += 1,
                 ViewKind::TargetObject => counts.target_object += 1,
@@ -116,10 +223,10 @@ impl ViewWeb {
     }
 }
 
-fn representative_for(name: &ViewName, entry: &TraceEntry) -> Option<rprism_trace::ObjRep> {
-    match name {
-        ViewName::TargetObject(_) => entry.event.target_object().cloned(),
-        ViewName::ActiveObject(_) => Some(entry.active.clone()),
+fn representative_for(kind: ViewKind, entry: &TraceEntry) -> Option<rprism_trace::ObjRep> {
+    match kind {
+        ViewKind::TargetObject => entry.event.target_object().cloned(),
+        ViewKind::ActiveObject => Some(entry.active.clone()),
         _ => None,
     }
 }
@@ -142,6 +249,19 @@ impl ViewCounts {
     pub fn total(&self) -> usize {
         self.thread + self.method + self.target_object + self.active_object
     }
+}
+
+/// Builds the webs of two traces concurrently (the common shape in differencing, where
+/// both sides are needed before correlation can start).
+pub fn build_web_pair(left: &Trace, right: &Trace) -> (ViewWeb, ViewWeb) {
+    // Touch the interner once up front so the scoped threads race less on first-time
+    // interning of the shared vocabulary.
+    let _ = intern("<main>");
+    std::thread::scope(|scope| {
+        let lhandle = scope.spawn(|| ViewWeb::build(left));
+        let rweb = ViewWeb::build(right);
+        (lhandle.join().expect("left web build panicked"), rweb)
+    })
 }
 
 #[cfg(test)]
@@ -228,12 +348,29 @@ mod tests {
         let trace = trace_of(SAMPLE);
         let web = ViewWeb::build(&trace);
         for idx in 0..trace.len() {
-            for name in web.views_of_entry(idx) {
-                let pos = web
-                    .position_in_view(name, idx)
+            for id in web.views_of_entry(idx).iter() {
+                let view = web.view_by_id(id);
+                let pos = view
+                    .position_of(idx)
                     .expect("entry must be present in its view");
-                assert_eq!(web.view(name).unwrap().entries[pos], idx);
+                assert_eq!(view.entries[pos], idx);
+                // Name-keyed navigation agrees with id-keyed navigation.
+                assert_eq!(web.position_in_view(&view.name, idx), Some(pos));
             }
+        }
+    }
+
+    #[test]
+    fn entry_view_agrees_with_memberships() {
+        let trace = trace_of(SAMPLE);
+        let web = ViewWeb::build(&trace);
+        for idx in 0..trace.len() {
+            for kind in ViewKind::ALL {
+                assert_eq!(web.entry_view(idx, kind), web.views_of_entry(idx).get(kind));
+            }
+            // Every entry has a thread view and a method view.
+            assert!(web.entry_view(idx, ViewKind::Thread).is_some());
+            assert!(web.entry_view(idx, ViewKind::Method).is_some());
         }
     }
 
@@ -278,6 +415,19 @@ mod tests {
         let trace = Trace::named("empty");
         let web = ViewWeb::build(&trace);
         assert_eq!(web.total_views(), 0);
-        assert!(web.views_of_entry(0).is_empty());
+        assert!(web.views_of_entry(0).iter().next().is_none());
+    }
+
+    #[test]
+    fn parallel_pair_build_matches_sequential_build() {
+        let trace = trace_of(SAMPLE);
+        let (lweb, rweb) = build_web_pair(&trace, &trace);
+        let seq = ViewWeb::build(&trace);
+        assert_eq!(lweb.total_views(), seq.total_views());
+        assert_eq!(rweb.total_views(), seq.total_views());
+        for (id, view) in seq.views_with_ids() {
+            assert_eq!(lweb.view_by_id(id).entries, view.entries);
+            assert_eq!(rweb.view(&view.name).unwrap().entries, view.entries);
+        }
     }
 }

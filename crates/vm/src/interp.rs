@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use rprism_lang::ast::{Lit, Program, Term};
 use rprism_lang::{ClassName, ClassTable, MethodName, VarName};
@@ -134,7 +134,7 @@ pub fn run_validated(
     // Wait for every spawned thread to finish (threads may keep spawning more threads).
     loop {
         let handle = {
-            let mut st = inner.state.lock();
+            let mut st = inner.state.lock().expect("vm state poisoned");
             st.handles.pop()
         };
         match handle {
@@ -145,7 +145,7 @@ pub fn run_validated(
         }
     }
 
-    let mut st = inner.state.lock();
+    let mut st = inner.state.lock().expect("vm state poisoned");
     let trace = std::mem::replace(
         &mut st.trace,
         SegmentedTrace::new(TraceMeta::default(), 1),
@@ -216,10 +216,10 @@ struct VmInner {
 
 impl VmInner {
     /// Locks the shared state, blocking until it is `tid`'s turn to run.
-    fn lock_turn(&self, tid: ThreadId) -> parking_lot::MutexGuard<'_, Shared> {
-        let mut guard = self.state.lock();
+    fn lock_turn(&self, tid: ThreadId) -> MutexGuard<'_, Shared> {
+        let mut guard = self.state.lock().expect("vm state poisoned");
         while guard.ring.get(guard.turn) != Some(&tid) {
-            self.turn_cv.wait(&mut guard);
+            guard = self.turn_cv.wait(guard).expect("vm state poisoned");
         }
         guard
     }
@@ -365,7 +365,7 @@ impl ThreadRun {
             st.turn = (st.turn + 1) % st.ring.len();
             self.vm.turn_cv.notify_all();
             while st.ring.get(st.turn) != Some(&self.tid) {
-                self.vm.turn_cv.wait(&mut st);
+                st = self.vm.turn_cv.wait(st).expect("vm state poisoned");
             }
         }
     }
@@ -573,7 +573,7 @@ impl ThreadRun {
         }
 
         let mut env = HashMap::new();
-        for ((param, _), value) in method_def.params.iter().zip(arg_values.into_iter()) {
+        for ((param, _), value) in method_def.params.iter().zip(arg_values) {
             env.insert(param.clone(), value);
         }
 
@@ -724,7 +724,7 @@ impl ThreadRun {
             let result =
                 run.run_thread_body_in(&body_terms, captured_this, captured_this_rep, captured_env);
             if let Err(e) = result {
-                let mut st = vm.state.lock();
+                let mut st = vm.state.lock().expect("vm state poisoned");
                 st.child_errors.push((child_tid, e));
             }
         });
@@ -896,7 +896,7 @@ mod tests {
                 Event::Set { value, .. } => Some(value.printed.clone()),
                 _ => None,
             })
-            .last()
+            .next_back()
             .unwrap();
         // 0 → 3 → 6 → 9 → 12 in the loop, then the then-branch adds 100.
         assert_eq!(last_set, "112");
@@ -1061,8 +1061,10 @@ mod tests {
     #[test]
     fn prim_init_events_can_be_enabled() {
         let program = parse_program("main { 1 + 2; }").unwrap();
-        let mut config = VmConfig::default();
-        config.trace_prim_init = true;
+        let config = VmConfig {
+            trace_prim_init: true,
+            ..VmConfig::default()
+        };
         let outcome = run_traced(&program, TraceMeta::default(), config).unwrap();
         let inits = outcome
             .trace

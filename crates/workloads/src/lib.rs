@@ -18,6 +18,7 @@
 //! interleavings are pure functions of the configured seeds.
 
 pub mod casestudies;
+pub mod rngcompat;
 pub mod mutate;
 pub mod myfaces;
 pub mod rhino;

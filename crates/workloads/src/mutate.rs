@@ -7,8 +7,7 @@
 //! (5.8 %) and typos (24.2 %). This module implements one mutation operator per root-cause
 //! category over the core-calculus AST.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rngcompat::StdRng;
 
 use rprism_lang::ast::{BinOp, Lit, Program, Term};
 use rprism_lang::FieldName;
@@ -401,7 +400,6 @@ fn mutate_term(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rprism_lang::parser::parse_program;
     use rprism_lang::pretty::program_to_string;
     use rprism_lang::validate::validate;

@@ -12,8 +12,7 @@
 //! agreeing with the original on the passing input (the paper "ensured that each injected
 //! regression caused the test case associated with the bug to fail").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rngcompat::StdRng;
 
 use rprism_lang::ast::{Program, Term};
 use rprism_lang::build::*;

@@ -1,0 +1,102 @@
+//! A minimal, dependency-free stand-in for the `rand` API surface the workload
+//! generators use (`StdRng::seed_from_u64`, `gen_range`, `gen_bool`).
+//!
+//! The generator is SplitMix64: tiny, fast, and — critically for the evaluation
+//! harness — deterministic across platforms and Rust versions, so every generated
+//! program and injected mutation is a pure function of the configured seed.
+
+use std::ops::Range;
+
+/// A seeded deterministic generator, API-compatible with the subset of `rand::StdRng`
+/// used by the workload generators.
+#[derive(Clone, Debug)]
+pub struct StdRng(u64);
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Types samplable from a half-open range by [`StdRng::gen_range`].
+pub trait SampleRange: Sized {
+    /// Draws one uniform sample from `[range.start, range.end)`.
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+                assert!(range.end > range.start, "empty sample range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample!(usize, u64, u32, i64, i32);
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+        assert!(range.end > range.start, "empty sample range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(a.gen_range(0usize..100), b.gen_range(0usize..100));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let v = rng.gen_range(2i64..5);
+            assert!((2..5).contains(&v));
+            let f = rng.gen_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

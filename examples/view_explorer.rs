@@ -59,10 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let probe = trace.len() / 2;
     println!("entry #{probe}: {}", trace[probe].render());
     println!("is a member of:");
-    for name in web.views_of_entry(probe) {
-        let pos = web.position_in_view(name, probe).expect("member");
-        let len = web.view(name).expect("view exists").len();
-        println!("  {name} at position {pos} of {len}");
+    for id in web.views_of_entry(probe).iter() {
+        let view = web.view_by_id(id);
+        let pos = view.position_of(probe).expect("member");
+        println!("  {} at position {pos} of {}", view.name, view.len());
     }
     Ok(())
 }

@@ -56,7 +56,7 @@ fn views_based_differencing_is_at_least_as_accurate_as_lcs() {
 fn regression_cause_analysis_reports_the_cause_with_context() {
     let scenario = myfaces::scenario();
     let outcome = scenario
-        .analyze_and_evaluate(&DiffAlgorithm::Views(ViewsDiffOptions::default().into()))
+        .analyze_and_evaluate(&DiffAlgorithm::Views(ViewsDiffOptions::default()))
         .expect("analysis succeeds");
 
     // The candidate set is a strict subset of the suspected differences and the ground
