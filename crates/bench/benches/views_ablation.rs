@@ -7,12 +7,12 @@
 
 use std::time::Instant;
 
+use rprism::PreparedTrace;
 use rprism_bench::measure::{sample_env, summarize};
-use rprism_diff::{views_diff, ViewsDiffOptions};
-use rprism_trace::Trace;
+use rprism_diff::{views_diff_keyed, ViewsDiffOptions};
 use rprism_workloads::{generate_bug, RhinoConfig};
 
-fn scenario_traces() -> (Trace, Trace) {
+fn scenario_traces() -> (PreparedTrace, PreparedTrace) {
     let bug = generate_bug(&RhinoConfig {
         seed: 7,
         modules: 5,
@@ -21,6 +21,10 @@ fn scenario_traces() -> (Trace, Trace) {
     })
     .expect("seed 7 yields a bug");
     let traces = bug.scenario.trace_all().expect("traces");
+    // Prepared handles: keys and webs are built once up front and shared by every
+    // configuration. The timed window covers correlation + differencing — correlation
+    // must stay inside it because the `sequential` row exists precisely to measure the
+    // cost of running that (parallelizable) stage on one thread.
     (traces.traces.old_regressing, traces.traces.new_regressing)
 }
 
@@ -37,42 +41,39 @@ fn main() {
         ("default", ViewsDiffOptions::default()),
         (
             "no_secondary",
-            ViewsDiffOptions {
-                delta: 0,
-                window: 0,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().delta(0).window(0).build(),
         ),
         (
             "wide",
-            ViewsDiffOptions {
-                delta: 4,
-                window: 16,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().delta(4).window(16).build(),
         ),
         (
             "strict_correlation",
-            ViewsDiffOptions {
-                relaxed_correlation: false,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().relaxed_correlation(false).build(),
         ),
         (
             "sequential",
-            ViewsDiffOptions {
-                parallel: false,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().parallel(false).build(),
         ),
     ];
+    let run = |options: &ViewsDiffOptions| {
+        views_diff_keyed(
+            old.trace(),
+            new.trace(),
+            old.web(),
+            new.web(),
+            old.keyed(),
+            new.keyed(),
+            options,
+        )
+    };
     for (label, options) in configs {
-        // Warmup.
-        let _ = views_diff(&old, &new, &options);
+        // Warmup (also builds the handles' cached keys/webs on the first config).
+        let _ = run(&options);
         let mut times = Vec::with_capacity(samples);
         for _ in 0..samples {
             let start = Instant::now();
-            let r = views_diff(&old, &new, &options);
+            let r = run(&options);
             std::hint::black_box(&r);
             times.push(start.elapsed());
         }

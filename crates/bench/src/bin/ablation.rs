@@ -6,8 +6,10 @@
 //!
 //! Run with `cargo run -p rprism-bench --bin ablation --release [-- <bugs> <script_length>]`.
 
+use rprism::PreparedTrace;
 use rprism_bench::{format_table, rhino_eval_dataset};
-use rprism_diff::{views_diff, ViewsDiffOptions};
+use rprism_diff::{views_diff_correlated, ViewsDiffOptions};
+use rprism_views::Correlation;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,43 +26,40 @@ fn main() {
         ("default (Δ=2, δ=8, relaxed)", ViewsDiffOptions::default()),
         (
             "no secondary views (Δ=0, δ=0)",
-            ViewsDiffOptions {
-                delta: 0,
-                window: 0,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().delta(0).window(0).build(),
         ),
         (
             "narrow windows (Δ=1, δ=2)",
-            ViewsDiffOptions {
-                delta: 1,
-                window: 2,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().delta(1).window(2).build(),
         ),
         (
             "wide windows (Δ=4, δ=16)",
-            ViewsDiffOptions {
-                delta: 4,
-                window: 16,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().delta(4).window(16).build(),
         ),
         (
             "no relaxed correlation",
-            ViewsDiffOptions {
-                relaxed_correlation: false,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().relaxed_correlation(false).build(),
         ),
         (
             "short scan-ahead (16)",
-            ViewsDiffOptions {
-                max_scan_ahead: 16,
-                ..ViewsDiffOptions::default()
-            },
+            ViewsDiffOptions::builder().max_scan_ahead(16).build(),
         ),
     ];
+
+    // Trace every bug once up front: all six configurations diff the same prepared
+    // handles, sharing each trace's event keys and view web AND each pair's view
+    // correlation (a pure function of the two webs — the ablation varies only the
+    // exploration knobs, which the correlation does not depend on).
+    let prepared: Vec<(PreparedTrace, PreparedTrace, Correlation)> = dataset
+        .iter()
+        .filter_map(|bug| bug.scenario.trace_all().ok())
+        .map(|traces| {
+            let old = traces.traces.old_regressing;
+            let new = traces.traces.new_regressing;
+            let correlation = Correlation::build_with(old.web(), new.web(), true);
+            (old, new, correlation)
+        })
+        .collect();
 
     let mut rows = Vec::new();
     for (label, options) in &configs {
@@ -68,21 +67,21 @@ fn main() {
         let mut total_similar = 0usize;
         let mut total_compare_ops = 0u64;
         let mut total_entries = 0usize;
-        for bug in &dataset {
-            let traces = match bug.scenario.trace_all() {
-                Ok(t) => t,
-                Err(_) => continue,
-            };
-            let result = views_diff(
-                &traces.traces.old_regressing,
-                &traces.traces.new_regressing,
+        for (old, new, correlation) in &prepared {
+            let result = views_diff_correlated(
+                old.trace(),
+                new.trace(),
+                old.web(),
+                new.web(),
+                old.keyed(),
+                new.keyed(),
+                correlation,
                 options,
             );
             total_diffs += result.num_differences();
             total_similar += result.num_similar();
             total_compare_ops += result.cost.compare_ops;
-            total_entries +=
-                traces.traces.old_regressing.len() + traces.traces.new_regressing.len();
+            total_entries += old.trace().len() + new.trace().len();
         }
         rows.push(vec![
             (*label).to_owned(),

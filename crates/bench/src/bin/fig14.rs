@@ -5,8 +5,9 @@
 
 use std::collections::BTreeMap;
 
+use rprism::Engine;
 use rprism_bench::{accuracy_bucket, format_histogram, format_table, rhino_eval_dataset, speedup_bucket};
-use rprism_diff::{lcs_diff, views_diff, LcsDiffOptions, MemoryBudget, ViewsDiffOptions};
+use rprism_diff::{LcsDiffOptions, MemoryBudget};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -23,6 +24,18 @@ fn main() {
     // The paper gives the baseline a 32 GB server; scale the budget to this harness.
     let lcs_budget = MemoryBudget::gib(2);
 
+    // One session per algorithm; both diff the same prepared handles, so each trace's
+    // event keys are derived once and shared between the two runs.
+    let views_engine = Engine::new();
+    let lcs_engine = Engine::builder()
+        .lcs_baseline(
+            LcsDiffOptions::builder()
+                .memory_budget(lcs_budget)
+                .linear_space(false)
+                .build(),
+        )
+        .build();
+
     for bug in &dataset {
         let traces = match bug.scenario.trace_all() {
             Ok(t) => t,
@@ -33,15 +46,8 @@ fn main() {
         };
         let left = &traces.traces.old_regressing;
         let right = &traces.traces.new_regressing;
-        let views = views_diff(left, right, &ViewsDiffOptions::default());
-        let lcs = lcs_diff(
-            left,
-            right,
-            &LcsDiffOptions {
-                memory_budget: lcs_budget,
-                linear_space: false,
-            },
-        );
+        let views = views_engine.diff(left, right).expect("views never fails");
+        let lcs = lcs_engine.diff(left, right);
 
         // The paper's baseline fails with memory exhaustion on the longest traces; the
         // views result still counts, with accuracy/speedup reported as unbounded.

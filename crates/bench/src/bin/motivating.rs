@@ -4,15 +4,23 @@
 //!
 //! Run with `cargo run -p rprism-bench --bin motivating --release`.
 
-use rprism_diff::{views_diff, ViewsDiffOptions};
-use rprism_regress::{render_report, DiffAlgorithm, RenderOptions};
-use rprism_views::{ViewKind, ViewWeb};
+use rprism::Engine;
+use rprism_regress::RenderOptions;
+use rprism_views::ViewKind;
 use rprism_workloads::myfaces;
 
 fn main() {
     let scenario = myfaces::scenario();
     println!("Motivating example: {}\n{}\n", scenario.name, scenario.description);
 
+    // One session drives the whole worked example: the view-count inspection, the
+    // Fig. 13 semantic diff and the §4.2 analysis all reuse the same prepared handles.
+    let engine = Engine::builder()
+        .render_options(RenderOptions {
+            list_unrelated_sequences: true,
+            ..RenderOptions::default()
+        })
+        .build();
     let traces = scenario.trace_all().expect("scenario traces");
     println!(
         "trace sizes: old/regressing = {}, new/regressing = {} entries",
@@ -21,12 +29,13 @@ fn main() {
     );
     println!(
         "outputs under the regressing test: old = {:?}, new = {:?}\n",
-        traces.old_regressing_output, traces.new_regressing_output
+        traces.old_regressing_output(), traces.new_regressing_output()
     );
 
     // The views web of the original version (Fig. 2: thread view, method views, target
-    // object views).
-    let web = ViewWeb::build(&traces.traces.old_regressing);
+    // object views) — built once inside the prepared handle and reused by the diff and
+    // the analysis below.
+    let web = traces.traces.old_regressing.web();
     let counts = web.count_by_kind();
     println!(
         "views of the original trace: {} total ({} thread, {} method, {} target-object, {} active-object)",
@@ -46,11 +55,9 @@ fn main() {
     println!();
 
     // The semantic diff of Fig. 13 (old vs new under the regressing test).
-    let diff = views_diff(
-        &traces.traces.old_regressing,
-        &traces.traces.new_regressing,
-        &ViewsDiffOptions::default(),
-    );
+    let diff = engine
+        .diff(&traces.traces.old_regressing, &traces.traces.new_regressing)
+        .expect("views-based differencing never fails");
     println!(
         "{}",
         diff.render(
@@ -60,20 +67,8 @@ fn main() {
         )
     );
 
-    // The full regression-cause analysis (§4.2).
-    let (traces, report) = scenario
-        .analyze(&DiffAlgorithm::Views(ViewsDiffOptions::default()))
-        .expect("analysis succeeds");
-    println!(
-        "{}",
-        render_report(
-            &report,
-            &traces.traces.old_regressing,
-            &traces.traces.new_regressing,
-            &RenderOptions {
-                list_unrelated_sequences: true,
-                ..RenderOptions::default()
-            }
-        )
-    );
+    // The full regression-cause analysis (§4.2), over the same prepared handles — the
+    // suspected comparison reuses the diff artifacts already built above.
+    let report = engine.analyze(&traces.traces).expect("analysis succeeds");
+    println!("{}", engine.render_report(&report, &traces.traces));
 }

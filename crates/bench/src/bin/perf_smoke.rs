@@ -1,23 +1,39 @@
-//! A `cargo bench`-free perf smoke check: one large scenario differenced by the frozen
-//! seed-style baseline (owned `EventKey`s, sequential) and by the keyed pipeline
-//! (interned `CompactEventKey`s, parallel view correlation), printing wall time and
-//! `CostMeter` compare/byte counts for both plus the wall-time speedup. The `--json` flag
-//! emits the same numbers as a JSON object (the format recorded in `BENCH_1.json`).
+//! A `cargo bench`-free perf smoke check with two measurements on the `diff_scaling`
+//! largest size:
+//!
+//! 1. **seed vs keyed** — one large scenario differenced by the frozen seed-style
+//!    baseline (owned `EventKey`s, sequential) and by the keyed pipeline (interned
+//!    `CompactEventKey`s, parallel view correlation), printing wall time and `CostMeter`
+//!    compare/byte counts for both plus the wall-time speedup (the format recorded in
+//!    `BENCH_1.json`);
+//! 2. **prepared reuse** — the same trace pair diffed 3 times cold (each one-shot
+//!    `views_diff` call re-deriving keys and webs) vs 3 times through an
+//!    `rprism::Engine` whose `PreparedTrace` handles build both artifacts once and
+//!    reuse them, printing the `prepared_reuse_speedup` (the headline number recorded
+//!    in `BENCH_2.json`).
+//!
+//! The `--json` flag emits all numbers as one JSON object.
 //!
 //! Run with `cargo run -p rprism-bench --bin perf_smoke --release [-- --json] [iterations]`.
 
 use std::time::Duration;
 
+use rprism::Engine;
 use rprism_bench::measure::sample_env;
 use rprism_bench::seed_baseline::seed_views_diff;
-use rprism_diff::{views_diff, TraceDiffResult, ViewsDiffOptions};
+use rprism_diff::{TraceDiffResult, ViewsDiffOptions};
 use rprism_lang::parser::parse_program;
 use rprism_trace::{Trace, TraceMeta};
 use rprism_vm::{run_traced, VmConfig};
 
-/// The `diff_scaling` bench program shape at its largest configured size.
-fn trace_pair(iterations: usize) -> (Trace, Trace) {
-    let src = |min: i64| {
+/// The `diff_scaling` bench program shape at its largest configured size, parameterized
+/// by the range lower bound and the iteration count of each side. `(32, n)` vs `(1, n)`
+/// is the heavily-divergent regression of the seed-vs-keyed comparison; the
+/// prepared-reuse measurement uses `(32, n)` vs `(32, n + 4)` — ordinary evolution that
+/// appends a few calls, the §4.1 expected-differences shape where almost all of a cold
+/// call's cost *is* the preparation.
+fn trace_pair(sides: [(i64, usize); 2]) -> (Trace, Trace) {
+    let src = |(min, iterations): (i64, usize)| {
         format!(
             r#"
             class Ctr extends Object {{ Int i; }}
@@ -51,7 +67,7 @@ fn trace_pair(iterations: usize) -> (Trace, Trace) {
         .unwrap()
         .trace
     };
-    (run(&src(32), "old"), run(&src(1), "new"))
+    (run(&src(sides[0]), "old"), run(&src(sides[1]), "new"))
 }
 
 struct Measured {
@@ -71,6 +87,67 @@ fn measure(samples: usize, mut f: impl FnMut() -> TraceDiffResult) -> Measured {
     best.expect("at least one sample")
 }
 
+/// One-shot differencing including artifact preparation, exactly what a pre-session
+/// caller pays on every call. This *is* the deprecated path — measured on purpose as the
+/// cold baseline of the reuse comparison.
+#[allow(deprecated)]
+fn cold_views_diff(left: &Trace, right: &Trace, options: &ViewsDiffOptions) -> TraceDiffResult {
+    rprism_diff::views_diff(left, right, options)
+}
+
+struct ReuseMeasured {
+    cold_wall: Duration,
+    prepared_wall: Duration,
+    repeats: usize,
+}
+
+/// Times `repeats` diffs of the same pair, cold (per-call preparation) vs through
+/// engine-prepared handles (preparation paid once, on the first diff). Fresh handles are
+/// created per sample so every sample's first diff pays the one-time preparation; best
+/// sample wins on both sides, and the results are asserted identical.
+fn measure_reuse(
+    samples: usize,
+    repeats: usize,
+    old: &Trace,
+    new: &Trace,
+    options: &ViewsDiffOptions,
+) -> ReuseMeasured {
+    let engine = Engine::builder().views_options(options.clone()).build();
+    let mut cold_wall = Duration::MAX;
+    let mut prepared_wall = Duration::MAX;
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        let mut cold_last = None;
+        for _ in 0..repeats {
+            cold_last = Some(cold_views_diff(old, new, options));
+        }
+        cold_wall = cold_wall.min(start.elapsed());
+
+        let (pold, pnew) = (
+            engine.prepare(old.clone()),
+            engine.prepare(new.clone()),
+        );
+        let start = std::time::Instant::now();
+        let mut prepared_last = None;
+        for _ in 0..repeats {
+            prepared_last = Some(engine.diff(&pold, &pnew).expect("views never fails"));
+        }
+        prepared_wall = prepared_wall.min(start.elapsed());
+
+        assert_eq!(pold.web_build_count(), 1, "web must be built exactly once");
+        assert_eq!(
+            cold_last.unwrap().matching.normalized_pairs(),
+            prepared_last.unwrap().matching.normalized_pairs(),
+            "prepared-handle diff diverged from the cold path"
+        );
+    }
+    ReuseMeasured {
+        cold_wall,
+        prepared_wall,
+        repeats,
+    }
+}
+
 fn main() {
     let mut json = false;
     let mut iterations = 400usize;
@@ -83,11 +160,11 @@ fn main() {
     }
     let samples = sample_env(5);
 
-    let (old, new) = trace_pair(iterations);
+    let (old, new) = trace_pair([(32, iterations), (1, iterations)]);
     let options = ViewsDiffOptions::default();
 
     let seed = measure(samples, || seed_views_diff(&old, &new, &options));
-    let keyed = measure(samples, || views_diff(&old, &new, &options));
+    let keyed = measure(samples, || cold_views_diff(&old, &new, &options));
 
     assert_eq!(
         seed.result.matching.normalized_pairs(),
@@ -95,7 +172,12 @@ fn main() {
         "refactored pipeline diverged from the seed algorithm"
     );
 
+    let (reuse_old, reuse_new) = trace_pair([(32, iterations), (32, iterations + 4)]);
+    let reuse = measure_reuse(samples, 3, &reuse_old, &reuse_new, &options);
+
     let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
+    let reuse_speedup =
+        reuse.cold_wall.as_secs_f64() / reuse.prepared_wall.as_secs_f64().max(1e-12);
     if json {
         println!("{{");
         println!("  \"scenario\": \"diff_scaling largest size (iterations={iterations})\",");
@@ -113,7 +195,16 @@ fn main() {
             keyed.result.cost.compare_ops,
             keyed.result.cost.peak_bytes
         );
-        println!("  \"wall_time_speedup\": {speedup:.2}");
+        println!("  \"wall_time_speedup\": {speedup:.2},");
+        println!(
+            "  \"prepared_reuse\": {{ \"trace_entries\": [{}, {}], \"repeats\": {}, \"cold_wall_seconds\": {:.6}, \"prepared_wall_seconds\": {:.6}, \"prepared_reuse_speedup\": {:.2} }}",
+            reuse_old.len(),
+            reuse_new.len(),
+            reuse.repeats,
+            reuse.cold_wall.as_secs_f64(),
+            reuse.prepared_wall.as_secs_f64(),
+            reuse_speedup
+        );
         println!("}}");
     } else {
         println!(
@@ -134,6 +225,10 @@ fn main() {
             "  results identical: {} similar pairs, {} differences",
             keyed.result.num_similar(),
             keyed.result.num_differences()
+        );
+        println!(
+            "\n  prepared reuse ({}x same pair): cold {:>10.3?}  engine-prepared {:>10.3?}  speedup {reuse_speedup:.2}x",
+            reuse.repeats, reuse.cold_wall, reuse.prepared_wall
         );
     }
 }

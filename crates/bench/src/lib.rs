@@ -20,9 +20,9 @@ pub mod seed_baseline;
 
 use std::collections::BTreeMap;
 
+use rprism::Engine;
 use rprism_diff::{LcsDiffOptions, MemoryBudget, ViewsDiffOptions};
-use rprism_regress::{evaluate, DiffAlgorithm, QualityMetrics, RegressionReport};
-use rprism_views::ViewWeb;
+use rprism_regress::{evaluate, QualityMetrics, RegressionReport};
 use rprism_workloads::scenario::{suspected_trace_entries, Scenario, ScenarioTraces};
 use rprism_workloads::{dataset, InjectedBug, RhinoConfig};
 
@@ -163,22 +163,25 @@ pub fn table1_row(scenario: &Scenario, lcs_budget: MemoryBudget) -> Table1Row {
         .trace_all()
         .expect("case-study scenarios always trace");
 
-    let views_report = rprism_regress::analyze(
-        &traces.traces,
-        &DiffAlgorithm::Views(ViewsDiffOptions::default()),
-        scenario.analysis_mode(),
-    )
-    .expect("views-based analysis never fails");
+    // Both engines analyze the same prepared handles, so the traces' event keys are
+    // derived once and shared between the views run and the LCS baseline run.
+    let views_engine = Engine::builder()
+        .views_options(ViewsDiffOptions::default())
+        .build();
+    let views_report = views_engine
+        .analyze(&traces.traces)
+        .expect("views-based analysis never fails");
     let views_quality = quality_of(scenario, &traces, &views_report);
 
-    let lcs_result = rprism_regress::analyze(
-        &traces.traces,
-        &DiffAlgorithm::Lcs(LcsDiffOptions {
-            memory_budget: lcs_budget,
-            linear_space: false,
-        }),
-        scenario.analysis_mode(),
-    );
+    let lcs_engine = Engine::builder()
+        .lcs_baseline(
+            LcsDiffOptions::builder()
+                .memory_budget(lcs_budget)
+                .linear_space(false)
+                .build(),
+        )
+        .build();
+    let lcs_result = lcs_engine.analyze(&traces.traces);
     let (lcs, speedup) = match lcs_result {
         Ok(report) => {
             let quality = quality_of(scenario, &traces, &report);
@@ -242,14 +245,15 @@ pub fn table2_row(scenario: &Scenario) -> Table2Row {
     let traces = scenario
         .trace_all()
         .expect("case-study scenarios always trace");
-    let report = rprism_regress::analyze(
-        &traces.traces,
-        &DiffAlgorithm::Views(ViewsDiffOptions::default()),
-        scenario.analysis_mode(),
-    )
-    .expect("views-based analysis never fails");
-    let web = ViewWeb::build(&traces.traces.old_regressing);
-    let counts = web.count_by_kind();
+    let engine = Engine::builder()
+        .views_options(ViewsDiffOptions::default())
+        .build();
+    let report = engine
+        .analyze(&traces.traces)
+        .expect("views-based analysis never fails");
+    // The analysis above already built this web inside the prepared handle; counting
+    // views reuses it instead of re-deriving.
+    let counts = traces.traces.old_regressing.web().count_by_kind();
     Table2Row {
         name: scenario.name.clone(),
         total_views: counts.total(),

@@ -4,9 +4,14 @@
 //! while the compare-op count may only shrink (prefix/suffix stripping now happens
 //! inside `lcs_dp`). The regression analysis itself must be deterministic run-to-run.
 
+// The keyed-pipeline side is driven through the deprecated one-shot shim on purpose:
+// this suite pins the *algorithm* against the frozen seed baseline, independent of the
+// session API (whose own equivalence suite lives at the workspace root).
+#![allow(deprecated)]
+
+use rprism::Engine;
 use rprism_bench::seed_baseline::seed_views_diff;
 use rprism_diff::{views_diff, ViewsDiffOptions};
-use rprism_regress::{analyze, DiffAlgorithm};
 use rprism_workloads::casestudies;
 
 #[test]
@@ -50,13 +55,14 @@ fn analysis_set_sizes_are_stable_across_runs() {
     // difference sets) is deterministic: two runs agree on every set size and verdict.
     for scenario in casestudies::all() {
         let traces = scenario.trace_all().unwrap();
+        let engine = Engine::builder()
+            .views_options(ViewsDiffOptions::default())
+            .analysis_mode(scenario.analysis_mode())
+            .build();
         let run = || {
-            analyze(
-                &traces.traces,
-                &DiffAlgorithm::Views(ViewsDiffOptions::default()),
-                scenario.analysis_mode(),
-            )
-            .expect("views analysis never fails")
+            engine
+                .analyze(&traces.traces)
+                .expect("views analysis never fails")
         };
         let a = run();
         let b = run();

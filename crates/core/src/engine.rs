@@ -1,0 +1,919 @@
+//! The session-oriented analysis API: [`Engine`], [`PreparedTrace`] and
+//! [`RegressionInput`].
+//!
+//! The paper's pipeline (trace → views → diff → regression sets) is inherently
+//! multi-query: the §4.1 analysis runs three diffs over four traces, and the case studies
+//! re-difference the same traces under many option settings. An [`Engine`] is the session
+//! object that owns the configuration (differencing algorithm and options, tracing
+//! config, analysis mode, render options) and hands out [`PreparedTrace`] handles whose
+//! derived artifacts — the [`KeyedTrace`] of interned event keys and the [`ViewWeb`] —
+//! are built lazily, **at most once per trace**, and shared (via `Arc` + [`OnceLock`])
+//! across every diff, correlation and regression analysis that touches the trace.
+//!
+//! Symbols inside those artifacts come from the process-global interner
+//! ([`rprism_trace::intern`]), so handles prepared by the same engine — or even by
+//! different engines in one process — compare directly without translation.
+//!
+//! On top of the per-trace artifacts, the engine keeps a session-level *pair* cache:
+//! the view [`Correlation`] of two prepared traces is built on their first diff and
+//! reused by every repeat, so re-differencing the same pair skips straight to the
+//! lock-step scan (the `prepared_reuse_speedup` metric of `BENCH_2.json`).
+//!
+//! Batch entry points ([`Engine::diff_many`], [`Engine::analyze_many`]) fan independent
+//! jobs out over a bounded scoped-thread worker pool; results come back in input order
+//! and each job carries its own deterministic cost meter, so batch runs are
+//! reproducible down to the compare-operation counts.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rprism_diff::{
+    lcs_diff_keyed, views_diff_correlated, DiffError, LcsDiffOptions, TraceDiffResult,
+    ViewsDiffOptions,
+};
+use rprism_lang::parser::parse_program;
+use rprism_lang::Program;
+use rprism_regress::{
+    analyze_prepared_with, AnalysisComparison, AnalysisMode, DiffAlgorithm, PreparedInput,
+    PreparedTraceRef, RegressionReport, RenderOptions,
+};
+use rprism_trace::{KeyedTrace, Trace, TraceMeta};
+use rprism_views::{Correlation, ViewWeb};
+use rprism_vm::{run_traced, RunOutcome, RuntimeError, VmConfig};
+
+use crate::Result;
+
+/// Entries kept in the pair-level correlation cache before first-in-first-out eviction
+/// kicks in. Bounds a long-lived engine's memory when it diffs an unbounded stream of
+/// trace pairs; 128 ordered pairs comfortably covers a whole case-study batch.
+const CORRELATION_CACHE_CAP: usize = 128;
+
+/// Bounded session cache of pair-level artifacts, keyed by the two handles'
+/// process-unique ids (ids are never reused, so a dropped handle can never alias a
+/// cached entry). FIFO eviction keeps it from growing with the number of pairs ever
+/// diffed.
+#[derive(Debug, Default)]
+struct CorrelationCache {
+    map: HashMap<(u64, u64), Arc<Correlation>>,
+    order: VecDeque<(u64, u64)>,
+}
+
+impl CorrelationCache {
+    fn get(&self, key: (u64, u64)) -> Option<Arc<Correlation>> {
+        self.map.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: (u64, u64), value: Arc<Correlation>) -> Arc<Correlation> {
+        if !self.map.contains_key(&key) {
+            while self.order.len() >= CORRELATION_CACHE_CAP {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+            self.order.push_back(key);
+        }
+        Arc::clone(self.map.entry(key).or_insert(value))
+    }
+}
+
+/// A cheaply-clonable handle to a trace plus its lazily-built, cached analysis
+/// artifacts.
+///
+/// Cloning a `PreparedTrace` copies an `Arc`, never the trace: all clones share one
+/// underlying trace, one [`KeyedTrace`] and one [`ViewWeb`], each built on first use and
+/// then reused by every subsequent query — across diffs, batch runs, regression analyses
+/// and threads. The handle [`Deref`](std::ops::Deref)s to [`Trace`], so it can be passed
+/// wherever a `&Trace` is expected.
+#[derive(Clone, Debug)]
+pub struct PreparedTrace {
+    inner: Arc<PreparedTraceInner>,
+}
+
+#[derive(Debug)]
+struct PreparedTraceInner {
+    /// Process-unique handle identity, used as a cache key for pair-level artifacts
+    /// (never reused, unlike a raw `Arc` address).
+    id: u64,
+    trace: Trace,
+    output: Vec<String>,
+    run_error: Option<RuntimeError>,
+    keyed: OnceLock<KeyedTrace>,
+    web: OnceLock<ViewWeb>,
+    keyed_builds: AtomicU32,
+    web_builds: AtomicU32,
+}
+
+static NEXT_HANDLE_ID: AtomicU64 = AtomicU64::new(0);
+
+impl PreparedTraceInner {
+    fn new(trace: Trace, output: Vec<String>, run_error: Option<RuntimeError>) -> Self {
+        PreparedTraceInner {
+            id: NEXT_HANDLE_ID.fetch_add(1, Ordering::Relaxed),
+            trace,
+            output,
+            run_error,
+            keyed: OnceLock::new(),
+            web: OnceLock::new(),
+            keyed_builds: AtomicU32::new(0),
+            web_builds: AtomicU32::new(0),
+        }
+    }
+}
+
+impl PreparedTrace {
+    /// Wraps an existing trace into a prepared handle (no artifacts are built yet).
+    pub fn new(trace: Trace) -> Self {
+        PreparedTrace {
+            inner: Arc::new(PreparedTraceInner::new(trace, Vec::new(), None)),
+        }
+    }
+
+    /// Wraps the result of a traced program run, preserving its output and runtime
+    /// error (if any) alongside the trace.
+    pub fn from_outcome(outcome: RunOutcome) -> Self {
+        PreparedTrace {
+            inner: Arc::new(PreparedTraceInner::new(
+                outcome.trace,
+                outcome.output,
+                outcome.result.err(),
+            )),
+        }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// The program output recorded while tracing (empty for handles made with
+    /// [`PreparedTrace::new`]).
+    pub fn output(&self) -> &[String] {
+        &self.inner.output
+    }
+
+    /// The runtime error the traced run ended with, if any.
+    pub fn run_error(&self) -> Option<&RuntimeError> {
+        self.inner.run_error.as_ref()
+    }
+
+    /// Returns `true` when the traced run finished without a runtime error.
+    pub fn succeeded(&self) -> bool {
+        self.inner.run_error.is_none()
+    }
+
+    /// The precomputed event keys of the trace, built on first call and cached for the
+    /// lifetime of the handle (all clones included).
+    pub fn keyed(&self) -> &KeyedTrace {
+        self.inner.keyed.get_or_init(|| {
+            self.inner.keyed_builds.fetch_add(1, Ordering::Relaxed);
+            KeyedTrace::build(&self.inner.trace)
+        })
+    }
+
+    /// The view web of the trace, built on first call and cached for the lifetime of the
+    /// handle (all clones included).
+    pub fn web(&self) -> &ViewWeb {
+        self.inner.web.get_or_init(|| {
+            self.inner.web_builds.fetch_add(1, Ordering::Relaxed);
+            ViewWeb::build(&self.inner.trace)
+        })
+    }
+
+    /// How many times the view web has been built for this handle — by construction at
+    /// most 1. Exposed so tests (and cache-efficiency dashboards) can prove reuse.
+    pub fn web_build_count(&self) -> u32 {
+        self.inner.web_builds.load(Ordering::Relaxed)
+    }
+
+    /// How many times the keyed form has been built for this handle — by construction at
+    /// most 1.
+    pub fn keyed_build_count(&self) -> u32 {
+        self.inner.keyed_builds.load(Ordering::Relaxed)
+    }
+
+    /// Borrowed prepared artifacts for the regression analysis, forcing the builds if
+    /// they have not happened yet.
+    fn prepared_ref(&self, with_web: bool) -> PreparedTraceRef<'_> {
+        PreparedTraceRef::new(self.trace(), self.keyed(), with_web.then(|| self.web()))
+    }
+
+    fn is_warm(&self, with_web: bool) -> bool {
+        self.inner.keyed.get().is_some() && (!with_web || self.inner.web.get().is_some())
+    }
+}
+
+impl std::ops::Deref for PreparedTrace {
+    type Target = Trace;
+
+    fn deref(&self) -> &Trace {
+        self.trace()
+    }
+}
+
+impl From<Trace> for PreparedTrace {
+    fn from(trace: Trace) -> Self {
+        PreparedTrace::new(trace)
+    }
+}
+
+impl From<RunOutcome> for PreparedTrace {
+    fn from(outcome: RunOutcome) -> Self {
+        PreparedTrace::from_outcome(outcome)
+    }
+}
+
+/// The four prepared traces of one regression-cause analysis (paper §4.1), held as
+/// cheap handles: constructing or cloning a `RegressionInput` never copies a trace, and
+/// the underlying artifacts stay shared with every other query over the same handles.
+#[derive(Clone, Debug)]
+pub struct RegressionInput {
+    /// Original (correct) version, regressing test case.
+    pub old_regressing: PreparedTrace,
+    /// New (regressing) version, regressing test case.
+    pub new_regressing: PreparedTrace,
+    /// Original version, similar but non-regressing test case.
+    pub old_passing: PreparedTrace,
+    /// New version, similar but non-regressing test case.
+    pub new_passing: PreparedTrace,
+    /// Per-input override of the engine's analysis mode (how D is computed from A, B,
+    /// C). `None` uses the engine default.
+    pub mode: Option<AnalysisMode>,
+}
+
+impl RegressionInput {
+    /// Bundles four prepared handles (handles are `Arc`s — pass clones freely).
+    pub fn new(
+        old_regressing: PreparedTrace,
+        new_regressing: PreparedTrace,
+        old_passing: PreparedTrace,
+        new_passing: PreparedTrace,
+    ) -> Self {
+        RegressionInput {
+            old_regressing,
+            new_regressing,
+            old_passing,
+            new_passing,
+            mode: None,
+        }
+    }
+
+    /// Overrides the analysis mode for this input (e.g. the `(A − B) − C` code-removal
+    /// variant for one scenario of a batch).
+    pub fn with_mode(mut self, mode: AnalysisMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    fn handles(&self) -> [&PreparedTrace; 4] {
+        [
+            &self.old_regressing,
+            &self.new_regressing,
+            &self.old_passing,
+            &self.new_passing,
+        ]
+    }
+}
+
+/// The session object of the public API: configuration plus prepared-artifact reuse.
+///
+/// Build one with [`Engine::builder`] (or [`Engine::new`] for the defaults), prepare
+/// each trace once, then run as many queries as needed:
+///
+/// ```
+/// use rprism::Engine;
+///
+/// let engine = Engine::new();
+/// let old = engine.trace_source(
+///     "class C extends Object { Int x; Unit set(Int v) { this.x = v; } }
+///      main { let c = new C(0); c.set(32); }",
+///     "old",
+/// )?;
+/// let new = engine.trace_source(
+///     "class C extends Object { Int x; Unit set(Int v) { this.x = v; } }
+///      main { let c = new C(0); c.set(1); }",
+///     "new",
+/// )?;
+/// let diff = engine.diff(&old, &new)?;
+/// assert!(diff.num_differences() > 0);
+/// # Ok::<(), rprism::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    vm_config: VmConfig,
+    algorithm: DiffAlgorithm,
+    mode: AnalysisMode,
+    render: RenderOptions,
+    parallel: bool,
+    /// Session cache of pair-level artifacts: one view [`Correlation`] per ordered
+    /// handle pair. Shared by engine clones; bounded by FIFO eviction.
+    correlations: Arc<Mutex<CorrelationCache>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::builder().build()
+    }
+}
+
+impl Engine {
+    /// An engine with the default configuration: views-based differencing with the
+    /// paper's evaluation parameters, `Intersect` analysis mode, parallel batch fan-out.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            vm_config: VmConfig::default(),
+            algorithm: DiffAlgorithm::Views(ViewsDiffOptions::default()),
+            mode: AnalysisMode::default(),
+            render: RenderOptions::default(),
+            parallel: true,
+        }
+    }
+
+    /// The configured differencing algorithm.
+    pub fn algorithm(&self) -> &DiffAlgorithm {
+        &self.algorithm
+    }
+
+    /// The configured default analysis mode.
+    pub fn analysis_mode(&self) -> AnalysisMode {
+        self.mode
+    }
+
+    /// The configured tracing configuration.
+    pub fn vm_config(&self) -> &VmConfig {
+        &self.vm_config
+    }
+
+    /// The configured report render options.
+    pub fn render_options(&self) -> &RenderOptions {
+        &self.render
+    }
+
+    /// Wraps an already-materialized trace into a prepared handle.
+    pub fn prepare(&self, trace: Trace) -> PreparedTrace {
+        PreparedTrace::new(trace)
+    }
+
+    /// Traces a parsed program under the engine's tracing configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Lang`] when the program fails validation.
+    pub fn trace(&self, program: &Program, label: &str) -> Result<PreparedTrace> {
+        let outcome = run_traced(
+            program,
+            TraceMeta::new(label, "", ""),
+            self.vm_config.clone(),
+        )?;
+        Ok(PreparedTrace::from_outcome(outcome))
+    }
+
+    /// Parses and traces a program given in concrete syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Lang`] when the source does not parse or validate.
+    pub fn trace_source(&self, source: &str, label: &str) -> Result<PreparedTrace> {
+        let program = parse_program(source)?;
+        self.trace(&program, label)
+    }
+
+    /// Differences two prepared traces under the engine's algorithm, building each
+    /// side's missing artifacts first (at most once per handle, ever).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Diff`] when the LCS baseline exhausts its memory budget; the
+    /// views-based algorithm never fails.
+    pub fn diff(&self, left: &PreparedTrace, right: &PreparedTrace) -> Result<TraceDiffResult> {
+        Ok(self.diff_with(left, right, &self.algorithm)?)
+    }
+
+    /// Differences many pairs, fanned out over a bounded scoped-thread worker pool.
+    ///
+    /// Results are returned in input order; each pair's cost meter is computed
+    /// independently and deterministically (per-pair numbers are identical to a
+    /// sequential [`Engine::diff`] of that pair), so summing or comparing costs across
+    /// the batch is reproducible. Shared handles are prepared once before the fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in input order (only possible with the LCS baseline).
+    pub fn diff_many(
+        &self,
+        pairs: &[(PreparedTrace, PreparedTrace)],
+    ) -> Result<Vec<TraceDiffResult>> {
+        let handles: Vec<&PreparedTrace> = pairs.iter().flat_map(|(a, b)| [a, b]).collect();
+        self.warm(&handles, self.needs_webs());
+        // Inner diffs run single-threaded while the batch pool is active (the results
+        // are identical either way; nesting pools would oversubscribe the cores).
+        let inner = self.sequential_algorithm();
+        Ok(self.fan_out(pairs, |(left, right)| self.diff_with(left, right, &inner))?)
+    }
+
+    /// Runs the full §4.1 regression-cause analysis over four prepared handles: three
+    /// diffs (A, B, C), the set algebra for D, and the sequence verdicts. The analysis
+    /// borrows the handles' cached artifacts and routes its three diffs through the
+    /// session's pair-correlation cache — no trace is copied and nothing is re-derived,
+    /// whether across repeated analyses or between an analysis and plain diffs of the
+    /// same pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Diff`] when the LCS baseline exhausts its memory budget; the
+    /// views-based algorithm never fails.
+    pub fn analyze(&self, input: &RegressionInput) -> Result<RegressionReport> {
+        Ok(self.analyze_with(input, &self.algorithm)?)
+    }
+
+    /// Runs many regression analyses, fanned out over the scoped-thread worker pool.
+    /// Results are returned in input order (deterministic, like [`Engine::diff_many`]);
+    /// each input's `mode` override is honored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in input order (only possible with the LCS baseline).
+    pub fn analyze_many(&self, inputs: &[RegressionInput]) -> Result<Vec<RegressionReport>> {
+        let handles: Vec<&PreparedTrace> = inputs.iter().flat_map(|i| i.handles()).collect();
+        self.warm(&handles, self.needs_webs());
+        let inner = self.sequential_algorithm();
+        Ok(self.fan_out(inputs, |input| self.analyze_with(input, &inner))?)
+    }
+
+    /// Renders a regression report (candidate sequences with dynamic state, then the
+    /// set summary) under the engine's render options.
+    pub fn render_report(&self, report: &RegressionReport, input: &RegressionInput) -> String {
+        rprism_regress::render_report(
+            report,
+            input.old_regressing.trace(),
+            input.new_regressing.trace(),
+            &self.render,
+        )
+    }
+
+    fn needs_webs(&self) -> bool {
+        matches!(self.algorithm, DiffAlgorithm::Views(_))
+    }
+
+    /// The pair's view correlation, from the session cache or built (and cached) now.
+    /// Correlations are deterministic functions of the two webs, so a racing double
+    /// build inserts identical content; the first insert wins and both callers share it.
+    fn correlation_for(
+        &self,
+        left: &PreparedTrace,
+        right: &PreparedTrace,
+        parallel: bool,
+    ) -> Arc<Correlation> {
+        let key = (left.inner.id, right.inner.id);
+        if let Some(cached) = self.correlations.lock().expect("cache poisoned").get(key) {
+            return cached;
+        }
+        // Build outside the lock: correlation construction is the expensive part.
+        let built = Arc::new(Correlation::build_with(left.web(), right.web(), parallel));
+        self.correlations
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, built)
+    }
+
+    /// Number of trace pairs whose view correlation is currently cached in this session
+    /// (engine clones share the cache; FIFO eviction caps it).
+    pub fn cached_correlations(&self) -> usize {
+        self.correlations.lock().expect("cache poisoned").map.len()
+    }
+
+    /// A copy of the engine algorithm with intra-diff parallelism disabled, used inside
+    /// batch fan-out. Views results (matchings, sequences, cost meters) are identical
+    /// with and without worker threads, so this changes scheduling only.
+    fn sequential_algorithm(&self) -> DiffAlgorithm {
+        match &self.algorithm {
+            DiffAlgorithm::Views(options) => {
+                let mut options = options.clone();
+                options.parallel = false;
+                DiffAlgorithm::Views(options)
+            }
+            lcs @ DiffAlgorithm::Lcs(_) => lcs.clone(),
+        }
+    }
+
+    fn diff_with(
+        &self,
+        left: &PreparedTrace,
+        right: &PreparedTrace,
+        algorithm: &DiffAlgorithm,
+    ) -> std::result::Result<TraceDiffResult, DiffError> {
+        match algorithm {
+            DiffAlgorithm::Views(options) => {
+                self.warm(&[left, right], true);
+                let correlation = self.correlation_for(left, right, options.parallel);
+                Ok(views_diff_correlated(
+                    left.trace(),
+                    right.trace(),
+                    left.web(),
+                    right.web(),
+                    left.keyed(),
+                    right.keyed(),
+                    &correlation,
+                    options,
+                ))
+            }
+            DiffAlgorithm::Lcs(options) => lcs_diff_keyed(
+                left.trace(),
+                right.trace(),
+                left.keyed(),
+                right.keyed(),
+                options,
+            ),
+        }
+    }
+
+    fn analyze_with(
+        &self,
+        input: &RegressionInput,
+        algorithm: &DiffAlgorithm,
+    ) -> std::result::Result<RegressionReport, DiffError> {
+        let with_webs = matches!(algorithm, DiffAlgorithm::Views(_));
+        self.warm(&input.handles(), with_webs);
+        let prepared = PreparedInput {
+            old_regressing: input.old_regressing.prepared_ref(with_webs),
+            new_regressing: input.new_regressing.prepared_ref(with_webs),
+            old_passing: input.old_passing.prepared_ref(with_webs),
+            new_passing: input.new_passing.prepared_ref(with_webs),
+        };
+        // The three comparisons run through `diff_with`, i.e. through the same
+        // pair-correlation cache as `Engine::diff` — an analysis preceded (or followed)
+        // by plain diffs of the same pairs shares every artifact with them.
+        analyze_prepared_with(
+            &prepared,
+            algorithm,
+            input.mode.unwrap_or(self.mode),
+            |comparison, left_ref, right_ref| {
+                let (left, right) = match comparison {
+                    AnalysisComparison::Suspected => (&input.old_regressing, &input.new_regressing),
+                    AnalysisComparison::Expected => (&input.old_passing, &input.new_passing),
+                    AnalysisComparison::Regression => (&input.new_passing, &input.new_regressing),
+                };
+                // The pair orientation is defined by the regress crate (steps A/B/C);
+                // the refs it hands us must be the handles we picked, or the cached
+                // correlation would belong to a different comparison.
+                debug_assert!(
+                    std::ptr::eq(left_ref.trace, left.trace())
+                        && std::ptr::eq(right_ref.trace, right.trace()),
+                    "analysis comparison {comparison:?} maps to different handles than \
+                     the prepared input supplied"
+                );
+                self.diff_with(left, right, algorithm)
+            },
+        )
+    }
+
+    /// Builds the missing artifacts of the given handles, deduplicated, in parallel when
+    /// the engine allows it. Already-warm handles cost nothing; `OnceLock` guarantees
+    /// each artifact is built exactly once even under concurrent warming. Like
+    /// [`Engine::fan_out`], the cold handles are strided over a bounded pool (at most
+    /// `available_parallelism` workers) — a large batch must not spawn one OS thread per
+    /// trace.
+    fn warm(&self, handles: &[&PreparedTrace], with_webs: bool) {
+        let mut seen = std::collections::HashSet::new();
+        let mut cold: Vec<&PreparedTrace> = Vec::new();
+        for handle in handles {
+            if !handle.is_warm(with_webs) && seen.insert(handle.inner.id) {
+                cold.push(handle);
+            }
+        }
+        let build = |handle: &PreparedTrace| {
+            handle.keyed();
+            if with_webs {
+                handle.web();
+            }
+        };
+        if self.parallel && cold.len() > 1 {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(cold.len());
+            std::thread::scope(|scope| {
+                let cold = &cold;
+                let build = &build;
+                for w in 0..workers {
+                    scope.spawn(move || {
+                        for handle in cold.iter().skip(w).step_by(workers) {
+                            build(handle);
+                        }
+                    });
+                }
+            });
+        } else {
+            for handle in cold {
+                build(handle);
+            }
+        }
+    }
+
+    /// Runs one closure per item on a bounded scoped-thread pool (at most
+    /// `available_parallelism` workers), returning results in input order; errors are
+    /// reported in input order too, so batch runs fail deterministically.
+    fn fan_out<T: Sync, R: Send, E: Send>(
+        &self,
+        items: &[T],
+        job: impl Fn(&T) -> std::result::Result<R, E> + Sync,
+    ) -> std::result::Result<Vec<R>, E> {
+        if !self.parallel || items.len() < 2 {
+            return items.iter().map(&job).collect();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(items.len());
+        let chunks: Vec<Vec<(usize, std::result::Result<R, E>)>> = std::thread::scope(|scope| {
+            let job = &job;
+            let spawned: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        items
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, item)| (i, job(item)))
+                            .collect()
+                    })
+                })
+                .collect();
+            spawned
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<std::result::Result<R, E>>> =
+            (0..items.len()).map(|_| None).collect();
+        for chunk in chunks {
+            for (i, result) in chunk {
+                slots[i] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot filled"))
+            .collect()
+    }
+}
+
+/// Configures and builds an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    vm_config: VmConfig,
+    algorithm: DiffAlgorithm,
+    mode: AnalysisMode,
+    render: RenderOptions,
+    parallel: bool,
+}
+
+impl EngineBuilder {
+    /// Tracing configuration used by [`Engine::trace`] / [`Engine::trace_source`].
+    pub fn vm_config(mut self, config: VmConfig) -> Self {
+        self.vm_config = config;
+        self
+    }
+
+    /// The differencing algorithm (and its options) used by every diff and analysis.
+    pub fn algorithm(mut self, algorithm: DiffAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects views-based differencing (§3.3) with the given options.
+    pub fn views_options(self, options: ViewsDiffOptions) -> Self {
+        self.algorithm(DiffAlgorithm::Views(options))
+    }
+
+    /// Selects the LCS baseline (§3.2) with the given options.
+    pub fn lcs_baseline(self, options: LcsDiffOptions) -> Self {
+        self.algorithm(DiffAlgorithm::Lcs(options))
+    }
+
+    /// Default analysis mode (how the candidate set D is computed); individual
+    /// [`RegressionInput`]s may override it.
+    pub fn analysis_mode(mut self, mode: AnalysisMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Report render options used by [`Engine::render_report`].
+    pub fn render_options(mut self, options: RenderOptions) -> Self {
+        self.render = options;
+        self
+    }
+
+    /// Toggles the engine's worker threads: batch fan-out, concurrent artifact warming,
+    /// and intra-diff parallelism inherit this switch's spirit — `false` keeps every
+    /// engine call on the calling thread. Results are identical either way.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Engine {
+        let mut algorithm = self.algorithm;
+        if !self.parallel {
+            // A sequential engine must not parallelize inside single diffs either.
+            if let DiffAlgorithm::Views(options) = &mut algorithm {
+                options.parallel = false;
+            }
+        }
+        Engine {
+            vm_config: self.vm_config,
+            algorithm,
+            mode: self.mode,
+            render: self.render,
+            parallel: self.parallel,
+            correlations: Arc::new(Mutex::new(CorrelationCache::default())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Error;
+
+    const SRC: &str = r#"
+        class Counter extends Object {
+            Int count;
+            Int bump(Int by) { this.count = this.count + by; return this.count; }
+        }
+        main { let c = new Counter(0); c.bump(2); c.bump(3); }
+    "#;
+
+    fn regression_sources(min: i64, probe: i64) -> String {
+        format!(
+            r#"
+            class Range extends Object {{ Int min; Int max; }}
+            class App extends Object {{
+                Range r;
+                Int hits;
+                Unit setup() {{ this.r = new Range({min}, 127); }}
+                Unit check(Int c) {{
+                    if ((c >= this.r.min) && (c <= this.r.max)) {{ this.hits = this.hits + 1; }}
+                }}
+            }}
+            main {{ let a = new App(null, 0); a.setup(); a.check({probe}); a.check(64); }}
+            "#
+        )
+    }
+
+    fn regression_input(engine: &Engine) -> RegressionInput {
+        let t = |min: i64, probe: i64, label: &str| {
+            engine
+                .trace_source(&regression_sources(min, probe), label)
+                .unwrap()
+        };
+        RegressionInput::new(
+            t(32, 20, "or"),
+            t(1, 20, "nr"),
+            t(32, 64, "op"),
+            t(1, 64, "np"),
+        )
+    }
+
+    #[test]
+    fn trace_source_produces_a_prepared_trace() {
+        let engine = Engine::new();
+        let prepared = engine.trace_source(SRC, "demo").unwrap();
+        assert!(prepared.succeeded());
+        assert!(prepared.trace().len() >= 10);
+        // Nothing is derived until a query needs it.
+        assert_eq!(prepared.keyed_build_count(), 0);
+        assert_eq!(prepared.web_build_count(), 0);
+    }
+
+    #[test]
+    fn diff_of_identical_traces_is_empty() {
+        let engine = Engine::new();
+        let a = engine.trace_source(SRC, "a").unwrap();
+        let b = engine.trace_source(SRC, "b").unwrap();
+        assert_eq!(engine.diff(&a, &b).unwrap().num_differences(), 0);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let engine = Engine::new();
+        let err = engine.trace_source("main { let = ; }", "bad").unwrap_err();
+        assert!(matches!(err, Error::Lang(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn artifacts_are_built_at_most_once_across_queries() {
+        let engine = Engine::new();
+        let a = engine.trace_source(SRC, "a").unwrap();
+        let b = engine.trace_source(SRC, "b").unwrap();
+        for _ in 0..3 {
+            engine.diff(&a, &b).unwrap();
+        }
+        // Clones share the cache with the original handle.
+        let c = a.clone();
+        engine.diff(&c, &b).unwrap();
+        for handle in [&a, &b, &c] {
+            assert_eq!(handle.web_build_count(), 1);
+            assert_eq!(handle.keyed_build_count(), 1);
+        }
+        // The pair-level correlation is cached too: four diffs of one pair, one entry
+        // (handle clones share their original's identity).
+        assert_eq!(engine.cached_correlations(), 1);
+    }
+
+    #[test]
+    fn regression_analysis_end_to_end() {
+        let engine = Engine::new();
+        let input = regression_input(&engine);
+        let report = engine.analyze(&input).unwrap();
+        assert!(!report.suspected.is_empty());
+        assert!(report.candidates.len() <= report.suspected.len());
+        assert!(!engine.render_report(&report, &input).is_empty());
+    }
+
+    #[test]
+    fn batch_apis_match_single_calls() {
+        let engine = Engine::new();
+        let a = engine.trace_source(&regression_sources(32, 20), "a").unwrap();
+        let b = engine.trace_source(&regression_sources(1, 20), "b").unwrap();
+        let c = engine.trace_source(&regression_sources(32, 64), "c").unwrap();
+
+        let singles: Vec<_> = [(&a, &b), (&a, &c), (&b, &c)]
+            .iter()
+            .map(|(l, r)| engine.diff(l, r).unwrap())
+            .collect();
+        let batch = engine
+            .diff_many(&[
+                (a.clone(), b.clone()),
+                (a.clone(), c.clone()),
+                (b.clone(), c.clone()),
+            ])
+            .unwrap();
+        assert_eq!(batch.len(), singles.len());
+        for (one, many) in singles.iter().zip(&batch) {
+            assert_eq!(
+                one.matching.normalized_pairs(),
+                many.matching.normalized_pairs()
+            );
+            assert_eq!(one.sequences, many.sequences);
+            assert_eq!(one.cost.compare_ops, many.cost.compare_ops);
+        }
+
+        let input = regression_input(&engine);
+        let single = engine.analyze(&input).unwrap();
+        let many = engine
+            .analyze_many(&[input.clone(), input.clone()])
+            .unwrap();
+        assert_eq!(many.len(), 2);
+        for report in &many {
+            assert_eq!(report.suspected, single.suspected);
+            assert_eq!(report.candidates, single.candidates);
+            assert_eq!(report.compare_ops, single.compare_ops);
+        }
+    }
+
+    #[test]
+    fn sequential_engine_agrees_with_parallel_engine() {
+        let par = Engine::new();
+        let seq = Engine::builder().parallel(false).build();
+        let a = par.trace_source(&regression_sources(32, 20), "a").unwrap();
+        let b = par.trace_source(&regression_sources(1, 20), "b").unwrap();
+        let p = par.diff(&a, &b).unwrap();
+        let s = seq.diff(&a, &b).unwrap();
+        assert_eq!(
+            p.matching.normalized_pairs(),
+            s.matching.normalized_pairs()
+        );
+        assert_eq!(p.cost.compare_ops, s.cost.compare_ops);
+    }
+
+    #[test]
+    fn lcs_engine_uses_the_baseline() {
+        let engine = Engine::builder()
+            .lcs_baseline(LcsDiffOptions::default())
+            .build();
+        let a = engine.trace_source(SRC, "a").unwrap();
+        let b = engine.trace_source(SRC, "b").unwrap();
+        let diff = engine.diff(&a, &b).unwrap();
+        assert_eq!(diff.algorithm, "lcs");
+        // The baseline needs no webs; none were built.
+        assert_eq!(a.web_build_count(), 0);
+        assert_eq!(b.web_build_count(), 0);
+    }
+
+    #[test]
+    fn mode_override_is_honored() {
+        let engine = Engine::new();
+        let input = regression_input(&engine).with_mode(AnalysisMode::SubtractRegressionSet);
+        let report = engine.analyze(&input).unwrap();
+        assert_eq!(report.mode, AnalysisMode::SubtractRegressionSet);
+    }
+}

@@ -14,7 +14,7 @@
 //!   "optimized version of the LCS algorithm (common-prefix/suffix optimizations)" used as
 //!   the baseline in §5.1,
 //! * [`lcs_hirschberg`] — Hirschberg's linear-space divide-and-conquer algorithm
-//!   (cited as [9] in the paper: same result, roughly twice the computation).
+//!   (cited as \[9\] in the paper: same result, roughly twice the computation).
 
 use crate::cost::{CostMeter, DiffError, MemoryBudget};
 

@@ -4,7 +4,7 @@
 //! [`KeyedTrace`] holding the information `=e` compares) and an LCS over the two key
 //! sequences determines the similarity set Π. The two weaknesses the paper identifies —
 //! blind long-distance correlation of common values and Θ(n²) cost — are inherent to this
-//! baseline and are exactly what the views-based differencer (see [`crate::views_diff`])
+//! baseline and are exactly what the views-based differencer (see [`crate::views_diff()`])
 //! addresses; the keyed representation merely makes each of the Θ(n²) comparisons an
 //! integer operation instead of a string/vector traversal.
 
@@ -18,7 +18,12 @@ use crate::matching::Matching;
 use crate::result::TraceDiffResult;
 
 /// Configuration of the LCS-based trace differencer.
+///
+/// The struct is `#[non_exhaustive]`: construct it with [`LcsDiffOptions::default`] or
+/// through [`LcsDiffOptions::builder`]. Individual fields remain public for reading and
+/// in-place mutation.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct LcsDiffOptions {
     /// Memory budget for the quadratic table; the paper's baseline fails on long traces,
     /// and a finite budget reproduces that failure mode.
@@ -37,6 +42,49 @@ impl Default for LcsDiffOptions {
     }
 }
 
+impl LcsDiffOptions {
+    /// Starts a builder seeded with the default configuration.
+    ///
+    /// ```
+    /// use rprism_diff::{LcsDiffOptions, MemoryBudget};
+    /// let options = LcsDiffOptions::builder()
+    ///     .memory_budget(MemoryBudget::gib(2))
+    ///     .linear_space(false)
+    ///     .build();
+    /// assert!(!options.linear_space);
+    /// ```
+    pub fn builder() -> LcsDiffOptionsBuilder {
+        LcsDiffOptionsBuilder {
+            options: LcsDiffOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`LcsDiffOptions`].
+#[derive(Clone, Debug)]
+pub struct LcsDiffOptionsBuilder {
+    options: LcsDiffOptions,
+}
+
+impl LcsDiffOptionsBuilder {
+    /// Memory budget for the quadratic DP table (the paper's baseline failure mode).
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.options.memory_budget = budget;
+        self
+    }
+
+    /// Use Hirschberg's linear-space variant instead of the full table.
+    pub fn linear_space(mut self, linear: bool) -> Self {
+        self.options.linear_space = linear;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> LcsDiffOptions {
+        self.options
+    }
+}
+
 /// Differences two traces with the (prefix/suffix-optimized) LCS baseline.
 ///
 /// # Errors
@@ -48,11 +96,31 @@ pub fn lcs_diff(
     right: &Trace,
     options: &LcsDiffOptions,
 ) -> Result<TraceDiffResult, DiffError> {
+    let left_keyed = KeyedTrace::build(left);
+    let right_keyed = KeyedTrace::build(right);
+    lcs_diff_keyed(left, right, &left_keyed, &right_keyed, options)
+}
+
+/// The precomputed-key entry point of the LCS baseline: the caller supplies the
+/// [`KeyedTrace`]s (built once per trace per session), so repeated comparisons of the
+/// same trace skip the key build. This is the backend `rprism::Engine` uses when the
+/// baseline algorithm is selected; the cost model still charges the keyed bytes to this
+/// run's working set, keeping its accounting identical to [`lcs_diff`].
+///
+/// # Errors
+///
+/// Returns [`DiffError::OutOfMemory`] when the quadratic table would exceed the memory
+/// budget (only with `linear_space: false`).
+pub fn lcs_diff_keyed(
+    left: &Trace,
+    right: &Trace,
+    left_keyed: &KeyedTrace,
+    right_keyed: &KeyedTrace,
+    options: &LcsDiffOptions,
+) -> Result<TraceDiffResult, DiffError> {
     let start = Instant::now();
     let mut meter = CostMeter::new();
 
-    let left_keyed = KeyedTrace::build(left);
-    let right_keyed = KeyedTrace::build(right);
     let left_keys: Vec<KeyRef<'_>> = (0..left.len()).map(|i| left_keyed.key(i)).collect();
     let right_keys: Vec<KeyRef<'_>> = (0..right.len()).map(|i| right_keyed.key(i)).collect();
     meter.allocate(

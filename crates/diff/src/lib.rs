@@ -19,11 +19,16 @@
 //! sequences and the compare-operation / memory cost model used by the evaluation
 //! benchmarks.
 //!
+//! The preferred front door is the session-oriented `rprism::Engine`, which prepares
+//! each trace's [`KeyedTrace`](rprism_trace::KeyedTrace) and view web once and reuses
+//! them across every comparison. This crate exposes the underlying prepared-artifact
+//! entry points directly:
+//!
 //! ```
-//! use rprism_diff::{lcs_diff::lcs_diff, lcs_diff::LcsDiffOptions};
-//! use rprism_diff::views_diff::{views_diff, ViewsDiffOptions};
+//! use rprism_diff::{lcs_diff_keyed, views_diff_keyed, LcsDiffOptions, ViewsDiffOptions};
 //! use rprism_lang::parser::parse_program;
-//! use rprism_trace::TraceMeta;
+//! use rprism_trace::{KeyedTrace, TraceMeta};
+//! use rprism_views::ViewWeb;
 //! use rprism_vm::{run_traced, VmConfig};
 //!
 //! let src = |v: i64| format!(
@@ -32,8 +37,13 @@
 //! let old = run_traced(&parse_program(&src(32))?, TraceMeta::new("old", "v1", "t"), VmConfig::default())?.trace;
 //! let new = run_traced(&parse_program(&src(1))?, TraceMeta::new("new", "v2", "t"), VmConfig::default())?.trace;
 //!
-//! let views = views_diff(&old, &new, &ViewsDiffOptions::default());
-//! let lcs = lcs_diff(&old, &new, &LcsDiffOptions::default())?;
+//! // Prepare once per trace; reuse across as many comparisons as needed.
+//! let (old_keyed, new_keyed) = (KeyedTrace::build(&old), KeyedTrace::build(&new));
+//! let (old_web, new_web) = (ViewWeb::build(&old), ViewWeb::build(&new));
+//!
+//! let options = ViewsDiffOptions::builder().delta(2).window(8).build();
+//! let views = views_diff_keyed(&old, &new, &old_web, &new_web, &old_keyed, &new_keyed, &options);
+//! let lcs = lcs_diff_keyed(&old, &new, &old_keyed, &new_keyed, &LcsDiffOptions::default())?;
 //! assert!(views.num_differences() > 0);
 //! assert!(views.num_differences() <= lcs.num_differences());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -49,7 +59,11 @@ pub mod views_diff;
 
 pub use cost::{CostMeter, CostStats, DiffError, MemoryBudget};
 pub use lcs::{lcs_dp, lcs_hirschberg, lcs_length, lcs_optimized};
-pub use lcs_diff::{lcs_diff, LcsDiffOptions};
+pub use lcs_diff::{lcs_diff, lcs_diff_keyed, LcsDiffOptions, LcsDiffOptionsBuilder};
 pub use matching::{DiffKind, DiffSequence, Matching};
 pub use result::TraceDiffResult;
-pub use views_diff::{views_diff, views_diff_keyed, views_diff_with_webs, ViewsDiffOptions};
+#[allow(deprecated)]
+pub use views_diff::{views_diff, views_diff_with_webs};
+pub use views_diff::{
+    views_diff_correlated, views_diff_keyed, ViewsDiffOptions, ViewsDiffOptionsBuilder,
+};

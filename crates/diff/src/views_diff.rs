@@ -43,13 +43,20 @@ use crate::matching::Matching;
 use crate::result::TraceDiffResult;
 
 /// Configuration of the views-based differencer.
+///
+/// The struct is `#[non_exhaustive]`: construct it with [`ViewsDiffOptions::default`] or
+/// through [`ViewsDiffOptions::builder`], so that future knobs can be added without
+/// breaking callers. Individual fields remain public for reading and in-place mutation.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ViewsDiffOptions {
     /// Δ — how many positions around the current mismatch (in thread-view coordinates) are
-    /// examined when looking for correlated secondary views.
+    /// examined when looking for correlated secondary views (the exploration radius of
+    /// the paper's `LinkedSimilarEntries`, §3.3).
     pub delta: usize,
     /// δ — the half-width of the fixed-size windows over which secondary views are
-    /// compared with LCS.
+    /// compared with LCS (the windowed-LCS bound that keeps each mismatch exploration
+    /// O(1), §3.3).
     pub window: usize,
     /// Bound on the forward scan that locates the next point of correspondence in the
     /// thread views after a mismatch.
@@ -76,9 +83,75 @@ impl Default for ViewsDiffOptions {
     }
 }
 
+impl ViewsDiffOptions {
+    /// Starts a builder seeded with the default configuration.
+    ///
+    /// ```
+    /// use rprism_diff::ViewsDiffOptions;
+    /// let options = ViewsDiffOptions::builder().delta(2).parallel(true).build();
+    /// assert_eq!(options.delta, 2);
+    /// ```
+    pub fn builder() -> ViewsDiffOptionsBuilder {
+        ViewsDiffOptionsBuilder {
+            options: ViewsDiffOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`ViewsDiffOptions`]; every knob defaults to the paper's evaluation
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct ViewsDiffOptionsBuilder {
+    options: ViewsDiffOptions,
+}
+
+impl ViewsDiffOptionsBuilder {
+    /// Δ — the secondary-view exploration radius around a mismatch (§3.3).
+    pub fn delta(mut self, delta: usize) -> Self {
+        self.options.delta = delta;
+        self
+    }
+
+    /// δ — the half-width of the windowed secondary-view LCS (§3.3).
+    pub fn window(mut self, window: usize) -> Self {
+        self.options.window = window;
+        self
+    }
+
+    /// Bound on the post-mismatch forward scan for the next point of correspondence.
+    pub fn max_scan_ahead(mut self, max_scan_ahead: usize) -> Self {
+        self.options.max_scan_ahead = max_scan_ahead;
+        self
+    }
+
+    /// Toggle the §5 context-sensitive correlation relaxation.
+    pub fn relaxed_correlation(mut self, relaxed: bool) -> Self {
+        self.options.relaxed_correlation = relaxed;
+        self
+    }
+
+    /// Toggle worker threads for preparation, correlation and per-thread differencing.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.options.parallel = parallel;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ViewsDiffOptions {
+        self.options
+    }
+}
+
 /// Differences two traces using the views-based semantics, building the view webs and
 /// keyed traces internally (both sides are prepared concurrently unless
 /// `options.parallel` is off).
+#[deprecated(
+    since = "0.2.0",
+    note = "prepare traces once and diff through `rprism::Engine` (or call \
+            `views_diff_keyed` with cached artifacts); this shim re-derives webs and \
+            keys on every call"
+)]
+#[allow(deprecated)]
 pub fn views_diff(left: &Trace, right: &Trace, options: &ViewsDiffOptions) -> TraceDiffResult {
     let (left_web, right_web) = if options.parallel {
         build_web_pair(left, right)
@@ -92,6 +165,11 @@ pub fn views_diff(left: &Trace, right: &Trace, options: &ViewsDiffOptions) -> Tr
 /// trace participates in several comparisons, as in the regression-cause analysis). The
 /// keyed traces are built here; callers that already hold them should use
 /// [`views_diff_keyed`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rprism::Engine` with `PreparedTrace` handles (which cache keys too), or \
+            `views_diff_keyed` directly"
+)]
 pub fn views_diff_with_webs(
     left: &Trace,
     right: &Trace,
@@ -120,8 +198,9 @@ pub fn views_diff_with_webs(
 }
 
 /// The fully precomputed entry point: traces, webs and keyed traces all supplied by the
-/// caller. This is the form the regression analysis uses — each trace participates in up
-/// to two comparisons, and its web and keys are built exactly once.
+/// caller; the pair's view [`Correlation`] is built here. This is the form the
+/// regression-cause analysis uses — each trace participates in many comparisons, and its
+/// web and keys are built at most once per session and shared across all of them.
 pub fn views_diff_keyed(
     left: &Trace,
     right: &Trace,
@@ -131,9 +210,67 @@ pub fn views_diff_keyed(
     right_keyed: &KeyedTrace,
     options: &ViewsDiffOptions,
 ) -> TraceDiffResult {
+    // The clock starts before the correlation build: this entry point's `elapsed` covers
+    // everything it derives, keeping its timings comparable with the seed baseline's.
     let start = Instant::now();
-    let mut meter = CostMeter::new();
     let correlation = Correlation::build_with(left_web, right_web, options.parallel);
+    views_diff_correlated_from(
+        start,
+        left,
+        right,
+        left_web,
+        right_web,
+        left_keyed,
+        right_keyed,
+        &correlation,
+        options,
+    )
+}
+
+/// The maximally precomputed entry point: everything [`views_diff_keyed`] derives —
+/// including the pair's view [`Correlation`] — supplied by the caller. This is the
+/// backend of `rprism::Engine::diff`, whose session cache holds one correlation per
+/// trace pair so that repeated diffs of the same pair skip straight to the lock-step
+/// scan.
+#[allow(clippy::too_many_arguments)]
+pub fn views_diff_correlated(
+    left: &Trace,
+    right: &Trace,
+    left_web: &ViewWeb,
+    right_web: &ViewWeb,
+    left_keyed: &KeyedTrace,
+    right_keyed: &KeyedTrace,
+    correlation: &Correlation,
+    options: &ViewsDiffOptions,
+) -> TraceDiffResult {
+    views_diff_correlated_from(
+        Instant::now(),
+        left,
+        right,
+        left_web,
+        right_web,
+        left_keyed,
+        right_keyed,
+        correlation,
+        options,
+    )
+}
+
+/// Shared body of [`views_diff_keyed`] / [`views_diff_correlated`]; `start` anchors the
+/// result's `elapsed` so each public entry point times exactly the work it performs.
+#[allow(clippy::too_many_arguments)]
+fn views_diff_correlated_from(
+    start: Instant,
+    left: &Trace,
+    right: &Trace,
+    left_web: &ViewWeb,
+    right_web: &ViewWeb,
+    left_keyed: &KeyedTrace,
+    right_keyed: &KeyedTrace,
+    correlation: &Correlation,
+    options: &ViewsDiffOptions,
+) -> TraceDiffResult {
+    let mut meter = CostMeter::new();
 
     meter.allocate(keyed_bytes(left_keyed) + keyed_bytes(right_keyed));
 
@@ -142,7 +279,7 @@ pub fn views_diff_keyed(
         right,
         left_web,
         right_web,
-        correlation: &correlation,
+        correlation,
         left_keyed,
         right_keyed,
         options,
@@ -424,6 +561,10 @@ impl<'a> Differ<'a> {
 
 #[cfg(test)]
 mod tests {
+    // These unit tests pin down the behaviour of the one-shot entry points, deprecated
+    // shims included: they must keep working unchanged underneath the session API.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::lcs_diff::{lcs_diff, LcsDiffOptions};
     use rprism_lang::parser::parse_program;

@@ -8,9 +8,9 @@
 //! threads (paper §2.1, Fig. 3). This crate implements that calculus as a plain Rust data
 //! structure ([`ast`]), together with:
 //!
-//! * a [`ClassTable`](classtable::ClassTable) providing the `fields` and `mbody` auxiliary
+//! * a [`ClassTable`] providing the `fields` and `mbody` auxiliary
 //!   functions of Fig. 5,
-//! * a hand-written [parser](parser) and [pretty printer](pretty) for a concrete syntax,
+//! * a hand-written [`parser`] and [pretty printer](pretty) for a concrete syntax,
 //! * a fluent [builder API](build) used by the synthetic workload generators,
 //! * [static validation](validate) of programs (well-formed class hierarchies, known
 //!   fields/methods, constructor arity).

@@ -20,7 +20,7 @@
 use std::time::{Duration, Instant};
 
 use rprism_diff::{
-    lcs_diff, views_diff_keyed, DiffError, DiffSequence, LcsDiffOptions, TraceDiffResult,
+    lcs_diff_keyed, views_diff_keyed, DiffError, DiffSequence, LcsDiffOptions, TraceDiffResult,
     ViewsDiffOptions,
 };
 use rprism_trace::{KeyedTrace, Trace};
@@ -28,7 +28,9 @@ use rprism_views::ViewWeb;
 
 use crate::sets::{DiffSet, DiffSignature};
 
-/// The four traces the analysis consumes.
+/// The four traces the analysis consumes, owned. This is the *tracing-side* bundle (what
+/// a scenario run produces); the analysis itself consumes borrowed prepared artifacts via
+/// [`PreparedInput`] so that no trace is ever copied on the analysis path.
 #[derive(Clone, Debug)]
 pub struct RegressionTraces {
     /// Original (correct) version, regressing test case.
@@ -39,6 +41,48 @@ pub struct RegressionTraces {
     pub old_passing: Trace,
     /// New version, similar but non-regressing test case.
     pub new_passing: Trace,
+}
+
+/// Borrowed prepared artifacts of one trace: the trace itself, its precomputed event
+/// keys, and (for the views algorithm) its view web. Produced by `rprism::PreparedTrace`
+/// handles or by any caller that manages its own caches.
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedTraceRef<'a> {
+    /// The underlying trace.
+    pub trace: &'a Trace,
+    /// Precomputed interned event keys for `=e` comparisons and difference signatures.
+    pub keyed: &'a KeyedTrace,
+    /// The trace's view web. Required (`Some`) when analyzing with
+    /// [`DiffAlgorithm::Views`]; the LCS baseline ignores it.
+    pub web: Option<&'a ViewWeb>,
+}
+
+impl<'a> PreparedTraceRef<'a> {
+    /// Bundles borrowed artifacts into a reference.
+    pub fn new(trace: &'a Trace, keyed: &'a KeyedTrace, web: Option<&'a ViewWeb>) -> Self {
+        PreparedTraceRef { trace, keyed, web }
+    }
+
+    fn web_for_views(&self) -> &'a ViewWeb {
+        self.web
+            .expect("view web must be prepared for the views algorithm")
+    }
+}
+
+/// The borrowed input of [`analyze_prepared`]: the four traces of the regression-cause
+/// analysis with their prepared artifacts. Nothing is owned, so the same prepared traces
+/// can feed any number of analyses (and any number of plain diffs) without re-deriving
+/// keys or webs — the session pattern `rprism::Engine` builds on.
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedInput<'a> {
+    /// Original (correct) version, regressing test case.
+    pub old_regressing: PreparedTraceRef<'a>,
+    /// New (regressing) version, regressing test case.
+    pub new_regressing: PreparedTraceRef<'a>,
+    /// Original version, similar but non-regressing test case.
+    pub old_passing: PreparedTraceRef<'a>,
+    /// New version, similar but non-regressing test case.
+    pub new_passing: PreparedTraceRef<'a>,
 }
 
 /// Which differencing semantics the analysis uses for all three comparisons.
@@ -101,6 +145,12 @@ pub struct RegressionReport {
     /// Every difference sequence of the suspected comparison with its verdict.
     pub sequences: Vec<SequenceVerdict>,
     /// Total wall-clock time of the three differencing runs plus the set algebra.
+    ///
+    /// Artifact preparation (keys, webs) is *excluded*: since the session API those are
+    /// built at most once per trace and amortized across every query, so charging them
+    /// to one analysis would misstate both. (Before the `Engine` redesign the one-shot
+    /// `analyze` folded its per-call preparation into this figure; timings recorded
+    /// across that boundary are not directly comparable.)
     pub analysis_time: Duration,
     /// Sum of compare operations across the three differencing runs.
     pub compare_ops: u64,
@@ -138,19 +188,24 @@ impl RegressionReport {
     }
 }
 
-/// Runs the full regression-cause analysis.
+/// Runs the full regression-cause analysis, deriving keys (and, for the views algorithm,
+/// view webs) for all four traces on every call.
 ///
 /// # Errors
 ///
 /// Returns a [`DiffError`] when the LCS baseline exhausts its memory budget on any of the
 /// three comparisons (the views-based algorithm never fails).
+#[deprecated(
+    since = "0.2.0",
+    note = "prepare traces once and analyze through `rprism::Engine` (or call \
+            `analyze_prepared` with cached artifacts); this shim re-derives keys and \
+            webs on every call"
+)]
 pub fn analyze(
     traces: &RegressionTraces,
     algorithm: &DiffAlgorithm,
     mode: AnalysisMode,
 ) -> Result<RegressionReport, DiffError> {
-    let start = Instant::now();
-
     // Pre-build keyed traces once per trace: each trace participates in up to two
     // comparisons and in difference-set construction, and all of those consume the same
     // precomputed keys. View webs are only consumed by the views algorithm, so the LCS
@@ -166,90 +221,136 @@ pub fn analyze(
         web: needs_webs.then(|| ViewWeb::build(trace)),
         keyed: KeyedTrace::build(trace),
     };
-    let [old_reg, new_reg, old_pass, new_pass] = {
-        let traces = [
-            &traces.old_regressing,
-            &traces.new_regressing,
-            &traces.old_passing,
-            &traces.new_passing,
-        ];
-        let mut prepared: Vec<Prepared> = std::thread::scope(|scope| {
-            let handles: Vec<_> = traces.iter().map(|t| scope.spawn(move || prepare(t))).collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("trace preparation panicked"))
-                .collect()
-        });
-        let d = prepared.pop().unwrap();
-        let c = prepared.pop().unwrap();
-        let b = prepared.pop().unwrap();
-        let a = prepared.pop().unwrap();
-        [a, b, c, d]
-    };
+    let four = [
+        &traces.old_regressing,
+        &traces.new_regressing,
+        &traces.old_passing,
+        &traces.new_passing,
+    ];
+    let mut prepared: Vec<Prepared> = std::thread::scope(|scope| {
+        let handles: Vec<_> = four.iter().map(|t| scope.spawn(move || prepare(t))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trace preparation panicked"))
+            .collect()
+    });
+    let new_pass = prepared.pop().unwrap();
+    let old_pass = prepared.pop().unwrap();
+    let new_reg = prepared.pop().unwrap();
+    let old_reg = prepared.pop().unwrap();
 
-    let diff_pair = |left: &Trace,
-                     lprep: &Prepared,
-                     right: &Trace,
-                     rprep: &Prepared|
-     -> Result<TraceDiffResult, DiffError> {
-        match algorithm {
-            DiffAlgorithm::Views(options) => Ok(views_diff_keyed(
-                left,
-                right,
-                lprep.web.as_ref().expect("webs prepared for views algorithm"),
-                rprep.web.as_ref().expect("webs prepared for views algorithm"),
-                &lprep.keyed,
-                &rprep.keyed,
-                options,
-            )),
-            DiffAlgorithm::Lcs(options) => lcs_diff(left, right, options),
+    fn as_ref<'a>(trace: &'a Trace, prep: &'a Prepared) -> PreparedTraceRef<'a> {
+        PreparedTraceRef {
+            trace,
+            keyed: &prep.keyed,
+            web: prep.web.as_ref(),
         }
+    }
+    analyze_prepared(
+        &PreparedInput {
+            old_regressing: as_ref(&traces.old_regressing, &old_reg),
+            new_regressing: as_ref(&traces.new_regressing, &new_reg),
+            old_passing: as_ref(&traces.old_passing, &old_pass),
+            new_passing: as_ref(&traces.new_passing, &new_pass),
+        },
+        algorithm,
+        mode,
+    )
+}
+
+/// Which of the three §4.1 comparisons is being differenced — passed to the pluggable
+/// differ of [`analyze_prepared_with`] so callers with pair-level caches (such as
+/// `rprism::Engine`) know which trace pair a diff belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnalysisComparison {
+    /// A — old vs new version under the regressing test.
+    Suspected,
+    /// B — old vs new version under the passing test.
+    Expected,
+    /// C — passing vs regressing test on the new version.
+    Regression,
+}
+
+/// Runs the full regression-cause analysis over borrowed prepared artifacts: nothing is
+/// copied, keys and webs are consumed as supplied, and the same [`PreparedInput`] sources
+/// can feed any number of analyses.
+///
+/// # Panics
+///
+/// Panics when [`DiffAlgorithm::Views`] is selected and any input lacks its view web.
+///
+/// # Errors
+///
+/// Returns a [`DiffError`] when the LCS baseline exhausts its memory budget on any of the
+/// three comparisons (the views-based algorithm never fails).
+pub fn analyze_prepared(
+    input: &PreparedInput<'_>,
+    algorithm: &DiffAlgorithm,
+    mode: AnalysisMode,
+) -> Result<RegressionReport, DiffError> {
+    analyze_prepared_with(input, algorithm, mode, |_, left, right| match algorithm {
+        DiffAlgorithm::Views(options) => Ok(views_diff_keyed(
+            left.trace,
+            right.trace,
+            left.web_for_views(),
+            right.web_for_views(),
+            left.keyed,
+            right.keyed,
+            options,
+        )),
+        DiffAlgorithm::Lcs(options) => {
+            lcs_diff_keyed(left.trace, right.trace, left.keyed, right.keyed, options)
+        }
+    })
+}
+
+/// [`analyze_prepared`] with a pluggable differ: the three §4.1 comparisons are
+/// delegated to `diff_pair`, which receives the [`AnalysisComparison`] being computed
+/// plus the two prepared sides. This is the workhorse behind `rprism::Engine`'s
+/// `analyze`/`analyze_many` — the engine's differ reuses its session-cached pair
+/// correlations, so repeated analyses of the same input re-derive nothing.
+///
+/// The differ must compute the same matching the configured `algorithm` would (the
+/// report's `algorithm` label and cost aggregation come from its results).
+///
+/// # Errors
+///
+/// Propagates the first `diff_pair` error, in comparison order (A, B, C).
+pub fn analyze_prepared_with(
+    input: &PreparedInput<'_>,
+    algorithm: &DiffAlgorithm,
+    mode: AnalysisMode,
+    mut diff_pair: impl FnMut(
+        AnalysisComparison,
+        PreparedTraceRef<'_>,
+        PreparedTraceRef<'_>,
+    ) -> Result<TraceDiffResult, DiffError>,
+) -> Result<RegressionReport, DiffError> {
+    let start = Instant::now();
+    let (old_reg, new_reg, old_pass, new_pass) = (
+        input.old_regressing,
+        input.new_regressing,
+        input.old_passing,
+        input.new_passing,
+    );
+
+    let diff_set = |diff: &TraceDiffResult,
+                    left: PreparedTraceRef<'_>,
+                    right: PreparedTraceRef<'_>| {
+        DiffSet::from_diff_keyed(diff, left.trace, right.trace, left.keyed, right.keyed)
     };
 
     // Step 1: A — old vs new under the regressing test.
-    let suspected_diff = diff_pair(
-        &traces.old_regressing,
-        &old_reg,
-        &traces.new_regressing,
-        &new_reg,
-    )?;
-    let suspected = DiffSet::from_diff_keyed(
-        &suspected_diff,
-        &traces.old_regressing,
-        &traces.new_regressing,
-        &old_reg.keyed,
-        &new_reg.keyed,
-    );
+    let suspected_diff = diff_pair(AnalysisComparison::Suspected, old_reg, new_reg)?;
+    let suspected = diff_set(&suspected_diff, old_reg, new_reg);
 
     // Step 2: B — old vs new under the passing test.
-    let expected_diff = diff_pair(
-        &traces.old_passing,
-        &old_pass,
-        &traces.new_passing,
-        &new_pass,
-    )?;
-    let expected = DiffSet::from_diff_keyed(
-        &expected_diff,
-        &traces.old_passing,
-        &traces.new_passing,
-        &old_pass.keyed,
-        &new_pass.keyed,
-    );
+    let expected_diff = diff_pair(AnalysisComparison::Expected, old_pass, new_pass)?;
+    let expected = diff_set(&expected_diff, old_pass, new_pass);
 
     // Step 3: C — passing vs regressing test on the new version.
-    let regression_diff = diff_pair(
-        &traces.new_passing,
-        &new_pass,
-        &traces.new_regressing,
-        &new_reg,
-    )?;
-    let regression = DiffSet::from_diff_keyed(
-        &regression_diff,
-        &traces.new_passing,
-        &traces.new_regressing,
-        &new_pass.keyed,
-        &new_reg.keyed,
-    );
+    let regression_diff = diff_pair(AnalysisComparison::Regression, new_pass, new_reg)?;
+    let regression = diff_set(&regression_diff, new_pass, new_reg);
 
     // Step 4: D.
     let a_minus_b = suspected.subtract(&expected);
@@ -268,18 +369,18 @@ pub fn analyze(
                 .left
                 .iter()
                 .filter_map(|i| {
-                    traces
-                        .old_regressing
+                    old_reg
+                        .trace
                         .entries
                         .get(*i)
-                        .map(|e| DiffSignature::of_keyed(&old_reg.keyed, *i, e))
+                        .map(|e| DiffSignature::of_keyed(old_reg.keyed, *i, e))
                 })
                 .chain(sequence.right.iter().filter_map(|i| {
-                    traces
-                        .new_regressing
+                    new_reg
+                        .trace
                         .entries
                         .get(*i)
-                        .map(|e| DiffSignature::of_keyed(&new_reg.keyed, *i, e))
+                        .map(|e| DiffSignature::of_keyed(new_reg.keyed, *i, e))
                 }))
                 .any(|signature| candidates.contains(&signature));
             SequenceVerdict {
@@ -319,6 +420,30 @@ mod tests {
     use rprism_lang::parser::parse_program;
     use rprism_trace::TraceMeta;
     use rprism_vm::{run_traced, VmConfig};
+
+    /// Prepares keys and webs for the four traces and runs [`analyze_prepared`] — the
+    /// borrowed-artifact path every caller now goes through.
+    fn run(
+        traces: &RegressionTraces,
+        algorithm: &DiffAlgorithm,
+        mode: AnalysisMode,
+    ) -> Result<RegressionReport, DiffError> {
+        let prep = |t: &Trace| (KeyedTrace::build(t), ViewWeb::build(t));
+        let (ork, orw) = prep(&traces.old_regressing);
+        let (nrk, nrw) = prep(&traces.new_regressing);
+        let (opk, opw) = prep(&traces.old_passing);
+        let (npk, npw) = prep(&traces.new_passing);
+        analyze_prepared(
+            &PreparedInput {
+                old_regressing: PreparedTraceRef::new(&traces.old_regressing, &ork, Some(&orw)),
+                new_regressing: PreparedTraceRef::new(&traces.new_regressing, &nrk, Some(&nrw)),
+                old_passing: PreparedTraceRef::new(&traces.old_passing, &opk, Some(&opw)),
+                new_passing: PreparedTraceRef::new(&traces.new_passing, &npk, Some(&npw)),
+            },
+            algorithm,
+            mode,
+        )
+    }
 
     /// The motivating-example shape: a conversion range initialized during request setup,
     /// consulted much later during processing; the regression flips the range's lower
@@ -390,7 +515,7 @@ mod tests {
 
     #[test]
     fn candidate_set_is_smaller_than_suspected_set() {
-        let report = analyze(
+        let report = run(
             &scenario(),
             &DiffAlgorithm::Views(ViewsDiffOptions::default()),
             AnalysisMode::Intersect,
@@ -410,7 +535,7 @@ mod tests {
 
     #[test]
     fn regression_sequences_are_a_subset_of_all_sequences() {
-        let report = analyze(
+        let report = run(
             &scenario(),
             &DiffAlgorithm::Views(ViewsDiffOptions::default()),
             AnalysisMode::Intersect,
@@ -432,7 +557,7 @@ mod tests {
             old_passing: trace(32, "text/plain", "old-pass"),
             new_passing: trace(1, "text/plain", "new-pass"),
         };
-        let report = analyze(
+        let report = run(
             &traces,
             &DiffAlgorithm::Views(ViewsDiffOptions::default()),
             AnalysisMode::Intersect,
@@ -445,13 +570,13 @@ mod tests {
 
     #[test]
     fn lcs_and_views_modes_both_run() {
-        let views = analyze(
+        let views = run(
             &scenario(),
             &DiffAlgorithm::Views(ViewsDiffOptions::default()),
             AnalysisMode::Intersect,
         )
         .unwrap();
-        let lcs = analyze(
+        let lcs = run(
             &scenario(),
             &DiffAlgorithm::Lcs(LcsDiffOptions::default()),
             AnalysisMode::Intersect,
@@ -464,7 +589,7 @@ mod tests {
 
     #[test]
     fn subtract_mode_for_code_removal() {
-        let report = analyze(
+        let report = run(
             &scenario(),
             &DiffAlgorithm::Views(ViewsDiffOptions::default()),
             AnalysisMode::SubtractRegressionSet,
@@ -474,5 +599,31 @@ mod tests {
         // C; sanity-check the algebra: D_subtract ∩ C = ∅.
         assert!(report.candidates.intersect(&report.regression).is_empty());
         assert_eq!(report.mode, AnalysisMode::SubtractRegressionSet);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_analyze_shim_matches_prepared_path() {
+        let traces = scenario();
+        let algorithm = DiffAlgorithm::Views(ViewsDiffOptions::default());
+        let shim = analyze(&traces, &algorithm, AnalysisMode::Intersect).unwrap();
+        let prepared = run(&traces, &algorithm, AnalysisMode::Intersect).unwrap();
+        assert_eq!(shim.suspected, prepared.suspected);
+        assert_eq!(shim.expected, prepared.expected);
+        assert_eq!(shim.regression, prepared.regression);
+        assert_eq!(shim.candidates, prepared.candidates);
+        assert_eq!(shim.compare_ops, prepared.compare_ops);
+        assert_eq!(shim.peak_bytes, prepared.peak_bytes);
+        assert_eq!(
+            shim.sequences
+                .iter()
+                .map(|s| s.regression_related)
+                .collect::<Vec<_>>(),
+            prepared
+                .sequences
+                .iter()
+                .map(|s| s.regression_related)
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -18,8 +18,11 @@ pub mod metrics;
 pub mod report;
 pub mod sets;
 
+#[allow(deprecated)]
+pub use analysis::analyze;
 pub use analysis::{
-    analyze, AnalysisMode, DiffAlgorithm, RegressionReport, RegressionTraces, SequenceVerdict,
+    analyze_prepared, analyze_prepared_with, AnalysisComparison, AnalysisMode, DiffAlgorithm,
+    PreparedInput, PreparedTraceRef, RegressionReport, RegressionTraces, SequenceVerdict,
 };
 pub use metrics::{accuracy, evaluate, speedup, GroundTruth, QualityMetrics};
 pub use report::{render_report, RenderOptions};

@@ -113,6 +113,10 @@ pub fn render_report(
 
 #[cfg(test)]
 mod tests {
+    // The rendering test drives the whole pipeline through the one-shot shim for
+    // brevity; the prepared path is covered by the analysis tests.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::analysis::{analyze, AnalysisMode, DiffAlgorithm, RegressionTraces};
     use rprism_diff::ViewsDiffOptions;

@@ -15,7 +15,7 @@
 //! * [`trace`] — trace containers, including segmented storage mimicking RPrism's
 //!   "smart trace segmentation" (§5);
 //! * [`eq`] — the event-equality relation `=e` on which all differencing is built;
-//! * [`intern`] — process-global string interning: names become dense `u32`
+//! * [`mod@intern`] — process-global string interning: names become dense `u32`
 //!   [`Symbol`]s that compare and hash as integers;
 //! * [`keyed`] — [`KeyedTrace`]: per-entry precomputed [`CompactEventKey`]s (interned
 //!   symbols + value fingerprints + a 64-bit content hash) that make `=e` on the diff

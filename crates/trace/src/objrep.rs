@@ -18,7 +18,7 @@
 //! * [`ValueRepr`] — the full recursive serialization `r` (bounded by a depth limit),
 //! * [`ValueFingerprint`] — a stable 64-bit hash of the serialization (the `hashCode`
 //!   analogue) plus a truncated printed form (the `toString` analogue),
-//! * [`ObjRep::Opaque`]-style empty fingerprints for identity-only objects,
+//! * `ObjRep::Opaque`-style empty fingerprints for identity-only objects,
 //! * per-class [`CreationSeq`] numbers, the alternative correlation basis used by target-
 //!   and active-object view correlation ("class-specific object creation sequence number",
 //!   §3.1).

@@ -38,7 +38,7 @@ impl TraceMeta {
 }
 
 /// A complete execution trace.
-#[derive(Clone, Debug, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub struct Trace {
     /// Trace identification.
     pub meta: TraceMeta,
@@ -46,7 +46,29 @@ pub struct Trace {
     pub entries: Vec<TraceEntry>,
 }
 
+/// Process-wide count of deep [`Trace`] copies (see [`Trace::clone_count`]).
+static TRACE_CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl Clone for Trace {
+    fn clone(&self) -> Self {
+        // Deep-copying a trace is the expense the prepared-handle API exists to avoid,
+        // so every copy is counted: tests assert the analysis path performs none.
+        TRACE_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Trace {
+            meta: self.meta.clone(),
+            entries: self.entries.clone(),
+        }
+    }
+}
+
 impl Trace {
+    /// The number of deep `Trace` copies performed by this process so far. Trace clones
+    /// are O(trace length); the analysis pipeline shares traces behind handles instead,
+    /// and the `no_trace_clone` regression test pins that down with this counter.
+    pub fn clone_count() -> u64 {
+        TRACE_CLONES.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Creates an empty trace with the given metadata.
     pub fn new(meta: TraceMeta) -> Self {
         Trace {

@@ -5,7 +5,7 @@
 //!
 //! | Paper rule     | Implementation point                                   |
 //! |----------------|--------------------------------------------------------|
-//! | CONS-E         | [`ThreadRun::eval`] on [`Term::New`] → `Event::Init`   |
+//! | CONS-E         | `ThreadRun::eval` on [`Term::New`] → `Event::Init`     |
 //! | CONS-VAL-E     | [`Term::Lit`] when `trace_prim_init` is enabled        |
 //! | FIELD-ACC-E    | [`Term::FieldGet`] → `Event::Get`                      |
 //! | FIELD-ASS-E    | [`Term::FieldSet`] → `Event::Set`                      |

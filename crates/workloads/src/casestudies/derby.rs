@@ -165,7 +165,7 @@ mod tests {
         assert!(traces.exhibits_regression());
         assert!(traces.new_regressing_errored);
         // The passing predicate works on both versions.
-        assert_eq!(traces.old_passing_output, traces.new_passing_output);
+        assert_eq!(traces.old_passing_output(), traces.new_passing_output());
     }
 
     #[test]

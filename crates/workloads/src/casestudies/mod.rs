@@ -50,10 +50,10 @@ mod tests {
                 traces.exhibits_regression(),
                 "{} does not exhibit a regression (outputs: reg {:?} vs {:?}, pass {:?} vs {:?}, errored={})",
                 scenario.name,
-                traces.old_regressing_output,
-                traces.new_regressing_output,
-                traces.old_passing_output,
-                traces.new_passing_output,
+                traces.old_regressing_output(),
+                traces.new_regressing_output(),
+                traces.old_passing_output(),
+                traces.new_passing_output(),
                 traces.new_regressing_errored,
             );
         }

@@ -231,10 +231,10 @@ mod tests {
         assert!(
             traces.exhibits_regression(),
             "outputs: reg {:?} vs {:?}, pass {:?} vs {:?}",
-            traces.old_regressing_output,
-            traces.new_regressing_output,
-            traces.old_passing_output,
-            traces.new_passing_output
+            traces.old_regressing_output(),
+            traces.new_regressing_output(),
+            traces.old_passing_output(),
+            traces.new_passing_output()
         );
     }
 

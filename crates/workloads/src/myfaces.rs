@@ -179,10 +179,10 @@ mod tests {
         assert!(
             traces.exhibits_regression(),
             "outputs: old={:?} new={:?} / pass old={:?} new={:?}",
-            traces.old_regressing_output,
-            traces.new_regressing_output,
-            traces.old_passing_output,
-            traces.new_passing_output
+            traces.old_regressing_output(),
+            traces.new_regressing_output(),
+            traces.old_passing_output(),
+            traces.new_passing_output()
         );
         assert!(suspected_trace_entries(&traces) > 40);
     }

@@ -6,14 +6,13 @@
 //! or documented cause. Scenarios are produced by the [`crate::myfaces`] motivating
 //! example, the [`crate::rhino`] generator and the four [`crate::casestudies`].
 
+use rprism::{Engine, PreparedTrace, RegressionInput};
 use rprism_diff::DiffError;
 use rprism_lang::ast::{Program, Term};
 use rprism_lang::pretty::program_to_string;
-use rprism_regress::{
-    analyze, AnalysisMode, DiffAlgorithm, GroundTruth, RegressionReport, RegressionTraces,
-};
+use rprism_regress::{AnalysisMode, DiffAlgorithm, GroundTruth, RegressionReport};
 use rprism_trace::TraceMeta;
-use rprism_vm::{run_traced, RunOutcome, VmConfig};
+use rprism_vm::{run_traced, RunOutcome, RuntimeError, VmConfig};
 
 /// A complete regression scenario.
 #[derive(Clone, Debug)]
@@ -53,6 +52,11 @@ pub enum ScenarioError {
     Invalid(rprism_lang::Error),
     /// Differencing failed (LCS memory exhaustion).
     Diff(DiffError),
+    /// A scenario run failed at runtime in a context that treats that as an error.
+    Runtime(RuntimeError),
+    /// Any other failure of the analysis facade (`rprism::Error` is `#[non_exhaustive]`;
+    /// variants added in the future land here instead of panicking).
+    Other(rprism::Error),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -60,6 +64,8 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::Invalid(e) => write!(f, "invalid scenario program: {e}"),
             ScenarioError::Diff(e) => write!(f, "differencing failed: {e}"),
+            ScenarioError::Runtime(e) => write!(f, "scenario run failed: {e}"),
+            ScenarioError::Other(e) => write!(f, "analysis failed: {e}"),
         }
     }
 }
@@ -78,19 +84,27 @@ impl From<DiffError> for ScenarioError {
     }
 }
 
+impl From<rprism::Error> for ScenarioError {
+    fn from(e: rprism::Error) -> Self {
+        match e {
+            rprism::Error::Lang(e) => ScenarioError::Invalid(e),
+            rprism::Error::Diff(e) => ScenarioError::Diff(e),
+            rprism::Error::Vm(e) => ScenarioError::Runtime(e),
+            other => ScenarioError::Other(other),
+        }
+    }
+}
+
 /// The four traces of a scenario plus per-run metadata (outputs, timing).
+///
+/// The traces are held as [`PreparedTrace`] handles (cheap `Arc` clones): every analysis
+/// and diff over them shares one cached set of keys and view webs, and cloning
+/// `ScenarioTraces` never copies a trace.
 #[derive(Clone, Debug)]
 pub struct ScenarioTraces {
-    /// The four traces consumed by the analysis.
-    pub traces: RegressionTraces,
-    /// Output of the old version under the regressing test.
-    pub old_regressing_output: Vec<String>,
-    /// Output of the new version under the regressing test.
-    pub new_regressing_output: Vec<String>,
-    /// Output of the old version under the passing test.
-    pub old_passing_output: Vec<String>,
-    /// Output of the new version under the passing test.
-    pub new_passing_output: Vec<String>,
+    /// The four prepared traces consumed by the analysis, with the scenario's analysis
+    /// mode attached.
+    pub traces: RegressionInput,
     /// Whether the new version failed with a runtime error under the regressing test
     /// (Derby-style regressions).
     pub new_regressing_errored: bool,
@@ -99,12 +113,32 @@ pub struct ScenarioTraces {
 }
 
 impl ScenarioTraces {
+    /// Output of the old version under the regressing test (stored on the handle).
+    pub fn old_regressing_output(&self) -> &[String] {
+        self.traces.old_regressing.output()
+    }
+
+    /// Output of the new version under the regressing test.
+    pub fn new_regressing_output(&self) -> &[String] {
+        self.traces.new_regressing.output()
+    }
+
+    /// Output of the old version under the passing test.
+    pub fn old_passing_output(&self) -> &[String] {
+        self.traces.old_passing.output()
+    }
+
+    /// Output of the new version under the passing test.
+    pub fn new_passing_output(&self) -> &[String] {
+        self.traces.new_passing.output()
+    }
+
     /// Returns `true` when the scenario actually regresses: the two versions disagree on
     /// the regressing test (by output or by error) but agree on the passing test.
     pub fn exhibits_regression(&self) -> bool {
-        let regresses = self.old_regressing_output != self.new_regressing_output
+        let regresses = self.old_regressing_output() != self.new_regressing_output()
             || self.new_regressing_errored;
-        let passes = self.old_passing_output == self.new_passing_output;
+        let passes = self.old_passing_output() == self.new_passing_output();
         regresses && passes
     }
 }
@@ -201,16 +235,13 @@ impl Scenario {
         let tracing_seconds = start.elapsed().as_secs_f64();
         Ok(ScenarioTraces {
             new_regressing_errored: new_reg.result.is_err() && old_reg.result.is_ok(),
-            traces: RegressionTraces {
-                old_regressing: old_reg.trace,
-                new_regressing: new_reg.trace,
-                old_passing: old_pass.trace,
-                new_passing: new_pass.trace,
-            },
-            old_regressing_output: old_reg.output,
-            new_regressing_output: new_reg.output,
-            old_passing_output: old_pass.output,
-            new_passing_output: new_pass.output,
+            traces: RegressionInput::new(
+                PreparedTrace::from_outcome(old_reg),
+                PreparedTrace::from_outcome(new_reg),
+                PreparedTrace::from_outcome(old_pass),
+                PreparedTrace::from_outcome(new_pass),
+            )
+            .with_mode(self.analysis_mode()),
             tracing_seconds,
         })
     }
@@ -227,7 +258,10 @@ impl Scenario {
         algorithm: &DiffAlgorithm,
     ) -> Result<(ScenarioTraces, RegressionReport), ScenarioError> {
         let traces = self.trace_all()?;
-        let report = analyze(&traces.traces, algorithm, self.analysis_mode())?;
+        // No engine-level mode needed: the input built by `trace_all` carries the
+        // scenario's analysis mode, which always overrides the engine default.
+        let engine = Engine::builder().algorithm(algorithm.clone()).build();
+        let report = engine.analyze(&traces.traces)?;
         Ok((traces, report))
     }
 

@@ -1,11 +1,13 @@
 //! The Derby-1633-style multithreaded case study: background connection workers run
 //! concurrently with the main thread while the new version's query optimizer throws during
-//! compilation. Shows per-thread views and the final analysis report.
+//! compilation. Shows per-thread views and the final analysis report, all driven by one
+//! session [`rprism::Engine`] — the web inspected up front is the same cached artifact
+//! the analysis consumes.
 //!
 //! Run with `cargo run --example derby_multithreaded`.
 
-use rprism_regress::{render_report, DiffAlgorithm, RenderOptions};
-use rprism_views::{ViewKind, ViewWeb};
+use rprism::Engine;
+use rprism_views::ViewKind;
 use rprism_workloads::casestudies::derby;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -13,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}: {}\n", scenario.name, scenario.description);
 
     let traces = scenario.trace_all()?;
-    let web = ViewWeb::build(&traces.traces.old_regressing);
+    let web = traces.traces.old_regressing.web();
     println!("thread views in the original version's regressing trace:");
     for view in web.views_of_kind(ViewKind::Thread) {
         println!("  {} — {} entries", view.name, view.len());
@@ -23,19 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traces.new_regressing_errored
     );
 
-    let report = rprism_regress::analyze(
-        &traces.traces,
-        &DiffAlgorithm::Views(Default::default()),
-        scenario.analysis_mode(),
-    )?;
-    println!(
-        "{}",
-        render_report(
-            &report,
-            &traces.traces.old_regressing,
-            &traces.traces.new_regressing,
-            &RenderOptions::default()
-        )
-    );
+    // The input carries the scenario's analysis mode; the engine reuses the web built
+    // above instead of deriving it again.
+    let engine = Engine::new();
+    let report = engine.analyze(&traces.traces)?;
+    println!("{}", engine.render_report(&report, &traces.traces));
     Ok(())
 }

@@ -1,11 +1,16 @@
-//! Quickstart: trace two versions of a tiny program, difference them semantically, and
-//! print the resulting semantic diff.
+//! Quickstart: open an analysis session, trace two versions of a tiny program,
+//! difference them semantically, and print the resulting semantic diff.
+//!
+//! The [`rprism::Engine`] is the session object: traces come back as `PreparedTrace`
+//! handles whose derived artifacts (interned event keys, the view web) are built once
+//! and reused by every query — note the second diff below reuses everything the first
+//! one built.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use rprism::Rprism;
+use rprism::Engine;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), rprism::Error> {
     let old_src = r#"
         class Range extends Object { Int min; Int max; }
         class App extends Object {
@@ -29,23 +34,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The "new version" ships an off-by-31 range.
     let new_src = old_src.replace("new Range(32, 127)", "new Range(1, 127)");
 
-    let rprism = Rprism::new();
-    let old = rprism.trace_source(old_src, "v1")?;
-    let new = rprism.trace_source(&new_src, "v2")?;
+    let engine = Engine::new();
+    let old = engine.trace_source(old_src, "v1")?;
+    let new = engine.trace_source(&new_src, "v2")?;
 
     println!(
         "traced v1 ({} entries) and v2 ({} entries)",
-        old.trace.len(),
-        new.trace.len()
+        old.trace().len(),
+        new.trace().len()
     );
 
-    let diff = rprism.diff(&old.trace, &new.trace);
+    let diff = engine.diff(&old, &new)?;
     println!(
         "views-based diff: {} differences in {} sequences ({} compare ops)\n",
         diff.num_differences(),
         diff.num_sequences(),
         diff.cost.compare_ops
     );
-    print!("{}", diff.render(&old.trace, &new.trace, 5));
+    print!("{}", diff.render(old.trace(), new.trace(), 5));
+
+    // A second query over the same handles is nearly free: the view webs and event keys
+    // were cached inside the handles by the first diff.
+    let again = engine.diff(&old, &new)?;
+    println!(
+        "\nre-diffed with cached artifacts: {} differences (web built {} time(s))",
+        again.num_differences(),
+        old.web_build_count()
+    );
     Ok(())
 }

@@ -4,10 +4,10 @@
 //!
 //! Run with `cargo run --example view_explorer`.
 
-use rprism::Rprism;
-use rprism_views::{ViewKind, ViewWeb};
+use rprism::Engine;
+use rprism_views::ViewKind;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), rprism::Error> {
     let src = r#"
         class Log extends Object {
             Int n;
@@ -30,10 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     "#;
 
-    let rprism = Rprism::new();
-    let outcome = rprism.trace_source(src, "explore")?;
-    let trace = &outcome.trace;
-    let web = ViewWeb::build(trace);
+    let engine = Engine::new();
+    let prepared = engine.trace_source(src, "explore")?;
+    let trace = prepared.trace();
+    // The web is an artifact of the prepared handle: built here on first access, shared
+    // with every later diff or analysis over the same handle.
+    let web = prepared.web();
 
     let counts = web.count_by_kind();
     println!(

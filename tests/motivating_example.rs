@@ -2,7 +2,8 @@
 //! the MyFaces-1130-style character-range regression, traced, differenced and analyzed
 //! across crates.
 
-use rprism_diff::{lcs_diff, views_diff, LcsDiffOptions, ViewsDiffOptions};
+use rprism::Engine;
+use rprism_diff::{LcsDiffOptions, ViewsDiffOptions};
 use rprism_regress::DiffAlgorithm;
 use rprism_workloads::myfaces;
 
@@ -13,7 +14,8 @@ fn views_diff_localizes_the_bad_range_initialization() {
     let old = &traces.traces.old_regressing;
     let new = &traces.traces.new_regressing;
 
-    let result = views_diff(old, new, &ViewsDiffOptions::default());
+    let engine = Engine::new();
+    let result = engine.diff(old, new).expect("views never fails");
     assert!(result.num_differences() > 0);
 
     // The differing entries include the incorrect NumericEntityUtil initialization with
@@ -43,8 +45,14 @@ fn views_based_differencing_is_at_least_as_accurate_as_lcs() {
     let old = &traces.traces.old_regressing;
     let new = &traces.traces.new_regressing;
 
-    let views = views_diff(old, new, &ViewsDiffOptions::default());
-    let lcs = lcs_diff(old, new, &LcsDiffOptions::default()).expect("small traces fit in memory");
+    // Two engines over the same prepared handles: the event keys derived for the views
+    // diff are reused by the LCS baseline.
+    let views = Engine::new().diff(old, new).expect("views never fails");
+    let lcs = Engine::builder()
+        .lcs_baseline(LcsDiffOptions::default())
+        .build()
+        .diff(old, new)
+        .expect("small traces fit in memory");
     assert!(
         views.accuracy_vs(&lcs) >= 0.99,
         "views accuracy {} dropped below the LCS baseline",

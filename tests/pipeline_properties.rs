@@ -3,10 +3,10 @@
 //! (Deterministic seeded generation stands in for `proptest`; see
 //! `rprism_trace::testgen` for the conventions.)
 
-use rprism_diff::{views_diff, ViewsDiffOptions};
+use rprism::Engine;
 use rprism_trace::eq::EventKey;
 use rprism_trace::KeyedTrace;
-use rprism_views::{ViewKind, ViewWeb};
+use rprism_views::ViewKind;
 use rprism_workloads::{generate_bug, InjectedBug, RhinoConfig};
 
 fn config(seed: u64, script_length: usize) -> RhinoConfig {
@@ -43,8 +43,9 @@ fn tracing_is_deterministic() {
 #[test]
 fn view_webs_partition_the_trace() {
     for bug in bug_cases() {
-        let trace = bug.scenario.trace_all().unwrap().traces.old_regressing;
-        let web = ViewWeb::build(&trace);
+        let prepared = bug.scenario.trace_all().unwrap().traces.old_regressing;
+        let trace = prepared.trace();
+        let web = prepared.web();
 
         let thread_total: usize = web
             .views_of_kind(ViewKind::Thread)
@@ -95,14 +96,18 @@ fn keyed_traces_agree_with_eventkeys_on_generated_workloads() {
 /// original against the mutated version never reports more differences than entries.
 #[test]
 fn views_diff_bounds() {
+    let engine = Engine::new();
     for bug in bug_cases() {
         let traces = bug.scenario.trace_all().unwrap().traces;
-        let options = ViewsDiffOptions::default();
 
-        let self_diff = views_diff(&traces.old_regressing, &traces.old_regressing, &options);
+        let self_diff = engine
+            .diff(&traces.old_regressing, &traces.old_regressing)
+            .unwrap();
         assert_eq!(self_diff.num_differences(), 0, "{}", bug.scenario.name);
 
-        let cross = views_diff(&traces.old_regressing, &traces.new_regressing, &options);
+        let cross = engine
+            .diff(&traces.old_regressing, &traces.new_regressing)
+            .unwrap();
         assert!(
             cross.num_differences()
                 <= traces.old_regressing.len() + traces.new_regressing.len()
