@@ -10,7 +10,11 @@
 //!    `views_diff` call re-deriving keys and webs) vs 3 times through an
 //!    `rprism::Engine` whose `PreparedTrace` handles build both artifacts once and
 //!    reuse them, printing the `prepared_reuse_speedup` (the headline number recorded
-//!    in `BENCH_2.json`).
+//!    in `BENCH_2.json`);
+//! 3. **trace i/o** — the same large trace serialized and re-parsed through
+//!    `rprism-format` in both encodings (in memory), printing bytes per entry and
+//!    write/read throughput in entries per second — the ingestion budget of the
+//!    on-disk pipeline.
 //!
 //! The `--json` flag emits all numbers as one JSON object.
 //!
@@ -148,6 +152,44 @@ fn measure_reuse(
     }
 }
 
+struct IoMeasured {
+    encoding: rprism_format::Encoding,
+    bytes: usize,
+    write_wall: Duration,
+    read_wall: Duration,
+}
+
+/// Times in-memory serialization and deserialization of `trace` in both encodings,
+/// asserting exact round trips (best of `samples` on each side).
+fn measure_trace_io(samples: usize, trace: &Trace) -> Vec<IoMeasured> {
+    use rprism_format::{trace_from_bytes, trace_to_bytes, Encoding};
+    [Encoding::Binary, Encoding::Jsonl]
+        .into_iter()
+        .map(|encoding| {
+            let mut bytes = Vec::new();
+            let mut write_wall = Duration::MAX;
+            for _ in 0..samples {
+                let start = std::time::Instant::now();
+                bytes = trace_to_bytes(trace, encoding).expect("in-memory write");
+                write_wall = write_wall.min(start.elapsed());
+            }
+            let mut read_wall = Duration::MAX;
+            for _ in 0..samples {
+                let start = std::time::Instant::now();
+                let decoded = trace_from_bytes(&bytes).expect("round trip");
+                read_wall = read_wall.min(start.elapsed());
+                assert_eq!(&decoded, trace, "{encoding} round trip diverged");
+            }
+            IoMeasured {
+                encoding,
+                bytes: bytes.len(),
+                write_wall,
+                read_wall,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let mut json = false;
     let mut iterations = 400usize;
@@ -174,6 +216,7 @@ fn main() {
 
     let (reuse_old, reuse_new) = trace_pair([(32, iterations), (32, iterations + 4)]);
     let reuse = measure_reuse(samples, 3, &reuse_old, &reuse_new, &options);
+    let io = measure_trace_io(samples, &old);
 
     let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
     let reuse_speedup =
@@ -197,7 +240,7 @@ fn main() {
         );
         println!("  \"wall_time_speedup\": {speedup:.2},");
         println!(
-            "  \"prepared_reuse\": {{ \"trace_entries\": [{}, {}], \"repeats\": {}, \"cold_wall_seconds\": {:.6}, \"prepared_wall_seconds\": {:.6}, \"prepared_reuse_speedup\": {:.2} }}",
+            "  \"prepared_reuse\": {{ \"trace_entries\": [{}, {}], \"repeats\": {}, \"cold_wall_seconds\": {:.6}, \"prepared_wall_seconds\": {:.6}, \"prepared_reuse_speedup\": {:.2} }},",
             reuse_old.len(),
             reuse_new.len(),
             reuse.repeats,
@@ -205,6 +248,20 @@ fn main() {
             reuse.prepared_wall.as_secs_f64(),
             reuse_speedup
         );
+        let io_json: Vec<String> = io
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{ \"encoding\": \"{}\", \"bytes\": {}, \"bytes_per_entry\": {:.1}, \"write_wall_seconds\": {:.6}, \"read_wall_seconds\": {:.6} }}",
+                    m.encoding,
+                    m.bytes,
+                    m.bytes as f64 / old.len().max(1) as f64,
+                    m.write_wall.as_secs_f64(),
+                    m.read_wall.as_secs_f64()
+                )
+            })
+            .collect();
+        println!("  \"trace_io\": [{}]", io_json.join(", "));
         println!("}}");
     } else {
         println!(
@@ -230,5 +287,18 @@ fn main() {
             "\n  prepared reuse ({}x same pair): cold {:>10.3?}  engine-prepared {:>10.3?}  speedup {reuse_speedup:.2}x",
             reuse.repeats, reuse.cold_wall, reuse.prepared_wall
         );
+        println!("\n  trace i/o ({} entries):", old.len());
+        for m in &io {
+            let entries_per_sec =
+                |wall: Duration| old.len() as f64 / wall.as_secs_f64().max(1e-12);
+            println!(
+                "    {:>6}: {:>9} bytes ({:>5.1} B/entry)  write {:>10.0} entries/s  read {:>10.0} entries/s",
+                m.encoding.to_string(),
+                m.bytes,
+                m.bytes as f64 / old.len().max(1) as f64,
+                entries_per_sec(m.write_wall),
+                entries_per_sec(m.read_wall)
+            );
+        }
     }
 }

@@ -1,0 +1,363 @@
+//! The `rprism` command-line tool: record, inspect, difference and analyze on-disk
+//! execution traces.
+//!
+//! ```text
+//! rprism record <source.rp> --out <file> [--label L] [--encoding binary|jsonl]
+//! rprism record --scenario <name|all> --dir <dir> [--encoding binary|jsonl]
+//! rprism diff <a> <b> [<c> <d> …] [--lcs] [--max-seqs N] [--quiet]
+//! rprism analyze <or> <nr> <op> <np> [… groups of four] [--mode intersect|subtract]
+//! rprism convert <in> <out> [--encoding binary|jsonl]
+//! rprism corpus --dir <dir> [--check]
+//! ```
+//!
+//! Trace files are read with content sniffing (binary `.rtr` or JSONL text, regardless
+//! of extension). Batch invocations — several `diff` pairs, several `analyze`
+//! quadruples — fan out through the session engine's `diff_many`/`analyze_many`, so a
+//! directory of recorded traces is one command away from a full batch analysis.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rprism::{
+    AnalysisMode, Encoding, Engine, LcsDiffOptions, PreparedTrace, RegressionInput, RenderOptions,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("rprism: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  rprism record <source.rp> --out <file> [--label <name>] [--encoding binary|jsonl]
+      Parse and trace a program source file, storing its trace.
+  rprism record --scenario <name|all> --dir <dir> [--encoding binary|jsonl]
+      Export the four traces of a built-in case study (daikon, xalan-1725,
+      xalan-1802, derby-1633) or of all of them.
+  rprism diff <a> <b> [<c> <d> ...] [--lcs] [--max-seqs <n>] [--quiet]
+      Semantically difference stored trace pairs (batched via diff_many).
+  rprism analyze <or> <nr> <op> <np> [...] [--mode intersect|subtract] [--max-seqs <n>]
+      Run the regression-cause analysis over stored trace quadruples
+      (old-regressing, new-regressing, old-passing, new-passing; batched).
+  rprism convert <in> <out> [--encoding binary|jsonl]
+      Re-encode a stored trace (default: encoding implied by <out>'s extension).
+  rprism corpus --dir <dir> [--check]
+      Regenerate the golden case-study corpus (or verify it, failing on drift).";
+
+/// One parsed flag set: positionals plus `--key value` / bare `--switch` options.
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+/// Flags that take a value; everything else starting with `--` is a switch.
+const VALUE_FLAGS: &[&str] = &[
+    "--out", "--label", "--encoding", "--scenario", "--dir", "--max-seqs", "--mode",
+];
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let key = format!("--{flag}");
+                if VALUE_FLAGS.contains(&key.as_str()) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("flag {key} expects a value"))?;
+                    options.push((key, Some(value.clone())));
+                } else {
+                    options.push((key, None));
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args {
+            positional,
+            options,
+        })
+    }
+
+    fn value(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for (key, _) in &self.options {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown flag {key} (see `rprism help`)"));
+            }
+        }
+        Ok(())
+    }
+
+    fn encoding(&self) -> Result<Option<Encoding>, String> {
+        self.value("--encoding").map(str::parse).transpose()
+    }
+
+    fn max_seqs(&self) -> Result<usize, String> {
+        match self.value("--max-seqs") {
+            None => Ok(5),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("--max-seqs expects a number, got {text:?}")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return Err("missing subcommand".into());
+    };
+    let parsed = Args::parse(rest)?;
+    match command.as_str() {
+        "record" => record(&parsed),
+        "diff" => diff(&parsed),
+        "analyze" => analyze(&parsed),
+        "convert" => convert(&parsed),
+        "corpus" => corpus(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("{USAGE}");
+            Err(format!("unknown subcommand {other:?}"))
+        }
+    }
+}
+
+fn load(engine: &Engine, path: &str) -> Result<PreparedTrace, String> {
+    engine
+        .load_trace(path)
+        .map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn record(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--out", "--label", "--encoding", "--scenario", "--dir"])?;
+    let encoding = args.encoding()?;
+    if let Some(scenario) = args.value("--scenario") {
+        if !args.positional.is_empty() || args.value("--out").is_some() || args.value("--label").is_some()
+        {
+            return Err(
+                "record --scenario exports a built-in case study and cannot be combined \
+                 with a source file, --out or --label"
+                    .into(),
+            );
+        }
+        let dir = args
+            .value("--dir")
+            .ok_or("record --scenario expects --dir <dir>")?;
+        let written =
+            rprism_workloads::corpus::export_scenario(scenario, dir, encoding.unwrap_or_default())
+                .map_err(|e| e.to_string())?;
+        for path in &written {
+            println!("wrote {}", path.display());
+        }
+        return Ok(());
+    }
+    if args.value("--dir").is_some() {
+        return Err("record --dir only applies to --scenario exports (use --out <file>)".into());
+    }
+    let [source] = args.positional.as_slice() else {
+        return Err("record expects one source file (or --scenario)".into());
+    };
+    let out = args.value("--out").ok_or("record expects --out <file>")?;
+    let out = PathBuf::from(out);
+    let label = args
+        .value("--label")
+        .map(str::to_owned)
+        .unwrap_or_else(|| {
+            Path::new(source)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "trace".to_owned())
+        });
+    let src =
+        std::fs::read_to_string(source).map_err(|e| format!("cannot read {source}: {e}"))?;
+    let engine = Engine::new();
+    let prepared = engine
+        .trace_source(&src, &label)
+        .map_err(|e| format!("cannot trace {source}: {e}"))?;
+    if let Some(err) = prepared.run_error() {
+        eprintln!("note: traced run ended with a runtime error: {err}");
+    }
+    let encoding = encoding.unwrap_or_else(|| Encoding::for_path(&out));
+    engine
+        .store_trace_as(&prepared, &out, encoding)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} entries, {} encoding)",
+        out.display(),
+        prepared.len(),
+        encoding
+    );
+    Ok(())
+}
+
+fn diff(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--lcs", "--max-seqs", "--quiet"])?;
+    let paths = &args.positional;
+    if paths.len() < 2 || !paths.len().is_multiple_of(2) {
+        return Err(format!(
+            "diff expects an even number of trace files (pairs), got {}",
+            paths.len()
+        ));
+    }
+    let max_seqs = args.max_seqs()?;
+    let mut builder = Engine::builder();
+    if args.switch("--lcs") {
+        builder = builder.lcs_baseline(LcsDiffOptions::default());
+    }
+    let engine = builder.build();
+    let mut pairs = Vec::new();
+    for chunk in paths.chunks(2) {
+        pairs.push((load(&engine, &chunk[0])?, load(&engine, &chunk[1])?));
+    }
+    let results = engine
+        .diff_many(&pairs)
+        .map_err(|e| format!("differencing failed: {e}"))?;
+    for (result, (pair, (left, right))) in results.iter().zip(paths.chunks(2).zip(&pairs)) {
+        println!(
+            "{} vs {}: {} differences in {} sequences ({} similar entries, {} compare ops, {})",
+            pair[0],
+            pair[1],
+            result.num_differences(),
+            result.num_sequences(),
+            result.num_similar(),
+            result.cost.compare_ops,
+            result.algorithm,
+        );
+        if !args.switch("--quiet") {
+            print!("{}", result.render(left.trace(), right.trace(), max_seqs));
+        }
+    }
+    Ok(())
+}
+
+fn analyze(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--mode", "--max-seqs"])?;
+    let paths = &args.positional;
+    if paths.is_empty() || !paths.len().is_multiple_of(4) {
+        return Err(format!(
+            "analyze expects groups of four trace files \
+             (old-regressing new-regressing old-passing new-passing), got {}",
+            paths.len()
+        ));
+    }
+    let mode = match args.value("--mode") {
+        None => None,
+        Some("intersect") => Some(AnalysisMode::Intersect),
+        Some("subtract") => Some(AnalysisMode::SubtractRegressionSet),
+        Some(other) => {
+            return Err(format!(
+                "unknown analysis mode {other:?} (expected `intersect` or `subtract`)"
+            ))
+        }
+    };
+    let engine = Engine::builder()
+        .render_options(RenderOptions {
+            max_regression_sequences: args.max_seqs()?,
+            ..RenderOptions::default()
+        })
+        .build();
+    let mut inputs = Vec::new();
+    for group in paths.chunks(4) {
+        let mut input = RegressionInput::new(
+            load(&engine, &group[0])?,
+            load(&engine, &group[1])?,
+            load(&engine, &group[2])?,
+            load(&engine, &group[3])?,
+        );
+        if let Some(mode) = mode {
+            input = input.with_mode(mode);
+        }
+        inputs.push(input);
+    }
+    let reports = engine
+        .analyze_many(&inputs)
+        .map_err(|e| format!("analysis failed: {e}"))?;
+    for (report, (group, input)) in reports.iter().zip(paths.chunks(4).zip(&inputs)) {
+        println!(
+            "analysis of {} vs {} (expected {} / {}):",
+            group[0], group[1], group[2], group[3]
+        );
+        println!(
+            "  suspected {} / expected {} / regression {} -> {} candidate causes, \
+             {} regression sequences ({:?} mode, {} compare ops)",
+            report.suspected.len(),
+            report.expected.len(),
+            report.regression.len(),
+            report.candidates.len(),
+            report.num_regression_sequences(),
+            report.mode,
+            report.compare_ops,
+        );
+        print!("{}", engine.render_report(report, input));
+    }
+    Ok(())
+}
+
+fn convert(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--encoding"])?;
+    let [input, output] = args.positional.as_slice() else {
+        return Err("convert expects <in> <out>".into());
+    };
+    let output = PathBuf::from(output);
+    let encoding = args
+        .encoding()?
+        .unwrap_or_else(|| Encoding::for_path(&output));
+    let trace = rprism_format::read_trace_path(input)
+        .map_err(|e| format!("cannot load {input}: {e}"))?;
+    rprism_format::write_trace_path(&trace, &output, encoding)
+        .map_err(|e| format!("cannot write {}: {e}", output.display()))?;
+    println!(
+        "converted {} -> {} ({} entries, {} encoding)",
+        input,
+        output.display(),
+        trace.len(),
+        encoding
+    );
+    Ok(())
+}
+
+fn corpus(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--dir", "--check"])?;
+    let dir = args.value("--dir").ok_or("corpus expects --dir <dir>")?;
+    if args.switch("--check") {
+        let drifted = rprism_workloads::check_corpus(dir).map_err(|e| e.to_string())?;
+        if drifted.is_empty() {
+            println!("corpus in {dir} matches the workloads (no drift)");
+            Ok(())
+        } else {
+            Err(format!(
+                "corpus drift in {dir}: {} file(s) differ from the regenerated \
+                 workload traces: {}",
+                drifted.len(),
+                drifted.join(", ")
+            ))
+        }
+    } else {
+        let names = rprism_workloads::write_corpus(dir).map_err(|e| e.to_string())?;
+        println!("wrote {} corpus files to {dir}", names.len());
+        Ok(())
+    }
+}

@@ -25,9 +25,11 @@
 //! reproducible down to the compare-operation counts.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use rprism_format::Encoding;
 use rprism_diff::{
     lcs_diff_keyed, views_diff_correlated, DiffError, LcsDiffOptions, TraceDiffResult,
     ViewsDiffOptions,
@@ -305,6 +307,7 @@ pub struct Engine {
     mode: AnalysisMode,
     render: RenderOptions,
     parallel: bool,
+    encoding: Encoding,
     /// Session cache of pair-level artifacts: one view [`Correlation`] per ordered
     /// handle pair. Shared by engine clones; bounded by FIFO eviction.
     correlations: Arc<Mutex<CorrelationCache>>,
@@ -331,6 +334,7 @@ impl Engine {
             mode: AnalysisMode::default(),
             render: RenderOptions::default(),
             parallel: true,
+            encoding: Encoding::default(),
         }
     }
 
@@ -354,9 +358,53 @@ impl Engine {
         &self.render
     }
 
+    /// The encoding [`Engine::store_trace`] writes ([`EngineBuilder::trace_encoding`]).
+    pub fn trace_encoding(&self) -> Encoding {
+        self.encoding
+    }
+
     /// Wraps an already-materialized trace into a prepared handle.
     pub fn prepare(&self, trace: Trace) -> PreparedTrace {
         PreparedTrace::new(trace)
+    }
+
+    /// Loads a serialized trace from disk into a prepared handle, sniffing the encoding
+    /// from the file content (both the binary `.rtr` and the JSONL text encodings are
+    /// accepted regardless of extension). This is the ingestion path for externally
+    /// captured traces: once loaded, a trace is indistinguishable from one produced by
+    /// [`Engine::trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] when the file is missing, truncated, corrupt, or
+    /// uses an unsupported format version.
+    pub fn load_trace(&self, path: impl AsRef<Path>) -> Result<PreparedTrace> {
+        Ok(PreparedTrace::new(rprism_format::read_trace_path(path)?))
+    }
+
+    /// Stores a prepared trace to disk in the engine's configured encoding
+    /// ([`EngineBuilder::trace_encoding`], binary by default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] when the file cannot be created or written.
+    pub fn store_trace(&self, trace: &PreparedTrace, path: impl AsRef<Path>) -> Result<()> {
+        self.store_trace_as(trace, path, self.encoding)
+    }
+
+    /// Stores a prepared trace to disk in an explicitly chosen encoding, overriding the
+    /// engine default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] when the file cannot be created or written.
+    pub fn store_trace_as(
+        &self,
+        trace: &PreparedTrace,
+        path: impl AsRef<Path>,
+        encoding: Encoding,
+    ) -> Result<()> {
+        Ok(rprism_format::write_trace_path(trace.trace(), path, encoding)?)
     }
 
     /// Traces a parsed program under the engine's tracing configuration.
@@ -672,6 +720,7 @@ pub struct EngineBuilder {
     mode: AnalysisMode,
     render: RenderOptions,
     parallel: bool,
+    encoding: Encoding,
 }
 
 impl EngineBuilder {
@@ -718,6 +767,14 @@ impl EngineBuilder {
         self
     }
 
+    /// The on-disk encoding [`Engine::store_trace`] writes: the compact binary form
+    /// (default) or the human-authorable JSONL text form. Loading always sniffs the
+    /// encoding from content, so this only affects stores.
+    pub fn trace_encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Engine {
         let mut algorithm = self.algorithm;
@@ -733,6 +790,7 @@ impl EngineBuilder {
             mode: self.mode,
             render: self.render,
             parallel: self.parallel,
+            encoding: self.encoding,
             correlations: Arc::new(Mutex::new(CorrelationCache::default())),
         }
     }
@@ -907,6 +965,39 @@ mod tests {
         // The baseline needs no webs; none were built.
         assert_eq!(a.web_build_count(), 0);
         assert_eq!(b.web_build_count(), 0);
+    }
+
+    #[test]
+    fn store_and_load_round_trip_through_both_encodings() {
+        let dir = std::env::temp_dir().join(format!("rprism-engine-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::builder().trace_encoding(Encoding::Jsonl).build();
+        assert_eq!(engine.trace_encoding(), Encoding::Jsonl);
+        let a = engine.trace_source(&regression_sources(32, 20), "a").unwrap();
+        let b = engine.trace_source(&regression_sources(1, 20), "b").unwrap();
+
+        let pa = dir.join("a.jsonl");
+        let pb = dir.join("b.rtr");
+        engine.store_trace(&a, &pa).unwrap();
+        engine.store_trace_as(&b, &pb, Encoding::Binary).unwrap();
+
+        let la = engine.load_trace(&pa).unwrap();
+        let lb = engine.load_trace(&pb).unwrap();
+        assert_eq!(la.trace(), a.trace());
+        assert_eq!(lb.trace(), b.trace());
+
+        // Diffing loaded traces matches diffing the originals exactly.
+        let original = engine.diff(&a, &b).unwrap();
+        let loaded = engine.diff(&la, &lb).unwrap();
+        assert_eq!(
+            original.matching.normalized_pairs(),
+            loaded.matching.normalized_pairs()
+        );
+        assert_eq!(original.cost.compare_ops, loaded.cost.compare_ops);
+
+        let err = engine.load_trace(dir.join("missing.rtr")).unwrap_err();
+        assert!(matches!(err, crate::Error::Format(_)));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

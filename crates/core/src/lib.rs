@@ -10,10 +10,14 @@
 //! artifacts — interned event keys and the view web — are built lazily, cached, and
 //! shared across every diff, batch run and regression analysis:
 //!
-//! 1. trace two versions of a program on two test inputs ([`Engine::trace_source`]),
+//! 1. trace two versions of a program on two test inputs ([`Engine::trace_source`]) —
+//!    or ingest externally captured traces from disk ([`Engine::load_trace`], which
+//!    sniffs the binary `.rtr` / JSONL encodings of [`rprism_format`]),
 //! 2. difference pairs of traces semantically ([`Engine::diff`], [`Engine::diff_many`]),
 //! 3. run the full regression-cause analysis ([`Engine::analyze`],
-//!    [`Engine::analyze_many`]).
+//!    [`Engine::analyze_many`]),
+//! 4. store any trace back to disk ([`Engine::store_trace`]) for the `rprism` CLI
+//!    (`rprism diff a.rtr b.rtr`) or external tooling.
 //!
 //! ```
 //! use rprism::Engine;
@@ -51,6 +55,7 @@
 //! engine.
 
 pub use rprism_diff as diff;
+pub use rprism_format as format;
 pub use rprism_lang as lang;
 pub use rprism_regress as regress;
 pub use rprism_trace as trace;
@@ -65,6 +70,7 @@ pub use rprism_diff::{
     LcsDiffOptions, LcsDiffOptionsBuilder, TraceDiffResult, ViewsDiffOptions,
     ViewsDiffOptionsBuilder,
 };
+pub use rprism_format::{Encoding, FormatError};
 pub use rprism_regress::{AnalysisMode, DiffAlgorithm, RegressionReport, RenderOptions};
 
 #[allow(deprecated)]
@@ -88,6 +94,9 @@ pub enum Error {
     /// A traced program failed at runtime (surfaced by callers that treat a failing run
     /// as an error rather than as a trace to analyze).
     Vm(rprism_vm::RuntimeError),
+    /// Loading or storing a serialized trace failed (I/O, truncation, corruption, or an
+    /// unsupported format version).
+    Format(rprism_format::FormatError),
 }
 
 /// The crate-wide result alias.
@@ -99,6 +108,7 @@ impl std::fmt::Display for Error {
             Error::Lang(e) => write!(f, "program error: {e}"),
             Error::Diff(e) => write!(f, "differencing error: {e}"),
             Error::Vm(e) => write!(f, "runtime error: {e}"),
+            Error::Format(e) => write!(f, "trace format error: {e}"),
         }
     }
 }
@@ -120,6 +130,12 @@ impl From<rprism_diff::DiffError> for Error {
 impl From<rprism_vm::RuntimeError> for Error {
     fn from(e: rprism_vm::RuntimeError) -> Self {
         Error::Vm(e)
+    }
+}
+
+impl From<rprism_format::FormatError> for Error {
+    fn from(e: rprism_format::FormatError) -> Self {
+        Error::Format(e)
     }
 }
 

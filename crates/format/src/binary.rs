@@ -1,0 +1,816 @@
+//! The compact binary trace encoding (`.rtr`).
+//!
+//! # Layout
+//!
+//! ```text
+//! header   ::= magic "RPTR" (4 bytes)
+//!              version u16 LE        -- currently 1
+//!              flags   u16 LE        -- reserved, must be 0
+//!              meta                  -- 3 length-prefixed UTF-8 strings:
+//!                                       name, program version, test case
+//! records  ::= (sym | entry)* end
+//! sym      ::= 0x01 varint(len) utf8-bytes      -- defines the next string id (0, 1, …)
+//! entry    ::= 0x02 varint(tid) symid(method) objrep(active) event
+//! end      ::= 0x03 varint(entry-count) checksum u64 LE
+//! ```
+//!
+//! All integers are LEB128 varints (see [`crate::varint`]) except the fixed-width header
+//! and checksum fields. Strings are deduplicated through a define-before-use symbol
+//! table: the first record mentioning a string is preceded by a `sym` record, and every
+//! mention is a varint id into the table. The writer keys its deduplication off the
+//! process-global [`Interner`](mod@rprism_trace::intern), so repeated names cost one hash
+//! lookup and one varint.
+//!
+//! ```text
+//! objrep   ::= flags u8            -- bit0: has loc, bit1: has creation seq
+//!              symid(class) varint(fingerprint) symid(printed) [varint(loc)] [varint(seq)]
+//! event    ::= 0x01 objrep(target) symid(field)  objrep(value)          -- get
+//!            | 0x02 objrep(target) symid(field)  objrep(value)          -- set
+//!            | 0x03 objrep(target) symid(method) varint(argc) objrep*   -- call
+//!            | 0x04 objrep(target) symid(method) objrep(value)          -- return
+//!            | 0x05 symid(class)   varint(argc)  objrep* objrep(result) -- init
+//!            | 0x06 varint(child)  varint(depth) snapshot*              -- fork
+//!            | 0x07 snapshot                                            -- end
+//! snapshot ::= varint(frames) (symid(method) objrep(caller) objrep(callee))*
+//! ```
+//!
+//! Entry ids are implicit: the n-th `entry` record has id n, mirroring the [`Trace`](rprism_trace::Trace)
+//! invariant that entry ids equal positions.
+//!
+//! # Integrity
+//!
+//! The footer carries the entry count and an FNV-1a 64 checksum of every preceding byte
+//! (header included). The reader verifies the tag structure, string ids, UTF-8, varint
+//! bounds, entry count, checksum, and that nothing follows the footer — any truncation
+//! or single-byte damage surfaces as a structured [`FormatError`], never a panic and
+//! never a silently different trace.
+
+use std::io::{Read, Write};
+
+use rprism_lang::{FieldName, MethodName};
+use rprism_trace::{
+    intern, Event, ObjRep, StackFrame, StackSnapshot, ThreadId, TraceEntry, TraceMeta,
+    ValueFingerprint,
+};
+use rprism_trace::{CreationSeq, EntryId, Loc};
+
+use crate::error::{FormatError, Result};
+use crate::varint::{self, ByteSource};
+
+/// The four magic bytes opening every binary trace.
+pub const MAGIC: [u8; 4] = *b"RPTR";
+
+/// The newest binary format version this crate reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+const TAG_SYM: u8 = 0x01;
+const TAG_ENTRY: u8 = 0x02;
+const TAG_END: u8 = 0x03;
+
+const KIND_GET: u8 = 0x01;
+const KIND_SET: u8 = 0x02;
+const KIND_CALL: u8 = 0x03;
+const KIND_RETURN: u8 = 0x04;
+const KIND_INIT: u8 = 0x05;
+const KIND_FORK: u8 = 0x06;
+const KIND_END: u8 = 0x07;
+
+const OBJ_HAS_LOC: u8 = 0x01;
+const OBJ_HAS_SEQ: u8 = 0x02;
+
+/// FNV-1a 64 running checksum (deterministic across platforms and Rust versions, like
+/// the fingerprint hash in `rprism-trace`).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    pub(crate) fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming writer of the binary encoding: entries go straight to the underlying
+/// `Write`, one record at a time; memory use is bounded by the string table and one
+/// record's scratch buffer.
+pub struct BinaryTraceWriter<W: Write> {
+    out: W,
+    hash: Fnv64,
+    /// Interner symbol index → file-local string id, the deduplication table.
+    sym_to_id: Vec<Option<u32>>,
+    next_string_id: u32,
+    entries: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> BinaryTraceWriter<W> {
+    /// Starts a binary trace stream by writing the header.
+    pub fn new(out: W, meta: &TraceMeta) -> Result<Self> {
+        let mut writer = BinaryTraceWriter {
+            out,
+            hash: Fnv64::new(),
+            sym_to_id: Vec::new(),
+            next_string_id: 0,
+            entries: 0,
+            scratch: Vec::new(),
+        };
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes());
+        for s in [&meta.name, &meta.version, &meta.test_case] {
+            varint::write_u64(&mut header, s.len() as u64);
+            header.extend_from_slice(s.as_bytes());
+        }
+        writer.emit(&header)?;
+        Ok(writer)
+    }
+
+    fn emit(&mut self, bytes: &[u8]) -> Result<()> {
+        self.hash.update(bytes);
+        self.out.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// The file-local id of a string, defining it (one `sym` record) on first use.
+    /// Deduplication goes through the process-global interner: one hash lookup per
+    /// mention, then a dense-vector hit.
+    fn string_id(&mut self, s: &str) -> Result<u64> {
+        let sym = intern(s);
+        let index = sym.index();
+        if index >= self.sym_to_id.len() {
+            self.sym_to_id.resize(index + 1, None);
+        }
+        if let Some(id) = self.sym_to_id[index] {
+            return Ok(u64::from(id));
+        }
+        let id = self.next_string_id;
+        self.next_string_id += 1;
+        self.sym_to_id[index] = Some(id);
+        let mut record = Vec::with_capacity(s.len() + 6);
+        record.push(TAG_SYM);
+        varint::write_u64(&mut record, s.len() as u64);
+        record.extend_from_slice(s.as_bytes());
+        self.emit(&record)?;
+        Ok(u64::from(id))
+    }
+
+    fn put_objrep(&mut self, buf: &mut Vec<u8>, rep: &ObjRep) -> Result<()> {
+        let mut flags = 0u8;
+        if rep.loc.is_some() {
+            flags |= OBJ_HAS_LOC;
+        }
+        if rep.creation_seq.is_some() {
+            flags |= OBJ_HAS_SEQ;
+        }
+        buf.push(flags);
+        let class = self.string_id(&rep.class)?;
+        varint::write_u64(buf, class);
+        varint::write_u64(buf, rep.fingerprint.0);
+        let printed = self.string_id(&rep.printed)?;
+        varint::write_u64(buf, printed);
+        if let Some(Loc(loc)) = rep.loc {
+            varint::write_u64(buf, loc);
+        }
+        if let Some(CreationSeq(seq)) = rep.creation_seq {
+            varint::write_u64(buf, seq);
+        }
+        Ok(())
+    }
+
+    fn put_snapshot(&mut self, buf: &mut Vec<u8>, snapshot: &StackSnapshot) -> Result<()> {
+        varint::write_u64(buf, snapshot.frames.len() as u64);
+        for frame in &snapshot.frames {
+            let method = self.string_id(frame.method.as_str())?;
+            varint::write_u64(buf, method);
+            self.put_objrep(buf, &frame.caller)?;
+            self.put_objrep(buf, &frame.callee)?;
+        }
+        Ok(())
+    }
+
+    /// Appends one entry record. The entry's `eid` is ignored: ids are implicit in
+    /// record order, exactly as [`Trace::push`](rprism_trace::Trace::push) assigns them.
+    pub fn write_entry(&mut self, entry: &TraceEntry) -> Result<()> {
+        // `string_id` emits `sym` records directly to the output, so the entry body is
+        // staged in a scratch buffer and emitted after every definition it references.
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf.push(TAG_ENTRY);
+        varint::write_u64(&mut buf, entry.tid.0);
+        let method = self.string_id(entry.method.as_str())?;
+        varint::write_u64(&mut buf, method);
+        self.put_objrep(&mut buf, &entry.active)?;
+        match &entry.event {
+            Event::Get {
+                target,
+                field,
+                value,
+            }
+            | Event::Set {
+                target,
+                field,
+                value,
+            } => {
+                buf.push(if matches!(entry.event, Event::Get { .. }) {
+                    KIND_GET
+                } else {
+                    KIND_SET
+                });
+                self.put_objrep(&mut buf, target)?;
+                let field = self.string_id(field.as_str())?;
+                varint::write_u64(&mut buf, field);
+                self.put_objrep(&mut buf, value)?;
+            }
+            Event::Call {
+                target,
+                method,
+                args,
+            } => {
+                buf.push(KIND_CALL);
+                self.put_objrep(&mut buf, target)?;
+                let method = self.string_id(method.as_str())?;
+                varint::write_u64(&mut buf, method);
+                varint::write_u64(&mut buf, args.len() as u64);
+                for arg in args {
+                    self.put_objrep(&mut buf, arg)?;
+                }
+            }
+            Event::Return {
+                target,
+                method,
+                value,
+            } => {
+                buf.push(KIND_RETURN);
+                self.put_objrep(&mut buf, target)?;
+                let method = self.string_id(method.as_str())?;
+                varint::write_u64(&mut buf, method);
+                self.put_objrep(&mut buf, value)?;
+            }
+            Event::Init {
+                class,
+                args,
+                result,
+            } => {
+                buf.push(KIND_INIT);
+                let class = self.string_id(class)?;
+                varint::write_u64(&mut buf, class);
+                varint::write_u64(&mut buf, args.len() as u64);
+                for arg in args {
+                    self.put_objrep(&mut buf, arg)?;
+                }
+                self.put_objrep(&mut buf, result)?;
+            }
+            Event::Fork { child, parentage } => {
+                buf.push(KIND_FORK);
+                varint::write_u64(&mut buf, child.0);
+                varint::write_u64(&mut buf, parentage.len() as u64);
+                for snapshot in parentage {
+                    self.put_snapshot(&mut buf, snapshot)?;
+                }
+            }
+            Event::End { stack } => {
+                buf.push(KIND_END);
+                self.put_snapshot(&mut buf, stack)?;
+            }
+        }
+        self.emit(&buf)?;
+        self.scratch = buf;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Writes the footer (entry count + checksum), flushes, and returns the underlying
+    /// writer. A stream that is never finished is unreadable by design: the reader
+    /// treats a missing footer as truncation.
+    pub fn finish(mut self) -> Result<W> {
+        let mut footer = vec![TAG_END];
+        varint::write_u64(&mut footer, self.entries);
+        self.emit(&footer)?;
+        // The checksum covers every byte before itself; the field is excluded.
+        let checksum = self.hash.finish();
+        self.out.write_all(&checksum.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming reader of the binary encoding: one entry is decoded (and handed out) at a
+/// time; memory use is bounded by the string table plus a single entry.
+///
+/// The string table is **file-local** (`Vec<Box<str>>`), deliberately not the
+/// process-global interner: interned strings are leaked for the process lifetime, so
+/// routing untrusted input through the interner would let a single adversarial or
+/// corrupt file (whose checksum is only verified at the footer) permanently grow
+/// process memory. Interning happens later, lazily, when a loaded trace is prepared
+/// for analysis — at that point the trace has been fully validated.
+pub struct BinaryTraceReader<R: Read> {
+    input: R,
+    offset: u64,
+    hash: Fnv64,
+    meta: TraceMeta,
+    /// File-local string id → string (dropped with the reader).
+    strings: Vec<Box<str>>,
+    /// Lazily built per-id name values, so repeated mentions share one `Arc` each.
+    methods: Vec<Option<MethodName>>,
+    fields: Vec<Option<FieldName>>,
+    entries_read: u64,
+    done: bool,
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Opens a binary trace stream, parsing and validating the header.
+    pub fn new(input: R) -> Result<Self> {
+        let mut reader = BinaryTraceReader {
+            input,
+            offset: 0,
+            hash: Fnv64::new(),
+            meta: TraceMeta::default(),
+            strings: Vec::new(),
+            methods: Vec::new(),
+            fields: Vec::new(),
+            entries_read: 0,
+            done: false,
+        };
+        let mut magic = [0u8; 4];
+        reader.read_hashed(&mut magic)?;
+        if magic != MAGIC {
+            return Err(FormatError::BadMagic { found: magic });
+        }
+        let mut word = [0u8; 2];
+        reader.read_hashed(&mut word)?;
+        let version = u16::from_le_bytes(word);
+        if version != FORMAT_VERSION {
+            return Err(FormatError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        reader.read_hashed(&mut word)?;
+        let flags = u16::from_le_bytes(word);
+        if flags != 0 {
+            return Err(FormatError::Corrupt {
+                offset: 6,
+                detail: format!("reserved header flags set ({flags:#06x})"),
+            });
+        }
+        let name = reader.read_string()?;
+        let version_label = reader.read_string()?;
+        let test_case = reader.read_string()?;
+        reader.meta = TraceMeta::new(name, version_label, test_case);
+        Ok(reader)
+    }
+
+    /// The trace metadata from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Reads exactly `buf.len()` bytes, feeding them into the running checksum.
+    fn read_hashed(&mut self, buf: &mut [u8]) -> Result<()> {
+        self.read_raw(buf)?;
+        self.hash.update(buf);
+        Ok(())
+    }
+
+    fn read_raw(&mut self, buf: &mut [u8]) -> Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.input.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(FormatError::Truncated {
+                        offset: self.offset + filled as u64,
+                    })
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FormatError::Io(e)),
+            }
+        }
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Reads one byte, or `None` at a clean end of input.
+    fn read_optional_byte(&mut self) -> Result<Option<u8>> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.input.read(&mut byte) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {
+                    self.offset += 1;
+                    self.hash.update(&byte);
+                    return Ok(Some(byte[0]));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FormatError::Io(e)),
+            }
+        }
+    }
+
+    fn read_varint(&mut self) -> Result<u64> {
+        varint::read_u64(self)
+    }
+
+    /// Reads a length-prefixed UTF-8 string. Bytes arrive through the bounded
+    /// byte-at-a-time path, so a forged length cannot trigger a huge allocation: the
+    /// stream runs out first and reports truncation.
+    fn read_string(&mut self) -> Result<String> {
+        let start = self.offset;
+        let len = self.read_varint()?;
+        let mut bytes = Vec::new();
+        for _ in 0..len {
+            let Some(b) = self.read_optional_byte()? else {
+                return Err(FormatError::Truncated { offset: self.offset });
+            };
+            bytes.push(b);
+        }
+        String::from_utf8(bytes).map_err(|_| FormatError::Corrupt {
+            offset: start,
+            detail: "string is not valid UTF-8".into(),
+        })
+    }
+
+    /// Validates a string id against the table, returning the index.
+    fn lookup(&self, id: u64) -> Result<usize> {
+        let index = usize::try_from(id).unwrap_or(usize::MAX);
+        if index < self.strings.len() {
+            Ok(index)
+        } else {
+            Err(FormatError::Corrupt {
+                offset: self.offset,
+                detail: format!(
+                    "string id {id} out of range (table has {} entries)",
+                    self.strings.len()
+                ),
+            })
+        }
+    }
+
+    fn lookup_str(&self, id: u64) -> Result<&str> {
+        Ok(&self.strings[self.lookup(id)?])
+    }
+
+    fn method_name(&mut self, id: u64) -> Result<MethodName> {
+        let index = self.lookup(id)?;
+        let strings = &self.strings;
+        Ok(self.methods[index]
+            .get_or_insert_with(|| MethodName::new(&strings[index]))
+            .clone())
+    }
+
+    fn field_name(&mut self, id: u64) -> Result<FieldName> {
+        let index = self.lookup(id)?;
+        let strings = &self.strings;
+        Ok(self.fields[index]
+            .get_or_insert_with(|| FieldName::new(&strings[index]))
+            .clone())
+    }
+
+    fn read_objrep(&mut self) -> Result<ObjRep> {
+        let start = self.offset;
+        let Some(flags) = self.read_optional_byte()? else {
+            return Err(FormatError::Truncated { offset: self.offset });
+        };
+        if flags & !(OBJ_HAS_LOC | OBJ_HAS_SEQ) != 0 {
+            return Err(FormatError::Corrupt {
+                offset: start,
+                detail: format!("unknown object representation flags {flags:#04x}"),
+            });
+        }
+        let class_id = self.read_varint()?;
+        let class = self.lookup_str(class_id)?.to_owned();
+        let fingerprint = ValueFingerprint(self.read_varint()?);
+        let printed_id = self.read_varint()?;
+        let printed = self.lookup_str(printed_id)?.to_owned();
+        let loc = if flags & OBJ_HAS_LOC != 0 {
+            Some(Loc(self.read_varint()?))
+        } else {
+            None
+        };
+        let creation_seq = if flags & OBJ_HAS_SEQ != 0 {
+            Some(CreationSeq(self.read_varint()?))
+        } else {
+            None
+        };
+        Ok(ObjRep {
+            loc,
+            class,
+            fingerprint,
+            printed,
+            creation_seq,
+        })
+    }
+
+    fn read_snapshot(&mut self) -> Result<StackSnapshot> {
+        let count = self.read_varint()?;
+        let mut frames = Vec::new();
+        for _ in 0..count {
+            let method = self.read_varint()?;
+            let method = self.method_name(method)?;
+            let caller = self.read_objrep()?;
+            let callee = self.read_objrep()?;
+            frames.push(StackFrame::new(method, caller, callee));
+        }
+        Ok(StackSnapshot::new(frames))
+    }
+
+    fn read_event(&mut self) -> Result<Event> {
+        let start = self.offset;
+        let Some(kind) = self.read_optional_byte()? else {
+            return Err(FormatError::Truncated { offset: self.offset });
+        };
+        Ok(match kind {
+            KIND_GET | KIND_SET => {
+                let target = self.read_objrep()?;
+                let field = self.read_varint()?;
+                let field = self.field_name(field)?;
+                let value = self.read_objrep()?;
+                if kind == KIND_GET {
+                    Event::Get {
+                        target,
+                        field,
+                        value,
+                    }
+                } else {
+                    Event::Set {
+                        target,
+                        field,
+                        value,
+                    }
+                }
+            }
+            KIND_CALL => {
+                let target = self.read_objrep()?;
+                let method = self.read_varint()?;
+                let method = self.method_name(method)?;
+                let argc = self.read_varint()?;
+                let mut args = Vec::new();
+                for _ in 0..argc {
+                    args.push(self.read_objrep()?);
+                }
+                Event::Call {
+                    target,
+                    method,
+                    args,
+                }
+            }
+            KIND_RETURN => {
+                let target = self.read_objrep()?;
+                let method = self.read_varint()?;
+                let method = self.method_name(method)?;
+                let value = self.read_objrep()?;
+                Event::Return {
+                    target,
+                    method,
+                    value,
+                }
+            }
+            KIND_INIT => {
+                let class = self.read_varint()?;
+                let class = self.lookup_str(class)?.to_owned();
+                let argc = self.read_varint()?;
+                let mut args = Vec::new();
+                for _ in 0..argc {
+                    args.push(self.read_objrep()?);
+                }
+                let result = self.read_objrep()?;
+                Event::Init {
+                    class,
+                    args,
+                    result,
+                }
+            }
+            KIND_FORK => {
+                let child = ThreadId(self.read_varint()?);
+                let depth = self.read_varint()?;
+                let mut parentage = Vec::new();
+                for _ in 0..depth {
+                    parentage.push(self.read_snapshot()?);
+                }
+                Event::Fork { child, parentage }
+            }
+            KIND_END => Event::End {
+                stack: self.read_snapshot()?,
+            },
+            other => {
+                return Err(FormatError::Corrupt {
+                    offset: start,
+                    detail: format!("unknown event kind {other:#04x}"),
+                })
+            }
+        })
+    }
+
+    fn read_footer(&mut self) -> Result<()> {
+        let footer_offset = self.offset - 1;
+        let declared = self.read_varint()?;
+        if declared != self.entries_read {
+            return Err(FormatError::Corrupt {
+                offset: footer_offset,
+                detail: format!(
+                    "footer declares {declared} entries but {} were read",
+                    self.entries_read
+                ),
+            });
+        }
+        // Snapshot the running hash before consuming the (unhashed) checksum field.
+        let computed = self.hash.finish();
+        let mut checksum = [0u8; 8];
+        self.read_raw(&mut checksum)?;
+        let expected = u64::from_le_bytes(checksum);
+        if expected != computed {
+            return Err(FormatError::ChecksumMismatch {
+                expected,
+                found: computed,
+            });
+        }
+        if self.read_optional_byte()?.is_some() {
+            return Err(FormatError::Corrupt {
+                offset: self.offset - 1,
+                detail: "trailing bytes after the trace footer".into(),
+            });
+        }
+        self.done = true;
+        Ok(())
+    }
+
+    /// Decodes the next entry, or returns `Ok(None)` after a verified footer.
+    ///
+    /// The entry's id is its position in the stream, matching the
+    /// [`Trace`](rprism_trace::Trace) invariant.
+    pub fn next_entry(&mut self) -> Result<Option<TraceEntry>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let Some(tag) = self.read_optional_byte()? else {
+                return Err(FormatError::Truncated { offset: self.offset });
+            };
+            match tag {
+                TAG_SYM => {
+                    let s = self.read_string()?;
+                    self.strings.push(s.into_boxed_str());
+                    self.methods.push(None);
+                    self.fields.push(None);
+                }
+                TAG_ENTRY => {
+                    let tid = ThreadId(self.read_varint()?);
+                    let method = self.read_varint()?;
+                    let method = self.method_name(method)?;
+                    let active = self.read_objrep()?;
+                    let event = self.read_event()?;
+                    let eid = EntryId(self.entries_read);
+                    self.entries_read += 1;
+                    return Ok(Some(TraceEntry::new(eid, tid, method, active, event)));
+                }
+                TAG_END => {
+                    self.read_footer()?;
+                    return Ok(None);
+                }
+                other => {
+                    return Err(FormatError::Corrupt {
+                        offset: self.offset - 1,
+                        detail: format!("unknown record tag {other:#04x}"),
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> ByteSource for BinaryTraceReader<R> {
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        self.read_optional_byte()
+    }
+
+    fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_trace::testgen::{arbitrary_entry, Rng};
+    use rprism_trace::Trace;
+
+    fn sample_trace(seed: u64, len: usize) -> Trace {
+        let mut rng = Rng::new(seed);
+        let mut t = Trace::new(TraceMeta::new("sample", "v1", "t1"));
+        for _ in 0..len {
+            t.push(arbitrary_entry(&mut rng));
+        }
+        t
+    }
+
+    fn encode(trace: &Trace) -> Vec<u8> {
+        let mut w = BinaryTraceWriter::new(Vec::new(), &trace.meta).unwrap();
+        for entry in trace {
+            w.write_entry(entry).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Trace> {
+        let mut r = BinaryTraceReader::new(bytes)?;
+        let mut trace = Trace::new(r.meta().clone());
+        while let Some(entry) = r.next_entry()? {
+            trace.push(entry);
+        }
+        Ok(trace)
+    }
+
+    #[test]
+    fn round_trips_structurally() {
+        let trace = sample_trace(11, 200);
+        let decoded = decode(&encode(&trace)).unwrap();
+        assert_eq!(trace, decoded);
+    }
+
+    #[test]
+    fn re_encoding_is_byte_stable() {
+        let trace = sample_trace(23, 150);
+        let bytes = encode(&trace);
+        let again = encode(&decode(&bytes).unwrap());
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::new(TraceMeta::new("empty", "", ""));
+        let decoded = decode(&encode(&trace)).unwrap();
+        assert_eq!(decoded.len(), 0);
+        assert_eq!(decoded.meta, trace.meta);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample_trace(1, 3));
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            FormatError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected_cleanly() {
+        let mut bytes = encode(&sample_trace(1, 3));
+        bytes[4] = 0x2a; // version 42
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            FormatError::UnsupportedVersion { found: 42, .. }
+        ));
+    }
+
+    #[test]
+    fn reserved_flags_are_rejected() {
+        let mut bytes = encode(&sample_trace(1, 3));
+        bytes[6] = 0x01;
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            FormatError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_footer_is_truncation() {
+        let bytes = encode(&sample_trace(5, 10));
+        // Drop the footer (tag + count + checksum = at least 10 bytes).
+        let cut = &bytes[..bytes.len() - 10];
+        assert!(matches!(
+            decode(cut).unwrap_err(),
+            FormatError::Truncated { .. } | FormatError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&sample_trace(5, 10));
+        bytes.push(0x00);
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            FormatError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn entry_ids_are_positions() {
+        let trace = sample_trace(7, 25);
+        let decoded = decode(&encode(&trace)).unwrap();
+        for (i, e) in decoded.iter().enumerate() {
+            assert_eq!(e.eid.index(), i);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Structured errors for trace serialization and deserialization.
+//!
+//! Every malformed input — wrong magic, future version, truncated stream, corrupt
+//! record, checksum mismatch, invalid JSONL — surfaces as a [`FormatError`]; the readers
+//! never panic on bad bytes. Offsets (binary) and line numbers (JSONL) point at the
+//! first byte/line the reader could not make sense of.
+
+/// An error produced while reading or writing a serialized trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// An underlying I/O failure (file missing, permission, disk full, …).
+    Io(std::io::Error),
+    /// The stream does not start with the `RPTR` magic bytes (it is not a binary
+    /// rprism trace, or the magic was damaged).
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The header declares a format version this reader does not understand.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u16,
+        /// The newest version this reader supports.
+        supported: u16,
+    },
+    /// The stream ended in the middle of a record (or before the footer).
+    Truncated {
+        /// Byte offset at which more input was expected.
+        offset: u64,
+    },
+    /// A structurally invalid record: unknown tag, out-of-range string id, invalid
+    /// UTF-8, over-long varint, entry-count mismatch, trailing bytes after the footer.
+    Corrupt {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The footer checksum does not match the bytes actually read: the stream was
+    /// damaged somewhere the structural checks could not pinpoint.
+    ChecksumMismatch {
+        /// The checksum recorded in the footer.
+        expected: u64,
+        /// The checksum computed over the bytes read.
+        found: u64,
+    },
+    /// A JSONL line failed to parse, or parsed into an object the schema rejects.
+    Json {
+        /// 1-based line number within the file.
+        line: u64,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::BadMagic { found } => {
+                write!(f, "not an rprism binary trace (magic bytes {found:02x?})")
+            }
+            FormatError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported trace format version {found} (this reader supports up to {supported})"
+            ),
+            FormatError::Truncated { offset } => {
+                write!(f, "trace stream truncated at byte offset {offset}")
+            }
+            FormatError::Corrupt { offset, detail } => {
+                write!(f, "corrupt trace record at byte offset {offset}: {detail}")
+            }
+            FormatError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "trace checksum mismatch: footer says {expected:#018x}, stream hashes to {found:#018x}"
+            ),
+            FormatError::Json { line, detail } => {
+                write!(f, "invalid JSONL trace at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+/// The crate-wide result alias.
+pub type Result<T, E = FormatError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_failure_site() {
+        let e = FormatError::Truncated { offset: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = FormatError::Corrupt {
+            offset: 7,
+            detail: "unknown tag 0x99".into(),
+        };
+        assert!(e.to_string().contains("unknown tag"));
+        let e = FormatError::Json {
+            line: 3,
+            detail: "missing key `tid`".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = FormatError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: FormatError = io.into();
+        assert!(matches!(e, FormatError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,344 @@
+//! # rprism-format
+//!
+//! The portable on-disk trace format of the RPrism reproduction: a versioned container
+//! for [`Trace`]s with two interchangeable encodings and fully streaming readers and
+//! writers. This is the system's ingestion boundary — the paper's case studies analyze
+//! traces captured from real programs, and this crate is how such externally captured
+//! traces get in (and how every trace the in-process VM produces gets out).
+//!
+//! ## Encodings
+//!
+//! * [`Encoding::Binary`] (`.rtr`) — the compact interchange form: a `RPTR` magic +
+//!   version header, a deduplicated define-before-use string table keyed off the
+//!   process-global [`Interner`](mod@rprism_trace::intern), varint-packed entry records,
+//!   and a footer with the entry count and an FNV-1a 64 checksum of the whole stream.
+//!   The full byte-level grammar is documented in [`binary`].
+//! * [`Encoding::Jsonl`] (`.jsonl`) — a line-oriented JSON text form for human
+//!   authoring and external tooling: a header line, one self-describing object per
+//!   entry, and an optional trailer (strict schema; unknown keys are rejected).
+//!   The line schema is documented in [`jsonl`].
+//!
+//! Both encodings are **deterministic and byte-stable**: encoding a trace, decoding it,
+//! and encoding the result reproduces the first byte stream exactly. The committed
+//! golden corpus under `tests/corpus/` pins this down for the four case studies.
+//!
+//! ## Streaming
+//!
+//! [`TraceWriter`] and [`TraceReader`] process one entry at a time: the writer pushes
+//! each entry straight to the underlying `Write`, the reader hands out each decoded
+//! entry before looking at the next record. Neither ever materializes more than one
+//! entry beyond the [`Trace`] the caller is building, so arbitrarily long traces stream
+//! through bounded memory (plus the string table).
+//!
+//! ## Errors
+//!
+//! Malformed input is a value, not a panic: every reader returns [`FormatError`] —
+//! wrong magic, unsupported version, truncation, corrupt records, checksum mismatches,
+//! schema violations — with byte offsets (binary) or line numbers (JSONL).
+//!
+//! The integrity guarantees differ by encoding, on purpose. **Binary** is the
+//! interchange form: the checksummed, entry-counted footer means truncating the stream
+//! at *any* byte or flipping *any* single byte yields `Err` (the corruption property
+//! tests assert exactly this, exhaustively). **JSONL** is the authoring form: damage
+//! inside a line and a wrong trailer count are detected, but because the trailer is
+//! optional (hand-written files need not maintain a count), a file cut precisely at a
+//! line boundary reads as a shorter trace. Use the binary encoding when integrity
+//! matters more than editability.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rprism_format::{read_trace_path, write_trace_path, Encoding};
+//! use rprism_trace::{Trace, TraceMeta};
+//!
+//! let dir = std::env::temp_dir().join(format!("rprism-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("demo.rtr");
+//!
+//! let mut trace = Trace::new(TraceMeta::new("demo", "v1", "t1"));
+//! // … record entries …
+//! write_trace_path(&trace, &path, Encoding::Binary)?;
+//! let loaded = read_trace_path(&path)?; // encoding is sniffed from the content
+//! assert_eq!(loaded, trace);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), rprism_format::FormatError>(())
+//! ```
+//!
+//! On the command line the same files feed the `rprism` binary:
+//! `rprism diff a.rtr b.rtr` runs the views-based semantic diff over two stored traces.
+
+pub mod binary;
+pub mod error;
+pub mod json;
+pub mod jsonl;
+pub mod varint;
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use rprism_trace::{Trace, TraceEntry, TraceMeta};
+
+pub use binary::{BinaryTraceReader, BinaryTraceWriter, FORMAT_VERSION, MAGIC};
+pub use error::{FormatError, Result};
+pub use jsonl::{JsonlTraceReader, JsonlTraceWriter, JSONL_VERSION};
+
+/// The two on-disk encodings of a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Encoding {
+    /// Compact binary encoding (`.rtr`): magic + version header, deduplicated string
+    /// table, varint-packed events, checksummed footer.
+    #[default]
+    Binary,
+    /// Line-oriented JSON text encoding (`.jsonl`): human-authorable, strict schema.
+    Jsonl,
+}
+
+impl Encoding {
+    /// The conventional file extension of this encoding (`rtr` / `jsonl`).
+    pub fn extension(self) -> &'static str {
+        match self {
+            Encoding::Binary => "rtr",
+            Encoding::Jsonl => "jsonl",
+        }
+    }
+
+    /// Picks the encoding conventionally associated with a path's extension:
+    /// `.jsonl`/`.json` mean JSONL, everything else means binary.
+    pub fn for_path(path: &Path) -> Encoding {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("jsonl") | Some("json") => Encoding::Jsonl,
+            _ => Encoding::Binary,
+        }
+    }
+}
+
+impl std::fmt::Display for Encoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Encoding::Binary => "binary",
+            Encoding::Jsonl => "jsonl",
+        })
+    }
+}
+
+impl std::str::FromStr for Encoding {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "binary" | "rtr" => Ok(Encoding::Binary),
+            "jsonl" | "json" | "text" => Ok(Encoding::Jsonl),
+            other => Err(format!(
+                "unknown encoding {other:?} (expected `binary` or `jsonl`)"
+            )),
+        }
+    }
+}
+
+/// A streaming trace writer over either encoding: entries go to the underlying stream
+/// one at a time.
+pub enum TraceWriter<W: Write> {
+    /// Writing the binary encoding.
+    Binary(BinaryTraceWriter<W>),
+    /// Writing the JSONL encoding.
+    Jsonl(JsonlTraceWriter<W>),
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace stream in the given encoding, writing the header immediately.
+    pub fn new(out: W, meta: &TraceMeta, encoding: Encoding) -> Result<Self> {
+        Ok(match encoding {
+            Encoding::Binary => TraceWriter::Binary(BinaryTraceWriter::new(out, meta)?),
+            Encoding::Jsonl => TraceWriter::Jsonl(JsonlTraceWriter::new(out, meta)?),
+        })
+    }
+
+    /// Appends one entry. The entry's `eid` is ignored; ids are implicit in order.
+    pub fn write_entry(&mut self, entry: &TraceEntry) -> Result<()> {
+        match self {
+            TraceWriter::Binary(w) => w.write_entry(entry),
+            TraceWriter::Jsonl(w) => w.write_entry(entry),
+        }
+    }
+
+    /// Writes the footer/trailer, flushes, and returns the underlying writer. Streams
+    /// that are never finished read back as truncated (binary) or trailer-less (JSONL).
+    pub fn finish(self) -> Result<W> {
+        match self {
+            TraceWriter::Binary(w) => w.finish(),
+            TraceWriter::Jsonl(w) => w.finish(),
+        }
+    }
+}
+
+/// A streaming trace reader over either encoding, produced by [`TraceReader::new`]
+/// (content sniffing) or the per-encoding constructors.
+pub enum TraceReader<R: BufRead> {
+    /// Reading the binary encoding.
+    Binary(BinaryTraceReader<R>),
+    /// Reading the JSONL encoding.
+    Jsonl(JsonlTraceReader<R>),
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Opens a trace stream, sniffing the encoding from its first bytes: streams
+    /// opening with the `RPTR` magic are binary, everything else is treated as JSONL.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] when the header of the sniffed encoding is invalid.
+    pub fn new(mut input: R) -> Result<TraceReader<ChainedReader<R>>> {
+        let mut head = Vec::with_capacity(MAGIC.len());
+        while head.len() < MAGIC.len() {
+            let mut byte = [0u8; 1];
+            match input.read(&mut byte) {
+                Ok(0) => break,
+                Ok(_) => head.push(byte[0]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FormatError::Io(e)),
+            }
+        }
+        let is_binary = head.as_slice() == MAGIC;
+        let rejoined = BufReader::new(std::io::Cursor::new(head).chain(input));
+        Ok(if is_binary {
+            TraceReader::Binary(BinaryTraceReader::new(rejoined)?)
+        } else {
+            TraceReader::Jsonl(JsonlTraceReader::new(rejoined)?)
+        })
+    }
+
+    /// The trace metadata from the stream header.
+    pub fn meta(&self) -> &TraceMeta {
+        match self {
+            TraceReader::Binary(r) => r.meta(),
+            TraceReader::Jsonl(r) => r.meta(),
+        }
+    }
+
+    /// Which encoding the stream turned out to use.
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            TraceReader::Binary(_) => Encoding::Binary,
+            TraceReader::Jsonl(_) => Encoding::Jsonl,
+        }
+    }
+
+    /// Decodes the next entry, or `Ok(None)` after the verified end of the stream.
+    pub fn next_entry(&mut self) -> Result<Option<TraceEntry>> {
+        match self {
+            TraceReader::Binary(r) => r.next_entry(),
+            TraceReader::Jsonl(r) => r.next_entry(),
+        }
+    }
+
+    /// Reads all remaining entries into a [`Trace`], validating the stream end.
+    pub fn into_trace(mut self) -> Result<Trace> {
+        let mut trace = Trace::new(self.meta().clone());
+        while let Some(entry) = self.next_entry()? {
+            trace.push(entry);
+        }
+        Ok(trace)
+    }
+}
+
+/// The buffered rejoined stream produced by [`TraceReader::new`]'s sniffing (the peeked
+/// head bytes chained back in front of the rest of the input).
+pub type ChainedReader<R> = BufReader<std::io::Chain<std::io::Cursor<Vec<u8>>, R>>;
+
+/// Serializes a whole trace to a `Write` in the given encoding.
+pub fn write_trace(trace: &Trace, out: impl Write, encoding: Encoding) -> Result<()> {
+    let mut writer = TraceWriter::new(out, &trace.meta, encoding)?;
+    for entry in trace {
+        writer.write_entry(entry)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// Serializes a whole trace to a freshly created file in the given encoding.
+pub fn write_trace_path(trace: &Trace, path: impl AsRef<Path>, encoding: Encoding) -> Result<()> {
+    let file = File::create(path.as_ref())?;
+    write_trace(trace, BufWriter::new(file), encoding)
+}
+
+/// Serializes a whole trace to bytes in the given encoding.
+pub fn trace_to_bytes(trace: &Trace, encoding: Encoding) -> Result<Vec<u8>> {
+    let mut writer = TraceWriter::new(Vec::new(), &trace.meta, encoding)?;
+    for entry in trace {
+        writer.write_entry(entry)?;
+    }
+    writer.finish()
+}
+
+/// Deserializes a whole trace from a reader, sniffing the encoding.
+pub fn read_trace(input: impl Read) -> Result<Trace> {
+    TraceReader::new(BufReader::new(input))?.into_trace()
+}
+
+/// Deserializes a whole trace from a file, sniffing the encoding.
+pub fn read_trace_path(path: impl AsRef<Path>) -> Result<Trace> {
+    read_trace(File::open(path.as_ref())?)
+}
+
+/// Deserializes a whole trace from bytes, sniffing the encoding.
+pub fn trace_from_bytes(bytes: &[u8]) -> Result<Trace> {
+    read_trace(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_trace::testgen::{arbitrary_entry, Rng};
+
+    fn sample_trace(seed: u64, len: usize) -> Trace {
+        let mut rng = Rng::new(seed);
+        let mut t = Trace::new(TraceMeta::new("facade", "v1", "t1"));
+        for _ in 0..len {
+            t.push(arbitrary_entry(&mut rng));
+        }
+        t
+    }
+
+    #[test]
+    fn sniffing_dispatches_on_content_not_extension() {
+        let trace = sample_trace(1, 40);
+        for encoding in [Encoding::Binary, Encoding::Jsonl] {
+            let bytes = trace_to_bytes(&trace, encoding).unwrap();
+            let reader = TraceReader::new(BufReader::new(bytes.as_slice())).unwrap();
+            assert_eq!(reader.encoding(), encoding);
+            assert_eq!(reader.into_trace().unwrap(), trace);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error_not_a_panic() {
+        assert!(trace_from_bytes(b"").is_err());
+        assert!(trace_from_bytes(b"RPT").is_err());
+        assert!(trace_from_bytes(b"garbage that is not json").is_err());
+    }
+
+    #[test]
+    fn path_round_trip_with_sniffing() {
+        let dir = std::env::temp_dir().join(format!("rprism-format-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = sample_trace(7, 25);
+        for encoding in [Encoding::Binary, Encoding::Jsonl] {
+            let path = dir.join(format!("t.{}", encoding.extension()));
+            write_trace_path(&trace, &path, encoding).unwrap();
+            assert_eq!(read_trace_path(&path).unwrap(), trace);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encoding_conventions() {
+        assert_eq!(Encoding::for_path(Path::new("a.rtr")), Encoding::Binary);
+        assert_eq!(Encoding::for_path(Path::new("a.jsonl")), Encoding::Jsonl);
+        assert_eq!(Encoding::for_path(Path::new("a")), Encoding::Binary);
+        assert_eq!("jsonl".parse::<Encoding>().unwrap(), Encoding::Jsonl);
+        assert_eq!("binary".parse::<Encoding>().unwrap(), Encoding::Binary);
+        assert!("xml".parse::<Encoding>().is_err());
+        assert_eq!(Encoding::Binary.to_string(), "binary");
+    }
+}

@@ -11,7 +11,8 @@ use rprism_lang::{FieldName, MethodName};
 use crate::entry::{EntryId, ThreadId, TraceEntry};
 use crate::event::Event;
 use crate::objrep::{CreationSeq, Loc, ObjRep, ValueRepr};
-use crate::stack::StackSnapshot;
+use crate::stack::{StackFrame, StackSnapshot};
+use crate::trace::{Trace, TraceMeta};
 
 /// A SplitMix64 pseudo-random generator: tiny, fast, and deterministic across platforms.
 #[derive(Clone, Debug)]
@@ -124,12 +125,43 @@ pub fn arbitrary_event(rng: &mut Rng) -> Event {
         }
         5 => Event::Fork {
             child: ThreadId(rng.range(1, 4)),
-            parentage: Vec::new(),
+            parentage: (0..rng.usize(0, 3))
+                .map(|_| arbitrary_stack_snapshot(rng))
+                .collect(),
         },
         _ => Event::End {
-            stack: StackSnapshot::empty(),
+            stack: arbitrary_stack_snapshot(rng),
         },
     }
+}
+
+/// An arbitrary stack snapshot of up to three frames (possibly empty), exercising the
+/// thread-parentage paths of correlation and serialization.
+pub fn arbitrary_stack_snapshot(rng: &mut Rng) -> StackSnapshot {
+    let frames = (0..rng.usize(0, 4))
+        .map(|_| {
+            StackFrame::new(
+                MethodName::new(*rng.pick(METHODS)),
+                arbitrary_objrep(rng),
+                arbitrary_objrep(rng),
+            )
+        })
+        .collect();
+    StackSnapshot::new(frames)
+}
+
+/// An arbitrary trace of `len` entries: arbitrary entries pushed in order, so entry ids
+/// equal positions (the [`Trace`] invariant every serialization round-trip relies on).
+pub fn arbitrary_trace(rng: &mut Rng, len: usize) -> Trace {
+    let mut trace = Trace::new(TraceMeta::new(
+        format!("gen/{}", rng.range(0, 1_000_000)),
+        format!("v{}", rng.range(0, 10)),
+        format!("t{}", rng.range(0, 10)),
+    ));
+    for _ in 0..len {
+        trace.push(arbitrary_entry(rng));
+    }
+    trace
 }
 
 /// An arbitrary trace entry wrapping an arbitrary event with arbitrary context.
@@ -172,5 +204,29 @@ mod tests {
         let mut rng = Rng::new(42);
         let kinds: HashSet<_> = (0..500).map(|_| arbitrary_event(&mut rng).kind()).collect();
         assert_eq!(kinds.len(), 7, "all seven event kinds should appear");
+    }
+
+    #[test]
+    fn fork_events_carry_nonempty_parentage_sometimes() {
+        let mut rng = Rng::new(11);
+        let mut nonempty = 0;
+        for _ in 0..2000 {
+            if let Event::Fork { parentage, .. } = arbitrary_event(&mut rng) {
+                if parentage.iter().any(|s| !s.is_empty()) {
+                    nonempty += 1;
+                }
+            }
+        }
+        assert!(nonempty > 0, "fork parentage generation never produced frames");
+    }
+
+    #[test]
+    fn arbitrary_traces_have_positional_entry_ids() {
+        let mut rng = Rng::new(9);
+        let trace = arbitrary_trace(&mut rng, 50);
+        assert_eq!(trace.len(), 50);
+        for (i, e) in trace.iter().enumerate() {
+            assert_eq!(e.eid.index(), i);
+        }
     }
 }

@@ -6,8 +6,11 @@
 //! or documented cause. Scenarios are produced by the [`crate::myfaces`] motivating
 //! example, the [`crate::rhino`] generator and the four [`crate::casestudies`].
 
+use std::path::{Path, PathBuf};
+
 use rprism::{Engine, PreparedTrace, RegressionInput};
 use rprism_diff::DiffError;
+use rprism_format::{write_trace_path, Encoding, FormatError};
 use rprism_lang::ast::{Program, Term};
 use rprism_lang::pretty::program_to_string;
 use rprism_regress::{AnalysisMode, DiffAlgorithm, GroundTruth, RegressionReport};
@@ -54,6 +57,15 @@ pub enum ScenarioError {
     Diff(DiffError),
     /// A scenario run failed at runtime in a context that treats that as an error.
     Runtime(RuntimeError),
+    /// Serializing or deserializing a scenario trace failed.
+    Format(FormatError),
+    /// A scenario was requested by a name no workload provides.
+    UnknownScenario {
+        /// The requested name.
+        name: String,
+        /// The names that exist.
+        known: Vec<String>,
+    },
     /// Any other failure of the analysis facade (`rprism::Error` is `#[non_exhaustive]`;
     /// variants added in the future land here instead of panicking).
     Other(rprism::Error),
@@ -65,6 +77,12 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Invalid(e) => write!(f, "invalid scenario program: {e}"),
             ScenarioError::Diff(e) => write!(f, "differencing failed: {e}"),
             ScenarioError::Runtime(e) => write!(f, "scenario run failed: {e}"),
+            ScenarioError::Format(e) => write!(f, "trace serialization failed: {e}"),
+            ScenarioError::UnknownScenario { name, known } => write!(
+                f,
+                "unknown scenario {name:?} (known: {}, or `all`)",
+                known.join(", ")
+            ),
             ScenarioError::Other(e) => write!(f, "analysis failed: {e}"),
         }
     }
@@ -90,8 +108,15 @@ impl From<rprism::Error> for ScenarioError {
             rprism::Error::Lang(e) => ScenarioError::Invalid(e),
             rprism::Error::Diff(e) => ScenarioError::Diff(e),
             rprism::Error::Vm(e) => ScenarioError::Runtime(e),
+            rprism::Error::Format(e) => ScenarioError::Format(e),
             other => ScenarioError::Other(other),
         }
+    }
+}
+
+impl From<FormatError> for ScenarioError {
+    fn from(e: FormatError) -> Self {
+        ScenarioError::Format(e)
     }
 }
 
@@ -140,6 +165,71 @@ impl ScenarioTraces {
             || self.new_regressing_errored;
         let passes = self.old_passing_output() == self.new_passing_output();
         regresses && passes
+    }
+
+    /// The four role labels used by [`ScenarioTraces::export`] file names, in
+    /// [`RegressionInput`] field order.
+    pub const ROLES: [&'static str; 4] = [
+        "old-regressing",
+        "new-regressing",
+        "old-passing",
+        "new-passing",
+    ];
+
+    /// The four prepared handles in [`ScenarioTraces::ROLES`] order.
+    pub fn handles(&self) -> [&PreparedTrace; 4] {
+        [
+            &self.traces.old_regressing,
+            &self.traces.new_regressing,
+            &self.traces.old_passing,
+            &self.traces.new_passing,
+        ]
+    }
+
+    /// Serializes all four traces to `dir` as `<prefix>.<role>.<ext>` (creating the
+    /// directory), so every case study can emit an on-disk corpus analyzable by the
+    /// `rprism` CLI or any external tool. Returns the four paths in
+    /// [`ScenarioTraces::ROLES`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Format`] when a file cannot be created or written.
+    pub fn export(
+        &self,
+        dir: impl AsRef<Path>,
+        prefix: &str,
+        encoding: Encoding,
+    ) -> Result<Vec<PathBuf>, ScenarioError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(FormatError::Io)?;
+        let mut paths = Vec::with_capacity(4);
+        for (role, handle) in Self::ROLES.iter().zip(self.handles()) {
+            let path = dir.join(format!("{prefix}.{role}.{}", encoding.extension()));
+            write_trace_path(handle.trace(), &path, encoding)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Serializes only the suspected pair (old and new version under the regressing
+    /// test) — the unit of the committed golden corpus. Returns `[old, new]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Format`] when a file cannot be created or written.
+    pub fn export_suspected_pair(
+        &self,
+        dir: impl AsRef<Path>,
+        prefix: &str,
+        encoding: Encoding,
+    ) -> Result<[PathBuf; 2], ScenarioError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(FormatError::Io)?;
+        let old = dir.join(format!("{prefix}.old-regressing.{}", encoding.extension()));
+        let new = dir.join(format!("{prefix}.new-regressing.{}", encoding.extension()));
+        write_trace_path(self.traces.old_regressing.trace(), &old, encoding)?;
+        write_trace_path(self.traces.new_regressing.trace(), &new, encoding)?;
+        Ok([old, new])
     }
 }
 

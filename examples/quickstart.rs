@@ -4,7 +4,8 @@
 //! The [`rprism::Engine`] is the session object: traces come back as `PreparedTrace`
 //! handles whose derived artifacts (interned event keys, the view web) are built once
 //! and reused by every query — note the second diff below reuses everything the first
-//! one built.
+//! one built. At the end the traces are stored to disk and re-loaded: the same pair of
+//! files feeds the CLI (`rprism diff old.rtr new.rtr`).
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -61,5 +62,23 @@ fn main() -> Result<(), rprism::Error> {
         again.num_differences(),
         old.web_build_count()
     );
+
+    // Traces are portable: store them in the compact binary encoding (or JSONL via
+    // `store_trace_as(.., Encoding::Jsonl)`), reload with content sniffing, and get the
+    // exact same analysis — `rprism diff old.rtr new.rtr` does this from the shell.
+    let dir = std::env::temp_dir().join(format!("rprism-quickstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(rprism::FormatError::Io)?;
+    let old_path = dir.join("old.rtr");
+    let new_path = dir.join("new.rtr");
+    engine.store_trace(&old, &old_path)?;
+    engine.store_trace(&new, &new_path)?;
+    let reloaded = engine.diff(&engine.load_trace(&old_path)?, &engine.load_trace(&new_path)?)?;
+    println!(
+        "stored to {} and re-diffed from disk: {} differences (identical: {})",
+        dir.display(),
+        reloaded.num_differences(),
+        reloaded.num_differences() == diff.num_differences()
+    );
+    std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

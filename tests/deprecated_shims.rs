@@ -1,0 +1,110 @@
+//! Compat-layer coverage: the `#[deprecated]` one-shot API must keep compiling and
+//! producing results identical to the session [`Engine`], so the shims cannot silently
+//! rot while they remain published. Everything here intentionally calls deprecated
+//! items.
+#![allow(deprecated)]
+
+use rprism::{AnalysisMode, DiffAlgorithm, Engine, Rprism, ViewsDiffOptions};
+use rprism_diff::{views_diff, views_diff_with_webs};
+use rprism_regress::{analyze, RegressionTraces};
+use rprism_views::ViewWeb;
+
+fn src(min: i64, probe: i64) -> String {
+    format!(
+        r#"
+        class Range extends Object {{ Int min; Int max; }}
+        class App extends Object {{
+            Range r;
+            Int hits;
+            Unit setup() {{ this.r = new Range({min}, 127); }}
+            Unit check(Int c) {{
+                if ((c >= this.r.min) && (c <= this.r.max)) {{ this.hits = this.hits + 1; }}
+            }}
+        }}
+        main {{ let a = new App(null, 0); a.setup(); a.check({probe}); a.check(64); }}
+        "#
+    )
+}
+
+#[test]
+fn rprism_shim_matches_engine_diff() {
+    let shim = Rprism::new();
+    let engine = Engine::new();
+    let old = shim.trace_source(&src(32, 20), "old").unwrap();
+    let new = shim.trace_source(&src(1, 20), "new").unwrap();
+
+    let via_shim = shim.diff(&old.trace, &new.trace);
+    let pold = engine.prepare(old.trace.clone());
+    let pnew = engine.prepare(new.trace.clone());
+    let via_engine = engine.diff(&pold, &pnew).unwrap();
+
+    assert!(via_shim.num_differences() > 0);
+    assert_eq!(
+        via_shim.matching.normalized_pairs(),
+        via_engine.matching.normalized_pairs()
+    );
+    assert_eq!(via_shim.sequences, via_engine.sequences);
+    assert_eq!(via_shim.cost.compare_ops, via_engine.cost.compare_ops);
+}
+
+#[test]
+fn free_function_views_diff_variants_agree() {
+    let shim = Rprism::new();
+    let old = shim.trace_source(&src(32, 20), "old").unwrap().trace;
+    let new = shim.trace_source(&src(1, 20), "new").unwrap().trace;
+    let options = ViewsDiffOptions::default();
+
+    let plain = views_diff(&old, &new, &options);
+    let old_web = ViewWeb::build(&old);
+    let new_web = ViewWeb::build(&new);
+    let with_webs = views_diff_with_webs(&old, &new, &old_web, &new_web, &options);
+
+    assert_eq!(
+        plain.matching.normalized_pairs(),
+        with_webs.matching.normalized_pairs()
+    );
+    assert_eq!(plain.sequences, with_webs.sequences);
+    assert_eq!(plain.cost.compare_ops, with_webs.cost.compare_ops);
+}
+
+#[test]
+fn free_function_analyze_matches_engine_analyze() {
+    let shim = Rprism::new();
+    let engine = Engine::new();
+    let trace = |min: i64, probe: i64, label: &str| {
+        shim.trace_source(&src(min, probe), label).unwrap().trace
+    };
+    let traces = RegressionTraces {
+        old_regressing: trace(32, 20, "or"),
+        new_regressing: trace(1, 20, "nr"),
+        old_passing: trace(32, 64, "op"),
+        new_passing: trace(1, 64, "np"),
+    };
+
+    let via_free = analyze(
+        &traces,
+        &DiffAlgorithm::Views(ViewsDiffOptions::default()),
+        AnalysisMode::Intersect,
+    )
+    .unwrap();
+    let via_shim = shim
+        .analyze_regression(&traces, AnalysisMode::Intersect)
+        .unwrap();
+
+    let input = rprism::RegressionInput::new(
+        engine.prepare(traces.old_regressing.clone()),
+        engine.prepare(traces.new_regressing.clone()),
+        engine.prepare(traces.old_passing.clone()),
+        engine.prepare(traces.new_passing.clone()),
+    );
+    let via_engine = engine.analyze(&input).unwrap();
+
+    for (label, report) in [("free fn", &via_free), ("Rprism shim", &via_shim)] {
+        assert!(!report.suspected.is_empty(), "{label}");
+        assert_eq!(report.suspected, via_engine.suspected, "{label}");
+        assert_eq!(report.expected, via_engine.expected, "{label}");
+        assert_eq!(report.regression, via_engine.regression, "{label}");
+        assert_eq!(report.candidates, via_engine.candidates, "{label}");
+        assert_eq!(report.compare_ops, via_engine.compare_ops, "{label}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Round-trip-then-diff equivalence: serializing traces to disk, loading them back and
+//! diffing/analyzing them is indistinguishable from working on the in-memory originals
+//! — same matchings, same difference signatures, same deterministic cost-meter compare
+//! counts — on all four §5.2 case studies, under both encodings.
+
+use rprism::Engine;
+use rprism_format::Encoding;
+use rprism_regress::DiffSet;
+use rprism_workloads::casestudies;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rprism-rtd-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn loaded_traces_diff_identically_to_originals() {
+    for encoding in [Encoding::Binary, Encoding::Jsonl] {
+        let dir = temp_dir(&encoding.to_string());
+        let engine = Engine::new();
+        for scenario in casestudies::all() {
+            let traces = scenario.trace_all().unwrap();
+            let [old_path, new_path] = traces
+                .export_suspected_pair(&dir, &scenario.name, encoding)
+                .unwrap();
+            let loaded_old = engine.load_trace(&old_path).unwrap();
+            let loaded_new = engine.load_trace(&new_path).unwrap();
+
+            let original = engine
+                .diff(&traces.traces.old_regressing, &traces.traces.new_regressing)
+                .unwrap();
+            let loaded = engine.diff(&loaded_old, &loaded_new).unwrap();
+
+            // Same regions: matchings and difference sequences.
+            assert_eq!(
+                original.matching.normalized_pairs(),
+                loaded.matching.normalized_pairs(),
+                "{} ({encoding}): matchings diverged",
+                scenario.name
+            );
+            assert_eq!(
+                original.sequences, loaded.sequences,
+                "{} ({encoding}): difference sequences diverged",
+                scenario.name
+            );
+            // Same signatures: the canonical trace-independent difference identities.
+            let original_set = DiffSet::from_diff(
+                &original,
+                traces.traces.old_regressing.trace(),
+                traces.traces.new_regressing.trace(),
+            );
+            let loaded_set = DiffSet::from_diff(&loaded, loaded_old.trace(), loaded_new.trace());
+            assert_eq!(
+                original_set, loaded_set,
+                "{} ({encoding}): DiffSignatures diverged",
+                scenario.name
+            );
+            // Same deterministic cost: the compare-operation count of the diff.
+            assert_eq!(
+                original.cost.compare_ops, loaded.cost.compare_ops,
+                "{} ({encoding}): compare-op counts diverged",
+                scenario.name
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn loaded_traces_analyze_identically_to_originals() {
+    let dir = temp_dir("analyze");
+    let engine = Engine::new();
+    for scenario in casestudies::all() {
+        let traces = scenario.trace_all().unwrap();
+        let paths = traces
+            .export(&dir, &scenario.name, Encoding::Binary)
+            .unwrap();
+        let loaded: Vec<_> = paths
+            .iter()
+            .map(|p| engine.load_trace(p).unwrap())
+            .collect();
+        let loaded_input = rprism::RegressionInput::new(
+            loaded[0].clone(),
+            loaded[1].clone(),
+            loaded[2].clone(),
+            loaded[3].clone(),
+        )
+        .with_mode(scenario.analysis_mode());
+
+        let original = engine.analyze(&traces.traces).unwrap();
+        let from_disk = engine.analyze(&loaded_input).unwrap();
+
+        assert_eq!(original.suspected, from_disk.suspected, "{}", scenario.name);
+        assert_eq!(original.expected, from_disk.expected, "{}", scenario.name);
+        assert_eq!(original.regression, from_disk.regression, "{}", scenario.name);
+        assert_eq!(original.candidates, from_disk.candidates, "{}", scenario.name);
+        assert_eq!(
+            original.compare_ops, from_disk.compare_ops,
+            "{}: analysis compare-op counts diverged",
+            scenario.name
+        );
+        assert_eq!(
+            original
+                .sequences
+                .iter()
+                .map(|s| (s.sequence.clone(), s.regression_related))
+                .collect::<Vec<_>>(),
+            from_disk
+                .sequences
+                .iter()
+                .map(|s| (s.sequence.clone(), s.regression_related))
+                .collect::<Vec<_>>(),
+            "{}: sequence verdicts diverged",
+            scenario.name
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
