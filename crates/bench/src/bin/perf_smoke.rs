@@ -14,7 +14,13 @@
 //! 3. **trace i/o** — the same large trace serialized and re-parsed through
 //!    `rprism-format` in both encodings (in memory), printing bytes per entry and
 //!    write/read throughput in entries per second — the ingestion budget of the
-//!    on-disk pipeline.
+//!    on-disk pipeline;
+//! 4. **streaming ingest** — the pair stored as `.rtr` files and brought back two
+//!    ways: `load_trace` + artifact warm-up (the load-then-prepare path) vs
+//!    `load_prepared` (the one-pass bounded-memory pipeline), printing wall time and
+//!    peak heap growth for both plus the peak-memory reduction, and asserting the two
+//!    kinds of handles diff identically (the numbers recorded in `BENCH_4.json`).
+//!    Peaks come from a live/peak tracking global allocator.
 //!
 //! The `--json` flag emits all numbers as one JSON object.
 //!
@@ -23,12 +29,15 @@
 use std::time::Duration;
 
 use rprism::Engine;
-use rprism_bench::measure::sample_env;
+use rprism_bench::measure::{sample_env, TrackingAllocator};
 use rprism_bench::seed_baseline::seed_views_diff;
 use rprism_diff::{TraceDiffResult, ViewsDiffOptions};
 use rprism_lang::parser::parse_program;
 use rprism_trace::{Trace, TraceMeta};
 use rprism_vm::{run_traced, VmConfig};
+
+#[global_allocator]
+static GLOBAL: TrackingAllocator = TrackingAllocator;
 
 /// The `diff_scaling` bench program shape at its largest configured size, parameterized
 /// by the range lower bound and the iteration count of each side. `(32, n)` vs `(1, n)`
@@ -190,6 +199,77 @@ fn measure_trace_io(samples: usize, trace: &Trace) -> Vec<IoMeasured> {
         .collect()
 }
 
+struct IngestMeasured {
+    entries: usize,
+    full_wall: Duration,
+    full_peak: u64,
+    streaming_wall: Duration,
+    streaming_peak: u64,
+}
+
+impl IngestMeasured {
+    fn peak_reduction(&self) -> f64 {
+        self.full_peak as f64 / self.streaming_peak.max(1) as f64
+    }
+}
+
+/// Stores the pair as binary `.rtr` files and measures load-then-prepare (whole trace +
+/// `keyed()`/`web()` warm-up) against the streaming prepare pipeline: wall time and
+/// peak heap growth per path (best wall / max peak over `samples`), with the resulting
+/// handles asserted to diff identically.
+fn measure_streaming_ingest(samples: usize, old: &Trace, new: &Trace) -> IngestMeasured {
+    let dir = std::env::temp_dir().join(format!("rprism-perf-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let engine = Engine::new();
+    let pa = dir.join("old.rtr");
+    let pb = dir.join("new.rtr");
+    engine.store_trace(&engine.prepare(old.clone()), &pa).unwrap();
+    engine.store_trace(&engine.prepare(new.clone()), &pb).unwrap();
+
+    let mut measured = IngestMeasured {
+        entries: old.len() + new.len(),
+        full_wall: Duration::MAX,
+        full_peak: 0,
+        streaming_wall: Duration::MAX,
+        streaming_peak: 0,
+    };
+    for _ in 0..samples {
+        let baseline = TrackingAllocator::reset_peak();
+        let start = std::time::Instant::now();
+        let fa = engine.load_trace(&pa).unwrap();
+        let fb = engine.load_trace(&pb).unwrap();
+        fa.keyed();
+        fa.web();
+        fb.keyed();
+        fb.web();
+        measured.full_wall = measured.full_wall.min(start.elapsed());
+        measured.full_peak = measured
+            .full_peak
+            .max(TrackingAllocator::peak_since(baseline));
+
+        let baseline = TrackingAllocator::reset_peak();
+        let start = std::time::Instant::now();
+        let sa = engine.load_prepared(&pa).unwrap();
+        let sb = engine.load_prepared(&pb).unwrap();
+        measured.streaming_wall = measured.streaming_wall.min(start.elapsed());
+        measured.streaming_peak = measured
+            .streaming_peak
+            .max(TrackingAllocator::peak_since(baseline));
+
+        // Equivalence: streamed handles must produce the exact diff of full handles.
+        let full = engine.diff(&fa, &fb).expect("views never fails");
+        let streamed = engine.diff(&sa, &sb).expect("views never fails");
+        assert_eq!(
+            full.matching.normalized_pairs(),
+            streamed.matching.normalized_pairs(),
+            "streaming-prepared diff diverged from load-then-prepare"
+        );
+        assert_eq!(full.cost.compare_ops, streamed.cost.compare_ops);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    measured
+}
+
 fn main() {
     let mut json = false;
     let mut iterations = 400usize;
@@ -217,6 +297,7 @@ fn main() {
     let (reuse_old, reuse_new) = trace_pair([(32, iterations), (32, iterations + 4)]);
     let reuse = measure_reuse(samples, 3, &reuse_old, &reuse_new, &options);
     let io = measure_trace_io(samples, &old);
+    let ingest = measure_streaming_ingest(samples, &old, &new);
 
     let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
     let reuse_speedup =
@@ -261,7 +342,16 @@ fn main() {
                 )
             })
             .collect();
-        println!("  \"trace_io\": [{}]", io_json.join(", "));
+        println!("  \"trace_io\": [{}],", io_json.join(", "));
+        println!(
+            "  \"streaming_ingest\": {{ \"trace_entries\": {}, \"full\": {{ \"wall_seconds\": {:.6}, \"peak_bytes\": {} }}, \"streaming\": {{ \"wall_seconds\": {:.6}, \"peak_bytes\": {} }}, \"peak_memory_reduction\": {:.2} }}",
+            ingest.entries,
+            ingest.full_wall.as_secs_f64(),
+            ingest.full_peak,
+            ingest.streaming_wall.as_secs_f64(),
+            ingest.streaming_peak,
+            ingest.peak_reduction()
+        );
         println!("}}");
     } else {
         println!(
@@ -286,6 +376,22 @@ fn main() {
         println!(
             "\n  prepared reuse ({}x same pair): cold {:>10.3?}  engine-prepared {:>10.3?}  speedup {reuse_speedup:.2}x",
             reuse.repeats, reuse.cold_wall, reuse.prepared_wall
+        );
+        println!(
+            "\n  streaming ingest ({} entries across both sides):",
+            ingest.entries
+        );
+        println!(
+            "    load-then-prepare: wall {:>10.3?}  peak heap growth {:>12} bytes",
+            ingest.full_wall, ingest.full_peak
+        );
+        println!(
+            "    streaming prepare: wall {:>10.3?}  peak heap growth {:>12} bytes",
+            ingest.streaming_wall, ingest.streaming_peak
+        );
+        println!(
+            "    peak-memory reduction: {:.2}x (identical diffs asserted)",
+            ingest.peak_reduction()
         );
         println!("\n  trace i/o ({} entries):", old.len());
         for m in &io {

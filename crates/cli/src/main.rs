@@ -4,16 +4,22 @@
 //! ```text
 //! rprism record <source.rp> --out <file> [--label L] [--encoding binary|jsonl]
 //! rprism record --scenario <name|all> --dir <dir> [--encoding binary|jsonl]
-//! rprism diff <a> <b> [<c> <d> …] [--lcs] [--max-seqs N] [--quiet]
-//! rprism analyze <or> <nr> <op> <np> [… groups of four] [--mode intersect|subtract]
+//! rprism gen --out <file> [--entries N] [--seed S] [--encoding binary|jsonl]
+//! rprism diff <a> <b> [<c> <d> …] [--lcs] [--max-seqs N] [--quiet] [--full]
+//! rprism analyze <or> <nr> <op> <np> [… groups of four] [--mode intersect|subtract] [--full]
 //! rprism convert <in> <out> [--encoding binary|jsonl]
 //! rprism corpus --dir <dir> [--check]
 //! ```
 //!
 //! Trace files are read with content sniffing (binary `.rtr` or JSONL text, regardless
-//! of extension). Batch invocations — several `diff` pairs, several `analyze`
-//! quadruples — fan out through the session engine's `diff_many`/`analyze_many`, so a
-//! directory of recorded traces is one command away from a full batch analysis.
+//! of extension). `diff` and `analyze` ingest their inputs with the **streaming prepare
+//! pipeline** (`Engine::load_prepared`): keys and view webs are built in one
+//! bounded-memory pass and the full traces are never materialized, so trace files far
+//! larger than memory can be differenced. `--full` switches back to whole-trace loading,
+//! whose reports render complete entry text (streamed reports render compact context
+//! lines). Batch invocations — several `diff` pairs, several `analyze` quadruples — fan
+//! out through the session engine's `diff_many`/`analyze_many`, so a directory of
+//! recorded traces is one command away from a full batch analysis.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -40,11 +46,16 @@ usage:
   rprism record --scenario <name|all> --dir <dir> [--encoding binary|jsonl]
       Export the four traces of a built-in case study (daikon, xalan-1725,
       xalan-1802, derby-1633) or of all of them.
-  rprism diff <a> <b> [<c> <d> ...] [--lcs] [--max-seqs <n>] [--quiet]
+  rprism gen --out <file> [--entries <n>] [--seed <s>] [--encoding binary|jsonl]
+      Generate a deterministic synthetic trace (load testing, format smoke tests).
+  rprism diff <a> <b> [<c> <d> ...] [--lcs] [--max-seqs <n>] [--quiet] [--full]
       Semantically difference stored trace pairs (batched via diff_many).
-  rprism analyze <or> <nr> <op> <np> [...] [--mode intersect|subtract] [--max-seqs <n>]
+      Inputs are streamed through the bounded-memory prepare pipeline; --full
+      loads whole traces instead (complete entry text in the rendered diff).
+  rprism analyze <or> <nr> <op> <np> [...] [--mode intersect|subtract] [--max-seqs <n>] [--full]
       Run the regression-cause analysis over stored trace quadruples
-      (old-regressing, new-regressing, old-passing, new-passing; batched).
+      (old-regressing, new-regressing, old-passing, new-passing; batched,
+      streamed like diff unless --full).
   rprism convert <in> <out> [--encoding binary|jsonl]
       Re-encode a stored trace (default: encoding implied by <out>'s extension).
   rprism corpus --dir <dir> [--check]
@@ -59,6 +70,7 @@ struct Args {
 /// Flags that take a value; everything else starting with `--` is a switch.
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--label", "--encoding", "--scenario", "--dir", "--max-seqs", "--mode",
+    "--entries", "--seed",
 ];
 
 impl Args {
@@ -130,6 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let parsed = Args::parse(rest)?;
     match command.as_str() {
         "record" => record(&parsed),
+        "gen" => gen(&parsed),
         "diff" => diff(&parsed),
         "analyze" => analyze(&parsed),
         "convert" => convert(&parsed),
@@ -145,10 +158,62 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn load(engine: &Engine, path: &str) -> Result<PreparedTrace, String> {
-    engine
-        .load_trace(path)
-        .map_err(|e| format!("cannot load {path}: {e}"))
+/// Loads one trace input: streamed through the bounded-memory prepare pipeline by
+/// default, as a whole in-memory trace with `full`.
+fn load(engine: &Engine, path: &str, full: bool) -> Result<PreparedTrace, String> {
+    if full {
+        engine.load_trace(path)
+    } else {
+        engine.load_prepared(path)
+    }
+    .map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+/// Renders a semantic diff, sourcing entry lines from the handles so streamed inputs
+/// (which hold no full entries) render compact context lines instead of failing.
+fn render_diff(
+    result: &rprism::TraceDiffResult,
+    left: &PreparedTrace,
+    right: &PreparedTrace,
+    max_sequences: usize,
+) -> String {
+    result.render_with(
+        max_sequences,
+        |idx| left.describe_entry(idx),
+        |idx| right.describe_entry(idx),
+    )
+}
+
+fn gen(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--out", "--entries", "--seed", "--encoding"])?;
+    if !args.positional.is_empty() {
+        return Err("gen takes no positional arguments (use --out <file>)".into());
+    }
+    let out = PathBuf::from(args.value("--out").ok_or("gen expects --out <file>")?);
+    let parse_num = |key: &str, default: u64| -> Result<u64, String> {
+        match args.value(key) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("{key} expects a number, got {text:?}")),
+        }
+    };
+    let entries = parse_num("--entries", 10_000)?;
+    let seed = parse_num("--seed", 0x5eed)?;
+    let mut rng = rprism::trace::testgen::Rng::new(seed);
+    let trace = rprism::trace::testgen::arbitrary_trace(&mut rng, entries as usize);
+    let encoding = args
+        .encoding()?
+        .unwrap_or_else(|| Encoding::for_path(&out));
+    rprism_format::write_trace_path(&trace, &out, encoding)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} entries, seed {seed}, {} encoding)",
+        out.display(),
+        trace.len(),
+        encoding
+    );
+    Ok(())
 }
 
 fn record(args: &Args) -> Result<(), String> {
@@ -214,7 +279,7 @@ fn record(args: &Args) -> Result<(), String> {
 }
 
 fn diff(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--lcs", "--max-seqs", "--quiet"])?;
+    args.reject_unknown(&["--lcs", "--max-seqs", "--quiet", "--full"])?;
     let paths = &args.positional;
     if paths.len() < 2 || !paths.len().is_multiple_of(2) {
         return Err(format!(
@@ -223,6 +288,7 @@ fn diff(args: &Args) -> Result<(), String> {
         ));
     }
     let max_seqs = args.max_seqs()?;
+    let full = args.switch("--full");
     let mut builder = Engine::builder();
     if args.switch("--lcs") {
         builder = builder.lcs_baseline(LcsDiffOptions::default());
@@ -230,7 +296,7 @@ fn diff(args: &Args) -> Result<(), String> {
     let engine = builder.build();
     let mut pairs = Vec::new();
     for chunk in paths.chunks(2) {
-        pairs.push((load(&engine, &chunk[0])?, load(&engine, &chunk[1])?));
+        pairs.push((load(&engine, &chunk[0], full)?, load(&engine, &chunk[1], full)?));
     }
     let results = engine
         .diff_many(&pairs)
@@ -247,14 +313,14 @@ fn diff(args: &Args) -> Result<(), String> {
             result.algorithm,
         );
         if !args.switch("--quiet") {
-            print!("{}", result.render(left.trace(), right.trace(), max_seqs));
+            print!("{}", render_diff(result, left, right, max_seqs));
         }
     }
     Ok(())
 }
 
 fn analyze(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--mode", "--max-seqs"])?;
+    args.reject_unknown(&["--mode", "--max-seqs", "--full"])?;
     let paths = &args.positional;
     if paths.is_empty() || !paths.len().is_multiple_of(4) {
         return Err(format!(
@@ -279,13 +345,14 @@ fn analyze(args: &Args) -> Result<(), String> {
             ..RenderOptions::default()
         })
         .build();
+    let full = args.switch("--full");
     let mut inputs = Vec::new();
     for group in paths.chunks(4) {
         let mut input = RegressionInput::new(
-            load(&engine, &group[0])?,
-            load(&engine, &group[1])?,
-            load(&engine, &group[2])?,
-            load(&engine, &group[3])?,
+            load(&engine, &group[0], full)?,
+            load(&engine, &group[1], full)?,
+            load(&engine, &group[2], full)?,
+            load(&engine, &group[3], full)?,
         );
         if let Some(mode) = mode {
             input = input.with_mode(mode);

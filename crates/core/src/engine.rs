@@ -25,14 +25,16 @@
 //! reproducible down to the compare-operation counts.
 
 use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::BufReader;
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use rprism_format::Encoding;
+use rprism_format::{Encoding, TraceReader};
 use rprism_diff::{
-    lcs_diff_keyed, views_diff_correlated, DiffError, LcsDiffOptions, TraceDiffResult,
-    ViewsDiffOptions,
+    lcs_diff_prepared, views_diff_sides_correlated, DiffError, DiffSide, LcsDiffOptions,
+    TraceDiffResult, ViewsDiffOptions,
 };
 use rprism_lang::parser::parse_program;
 use rprism_lang::Program;
@@ -40,42 +42,128 @@ use rprism_regress::{
     analyze_prepared_with, AnalysisComparison, AnalysisMode, DiffAlgorithm, PreparedInput,
     PreparedTraceRef, RegressionReport, RenderOptions,
 };
-use rprism_trace::{KeyedTrace, Trace, TraceMeta};
+use rprism_trace::{KeyedTrace, LeanTrace, Trace, TraceMeta};
 use rprism_views::{Correlation, ViewWeb};
 use rprism_vm::{run_traced, RunOutcome, RuntimeError, VmConfig};
 
-use crate::Result;
+use crate::ingest::{stream_prepare, StreamedArtifacts};
+use crate::{Error, Result};
 
-/// Entries kept in the pair-level correlation cache before first-in-first-out eviction
-/// kicks in. Bounds a long-lived engine's memory when it diffs an unbounded stream of
-/// trace pairs; 128 ordered pairs comfortably covers a whole case-study batch.
+/// Default number of trace pairs kept in the pair-level correlation cache before
+/// least-recently-used eviction kicks in. Bounds a long-lived engine's memory when it
+/// diffs an unbounded stream of trace pairs; 128 pairs comfortably covers a whole
+/// case-study batch. Tunable per engine via
+/// [`EngineBuilder::correlation_cache_capacity`].
 const CORRELATION_CACHE_CAP: usize = 128;
 
+/// One cached pair: the correlation as built (oriented `left_id → right`), plus the
+/// lazily derived flipped orientation so both diff directions of the pair share one
+/// build.
+#[derive(Debug)]
+struct CachedCorrelation {
+    /// Handle id of the side the stored correlation treats as *left*.
+    built_left_id: u64,
+    built: Arc<Correlation>,
+    flipped: OnceLock<Arc<Correlation>>,
+}
+
+impl CachedCorrelation {
+    /// The correlation oriented so that the handle with id `left_id` is the left side.
+    /// `flipped_left_views` is that handle's total view count (the dense map size of
+    /// the transposed orientation).
+    fn oriented(&self, left_id: u64, flipped_left_views: usize) -> Arc<Correlation> {
+        if left_id == self.built_left_id {
+            Arc::clone(&self.built)
+        } else {
+            Arc::clone(
+                self.flipped
+                    .get_or_init(|| Arc::new(self.built.flipped(flipped_left_views))),
+            )
+        }
+    }
+}
+
 /// Bounded session cache of pair-level artifacts, keyed by the two handles'
-/// process-unique ids (ids are never reused, so a dropped handle can never alias a
-/// cached entry). FIFO eviction keeps it from growing with the number of pairs ever
-/// diffed.
-#[derive(Debug, Default)]
+/// process-unique ids as an **unordered** pair (ids are never reused, so a dropped
+/// handle can never alias a cached entry). Each pair holds one correlation build — in
+/// the orientation of its first query — and serves the opposite orientation as an
+/// exact transpose, so `diff(a, b)` after `diff(b, a)` (or an `analyze` whose
+/// comparisons run opposite to earlier diffs) reuses the same build instead of
+/// recomputing it. Eviction is least-recently-used: a hot pair re-touched between
+/// batches survives churn that would have evicted it under FIFO.
+#[derive(Debug)]
 struct CorrelationCache {
-    map: HashMap<(u64, u64), Arc<Correlation>>,
+    map: HashMap<(u64, u64), CachedCorrelation>,
+    /// LRU order: least recently used at the front.
     order: VecDeque<(u64, u64)>,
+    capacity: usize,
+    /// How many correlations this session actually built (cache-efficiency metric;
+    /// flips are transposes, not builds).
+    builds: u64,
 }
 
 impl CorrelationCache {
-    fn get(&self, key: (u64, u64)) -> Option<Arc<Correlation>> {
-        self.map.get(&key).cloned()
+    fn new(capacity: usize) -> Self {
+        CorrelationCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            builds: 0,
+        }
     }
 
-    fn insert(&mut self, key: (u64, u64), value: Arc<Correlation>) -> Arc<Correlation> {
-        if !self.map.contains_key(&key) {
-            while self.order.len() >= CORRELATION_CACHE_CAP {
+    fn canonical(key: (u64, u64)) -> (u64, u64) {
+        (key.0.min(key.1), key.0.max(key.1))
+    }
+
+    fn touch(&mut self, key: (u64, u64)) {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+    }
+
+    /// The cached correlation of the (unordered) pair, oriented for `left_id`,
+    /// refreshing its recency.
+    fn get(&mut self, key: (u64, u64), flipped_left_views: usize) -> Option<Arc<Correlation>> {
+        let canonical = Self::canonical(key);
+        let oriented = self
+            .map
+            .get(&canonical)?
+            .oriented(key.0, flipped_left_views);
+        self.touch(canonical);
+        Some(oriented)
+    }
+
+    /// Stores a freshly built correlation (oriented `key.0 → key.1`) and returns the
+    /// correlation every caller of this pair should use. If a racing build of the
+    /// opposite orientation got here first, the first insert wins and later builders
+    /// adopt its (transposed) result, so all users of a pair share one correlation.
+    fn insert(
+        &mut self,
+        key: (u64, u64),
+        value: Arc<Correlation>,
+        flipped_left_views: usize,
+    ) -> Arc<Correlation> {
+        self.builds += 1;
+        let canonical = Self::canonical(key);
+        if !self.map.contains_key(&canonical) {
+            while self.order.len() >= self.capacity {
                 if let Some(evicted) = self.order.pop_front() {
                     self.map.remove(&evicted);
                 }
             }
-            self.order.push_back(key);
+            self.order.push_back(canonical);
+            self.map.insert(
+                canonical,
+                CachedCorrelation {
+                    built_left_id: key.0,
+                    built: value,
+                    flipped: OnceLock::new(),
+                },
+            );
         }
-        Arc::clone(self.map.entry(key).or_insert(value))
+        self.map[&canonical].oriented(key.0, flipped_left_views)
     }
 }
 
@@ -87,9 +175,26 @@ impl CorrelationCache {
 /// then reused by every subsequent query — across diffs, batch runs, regression analyses
 /// and threads. The handle [`Deref`](std::ops::Deref)s to [`Trace`], so it can be passed
 /// wherever a `&Trace` is expected.
+///
+/// Handles come in two storage forms. [`Engine::trace`], [`Engine::prepare`] and
+/// [`Engine::load_trace`] produce **full** handles backed by a materialized [`Trace`].
+/// [`Engine::load_prepared`] produces **streamed** handles: the serialized trace was
+/// ingested in one bounded-memory pass, its keys and view web are already built, and
+/// only the [`LeanTrace`] per-entry context is retained in place of the full entries.
+/// Every diff and analysis accepts both forms interchangeably (and produces identical
+/// results); only operations that need the full entries — [`PreparedTrace::trace`],
+/// `Deref`, [`Engine::store_trace`] — are restricted to full handles.
 #[derive(Clone, Debug)]
 pub struct PreparedTrace {
     inner: Arc<PreparedTraceInner>,
+}
+
+/// The per-entry storage behind a handle: the full trace, or the lean reduction kept
+/// by streaming ingestion.
+#[derive(Debug)]
+enum TraceStore {
+    Full(Trace),
+    Lean(LeanTrace),
 }
 
 #[derive(Debug)]
@@ -97,7 +202,7 @@ struct PreparedTraceInner {
     /// Process-unique handle identity, used as a cache key for pair-level artifacts
     /// (never reused, unlike a raw `Arc` address).
     id: u64,
-    trace: Trace,
+    store: TraceStore,
     output: Vec<String>,
     run_error: Option<RuntimeError>,
     keyed: OnceLock<KeyedTrace>,
@@ -112,7 +217,7 @@ impl PreparedTraceInner {
     fn new(trace: Trace, output: Vec<String>, run_error: Option<RuntimeError>) -> Self {
         PreparedTraceInner {
             id: NEXT_HANDLE_ID.fetch_add(1, Ordering::Relaxed),
-            trace,
+            store: TraceStore::Full(trace),
             output,
             run_error,
             keyed: OnceLock::new(),
@@ -120,6 +225,34 @@ impl PreparedTraceInner {
             keyed_builds: AtomicU32::new(0),
             web_builds: AtomicU32::new(0),
         }
+    }
+
+    fn from_streamed(artifacts: StreamedArtifacts) -> Self {
+        let StreamedArtifacts {
+            meta: _,
+            lean,
+            keyed,
+            web,
+        } = artifacts;
+        let inner = PreparedTraceInner {
+            id: NEXT_HANDLE_ID.fetch_add(1, Ordering::Relaxed),
+            store: TraceStore::Lean(lean),
+            output: Vec::new(),
+            run_error: None,
+            keyed: OnceLock::new(),
+            web: OnceLock::new(),
+            keyed_builds: AtomicU32::new(0),
+            web_builds: AtomicU32::new(0),
+        };
+        // Streaming ingestion built the artifacts during the read pass; pre-seeding the
+        // cells preserves the "built at most once" invariant (build counts stay 0: the
+        // handle never re-derives anything).
+        inner
+            .keyed
+            .set(keyed)
+            .expect("fresh handle has no keyed form");
+        inner.web.set(web).expect("fresh handle has no web");
+        inner
     }
 }
 
@@ -143,9 +276,94 @@ impl PreparedTrace {
         }
     }
 
+    /// Wraps streamed artifacts into a lean prepared handle (keys and web pre-built).
+    pub(crate) fn from_streamed(artifacts: StreamedArtifacts) -> Self {
+        PreparedTrace {
+            inner: Arc::new(PreparedTraceInner::from_streamed(artifacts)),
+        }
+    }
+
     /// The underlying trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics for streamed handles ([`Engine::load_prepared`]), which deliberately do
+    /// not retain the full trace. Use [`PreparedTrace::try_trace`] to branch, or load
+    /// with [`Engine::load_trace`] when the entries themselves are needed.
     pub fn trace(&self) -> &Trace {
-        &self.inner.trace
+        self.try_trace().expect(
+            "this handle was streaming-prepared (Engine::load_prepared) and does not \
+             retain the full trace; use try_trace()/Engine::load_trace for entry access",
+        )
+    }
+
+    /// The underlying trace, when this handle retains one (`None` for streamed
+    /// handles).
+    pub fn try_trace(&self) -> Option<&Trace> {
+        match &self.inner.store {
+            TraceStore::Full(trace) => Some(trace),
+            TraceStore::Lean(_) => None,
+        }
+    }
+
+    /// The lean per-entry context, when this handle is a streamed one.
+    pub fn lean(&self) -> Option<&LeanTrace> {
+        match &self.inner.store {
+            TraceStore::Full(_) => None,
+            TraceStore::Lean(lean) => Some(lean),
+        }
+    }
+
+    /// Returns `true` when this handle was produced by streaming ingestion and holds
+    /// only the lean per-entry context.
+    pub fn is_streamed(&self) -> bool {
+        matches!(self.inner.store, TraceStore::Lean(_))
+    }
+
+    /// The trace metadata (available for both storage forms).
+    pub fn meta(&self) -> &TraceMeta {
+        match &self.inner.store {
+            TraceStore::Full(trace) => &trace.meta,
+            TraceStore::Lean(lean) => &lean.meta,
+        }
+    }
+
+    /// Number of entries (available for both storage forms).
+    pub fn len(&self) -> usize {
+        match &self.inner.store {
+            TraceStore::Full(trace) => trace.len(),
+            TraceStore::Lean(lean) => lean.len(),
+        }
+    }
+
+    /// Returns `true` when the trace has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A one-line rendering of entry `index` for reports: the full entry rendering
+    /// when the handle retains the trace, a compact context line (thread, active
+    /// class, method, event form) reconstructed from the lean artifacts otherwise.
+    pub fn describe_entry(&self, index: usize) -> Option<String> {
+        match &self.inner.store {
+            TraceStore::Full(trace) => trace.entries.get(index).map(|e| e.render()),
+            TraceStore::Lean(lean) => {
+                let entry = lean.entries().get(index)?;
+                let key = self.keyed().compact(index);
+                let name = key
+                    .name
+                    .map(|s| format!(" {s}"))
+                    .unwrap_or_default();
+                Some(format!(
+                    "[e{index} {} in {}.{}] {:?}{name} ({} operands)",
+                    entry.tid,
+                    entry.active.class,
+                    entry.method,
+                    key.kind,
+                    key.num_operands(),
+                ))
+            }
+        }
     }
 
     /// The program output recorded while tracing (empty for handles made with
@@ -165,20 +383,22 @@ impl PreparedTrace {
     }
 
     /// The precomputed event keys of the trace, built on first call and cached for the
-    /// lifetime of the handle (all clones included).
+    /// lifetime of the handle (all clones included). Streamed handles arrive with the
+    /// keys already built by the ingest pass.
     pub fn keyed(&self) -> &KeyedTrace {
         self.inner.keyed.get_or_init(|| {
             self.inner.keyed_builds.fetch_add(1, Ordering::Relaxed);
-            KeyedTrace::build(&self.inner.trace)
+            KeyedTrace::build(self.trace())
         })
     }
 
     /// The view web of the trace, built on first call and cached for the lifetime of the
-    /// handle (all clones included).
+    /// handle (all clones included). Streamed handles arrive with the web already built
+    /// by the ingest pass.
     pub fn web(&self) -> &ViewWeb {
         self.inner.web.get_or_init(|| {
             self.inner.web_builds.fetch_add(1, Ordering::Relaxed);
-            ViewWeb::build(&self.inner.trace)
+            ViewWeb::build(self.trace())
         })
     }
 
@@ -197,7 +417,23 @@ impl PreparedTrace {
     /// Borrowed prepared artifacts for the regression analysis, forcing the builds if
     /// they have not happened yet.
     fn prepared_ref(&self, with_web: bool) -> PreparedTraceRef<'_> {
-        PreparedTraceRef::new(self.trace(), self.keyed(), with_web.then(|| self.web()))
+        let keyed = self.keyed();
+        let web = with_web.then(|| self.web());
+        match &self.inner.store {
+            TraceStore::Full(trace) => PreparedTraceRef::new(trace, keyed, web),
+            TraceStore::Lean(lean) => PreparedTraceRef::lean(lean, keyed, web),
+        }
+    }
+
+    /// The handle as a [`DiffSide`], forcing the artifact builds if they have not
+    /// happened yet.
+    fn side(&self) -> DiffSide<'_> {
+        let keyed = self.keyed();
+        let web = self.web();
+        match &self.inner.store {
+            TraceStore::Full(trace) => DiffSide::full(trace, keyed, web),
+            TraceStore::Lean(lean) => DiffSide::lean(lean, keyed, web),
+        }
     }
 
     fn is_warm(&self, with_web: bool) -> bool {
@@ -208,6 +444,13 @@ impl PreparedTrace {
 impl std::ops::Deref for PreparedTrace {
     type Target = Trace;
 
+    /// Derefs to the full trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics for streamed handles, like [`PreparedTrace::trace`]. Note that
+    /// [`PreparedTrace::len`]/[`PreparedTrace::meta`] are inherent methods and work for
+    /// both storage forms without going through `Deref`.
     fn deref(&self) -> &Trace {
         self.trace()
     }
@@ -308,8 +551,9 @@ pub struct Engine {
     render: RenderOptions,
     parallel: bool,
     encoding: Encoding,
-    /// Session cache of pair-level artifacts: one view [`Correlation`] per ordered
-    /// handle pair. Shared by engine clones; bounded by FIFO eviction.
+    /// Session cache of pair-level artifacts: one view [`Correlation`] per unordered
+    /// handle pair (flipped on opposite-orientation lookups). Shared by engine clones;
+    /// bounded by least-recently-used eviction.
     correlations: Arc<Mutex<CorrelationCache>>,
 }
 
@@ -335,6 +579,7 @@ impl Engine {
             render: RenderOptions::default(),
             parallel: true,
             encoding: Encoding::default(),
+            correlation_cache_capacity: CORRELATION_CACHE_CAP,
         }
     }
 
@@ -382,6 +627,34 @@ impl Engine {
         Ok(PreparedTrace::new(rprism_format::read_trace_path(path)?))
     }
 
+    /// Streams a serialized trace from disk straight into a prepared handle in **one
+    /// bounded-memory pass**: the reader is driven entry by entry (encoding sniffed
+    /// like [`Engine::load_trace`]), and symbols are interned, event keys computed, the
+    /// view web incrementally extended and the lean per-entry context accumulated as
+    /// each entry is decoded — the full trace is never materialized. See
+    /// [`crate::ingest`] for the pipeline and its memory bound.
+    ///
+    /// The returned handle is a *streamed* handle: its keys and web are already built,
+    /// every diff/analysis path accepts it interchangeably with full handles (with
+    /// identical results), but [`PreparedTrace::trace`] and [`Engine::store_trace`]
+    /// are unavailable on it. This is the ingestion path for traces too large to hold
+    /// in memory — two multi-hundred-MB `.rtr` files diff through handles that retain
+    /// only their analysis artifacts.
+    ///
+    /// A failed load leaves the engine untouched and reusable: partial artifacts are
+    /// dropped, no cache entry is created.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] when the file is missing, truncated, corrupt,
+    /// or uses an unsupported format version.
+    pub fn load_prepared(&self, path: impl AsRef<Path>) -> Result<PreparedTrace> {
+        let file = File::open(path.as_ref()).map_err(rprism_format::FormatError::Io)?;
+        let reader = TraceReader::new(BufReader::new(file))?;
+        let artifacts = stream_prepare(reader, self.parallel)?;
+        Ok(PreparedTrace::from_streamed(artifacts))
+    }
+
     /// Stores a prepared trace to disk in the engine's configured encoding
     /// ([`EngineBuilder::trace_encoding`], binary by default).
     ///
@@ -397,14 +670,22 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::Error::Format`] when the file cannot be created or written.
+    /// Returns [`crate::Error::Format`] when the file cannot be created or written, and
+    /// [`crate::Error::Streamed`] for streamed handles (which no longer hold the
+    /// entries a re-serialization needs — convert with `rprism convert`, or load with
+    /// [`Engine::load_trace`]).
     pub fn store_trace_as(
         &self,
         trace: &PreparedTrace,
         path: impl AsRef<Path>,
         encoding: Encoding,
     ) -> Result<()> {
-        Ok(rprism_format::write_trace_path(trace.trace(), path, encoding)?)
+        let Some(full) = trace.try_trace() else {
+            return Err(Error::Streamed {
+                operation: "store_trace",
+            });
+        };
+        Ok(rprism_format::write_trace_path(full, path, encoding)?)
     }
 
     /// Traces a parsed program under the engine's tracing configuration.
@@ -494,13 +775,15 @@ impl Engine {
     }
 
     /// Renders a regression report (candidate sequences with dynamic state, then the
-    /// set summary) under the engine's render options.
+    /// set summary) under the engine's render options. Full handles render complete
+    /// entry lines; streamed handles render compact context lines reconstructed from
+    /// their lean artifacts.
     pub fn render_report(&self, report: &RegressionReport, input: &RegressionInput) -> String {
-        rprism_regress::render_report(
+        rprism_regress::render_report_with(
             report,
-            input.old_regressing.trace(),
-            input.new_regressing.trace(),
             &self.render,
+            |idx| input.old_regressing.describe_entry(idx),
+            |idx| input.new_regressing.describe_entry(idx),
         )
     }
 
@@ -509,8 +792,16 @@ impl Engine {
     }
 
     /// The pair's view correlation, from the session cache or built (and cached) now.
-    /// Correlations are deterministic functions of the two webs, so a racing double
-    /// build inserts identical content; the first insert wins and both callers share it.
+    ///
+    /// The cache is keyed on the **unordered** handle pair: the first query of a pair
+    /// builds the correlation in *its* orientation (so a cold diff matches the one-shot
+    /// `views_diff` path exactly — the equivalence the deprecated shims pin down), and
+    /// the opposite orientation is then served as the exact transpose of that build.
+    /// Correlation is a cross-execution heuristic whose greedy construction is not
+    /// orientation-invariant; sharing one build across both directions of a pair is the
+    /// point — `analyze` after a reversed `diff` reuses it instead of deriving a
+    /// possibly different one. A racing double build inserts identical content; the
+    /// first insert wins and both callers share it.
     fn correlation_for(
         &self,
         left: &PreparedTrace,
@@ -518,7 +809,13 @@ impl Engine {
         parallel: bool,
     ) -> Arc<Correlation> {
         let key = (left.inner.id, right.inner.id);
-        if let Some(cached) = self.correlations.lock().expect("cache poisoned").get(key) {
+        let left_views = left.web().total_views();
+        if let Some(cached) = self
+            .correlations
+            .lock()
+            .expect("cache poisoned")
+            .get(key, left_views)
+        {
             return cached;
         }
         // Build outside the lock: correlation construction is the expensive part.
@@ -526,13 +823,21 @@ impl Engine {
         self.correlations
             .lock()
             .expect("cache poisoned")
-            .insert(key, built)
+            .insert(key, built, left_views)
     }
 
     /// Number of trace pairs whose view correlation is currently cached in this session
-    /// (engine clones share the cache; FIFO eviction caps it).
+    /// (engine clones share the cache; least-recently-used eviction caps it).
     pub fn cached_correlations(&self) -> usize {
         self.correlations.lock().expect("cache poisoned").map.len()
+    }
+
+    /// Number of view correlations this session actually built (flipped-orientation
+    /// lookups are transposes and do not count). With the unordered LRU cache, this is
+    /// the cache-efficiency metric: repeats, reversed diffs and analyze-after-diff of
+    /// the same pair all leave it unchanged.
+    pub fn correlation_builds(&self) -> u64 {
+        self.correlations.lock().expect("cache poisoned").builds
     }
 
     /// A copy of the engine algorithm with intra-diff parallelism disabled, used inside
@@ -559,24 +864,16 @@ impl Engine {
             DiffAlgorithm::Views(options) => {
                 self.warm(&[left, right], true);
                 let correlation = self.correlation_for(left, right, options.parallel);
-                Ok(views_diff_correlated(
-                    left.trace(),
-                    right.trace(),
-                    left.web(),
-                    right.web(),
-                    left.keyed(),
-                    right.keyed(),
+                Ok(views_diff_sides_correlated(
+                    &left.side(),
+                    &right.side(),
                     &correlation,
                     options,
                 ))
             }
-            DiffAlgorithm::Lcs(options) => lcs_diff_keyed(
-                left.trace(),
-                right.trace(),
-                left.keyed(),
-                right.keyed(),
-                options,
-            ),
+            DiffAlgorithm::Lcs(options) => {
+                lcs_diff_prepared(left.keyed(), right.keyed(), options)
+            }
         }
     }
 
@@ -610,8 +907,8 @@ impl Engine {
                 // the refs it hands us must be the handles we picked, or the cached
                 // correlation would belong to a different comparison.
                 debug_assert!(
-                    std::ptr::eq(left_ref.trace, left.trace())
-                        && std::ptr::eq(right_ref.trace, right.trace()),
+                    std::ptr::eq(left_ref.keyed, left.keyed())
+                        && std::ptr::eq(right_ref.keyed, right.keyed()),
                     "analysis comparison {comparison:?} maps to different handles than \
                      the prepared input supplied"
                 );
@@ -721,6 +1018,7 @@ pub struct EngineBuilder {
     render: RenderOptions,
     parallel: bool,
     encoding: Encoding,
+    correlation_cache_capacity: usize,
 }
 
 impl EngineBuilder {
@@ -775,6 +1073,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Number of trace pairs the session's correlation cache retains (default 128,
+    /// minimum 1; least-recently-used eviction). Raise it for long-lived services that
+    /// keep many hot pairs, lower it to bound memory under heavy pair churn.
+    pub fn correlation_cache_capacity(mut self, capacity: usize) -> Self {
+        self.correlation_cache_capacity = capacity;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Engine {
         let mut algorithm = self.algorithm;
@@ -791,7 +1097,9 @@ impl EngineBuilder {
             render: self.render,
             parallel: self.parallel,
             encoding: self.encoding,
-            correlations: Arc::new(Mutex::new(CorrelationCache::default())),
+            correlations: Arc::new(Mutex::new(CorrelationCache::new(
+                self.correlation_cache_capacity,
+            ))),
         }
     }
 }
@@ -997,6 +1305,113 @@ mod tests {
 
         let err = engine.load_trace(dir.join("missing.rtr")).unwrap_err();
         assert!(matches!(err, crate::Error::Format(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reversed_diffs_and_analyze_share_one_correlation_build() {
+        // Regression test for the ordered-pair FIFO cache: `analyze`/`diff` of (old,
+        // new) after `diff` of (new, old) used to rebuild the correlation from scratch.
+        // The unordered cache builds once and serves the opposite orientation as an
+        // exact transpose.
+        let engine = Engine::new();
+        let a = engine.trace_source(&regression_sources(32, 20), "a").unwrap();
+        let b = engine.trace_source(&regression_sources(1, 20), "b").unwrap();
+
+        let reversed = engine.diff(&b, &a).unwrap();
+        assert_eq!(engine.correlation_builds(), 1);
+        let forward = engine.diff(&a, &b).unwrap();
+        assert_eq!(
+            engine.correlation_builds(),
+            1,
+            "the opposite orientation must reuse the cached build"
+        );
+        assert_eq!(engine.cached_correlations(), 1);
+
+        // The shared (transposed) correlation yields the same diff a fresh engine
+        // computes for this orientation.
+        let fresh = Engine::new();
+        let independent = fresh.diff(&a, &b).unwrap();
+        assert_eq!(
+            forward.matching.normalized_pairs(),
+            independent.matching.normalized_pairs()
+        );
+        assert_eq!(forward.cost.compare_ops, independent.cost.compare_ops);
+        // And the matchings of the two orientations mirror each other.
+        let mut mirrored: Vec<(usize, usize)> = reversed
+            .matching
+            .normalized_pairs()
+            .into_iter()
+            .map(|(l, r)| (r, l))
+            .collect();
+        mirrored.sort_unstable();
+        assert_eq!(forward.matching.normalized_pairs(), mirrored);
+    }
+
+    #[test]
+    fn correlation_cache_evicts_least_recently_used_not_oldest() {
+        let engine = Engine::builder().correlation_cache_capacity(2).build();
+        let a = engine.trace_source(&regression_sources(32, 20), "a").unwrap();
+        let b = engine.trace_source(&regression_sources(1, 20), "b").unwrap();
+        let c = engine.trace_source(&regression_sources(32, 64), "c").unwrap();
+        let d = engine.trace_source(&regression_sources(1, 64), "d").unwrap();
+
+        engine.diff(&a, &b).unwrap(); // build 1: {ab}
+        engine.diff(&a, &c).unwrap(); // build 2: {ab, ac}
+        engine.diff(&a, &b).unwrap(); // touch {ab}: no build, ab now most recent
+        assert_eq!(engine.correlation_builds(), 2);
+
+        engine.diff(&a, &d).unwrap(); // build 3: evicts {ac} (LRU), not {ab} (FIFO would)
+        assert_eq!(engine.correlation_builds(), 3);
+        assert_eq!(engine.cached_correlations(), 2);
+
+        engine.diff(&a, &b).unwrap(); // still cached under LRU
+        assert_eq!(
+            engine.correlation_builds(),
+            3,
+            "the re-touched hot pair must survive the eviction"
+        );
+        engine.diff(&a, &c).unwrap(); // evicted, rebuilt
+        assert_eq!(engine.correlation_builds(), 4);
+    }
+
+    #[test]
+    fn streamed_handles_diff_identically_and_refuse_store() {
+        let dir = std::env::temp_dir().join(format!("rprism-streamed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new();
+        let a = engine.trace_source(&regression_sources(32, 20), "a").unwrap();
+        let b = engine.trace_source(&regression_sources(1, 20), "b").unwrap();
+        let (pa, pb) = (dir.join("a.rtr"), dir.join("b.jsonl"));
+        engine.store_trace(&a, &pa).unwrap();
+        engine.store_trace_as(&b, &pb, Encoding::Jsonl).unwrap();
+
+        let sa = engine.load_prepared(&pa).unwrap();
+        let sb = engine.load_prepared(&pb).unwrap();
+        assert!(sa.is_streamed() && sb.is_streamed());
+        assert!(sa.try_trace().is_none());
+        assert_eq!(sa.len(), a.len());
+        assert_eq!(sa.meta(), a.meta());
+
+        let full = engine.diff(&a, &b).unwrap();
+        let streamed = engine.diff(&sa, &sb).unwrap();
+        assert_eq!(
+            full.matching.normalized_pairs(),
+            streamed.matching.normalized_pairs()
+        );
+        assert_eq!(full.sequences, streamed.sequences);
+        assert_eq!(full.cost.compare_ops, streamed.cost.compare_ops);
+
+        // Mixed full/streamed pairs work too (same trace on both sides: no diffs).
+        assert_eq!(engine.diff(&a, &sa).unwrap().num_differences(), 0);
+
+        // Streamed handles no longer hold entries, so re-serialization is refused.
+        assert!(matches!(
+            engine.store_trace(&sa, dir.join("again.rtr")),
+            Err(Error::Streamed { .. })
+        ));
+        assert!(sa.describe_entry(0).is_some());
+        assert!(sa.describe_entry(usize::MAX).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

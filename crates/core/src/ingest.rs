@@ -1,0 +1,257 @@
+//! Streaming trace ingestion: one bounded-memory pass from serialized bytes to
+//! prepared analysis artifacts.
+//!
+//! The load-then-prepare path ([`Engine::load_trace`](crate::Engine::load_trace))
+//! materializes a full [`Trace`](rprism_trace::Trace) — every entry with its owned
+//! strings — and then re-walks it to derive the [`KeyedTrace`] and [`ViewWeb`]. For
+//! multi-hundred-MB
+//! traces that double-walks the data and, more importantly, keeps the whole decoded
+//! trace resident for the lifetime of the handle.
+//!
+//! [`stream_prepare`] instead drives the [`TraceReader`] batch by batch and folds
+//! **abstraction into ingestion** (the tracer-driver/TAAF design): as each entry is
+//! decoded it is interned and keyed, appended to the incrementally extended view web,
+//! and reduced to its [`LeanTrace`] context — then dropped. At no point does more than
+//! a bounded window of decoded entries exist:
+//!
+//! * sequentially, one batch of [`BATCH_ENTRIES`] entries is alive at a time;
+//! * in parallel mode, the decoder feeds a scoped-thread pipeline over bounded
+//!   channels of entry batches — stage one builds the keyed trace and the lean
+//!   context, then forwards the batch; stage two extends the web, then drops it — so
+//!   at most `(2 × channel capacity + 3) × batch size` decoded entries are in flight
+//!   while decoding overlaps artifact construction.
+//!
+//! Peak memory is therefore O(accumulated artifacts) — lean contexts, keys, web —
+//! rather than O(decoded trace); the `streaming_ingest` measurement of `perf_smoke`
+//! (BENCH_4.json) and the counting-allocator test in `crates/core/tests` pin the
+//! resulting ≥2× peak reduction down.
+//!
+//! Both builders produce artifacts *identical* to the load-then-prepare path: the web
+//! is extended in entry order ([`ViewWeb::extend`]), keys are pushed in entry order,
+//! and the lean context captures exactly the fields the differencer and the regression
+//! analysis read. The workspace-level `streaming_equivalence` suite asserts identical
+//! matchings, difference signatures and compare counts on all four case studies.
+//!
+//! One deliberate trade-off: the load-then-prepare path defers interning until after
+//! the checksum footer has validated the whole stream, whereas streaming ingestion
+//! interns names *as they arrive* — a corrupt file that fails late can leave already
+//! interned strings behind (bounded by the bytes read). Callers ingesting wholly
+//! untrusted data who cannot accept that should use
+//! [`Engine::load_trace`](crate::Engine::load_trace).
+
+use std::io::BufRead;
+use std::sync::mpsc::sync_channel;
+
+use rprism_format::{FormatError, TraceReader};
+use rprism_trace::{KeyedTrace, LeanTrace, TraceEntry, TraceMeta};
+use rprism_views::ViewWeb;
+
+/// Entries decoded per batch. Batching amortizes channel traffic; the value bounds the
+/// number of fully decoded entries alive at any instant.
+pub const BATCH_ENTRIES: usize = 256;
+
+/// Batches buffered per pipeline channel before the sender blocks (back-pressure).
+const CHANNEL_BATCHES: usize = 2;
+
+/// The artifacts one streaming pass accumulates: everything a prepared handle needs,
+/// with the full trace replaced by its [`LeanTrace`] reduction.
+#[derive(Debug)]
+pub struct StreamedArtifacts {
+    /// Trace identification from the stream header.
+    pub meta: TraceMeta,
+    /// Lean per-entry context (thread ids, interned names, object identities).
+    pub lean: LeanTrace,
+    /// Precomputed event keys, identical to `KeyedTrace::build` over the full trace.
+    pub keyed: KeyedTrace,
+    /// The view web, identical to `ViewWeb::build` over the full trace.
+    pub web: ViewWeb,
+}
+
+impl StreamedArtifacts {
+    /// Number of ingested entries.
+    pub fn len(&self) -> usize {
+        self.lean.len()
+    }
+
+    /// Returns `true` when the stream contained no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lean.is_empty()
+    }
+}
+
+/// Drives a [`TraceReader`] to completion, building the prepared artifacts in one
+/// bounded-memory pass. With `parallel` set, keyed/web/lean construction runs on
+/// scoped worker threads fed by bounded channels of entry batches, overlapping with
+/// decoding; the results are identical either way.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] of the stream (truncation, corruption,
+/// checksum mismatch, …). Nothing is retained on error — the partial artifacts are
+/// dropped with the call frame, so a failed ingest leaves no residue beyond interned
+/// name strings (see the module docs).
+pub fn stream_prepare<R: BufRead>(
+    mut reader: TraceReader<R>,
+    parallel: bool,
+) -> Result<StreamedArtifacts, FormatError> {
+    let meta = reader.meta().clone();
+    if parallel {
+        stream_parallel(reader, meta)
+    } else {
+        stream_sequential(&mut reader, meta)
+    }
+}
+
+fn stream_sequential<R: BufRead>(
+    reader: &mut TraceReader<R>,
+    meta: TraceMeta,
+) -> Result<StreamedArtifacts, FormatError> {
+    let mut lean = LeanTrace::new(meta.clone());
+    let mut keyed = KeyedTrace::default();
+    let mut web = ViewWeb::empty();
+    let mut batch = Vec::with_capacity(BATCH_ENTRIES);
+    let mut index = 0usize;
+    loop {
+        if reader.read_batch(&mut batch, BATCH_ENTRIES)? == 0 {
+            break;
+        }
+        for entry in &batch {
+            lean.push(entry);
+            keyed.push_entry(entry);
+            web.extend(index, entry);
+            index += 1;
+        }
+    }
+    Ok(StreamedArtifacts {
+        meta,
+        lean,
+        keyed,
+        web,
+    })
+}
+
+/// One decoded batch moving through the pipeline: the base entry index plus the
+/// entries themselves. Each stage owns the batch while working on it; the last stage
+/// drops it, reclaiming its memory.
+type Batch = (usize, Vec<TraceEntry>);
+
+fn stream_parallel<R: BufRead>(
+    mut reader: TraceReader<R>,
+    meta: TraceMeta,
+) -> Result<StreamedArtifacts, FormatError> {
+    let (stage1_tx, stage1_rx) = sync_channel::<Batch>(CHANNEL_BATCHES);
+    let (stage2_tx, stage2_rx) = sync_channel::<Batch>(CHANNEL_BATCHES);
+    let lean_meta = meta.clone();
+    std::thread::scope(|scope| {
+        // Stage 1: keys + lean context, then hand the batch on (no copy, no sharing).
+        let keyed_builder = scope.spawn(move || {
+            let mut keyed = KeyedTrace::default();
+            let mut lean = LeanTrace::new(lean_meta);
+            while let Ok(batch) = stage1_rx.recv() {
+                for entry in &batch.1 {
+                    keyed.push_entry(entry);
+                    lean.push(entry);
+                }
+                if stage2_tx.send(batch).is_err() {
+                    break; // stage 2 panicked; the join below propagates it
+                }
+            }
+            (keyed, lean)
+        });
+        // Stage 2: view web, then drop the batch — the only place entries die.
+        let web_builder = scope.spawn(move || {
+            let mut web = ViewWeb::empty();
+            while let Ok(batch) = stage2_rx.recv() {
+                for (offset, entry) in batch.1.iter().enumerate() {
+                    web.extend(batch.0 + offset, entry);
+                }
+            }
+            web
+        });
+
+        let mut base = 0usize;
+        let mut outcome: Result<(), FormatError> = Ok(());
+        loop {
+            let mut batch = Vec::with_capacity(BATCH_ENTRIES);
+            match reader.read_batch(&mut batch, BATCH_ENTRIES) {
+                Ok(0) => break,
+                Ok(n) => {
+                    // A send only fails when a builder panicked; the join below
+                    // propagates that panic.
+                    if stage1_tx.send((base, batch)).is_err() {
+                        break;
+                    }
+                    base += n;
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        // Closing the channel lets the pipeline drain and finish.
+        drop(stage1_tx);
+        let (keyed, lean) = keyed_builder.join().expect("keyed/lean builder panicked");
+        let web = web_builder.join().expect("web builder panicked");
+        outcome.map(|()| StreamedArtifacts {
+            meta,
+            lean,
+            keyed,
+            web,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_format::{trace_to_bytes, Encoding};
+    use rprism_trace::testgen::{arbitrary_trace, Rng};
+    use std::io::BufReader;
+
+    fn streamed(trace: &rprism_trace::Trace, parallel: bool) -> StreamedArtifacts {
+        let bytes = trace_to_bytes(trace, Encoding::Binary).unwrap();
+        let reader = TraceReader::new(BufReader::new(bytes.as_slice())).unwrap();
+        stream_prepare(reader, parallel).unwrap()
+    }
+
+    #[test]
+    fn streamed_artifacts_match_whole_trace_builds() {
+        let mut rng = Rng::new(0x1157);
+        let trace = arbitrary_trace(&mut rng, 1500);
+        let reference_keyed = KeyedTrace::build(&trace);
+        let reference_web = ViewWeb::build(&trace);
+        for parallel in [false, true] {
+            let artifacts = streamed(&trace, parallel);
+            assert_eq!(artifacts.meta, trace.meta);
+            assert_eq!(artifacts.len(), trace.len());
+            assert_eq!(artifacts.keyed.len(), reference_keyed.len());
+            for i in 0..trace.len() {
+                assert!(
+                    artifacts.keyed.key_eq(i, &reference_keyed, i),
+                    "key {i} diverged (parallel={parallel})"
+                );
+            }
+            assert_eq!(artifacts.web.total_views(), reference_web.total_views());
+            for (id, view) in reference_web.views_with_ids() {
+                assert_eq!(
+                    artifacts.web.view_by_id(id).entries,
+                    view.entries,
+                    "view {id:?} diverged (parallel={parallel})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error_and_leave_nothing_behind() {
+        let mut rng = Rng::new(0xdead);
+        let trace = arbitrary_trace(&mut rng, 300);
+        let bytes = trace_to_bytes(&trace, Encoding::Binary).unwrap();
+        for parallel in [false, true] {
+            let cut = &bytes[..bytes.len() * 2 / 3];
+            let reader = TraceReader::new(BufReader::new(cut)).unwrap();
+            assert!(stream_prepare(reader, parallel).is_err());
+        }
+    }
+}

@@ -63,6 +63,7 @@ pub use rprism_views as views;
 pub use rprism_vm as vm;
 
 mod engine;
+pub mod ingest;
 
 pub use engine::{Engine, EngineBuilder, PreparedTrace, RegressionInput};
 // The vocabulary types an Engine user needs, re-exported at the crate root.
@@ -97,6 +98,13 @@ pub enum Error {
     /// Loading or storing a serialized trace failed (I/O, truncation, corruption, or an
     /// unsupported format version).
     Format(rprism_format::FormatError),
+    /// An operation that needs the full trace was invoked on a streaming-prepared
+    /// handle, which retains only its analysis artifacts (see
+    /// [`Engine::load_prepared`] vs [`Engine::load_trace`]).
+    Streamed {
+        /// The operation that was refused.
+        operation: &'static str,
+    },
 }
 
 /// The crate-wide result alias.
@@ -109,6 +117,12 @@ impl std::fmt::Display for Error {
             Error::Diff(e) => write!(f, "differencing error: {e}"),
             Error::Vm(e) => write!(f, "runtime error: {e}"),
             Error::Format(e) => write!(f, "trace format error: {e}"),
+            Error::Streamed { operation } => write!(
+                f,
+                "{operation} requires the full trace, but this handle was \
+                 streaming-prepared (Engine::load_prepared) and retains only its \
+                 analysis artifacts; load it with Engine::load_trace instead"
+            ),
         }
     }
 }

@@ -118,11 +118,30 @@ pub fn lcs_diff_keyed(
     right_keyed: &KeyedTrace,
     options: &LcsDiffOptions,
 ) -> Result<TraceDiffResult, DiffError> {
+    debug_assert_eq!(left.len(), left_keyed.len());
+    debug_assert_eq!(right.len(), right_keyed.len());
+    lcs_diff_prepared(left_keyed, right_keyed, options)
+}
+
+/// [`lcs_diff_keyed`] without the traces: the baseline only consumes the precomputed
+/// keys (entry counts included), so prepared callers — streaming ingestion in
+/// particular, which never materializes a full trace — can run it from a
+/// [`KeyedTrace`] pair alone.
+///
+/// # Errors
+///
+/// Returns [`DiffError::OutOfMemory`] when the quadratic table would exceed
+/// `options.memory_budget` (and `linear_space` is off).
+pub fn lcs_diff_prepared(
+    left_keyed: &KeyedTrace,
+    right_keyed: &KeyedTrace,
+    options: &LcsDiffOptions,
+) -> Result<TraceDiffResult, DiffError> {
     let start = Instant::now();
     let mut meter = CostMeter::new();
 
-    let left_keys: Vec<KeyRef<'_>> = (0..left.len()).map(|i| left_keyed.key(i)).collect();
-    let right_keys: Vec<KeyRef<'_>> = (0..right.len()).map(|i| right_keyed.key(i)).collect();
+    let left_keys: Vec<KeyRef<'_>> = (0..left_keyed.len()).map(|i| left_keyed.key(i)).collect();
+    let right_keys: Vec<KeyRef<'_>> = (0..right_keyed.len()).map(|i| right_keyed.key(i)).collect();
     meter.allocate(
         left_keyed.estimated_bytes()
             + right_keyed.estimated_bytes()
@@ -135,7 +154,7 @@ pub fn lcs_diff_keyed(
         lcs_optimized(&left_keys, &right_keys, &mut meter, options.memory_budget)?
     };
 
-    let matching = Matching::from_pairs(left.len(), right.len(), pairs);
+    let matching = Matching::from_pairs(left_keyed.len(), right_keyed.len(), pairs);
     let sequences = matching.difference_sequences();
     Ok(TraceDiffResult {
         matching,

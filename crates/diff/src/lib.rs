@@ -59,11 +59,12 @@ pub mod views_diff;
 
 pub use cost::{CostMeter, CostStats, DiffError, MemoryBudget};
 pub use lcs::{lcs_dp, lcs_hirschberg, lcs_length, lcs_optimized};
-pub use lcs_diff::{lcs_diff, lcs_diff_keyed, LcsDiffOptions, LcsDiffOptionsBuilder};
+pub use lcs_diff::{lcs_diff, lcs_diff_keyed, lcs_diff_prepared, LcsDiffOptions, LcsDiffOptionsBuilder};
 pub use matching::{DiffKind, DiffSequence, Matching};
 pub use result::TraceDiffResult;
 #[allow(deprecated)]
 pub use views_diff::{views_diff, views_diff_with_webs};
 pub use views_diff::{
-    views_diff_correlated, views_diff_keyed, ViewsDiffOptions, ViewsDiffOptionsBuilder,
+    views_diff_correlated, views_diff_keyed, views_diff_sides, views_diff_sides_correlated,
+    DiffSide, ViewsDiffOptions, ViewsDiffOptionsBuilder,
 };

@@ -66,6 +66,23 @@ impl TraceDiffResult {
     /// Renders the difference sequences against the two traces as a human-readable
     /// semantic diff, in the spirit of the listing in the paper's Fig. 13.
     pub fn render(&self, left: &Trace, right: &Trace, max_sequences: usize) -> String {
+        self.render_with(
+            max_sequences,
+            |idx| left.entries.get(idx).map(|e| e.render()),
+            |idx| right.entries.get(idx).map(|e| e.render()),
+        )
+    }
+
+    /// [`TraceDiffResult::render`] with pluggable entry renderers, for callers whose
+    /// traces are not fully materialized (streamed handles render a compact context
+    /// line per entry instead). The closures return `None` for out-of-range indices,
+    /// which are skipped.
+    pub fn render_with(
+        &self,
+        max_sequences: usize,
+        mut left_entry: impl FnMut(usize) -> Option<String>,
+        mut right_entry: impl FnMut(usize) -> Option<String>,
+    ) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "semantic diff ({}) — {} differences in {} sequences\n",
@@ -81,13 +98,13 @@ impl TraceDiffResult {
                 seq.len()
             ));
             for idx in &seq.left {
-                if let Some(entry) = left.entries.get(*idx) {
-                    out.push_str(&format!("  - {}\n", entry.render()));
+                if let Some(rendered) = left_entry(*idx) {
+                    out.push_str(&format!("  - {rendered}\n"));
                 }
             }
             for idx in &seq.right {
-                if let Some(entry) = right.entries.get(*idx) {
-                    out.push_str(&format!("  + {}\n", entry.render()));
+                if let Some(rendered) = right_entry(*idx) {
+                    out.push_str(&format!("  + {rendered}\n"));
                 }
             }
         }

@@ -33,9 +33,9 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use rprism_trace::{KeyRef, KeyedTrace, Trace};
+use rprism_trace::{KeyRef, KeyedTrace, LeanEntry, LeanTrace, ObjIdent, ObjRep, ThreadId, Trace, TraceEntry};
 use rprism_views::correlate::relaxed::same_distance_from_anchor;
-use rprism_views::{build_web_pair, correlate_entry_views, Correlation, ViewId, ViewKind, ViewWeb};
+use rprism_views::{build_web_pair, Correlation, ViewId, ViewKind, ViewWeb};
 
 use crate::cost::{CostMeter, MemoryBudget};
 use crate::lcs::lcs_dp;
@@ -142,6 +142,115 @@ impl ViewsDiffOptionsBuilder {
     }
 }
 
+/// One side of a prepared differencing run: the precomputed artifacts (keys and web)
+/// plus just enough per-entry context for the mismatch exploration — either the full
+/// trace or its [`LeanTrace`] reduction (the form streaming ingestion retains).
+///
+/// The differencer reads identical information from both forms (thread ids and object
+/// correlation identities), so a lean side produces exactly the matching, sequences and
+/// compare counts of a full side over the same trace.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffSide<'a> {
+    keyed: &'a KeyedTrace,
+    web: &'a ViewWeb,
+    ctx: EntryCtx<'a>,
+}
+
+impl<'a> DiffSide<'a> {
+    /// A side backed by a fully materialized trace.
+    pub fn full(trace: &'a Trace, keyed: &'a KeyedTrace, web: &'a ViewWeb) -> Self {
+        DiffSide {
+            keyed,
+            web,
+            ctx: EntryCtx::Full(&trace.entries),
+        }
+    }
+
+    /// A side backed by a lean (streamed) trace.
+    pub fn lean(lean: &'a LeanTrace, keyed: &'a KeyedTrace, web: &'a ViewWeb) -> Self {
+        DiffSide {
+            keyed,
+            web,
+            ctx: EntryCtx::Lean(lean.entries()),
+        }
+    }
+
+    /// Number of entries on this side.
+    pub fn len(&self) -> usize {
+        self.ctx.len()
+    }
+
+    /// Returns `true` when this side has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The side's view web (exposed so callers can build/flip correlations).
+    pub fn web(&self) -> &'a ViewWeb {
+        self.web
+    }
+
+    /// The side's precomputed keys.
+    pub fn keyed(&self) -> &'a KeyedTrace {
+        self.keyed
+    }
+}
+
+/// Per-entry context of one side: full entries or their lean reductions.
+#[derive(Clone, Copy, Debug)]
+enum EntryCtx<'a> {
+    Full(&'a [TraceEntry]),
+    Lean(&'a [LeanEntry]),
+}
+
+impl<'a> EntryCtx<'a> {
+    fn len(&self) -> usize {
+        match self {
+            EntryCtx::Full(entries) => entries.len(),
+            EntryCtx::Lean(entries) => entries.len(),
+        }
+    }
+
+    fn tid(&self, index: usize) -> ThreadId {
+        match self {
+            EntryCtx::Full(entries) => entries[index].tid,
+            EntryCtx::Lean(entries) => entries[index].tid,
+        }
+    }
+
+    fn active(&self, index: usize) -> ObjCtx<'a> {
+        match self {
+            EntryCtx::Full(entries) => ObjCtx::Full(&entries[index].active),
+            EntryCtx::Lean(entries) => ObjCtx::Lean(entries[index].active),
+        }
+    }
+
+    fn target(&self, index: usize) -> Option<ObjCtx<'a>> {
+        match self {
+            EntryCtx::Full(entries) => entries[index].event.target_object().map(ObjCtx::Full),
+            EntryCtx::Lean(entries) => entries[index].target.map(ObjCtx::Lean),
+        }
+    }
+}
+
+/// One object representation in full or lean form, for the direct-correlation fallback.
+#[derive(Clone, Copy, Debug)]
+enum ObjCtx<'a> {
+    Full(&'a ObjRep),
+    Lean(ObjIdent),
+}
+
+/// [`ObjRep::correlates_with`] over mixed forms; every combination reads the same three
+/// fields, so the verdict is independent of which form each side happens to be in.
+fn obj_correlates(left: ObjCtx<'_>, right: ObjCtx<'_>) -> bool {
+    match (left, right) {
+        (ObjCtx::Full(l), ObjCtx::Full(r)) => l.correlates_with(r),
+        (ObjCtx::Lean(l), ObjCtx::Lean(r)) => l.correlates_with(&r),
+        (ObjCtx::Lean(l), ObjCtx::Full(r)) => l.correlates_with_rep(r),
+        (ObjCtx::Full(l), ObjCtx::Lean(r)) => r.correlates_with_rep(l),
+    }
+}
+
 /// Differences two traces using the views-based semantics, building the view webs and
 /// keyed traces internally (both sides are prepared concurrently unless
 /// `options.parallel` is off).
@@ -210,21 +319,25 @@ pub fn views_diff_keyed(
     right_keyed: &KeyedTrace,
     options: &ViewsDiffOptions,
 ) -> TraceDiffResult {
+    views_diff_sides(
+        &DiffSide::full(left, left_keyed, left_web),
+        &DiffSide::full(right, right_keyed, right_web),
+        options,
+    )
+}
+
+/// [`views_diff_keyed`] over [`DiffSide`]s — the form that accepts lean (streamed)
+/// sides as well as full ones. The pair's view [`Correlation`] is built here.
+pub fn views_diff_sides(
+    left: &DiffSide<'_>,
+    right: &DiffSide<'_>,
+    options: &ViewsDiffOptions,
+) -> TraceDiffResult {
     // The clock starts before the correlation build: this entry point's `elapsed` covers
     // everything it derives, keeping its timings comparable with the seed baseline's.
     let start = Instant::now();
-    let correlation = Correlation::build_with(left_web, right_web, options.parallel);
-    views_diff_correlated_from(
-        start,
-        left,
-        right,
-        left_web,
-        right_web,
-        left_keyed,
-        right_keyed,
-        &correlation,
-        options,
-    )
+    let correlation = Correlation::build_with(left.web, right.web, options.parallel);
+    views_diff_sides_from(start, left, right, &correlation, options)
 }
 
 /// The maximally precomputed entry point: everything [`views_diff_keyed`] derives —
@@ -243,45 +356,43 @@ pub fn views_diff_correlated(
     correlation: &Correlation,
     options: &ViewsDiffOptions,
 ) -> TraceDiffResult {
-    views_diff_correlated_from(
-        Instant::now(),
-        left,
-        right,
-        left_web,
-        right_web,
-        left_keyed,
-        right_keyed,
+    views_diff_sides_correlated(
+        &DiffSide::full(left, left_keyed, left_web),
+        &DiffSide::full(right, right_keyed, right_web),
         correlation,
         options,
     )
 }
 
-/// Shared body of [`views_diff_keyed`] / [`views_diff_correlated`]; `start` anchors the
-/// result's `elapsed` so each public entry point times exactly the work it performs.
-#[allow(clippy::too_many_arguments)]
-fn views_diff_correlated_from(
+/// [`views_diff_correlated`] over [`DiffSide`]s — everything supplied by the caller,
+/// either side full or lean.
+pub fn views_diff_sides_correlated(
+    left: &DiffSide<'_>,
+    right: &DiffSide<'_>,
+    correlation: &Correlation,
+    options: &ViewsDiffOptions,
+) -> TraceDiffResult {
+    views_diff_sides_from(Instant::now(), left, right, correlation, options)
+}
+
+/// Shared body of [`views_diff_sides`] / [`views_diff_sides_correlated`]; `start`
+/// anchors the result's `elapsed` so each public entry point times exactly the work it
+/// performs.
+fn views_diff_sides_from(
     start: Instant,
-    left: &Trace,
-    right: &Trace,
-    left_web: &ViewWeb,
-    right_web: &ViewWeb,
-    left_keyed: &KeyedTrace,
-    right_keyed: &KeyedTrace,
+    left: &DiffSide<'_>,
+    right: &DiffSide<'_>,
     correlation: &Correlation,
     options: &ViewsDiffOptions,
 ) -> TraceDiffResult {
     let mut meter = CostMeter::new();
 
-    meter.allocate(keyed_bytes(left_keyed) + keyed_bytes(right_keyed));
+    meter.allocate(keyed_bytes(left.keyed) + keyed_bytes(right.keyed));
 
     let differ = Differ {
-        left,
-        right,
-        left_web,
-        right_web,
+        left: *left,
+        right: *right,
         correlation,
-        left_keyed,
-        right_keyed,
         options,
     };
 
@@ -290,8 +401,8 @@ fn views_diff_correlated_from(
         .thread_pairs()
         .into_iter()
         .filter_map(|(lt, rt)| {
-            let lv = left_web.thread_view_entries(lt)?;
-            let rv = right_web.thread_view_entries(rt)?;
+            let lv = left.web.thread_view_entries(lt)?;
+            let rv = right.web.thread_view_entries(rt)?;
             Some((lv, rv))
         })
         .collect();
@@ -369,13 +480,9 @@ struct Scratch<'a> {
 }
 
 struct Differ<'a> {
-    left: &'a Trace,
-    right: &'a Trace,
-    left_web: &'a ViewWeb,
-    right_web: &'a ViewWeb,
+    left: DiffSide<'a>,
+    right: DiffSide<'a>,
     correlation: &'a Correlation,
-    left_keyed: &'a KeyedTrace,
-    right_keyed: &'a KeyedTrace,
     options: &'a ViewsDiffOptions,
 }
 
@@ -383,7 +490,42 @@ impl<'a> Differ<'a> {
     /// `=e` between base-trace entries by precomputed key: never allocates.
     #[inline]
     fn entries_eq(&self, left_idx: usize, right_idx: usize) -> bool {
-        self.left_keyed.key_eq(left_idx, self.right_keyed, right_idx)
+        self.left.keyed.key_eq(left_idx, self.right.keyed, right_idx)
+    }
+
+    /// The per-entry correlation function `X_τ(γ_L, γ_R)` of Fig. 9 over side contexts:
+    /// the pair of correlated view ids of type `kind` the two entries belong to, or
+    /// `None` when their views of that type do not correlate. This reads exactly the
+    /// information `rprism_views::correlate_entry_views` reads from full entries
+    /// (thread ids; object correlation identities for the uncorrelated-view fallback),
+    /// so full and lean sides produce identical verdicts.
+    fn correlate_at(&self, kind: ViewKind, left_idx: usize, right_idx: usize) -> Option<(ViewId, ViewId)> {
+        let l = self.left.web.entry_view(left_idx, kind)?;
+        let r = self.right.web.entry_view(right_idx, kind)?;
+        let correlated = match kind {
+            ViewKind::Thread => {
+                self.correlation.threads.get(&self.left.ctx.tid(left_idx))
+                    == Some(&self.right.ctx.tid(right_idx))
+            }
+            ViewKind::Method => {
+                // Signatures are interned: equal fully qualified names ⇔ equal view keys.
+                self.left.web.view_by_id(l).key == self.right.web.view_by_id(r).key
+            }
+            ViewKind::TargetObject => {
+                let lt = self.left.ctx.target(left_idx)?;
+                let rt = self.right.ctx.target(right_idx)?;
+                self.correlation
+                    .object_verdict(l, r)
+                    .unwrap_or_else(|| obj_correlates(lt, rt))
+            }
+            ViewKind::ActiveObject => self
+                .correlation
+                .object_verdict(l, r)
+                .unwrap_or_else(|| {
+                    obj_correlates(self.left.ctx.active(left_idx), self.right.ctx.active(right_idx))
+                }),
+        };
+        correlated.then_some((l, r))
     }
 
     /// Evaluates one pair of correlated thread views under the Fig. 12 rules.
@@ -451,21 +593,10 @@ impl<'a> Differ<'a> {
                 }
                 let left_idx = lv[li as usize];
                 let right_idx = rv[rj as usize];
-                let le = &self.left[left_idx];
-                let re = &self.right[right_idx];
 
                 for kind in ViewKind::ALL {
                     meter.count_compares(1);
-                    let pair = correlate_entry_views(
-                        kind,
-                        self.correlation,
-                        self.left_web,
-                        self.right_web,
-                        left_idx,
-                        right_idx,
-                        le,
-                        re,
-                    );
+                    let pair = self.correlate_at(kind, left_idx, right_idx);
                     let pair = match pair {
                         Some(p) => Some(p),
                         // §5 relaxation: method views at the same distance from the
@@ -473,8 +604,8 @@ impl<'a> Differ<'a> {
                         // signatures differ (tolerating renames).
                         None if self.options.relaxed_correlation && kind == ViewKind::Method => {
                             if same_distance_from_anchor(i, j, li as usize, rj as usize, 0) {
-                                let l = self.left_web.entry_view(left_idx, ViewKind::Method);
-                                let r = self.right_web.entry_view(right_idx, ViewKind::Method);
+                                let l = self.left.web.entry_view(left_idx, ViewKind::Method);
+                                let r = self.right.web.entry_view(right_idx, ViewKind::Method);
                                 l.zip(r)
                             } else {
                                 None
@@ -507,8 +638,8 @@ impl<'a> Differ<'a> {
         meter: &mut CostMeter,
         scratch: &mut Scratch<'a>,
     ) {
-        let lsec = self.left_web.view_by_id(left_view);
-        let rsec = self.right_web.view_by_id(right_view);
+        let lsec = self.left.web.view_by_id(left_view);
+        let rsec = self.right.web.view_by_id(right_view);
         let (Some(lpos), Some(rpos)) = (lsec.position_of(left_idx), rsec.position_of(right_idx))
         else {
             return;
@@ -519,10 +650,10 @@ impl<'a> Differ<'a> {
         scratch.rkeys.clear();
         scratch
             .lkeys
-            .extend(lwin.iter().map(|&x| self.left_keyed.key(x)));
+            .extend(lwin.iter().map(|&x| self.left.keyed.key(x)));
         scratch
             .rkeys
-            .extend(rwin.iter().map(|&x| self.right_keyed.key(x)));
+            .extend(rwin.iter().map(|&x| self.right.keyed.key(x)));
         // Windows are constant-sized, so the quadratic LCS here is O(1) per call.
         if let Ok(pairs) = lcs_dp(&scratch.lkeys, &scratch.rkeys, meter, MemoryBudget::unlimited())
         {

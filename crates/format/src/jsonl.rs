@@ -266,7 +266,10 @@ impl<R: BufRead> JsonlTraceReader<R> {
         let Some(header) = reader.next_line()? else {
             return Err(reader.err("missing header line"));
         };
-        let obj = reader.parse_obj(&header)?;
+        // Accept a UTF-8 byte-order mark in front of hand-authored files (the unified
+        // `TraceReader` strips it during sniffing; direct callers get the same grace).
+        let header = header.trim_start_matches('\u{feff}');
+        let obj = reader.parse_obj(header)?;
         let mut fields = ObjFields::new(&obj, reader.line_no);
         let format = fields.take_str("format")?;
         if format != FORMAT_NAME {

@@ -182,24 +182,59 @@ pub enum TraceReader<R: BufRead> {
 }
 
 impl<R: BufRead> TraceReader<R> {
-    /// Opens a trace stream, sniffing the encoding from its first bytes: streams
-    /// opening with the `RPTR` magic are binary, everything else is treated as JSONL.
+    /// Opens a trace stream, sniffing the encoding from its first bytes.
+    ///
+    /// A UTF-8 byte-order mark is accepted and stripped first (text editors and
+    /// Windows tooling routinely prepend one). After that, streams opening with the
+    /// `RPTR` magic are binary — including damaged binary streams, so header problems
+    /// surface as precise binary diagnostics ([`FormatError::UnsupportedVersion`],
+    /// reserved-flag corruption) rather than JSONL parse noise. A stream that ends
+    /// inside the magic itself (e.g. a binary trace cut off mid-upload) reports
+    /// truncation instead of being misread as JSONL, and an empty stream reports a
+    /// dedicated message. Everything else is treated as JSONL.
     ///
     /// # Errors
     ///
-    /// Returns a [`FormatError`] when the header of the sniffed encoding is invalid.
+    /// Returns a [`FormatError`] when the stream is empty, ends inside a binary
+    /// header, or the header of the sniffed encoding is invalid.
     pub fn new(mut input: R) -> Result<TraceReader<ChainedReader<R>>> {
-        let mut head = Vec::with_capacity(MAGIC.len());
-        while head.len() < MAGIC.len() {
+        const BOM: [u8; 3] = [0xef, 0xbb, 0xbf];
+        // Peek enough bytes to see a BOM plus the four magic bytes.
+        let mut head = Vec::with_capacity(BOM.len() + MAGIC.len());
+        let mut eof = false;
+        while head.len() < BOM.len() + MAGIC.len() {
             let mut byte = [0u8; 1];
             match input.read(&mut byte) {
-                Ok(0) => break,
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
                 Ok(_) => head.push(byte[0]),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(FormatError::Io(e)),
             }
         }
-        let is_binary = head.as_slice() == MAGIC;
+        if head.starts_with(&BOM) {
+            // Offsets and checksums are computed over the post-BOM content; the BOM is
+            // an encoding artifact, not part of the trace.
+            head.drain(..BOM.len());
+        }
+        if head.is_empty() {
+            return Err(FormatError::Corrupt {
+                offset: 0,
+                detail: "empty trace stream (expected an RPTR binary header or a JSONL \
+                         header line)"
+                    .into(),
+            });
+        }
+        let is_binary = head.starts_with(&MAGIC);
+        if !is_binary && eof && head.len() < MAGIC.len() && MAGIC.starts_with(&head) {
+            // The whole stream is a strict prefix of the binary magic: a truncated
+            // binary trace, not a JSONL document.
+            return Err(FormatError::Truncated {
+                offset: head.len() as u64,
+            });
+        }
         let rejoined = BufReader::new(std::io::Cursor::new(head).chain(input));
         Ok(if is_binary {
             TraceReader::Binary(BinaryTraceReader::new(rejoined)?)
@@ -230,6 +265,25 @@ impl<R: BufRead> TraceReader<R> {
             TraceReader::Binary(r) => r.next_entry(),
             TraceReader::Jsonl(r) => r.next_entry(),
         }
+    }
+
+    /// Decodes up to `max` further entries into `out` (which is cleared first),
+    /// returning how many arrived — `0` only after the verified end of the stream.
+    /// This is the batch-granular form streaming consumers use to amortize per-entry
+    /// dispatch while still holding only `max` decoded entries at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode error; entries decoded before it remain in `out`.
+    pub fn read_batch(&mut self, out: &mut Vec<TraceEntry>, max: usize) -> Result<usize> {
+        out.clear();
+        while out.len() < max {
+            match self.next_entry()? {
+                Some(entry) => out.push(entry),
+                None => break,
+            }
+        }
+        Ok(out.len())
     }
 
     /// Reads all remaining entries into a [`Trace`], validating the stream end.

@@ -4,6 +4,12 @@
 //! marks continuation. A `u64` therefore takes at most ten bytes, and the decoder rejects
 //! anything longer (or any continuation past the 64th bit) as corrupt rather than
 //! silently wrapping.
+//!
+//! Decoding is **canonical**: every value has exactly one accepted encoding, the
+//! shortest one. Overlong forms (a final byte of `0x00` after a continuation, e.g.
+//! `80 00` for zero) are rejected as corrupt — accepting them would let two different
+//! byte streams decode to the same trace, silently breaking the format's byte-stability
+//! guarantee on re-encode.
 
 use crate::error::{FormatError, Result};
 
@@ -88,6 +94,14 @@ pub fn read_u64(src: &mut impl ByteSource) -> Result<u64> {
         }
         value |= payload << shift;
         if byte & 0x80 == 0 {
+            // Canonicality: a multi-byte encoding whose final group is all zeros spells
+            // a value that fits in fewer bytes — a non-canonical (overlong) form.
+            if byte == 0 && shift > 0 {
+                return Err(FormatError::Corrupt {
+                    offset: start,
+                    detail: "non-canonical (overlong) varint".into(),
+                });
+            }
             return Ok(value);
         }
         shift += 7;
@@ -128,6 +142,23 @@ mod tests {
             let err = read_u64(&mut src).unwrap_err();
             assert!(matches!(err, FormatError::Truncated { offset } if offset >= 100));
         }
+    }
+
+    #[test]
+    fn overlong_encodings_are_rejected_as_non_canonical() {
+        // `80 00` spells zero in two bytes; `ff 00` spells 127 in two bytes. Both have
+        // canonical one-byte forms and must be rejected, not silently normalized.
+        for overlong in [&[0x80u8, 0x00][..], &[0xff, 0x00], &[0x80, 0x80, 0x00]] {
+            let mut src = SliceSource::new(overlong, 0);
+            let err = read_u64(&mut src).unwrap_err();
+            assert!(
+                matches!(&err, FormatError::Corrupt { detail, .. } if detail.contains("overlong")),
+                "expected overlong rejection for {overlong:02x?}, got {err:?}"
+            );
+        }
+        // The canonical single-byte zero still decodes.
+        let mut src = SliceSource::new(&[0x00], 0);
+        assert_eq!(read_u64(&mut src).unwrap(), 0);
     }
 
     #[test]

@@ -20,10 +20,10 @@
 use std::time::{Duration, Instant};
 
 use rprism_diff::{
-    lcs_diff_keyed, views_diff_keyed, DiffError, DiffSequence, LcsDiffOptions, TraceDiffResult,
-    ViewsDiffOptions,
+    lcs_diff_prepared, views_diff_sides, DiffError, DiffSequence, DiffSide, LcsDiffOptions,
+    TraceDiffResult, ViewsDiffOptions,
 };
-use rprism_trace::{KeyedTrace, Trace};
+use rprism_trace::{KeyedTrace, LeanTrace, Trace};
 use rprism_views::ViewWeb;
 
 use crate::sets::{DiffSet, DiffSignature};
@@ -43,29 +43,93 @@ pub struct RegressionTraces {
     pub new_passing: Trace,
 }
 
-/// Borrowed prepared artifacts of one trace: the trace itself, its precomputed event
-/// keys, and (for the views algorithm) its view web. Produced by `rprism::PreparedTrace`
-/// handles or by any caller that manages its own caches.
+/// Borrowed prepared artifacts of one trace: its per-entry context (the full trace, or
+/// the lean reduction a streamed trace retains), its precomputed event keys, and (for
+/// the views algorithm) its view web. Produced by `rprism::PreparedTrace` handles or by
+/// any caller that manages its own caches.
 #[derive(Clone, Copy, Debug)]
 pub struct PreparedTraceRef<'a> {
-    /// The underlying trace.
-    pub trace: &'a Trace,
     /// Precomputed interned event keys for `=e` comparisons and difference signatures.
     pub keyed: &'a KeyedTrace,
     /// The trace's view web. Required (`Some`) when analyzing with
     /// [`DiffAlgorithm::Views`]; the LCS baseline ignores it.
     pub web: Option<&'a ViewWeb>,
+    ctx: RefCtx<'a>,
+}
+
+/// Per-entry context of one prepared reference.
+#[derive(Clone, Copy, Debug)]
+enum RefCtx<'a> {
+    Full(&'a Trace),
+    Lean(&'a LeanTrace),
 }
 
 impl<'a> PreparedTraceRef<'a> {
-    /// Bundles borrowed artifacts into a reference.
+    /// Bundles borrowed artifacts of a fully materialized trace into a reference.
     pub fn new(trace: &'a Trace, keyed: &'a KeyedTrace, web: Option<&'a ViewWeb>) -> Self {
-        PreparedTraceRef { trace, keyed, web }
+        PreparedTraceRef {
+            keyed,
+            web,
+            ctx: RefCtx::Full(trace),
+        }
+    }
+
+    /// Bundles borrowed artifacts of a lean (streamed) trace into a reference.
+    pub fn lean(lean: &'a LeanTrace, keyed: &'a KeyedTrace, web: Option<&'a ViewWeb>) -> Self {
+        PreparedTraceRef {
+            keyed,
+            web,
+            ctx: RefCtx::Lean(lean),
+        }
+    }
+
+    /// The fully materialized trace, when this reference wraps one (`None` for lean,
+    /// streamed traces).
+    pub fn trace(&self) -> Option<&'a Trace> {
+        match self.ctx {
+            RefCtx::Full(trace) => Some(trace),
+            RefCtx::Lean(_) => None,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self.ctx {
+            RefCtx::Full(trace) => trace.len(),
+            RefCtx::Lean(lean) => lean.len(),
+        }
+    }
+
+    /// Returns `true` when the trace has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The [`DiffSignature`] of entry `index`, assembled from the precomputed key plus
+    /// the entry's context (method and active-object class) in whichever form this
+    /// reference holds. `None` when `index` is out of range.
+    pub fn signature_at(&self, index: usize) -> Option<DiffSignature> {
+        match self.ctx {
+            RefCtx::Full(trace) => trace
+                .entries
+                .get(index)
+                .map(|e| DiffSignature::of_keyed(self.keyed, index, e)),
+            RefCtx::Lean(lean) => lean.entries().get(index).map(|le| {
+                DiffSignature::from_key_context(self.keyed, index, le.method, le.active.class)
+            }),
+        }
     }
 
     fn web_for_views(&self) -> &'a ViewWeb {
         self.web
             .expect("view web must be prepared for the views algorithm")
+    }
+
+    fn diff_side_for_views(&self) -> DiffSide<'a> {
+        match self.ctx {
+            RefCtx::Full(trace) => DiffSide::full(trace, self.keyed, self.web_for_views()),
+            RefCtx::Lean(lean) => DiffSide::lean(lean, self.keyed, self.web_for_views()),
+        }
     }
 }
 
@@ -240,11 +304,7 @@ pub fn analyze(
     let old_reg = prepared.pop().unwrap();
 
     fn as_ref<'a>(trace: &'a Trace, prep: &'a Prepared) -> PreparedTraceRef<'a> {
-        PreparedTraceRef {
-            trace,
-            keyed: &prep.keyed,
-            web: prep.web.as_ref(),
-        }
+        PreparedTraceRef::new(trace, &prep.keyed, prep.web.as_ref())
     }
     analyze_prepared(
         &PreparedInput {
@@ -289,18 +349,12 @@ pub fn analyze_prepared(
     mode: AnalysisMode,
 ) -> Result<RegressionReport, DiffError> {
     analyze_prepared_with(input, algorithm, mode, |_, left, right| match algorithm {
-        DiffAlgorithm::Views(options) => Ok(views_diff_keyed(
-            left.trace,
-            right.trace,
-            left.web_for_views(),
-            right.web_for_views(),
-            left.keyed,
-            right.keyed,
+        DiffAlgorithm::Views(options) => Ok(views_diff_sides(
+            &left.diff_side_for_views(),
+            &right.diff_side_for_views(),
             options,
         )),
-        DiffAlgorithm::Lcs(options) => {
-            lcs_diff_keyed(left.trace, right.trace, left.keyed, right.keyed, options)
-        }
+        DiffAlgorithm::Lcs(options) => lcs_diff_prepared(left.keyed, right.keyed, options),
     })
 }
 
@@ -334,10 +388,24 @@ pub fn analyze_prepared_with(
         input.new_passing,
     );
 
+    // Difference sets are assembled from the unmatched entries' signatures; full and
+    // lean references produce identical signatures for the same entries, so this is
+    // `DiffSet::from_diff_keyed` generalized over both context forms.
     let diff_set = |diff: &TraceDiffResult,
                     left: PreparedTraceRef<'_>,
                     right: PreparedTraceRef<'_>| {
-        DiffSet::from_diff_keyed(diff, left.trace, right.trace, left.keyed, right.keyed)
+        let mut set = DiffSet::new();
+        for idx in diff.matching.unmatched_left() {
+            if let Some(signature) = left.signature_at(idx) {
+                set.insert(signature);
+            }
+        }
+        for idx in diff.matching.unmatched_right() {
+            if let Some(signature) = right.signature_at(idx) {
+                set.insert(signature);
+            }
+        }
+        set
     };
 
     // Step 1: A — old vs new under the regressing test.
@@ -368,20 +436,8 @@ pub fn analyze_prepared_with(
             let related = sequence
                 .left
                 .iter()
-                .filter_map(|i| {
-                    old_reg
-                        .trace
-                        .entries
-                        .get(*i)
-                        .map(|e| DiffSignature::of_keyed(old_reg.keyed, *i, e))
-                })
-                .chain(sequence.right.iter().filter_map(|i| {
-                    new_reg
-                        .trace
-                        .entries
-                        .get(*i)
-                        .map(|e| DiffSignature::of_keyed(new_reg.keyed, *i, e))
-                }))
+                .filter_map(|i| old_reg.signature_at(*i))
+                .chain(sequence.right.iter().filter_map(|i| new_reg.signature_at(*i)))
                 .any(|signature| candidates.contains(&signature));
             SequenceVerdict {
                 sequence: sequence.clone(),

@@ -25,5 +25,5 @@ pub use analysis::{
     PreparedInput, PreparedTraceRef, RegressionReport, RegressionTraces, SequenceVerdict,
 };
 pub use metrics::{accuracy, evaluate, speedup, GroundTruth, QualityMetrics};
-pub use report::{render_report, RenderOptions};
+pub use report::{render_report, render_report_with, RenderOptions};
 pub use sets::{DiffSet, DiffSignature};

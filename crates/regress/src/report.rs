@@ -38,6 +38,23 @@ pub fn render_report(
     new_regressing: &Trace,
     options: &RenderOptions,
 ) -> String {
+    render_report_with(
+        report,
+        options,
+        |idx| old_regressing.entries.get(idx).map(|e| e.render()),
+        |idx| new_regressing.entries.get(idx).map(|e| e.render()),
+    )
+}
+
+/// [`render_report`] with pluggable entry renderers, for callers whose traces are not
+/// fully materialized (streamed handles render a compact context line per entry
+/// instead). The closures return `None` for out-of-range indices, which are skipped.
+pub fn render_report_with(
+    report: &RegressionReport,
+    options: &RenderOptions,
+    mut left_entry: impl FnMut(usize) -> Option<String>,
+    mut right_entry: impl FnMut(usize) -> Option<String>,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "regression cause analysis ({} differencing)\n",
@@ -82,8 +99,8 @@ pub fn render_report(
             if printed >= options.max_entries_per_sequence {
                 break;
             }
-            if let Some(e) = old_regressing.entries.get(*idx) {
-                out.push_str(&format!("    - {}\n", e.render()));
+            if let Some(rendered) = left_entry(*idx) {
+                out.push_str(&format!("    - {rendered}\n"));
                 printed += 1;
             }
         }
@@ -91,8 +108,8 @@ pub fn render_report(
             if printed >= options.max_entries_per_sequence {
                 break;
             }
-            if let Some(e) = new_regressing.entries.get(*idx) {
-                out.push_str(&format!("    + {}\n", e.render()));
+            if let Some(rendered) = right_entry(*idx) {
+                out.push_str(&format!("    + {rendered}\n"));
                 printed += 1;
             }
         }

@@ -46,13 +46,31 @@ impl DiffSignature {
     /// Builds the signature of entry `index` from its precomputed key (the hot path of
     /// [`DiffSet::from_diff`]: no re-canonicalization, just copies of interned ids).
     pub fn of_keyed(keyed: &KeyedTrace, index: usize, entry: &TraceEntry) -> Self {
+        Self::from_key_context(
+            keyed,
+            index,
+            intern(entry.method.as_str()),
+            intern(&entry.active.class),
+        )
+    }
+
+    /// Builds the signature of entry `index` from its precomputed key plus already
+    /// interned context symbols — the form lean (streamed) traces provide, where the
+    /// full entry no longer exists. Equal to [`DiffSignature::of_keyed`] whenever the
+    /// symbols intern the entry's method name and active-object class.
+    pub fn from_key_context(
+        keyed: &KeyedTrace,
+        index: usize,
+        method: Symbol,
+        active_class: Symbol,
+    ) -> Self {
         let key = keyed.compact(index);
         DiffSignature {
             kind: key.kind,
             name: key.name,
             operands: keyed.operands_of(&key).into(),
-            method: intern(entry.method.as_str()),
-            active_class: intern(&entry.active.class),
+            method,
+            active_class,
         }
     }
 

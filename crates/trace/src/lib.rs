@@ -20,6 +20,9 @@
 //! * [`keyed`] — [`KeyedTrace`]: per-entry precomputed [`CompactEventKey`]s (interned
 //!   symbols + value fingerprints + a 64-bit content hash) that make `=e` on the diff
 //!   hot paths an allocation-free integer comparison;
+//! * [`lean`] — [`LeanTrace`]: the bounded-memory per-entry context retained by
+//!   streaming ingestion (thread id, interned method/class names, object correlation
+//!   identities) in place of full entries;
 //! * [`testgen`] — deterministic pseudo-random generators used by the workspace's
 //!   property-style tests (the workspace carries no external test dependencies).
 //!
@@ -31,6 +34,7 @@ pub mod eq;
 pub mod event;
 pub mod intern;
 pub mod keyed;
+pub mod lean;
 pub mod objrep;
 pub mod stack;
 pub mod testgen;
@@ -41,6 +45,7 @@ pub use eq::{event_eq, events_eq, EventKey};
 pub use event::{Event, EventKind};
 pub use intern::{intern, resolve, Symbol};
 pub use keyed::{CompactEventKey, KeyRef, KeyedTrace, OperandId};
+pub use lean::{LeanEntry, LeanTrace, ObjIdent};
 pub use objrep::{CreationSeq, Loc, ObjRep, ValueFingerprint, ValueRepr};
 pub use stack::{StackFrame, StackSnapshot};
 pub use trace::{SegmentedTrace, Trace, TraceMeta};

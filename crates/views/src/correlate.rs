@@ -99,6 +99,34 @@ impl Correlation {
             .is_some_and(|&raw| raw != NO_MATCH)
     }
 
+    /// The pre-built object-correlation verdict for a left/right view pair:
+    /// `Some(true|false)` when the left view appears in the dense map, `None` when it
+    /// does not (callers fall back to the direct object heuristic on the entries'
+    /// representations — [`correlate_entry_views`] does exactly that).
+    pub fn object_verdict(&self, left: ViewId, right: ViewId) -> Option<bool> {
+        self.has_object_entry(left)
+            .then(|| self.object_target(left) == Some(right))
+    }
+
+    /// The same correlation viewed from the other side: thread pairs inverted and the
+    /// dense object map transposed. `flipped_left_total_views` is the total view count
+    /// of the web that becomes the *left* side after flipping (the original right web).
+    ///
+    /// Correlation construction is a heuristic over the two webs and is not guaranteed
+    /// to be orientation-invariant; a flipped correlation is the exact transpose of the
+    /// original build, which is what the session cache shares across both diff
+    /// directions of one trace pair.
+    pub fn flipped(&self, flipped_left_total_views: usize) -> Correlation {
+        let threads = self.threads.iter().map(|(l, r)| (*r, *l)).collect();
+        let mut objects = vec![NO_MATCH; flipped_left_total_views];
+        for (left, &right) in self.objects.iter().enumerate() {
+            if right != NO_MATCH {
+                objects[right as usize] = left as u32;
+            }
+        }
+        Correlation { threads, objects }
+    }
+
     /// The correlated object-view pairs of one kind, as display names (diagnostics and
     /// tests; the hot path uses [`Correlation::object_target`]).
     pub fn object_pairs(&self, left: &ViewWeb, right: &ViewWeb, kind: ViewKind) -> Vec<(ViewName, ViewName)> {
@@ -296,13 +324,11 @@ fn object_pair_correlates(
     left_obj: &ObjRep,
     right_obj: &ObjRep,
 ) -> bool {
-    if correlation.has_object_entry(left) {
-        correlation.object_target(left) == Some(right)
-    } else {
-        // Views not present in the pre-built correlation (e.g. objects created only in one
-        // version) fall back to the direct object-correlation heuristic.
-        left_obj.correlates_with(right_obj)
-    }
+    // Views not present in the pre-built correlation (e.g. objects created only in one
+    // version) fall back to the direct object-correlation heuristic.
+    correlation
+        .object_verdict(left, right)
+        .unwrap_or_else(|| left_obj.correlates_with(right_obj))
 }
 
 /// The context-sensitive correlation relaxation of §5.

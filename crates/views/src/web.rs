@@ -76,32 +76,56 @@ pub struct ViewWeb {
 }
 
 impl ViewWeb {
-    /// Builds the full view web of a trace in a single pass.
-    pub fn build(trace: &Trace) -> Self {
+    /// An empty web ready for incremental [`ViewWeb::extend`] calls (streaming
+    /// ingestion). [`ViewWeb::build`] is `empty` + one `extend` per entry.
+    pub fn empty() -> Self {
         let mut web = ViewWeb {
             views: Vec::new(),
             index: HashMap::new(),
-            memberships: Vec::with_capacity(trace.len()),
+            memberships: Vec::new(),
             thread_ancestry: HashMap::new(),
         };
         web.thread_ancestry.insert(ThreadId::MAIN, Vec::new());
+        web
+    }
 
+    /// Builds the full view web of a trace in a single pass.
+    pub fn build(trace: &Trace) -> Self {
+        let mut web = ViewWeb::empty();
+        web.memberships.reserve(trace.len());
         for (index, entry) in trace.iter().enumerate() {
-            if let rprism_trace::Event::Fork { child, parentage } = &entry.event {
-                web.thread_ancestry.insert(*child, parentage.clone());
-            }
-            let mut membership = EntryViews::empty();
-            for kind in ViewKind::ALL {
-                let Some(key) = ViewKey::of_entry(kind, entry) else {
-                    continue;
-                };
-                let id = web.view_id_or_insert(key, entry);
-                web.views[id.index()].entries.push(index);
-                membership.set(kind, id);
-            }
-            web.memberships.push(membership);
+            web.extend(index, entry);
         }
         web
+    }
+
+    /// Incrementally extends the web with one entry. Entries must arrive in trace order
+    /// (`index` equal to the number of entries already added); a web extended entry by
+    /// entry is identical to one built by [`ViewWeb::build`] over the whole trace, which
+    /// is what lets streaming ingestion fold web construction into the read loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of order.
+    pub fn extend(&mut self, index: usize, entry: &TraceEntry) {
+        assert_eq!(
+            index,
+            self.memberships.len(),
+            "view web must be extended in trace order"
+        );
+        if let rprism_trace::Event::Fork { child, parentage } = &entry.event {
+            self.thread_ancestry.insert(*child, parentage.clone());
+        }
+        let mut membership = EntryViews::empty();
+        for kind in ViewKind::ALL {
+            let Some(key) = ViewKey::of_entry(kind, entry) else {
+                continue;
+            };
+            let id = self.view_id_or_insert(key, entry);
+            self.views[id.index()].entries.push(index);
+            membership.set(kind, id);
+        }
+        self.memberships.push(membership);
     }
 
     fn view_id_or_insert(&mut self, key: ViewKey, entry: &TraceEntry) -> ViewId {
