@@ -9,6 +9,8 @@
 //! rprism analyze <or> <nr> <op> <np> [… groups of four] [--mode intersect|subtract] [--full]
 //! rprism convert <in> <out> [--encoding binary|jsonl]
 //! rprism corpus --dir <dir> [--check]
+//! rprism serve --addr <host:port> --repo <dir> [--threads N] [--cache-bytes B]
+//! rprism remote put|get|list|diff|analyze|stats|shutdown ... --addr <host:port>
 //! ```
 //!
 //! Trace files are read with content sniffing (binary `.rtr` or JSONL text, regardless
@@ -59,7 +61,36 @@ usage:
   rprism convert <in> <out> [--encoding binary|jsonl]
       Re-encode a stored trace (default: encoding implied by <out>'s extension).
   rprism corpus --dir <dir> [--check]
-      Regenerate the golden case-study corpus (or verify it, failing on drift).";
+      Regenerate the golden case-study corpus (or verify it, failing on drift).
+  rprism serve --addr <host:port> --repo <dir> [--threads <n>] [--cache-bytes <b>]
+               [--max-frame-bytes <b>]
+      Run the trace-repository daemon: content-addressed storage plus remote
+      diff/analyze over a framed TCP protocol, served by a bounded thread pool
+      sharing one analysis engine.
+  rprism remote put <file ...> --addr <host:port>
+      Upload traces (either encoding); prints each trace's content hash.
+      Re-uploads of content the server already holds are deduplicated.
+      Every remote verb also accepts [--timeout <seconds>] (default 60; raise it
+      for long server-side computations) and [--max-frame-bytes <b>] (match the
+      server's value when shipping traces beyond the 64 MiB default).
+  rprism remote get <hash> --out <file> --addr <host:port>
+      Download a stored blob by content hash.
+  rprism remote list --addr <host:port>
+      List the server's stored traces.
+  rprism remote diff <a> <b> [--addr <host:port>] [--max-seqs <n>] [--quiet]
+      Diff two stored traces on the server. <a>/<b> are 16-digit content hashes
+      or local files (files are uploaded first).
+  rprism remote analyze <or> <nr> <op> <np> [--addr] [--mode ...] [--max-seqs <n>]
+      Run the regression-cause analysis on the server (hashes or files, like diff).
+  rprism remote stats --addr <host:port>
+      Repository/cache statistics of the daemon.
+  rprism remote shutdown --addr <host:port>
+      Gracefully stop the daemon (in-flight requests drain first).";
+
+/// Default timeout of every remote operation (connect, each read, each write);
+/// override with `--timeout <seconds>` for long server-side computations (e.g. a
+/// cold-cache analyze over very large traces).
+const REMOTE_TIMEOUT_SECS: u64 = 60;
 
 /// One parsed flag set: positionals plus `--key value` / bare `--switch` options.
 struct Args {
@@ -70,7 +101,8 @@ struct Args {
 /// Flags that take a value; everything else starting with `--` is a switch.
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--label", "--encoding", "--scenario", "--dir", "--max-seqs", "--mode",
-    "--entries", "--seed",
+    "--entries", "--seed", "--addr", "--repo", "--threads", "--cache-bytes",
+    "--max-frame-bytes", "--timeout",
 ];
 
 impl Args {
@@ -147,6 +179,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => analyze(&parsed),
         "convert" => convert(&parsed),
         "corpus" => corpus(&parsed),
+        "serve" => serve(&parsed),
+        "remote" => remote(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -403,6 +437,255 @@ fn convert(args: &Args) -> Result<(), String> {
         trace.len(),
         encoding
     );
+    Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--repo", "--threads", "--cache-bytes", "--max-frame-bytes"])?;
+    if !args.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let addr = args.value("--addr").ok_or("serve expects --addr <host:port>")?;
+    let repo = args.value("--repo").ok_or("serve expects --repo <dir>")?;
+    let mut config = rprism_server::ServerConfig::new(addr, repo);
+    if let Some(threads) = args.value("--threads") {
+        config.threads = threads
+            .parse()
+            .map_err(|_| format!("--threads expects a number, got {threads:?}"))?;
+    }
+    if let Some(budget) = args.value("--cache-bytes") {
+        config.cache_budget = budget
+            .parse()
+            .map_err(|_| format!("--cache-bytes expects a byte count, got {budget:?}"))?;
+    }
+    if let Some(max_frame) = args.value("--max-frame-bytes") {
+        config.max_frame = max_frame
+            .parse()
+            .map_err(|_| format!("--max-frame-bytes expects a byte count, got {max_frame:?}"))?;
+    }
+    let server = rprism_server::Server::bind(config).map_err(|e| e.to_string())?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!("rprism-server listening on {bound} (repo {repo})");
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Connects to the daemon named by `--addr`. `--max-frame-bytes` raises the frame
+/// bound on both sides of the conversation (pass the same value to `serve` when
+/// shipping traces beyond the 64 MiB default); `--timeout <seconds>` stretches the
+/// wait for long server-side computations.
+fn remote_client(args: &Args) -> Result<rprism_server::Client, String> {
+    let addr = args
+        .value("--addr")
+        .ok_or("remote commands expect --addr <host:port>")?;
+    let timeout = match args.value("--timeout") {
+        None => REMOTE_TIMEOUT_SECS,
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("--timeout expects a number of seconds, got {text:?}"))?,
+    };
+    let mut client =
+        rprism_server::Client::connect(addr, std::time::Duration::from_secs(timeout))
+            .map_err(|e| e.to_string())?;
+    if let Some(max_frame) = args.value("--max-frame-bytes") {
+        client.set_max_frame(max_frame.parse().map_err(|_| {
+            format!("--max-frame-bytes expects a byte count, got {max_frame:?}")
+        })?);
+    }
+    Ok(client)
+}
+
+/// Resolves one trace argument for a remote request: a 16-digit hex content hash is
+/// used as-is; anything that names an existing local file is uploaded first (the
+/// server deduplicates re-uploads, so this is cheap for content it already holds).
+fn remote_trace_arg(client: &mut rprism_server::Client, arg: &str) -> Result<u64, String> {
+    if arg.len() == 16 && arg.bytes().all(|b| b.is_ascii_hexdigit()) && !Path::new(arg).exists() {
+        return u64::from_str_radix(arg, 16).map_err(|e| e.to_string());
+    }
+    let put = client
+        .put_path(arg)
+        .map_err(|e| format!("cannot upload {arg}: {e}"))?;
+    Ok(put.hash)
+}
+
+fn remote(args: &[String]) -> Result<(), String> {
+    let Some((verb, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return Err("remote expects a subcommand (put|get|list|diff|analyze|stats|shutdown)".into());
+    };
+    let parsed = Args::parse(rest)?;
+    match verb.as_str() {
+        "put" => remote_put(&parsed),
+        "get" => remote_get(&parsed),
+        "list" => remote_list(&parsed),
+        "diff" => remote_diff(&parsed),
+        "analyze" => remote_analyze(&parsed),
+        "stats" => remote_stats(&parsed),
+        "shutdown" => remote_shutdown(&parsed),
+        other => {
+            eprintln!("{USAGE}");
+            Err(format!("unknown remote subcommand {other:?}"))
+        }
+    }
+}
+
+fn remote_put(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout"])?;
+    if args.positional.is_empty() {
+        return Err("remote put expects at least one trace file".into());
+    }
+    let mut client = remote_client(args)?;
+    for path in &args.positional {
+        let put = client
+            .put_path(path)
+            .map_err(|e| format!("cannot upload {path}: {e}"))?;
+        println!(
+            "{:016x}  {path} ({} entries{})",
+            put.hash,
+            put.entries,
+            if put.deduped { ", deduplicated" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn remote_get(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--out"])?;
+    let [hash] = args.positional.as_slice() else {
+        return Err("remote get expects one content hash".into());
+    };
+    let out = args.value("--out").ok_or("remote get expects --out <file>")?;
+    let hash = u64::from_str_radix(hash, 16)
+        .map_err(|_| format!("remote get expects a hex content hash, got {hash:?}"))?;
+    let mut client = remote_client(args)?;
+    let bytes = client.get(hash).map_err(|e| e.to_string())?;
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn remote_list(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout"])?;
+    if !args.positional.is_empty() {
+        return Err("remote list takes no positional arguments".into());
+    }
+    let mut client = remote_client(args)?;
+    let entries = client.list().map_err(|e| e.to_string())?;
+    for entry in &entries {
+        println!(
+            "{:016x}  {:>8} entries  {:>10} bytes  {}",
+            entry.hash, entry.entries, entry.bytes, entry.name
+        );
+    }
+    println!("{} trace(s) stored", entries.len());
+    Ok(())
+}
+
+fn remote_diff(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--max-seqs", "--quiet"])?;
+    let [left, right] = args.positional.as_slice() else {
+        return Err("remote diff expects two traces (content hashes or files)".into());
+    };
+    let max_seqs = args.max_seqs()?;
+    let mut client = remote_client(args)?;
+    let left_hash = remote_trace_arg(&mut client, left)?;
+    let right_hash = remote_trace_arg(&mut client, right)?;
+    let diff = client
+        .diff(left_hash, right_hash, max_seqs as u64)
+        .map_err(|e| format!("remote differencing failed: {e}"))?;
+    // Same summary shape as the local `diff` subcommand, so outputs are comparable.
+    println!(
+        "{} vs {}: {} differences in {} sequences ({} similar entries, {} compare ops, {})",
+        left,
+        right,
+        diff.num_differences,
+        diff.num_sequences(),
+        diff.pairs.len(),
+        diff.compare_ops,
+        diff.algorithm,
+    );
+    if !args.switch("--quiet") {
+        print!("{}", diff.rendered);
+    }
+    Ok(())
+}
+
+fn remote_analyze(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--mode", "--max-seqs"])?;
+    let [or, nr, op, np] = args.positional.as_slice() else {
+        return Err(
+            "remote analyze expects four traces \
+             (old-regressing new-regressing old-passing new-passing)"
+                .into(),
+        );
+    };
+    let mode = match args.value("--mode") {
+        None => None,
+        Some("intersect") => Some(AnalysisMode::Intersect),
+        Some("subtract") => Some(AnalysisMode::SubtractRegressionSet),
+        Some(other) => {
+            return Err(format!(
+                "unknown analysis mode {other:?} (expected `intersect` or `subtract`)"
+            ))
+        }
+    };
+    let mut client = remote_client(args)?;
+    let mut hashes = [0u64; 4];
+    for (slot, arg) in hashes.iter_mut().zip([or, nr, op, np]) {
+        *slot = remote_trace_arg(&mut client, arg)?;
+    }
+    let report = client
+        .analyze(hashes, mode, args.max_seqs()? as u64)
+        .map_err(|e| format!("remote analysis failed: {e}"))?;
+    let regression_sequences = report.verdicts().iter().filter(|&&v| v).count();
+    println!("analysis of {or} vs {nr} (expected {op} / {np}):");
+    println!(
+        "  suspected {} / expected {} / regression {} -> {} candidate causes, \
+         {} regression sequences ({:?} mode, {} compare ops)",
+        report.suspected.len(),
+        report.expected.len(),
+        report.regression.len(),
+        report.candidates.len(),
+        regression_sequences,
+        report.mode,
+        report.compare_ops,
+    );
+    print!("{}", report.rendered);
+    Ok(())
+}
+
+fn remote_stats(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout"])?;
+    let mut client = remote_client(args)?;
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "repository: {} blob(s), {} bytes on disk",
+        stats.blobs, stats.blob_bytes
+    );
+    println!(
+        "prepared cache: {} handle(s), {} / {} bytes, {} hit(s), {} miss(es), {} eviction(s)",
+        stats.prepared_cached,
+        stats.prepared_cached_bytes,
+        stats.cache_budget_bytes,
+        stats.prepared_hits,
+        stats.prepared_misses,
+        stats.evictions
+    );
+    println!(
+        "uploads deduplicated: {}; requests served: {}",
+        stats.dedup_hits, stats.requests_served
+    );
+    println!(
+        "engine: {} correlation build(s), {} pair(s) cached",
+        stats.correlation_builds, stats.cached_correlations
+    );
+    Ok(())
+}
+
+fn remote_shutdown(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout"])?;
+    let mut client = remote_client(args)?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("server shutting down (in-flight requests drain first)");
     Ok(())
 }
 

@@ -83,6 +83,16 @@ impl CachedCorrelation {
     }
 }
 
+/// The shared build cell of one trace pair. Handing threads an `Arc` of the slot (and
+/// building through [`OnceLock::get_or_init`] *outside* the cache lock) gives every
+/// pair exactly one build even under a concurrent cold stampede: the first thread to
+/// reach the cell builds, the other N−1 block on that cell only — not on the cache —
+/// and are served the finished build. Other pairs build concurrently, undisturbed.
+#[derive(Debug, Default)]
+struct CorrelationSlot {
+    cell: OnceLock<CachedCorrelation>,
+}
+
 /// Bounded session cache of pair-level artifacts, keyed by the two handles'
 /// process-unique ids as an **unordered** pair (ids are never reused, so a dropped
 /// handle can never alias a cached entry). Each pair holds one correlation build — in
@@ -90,10 +100,11 @@ impl CachedCorrelation {
 /// exact transpose, so `diff(a, b)` after `diff(b, a)` (or an `analyze` whose
 /// comparisons run opposite to earlier diffs) reuses the same build instead of
 /// recomputing it. Eviction is least-recently-used: a hot pair re-touched between
-/// batches survives churn that would have evicted it under FIFO.
+/// batches survives churn that would have evicted it under FIFO. In-flight users of
+/// an evicted slot keep their `Arc` and finish undisturbed.
 #[derive(Debug)]
 struct CorrelationCache {
-    map: HashMap<(u64, u64), CachedCorrelation>,
+    map: HashMap<(u64, u64), Arc<CorrelationSlot>>,
     /// LRU order: least recently used at the front.
     order: VecDeque<(u64, u64)>,
     capacity: usize,
@@ -123,47 +134,23 @@ impl CorrelationCache {
         self.order.push_back(key);
     }
 
-    /// The cached correlation of the (unordered) pair, oriented for `left_id`,
-    /// refreshing its recency.
-    fn get(&mut self, key: (u64, u64), flipped_left_views: usize) -> Option<Arc<Correlation>> {
-        let canonical = Self::canonical(key);
-        let oriented = self
-            .map
-            .get(&canonical)?
-            .oriented(key.0, flipped_left_views);
-        self.touch(canonical);
-        Some(oriented)
-    }
-
-    /// Stores a freshly built correlation (oriented `key.0 → key.1`) and returns the
-    /// correlation every caller of this pair should use. If a racing build of the
-    /// opposite orientation got here first, the first insert wins and later builders
-    /// adopt its (transposed) result, so all users of a pair share one correlation.
-    fn insert(
-        &mut self,
-        key: (u64, u64),
-        value: Arc<Correlation>,
-        flipped_left_views: usize,
-    ) -> Arc<Correlation> {
-        self.builds += 1;
-        let canonical = Self::canonical(key);
-        if !self.map.contains_key(&canonical) {
-            while self.order.len() >= self.capacity {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.map.remove(&evicted);
-                }
-            }
-            self.order.push_back(canonical);
-            self.map.insert(
-                canonical,
-                CachedCorrelation {
-                    built_left_id: key.0,
-                    built: value,
-                    flipped: OnceLock::new(),
-                },
-            );
+    /// The build slot of the (unordered) pair, inserting an empty one — and evicting
+    /// least-recently-used pairs past the capacity — on first touch.
+    fn slot(&mut self, canonical: (u64, u64)) -> Arc<CorrelationSlot> {
+        if let Some(slot) = self.map.get(&canonical) {
+            let slot = Arc::clone(slot);
+            self.touch(canonical);
+            return slot;
         }
-        self.map[&canonical].oriented(key.0, flipped_left_views)
+        while self.order.len() >= self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.map.remove(&evicted);
+            }
+        }
+        let slot = Arc::new(CorrelationSlot::default());
+        self.order.push_back(canonical);
+        self.map.insert(canonical, Arc::clone(&slot));
+        slot
     }
 }
 
@@ -557,6 +544,18 @@ pub struct Engine {
     correlations: Arc<Mutex<CorrelationCache>>,
 }
 
+// Compile-time pin of the concurrency contract the server stack (and every embedder
+// sharing one session across worker threads) builds on: an `Engine` and its prepared
+// handles may be shared freely across threads. Losing either bound (e.g. by slipping a
+// `Cell` or `Rc` into the session state) is a build error here, not a runtime surprise
+// in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<PreparedTrace>();
+    assert_send_sync::<RegressionInput>();
+};
+
 impl Default for Engine {
     fn default() -> Self {
         Engine::builder().build()
@@ -810,20 +809,27 @@ impl Engine {
     ) -> Arc<Correlation> {
         let key = (left.inner.id, right.inner.id);
         let left_views = left.web().total_views();
-        if let Some(cached) = self
+        let slot = self
             .correlations
             .lock()
             .expect("cache poisoned")
-            .get(key, left_views)
-        {
-            return cached;
+            .slot(CorrelationCache::canonical(key));
+        // Build outside the lock: correlation construction is the expensive part, and
+        // the per-pair slot already serializes a concurrent cold stampede on *this*
+        // pair (one build, N−1 waiters) without holding up any other pair.
+        let mut built_here = false;
+        let cached = slot.cell.get_or_init(|| {
+            built_here = true;
+            CachedCorrelation {
+                built_left_id: key.0,
+                built: Arc::new(Correlation::build_with(left.web(), right.web(), parallel)),
+                flipped: OnceLock::new(),
+            }
+        });
+        if built_here {
+            self.correlations.lock().expect("cache poisoned").builds += 1;
         }
-        // Build outside the lock: correlation construction is the expensive part.
-        let built = Arc::new(Correlation::build_with(left.web(), right.web(), parallel));
-        self.correlations
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, built, left_views)
+        cached.oriented(key.0, left_views)
     }
 
     /// Number of trace pairs whose view correlation is currently cached in this session

@@ -53,6 +53,12 @@
 //! See `MIGRATION.md` at the workspace root for the mapping from the deprecated
 //! free-function API ([`Rprism`], `views_diff`, `rprism_regress::analyze`) to the
 //! engine.
+//!
+//! An [`Engine`] is `Send + Sync` (asserted at compile time) and is designed to be
+//! shared across threads: artifacts build at most once even under concurrent use, and
+//! a cold pair correlation is built by exactly one of its concurrent requesters. The
+//! `rprism-server` crate builds on this to serve one session to many network clients
+//! (`rprism serve` / `rprism remote` on the command line).
 
 pub use rprism_diff as diff;
 pub use rprism_format as format;

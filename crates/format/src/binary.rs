@@ -79,24 +79,36 @@ const OBJ_HAS_LOC: u8 = 0x01;
 const OBJ_HAS_SEQ: u8 = 0x02;
 
 /// FNV-1a 64 running checksum (deterministic across platforms and Rust versions, like
-/// the fingerprint hash in `rprism-trace`).
+/// the fingerprint hash in `rprism-trace`). This is the integrity hash of the whole
+/// format layer: the binary footer checksum, the per-frame checksum of the wire
+/// protocol ([`crate::frame`]) and the content-addressing hash
+/// ([`crate::content_hash`]) all run through it.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct Fnv64(u64);
+pub struct Fnv64(u64);
 
 impl Fnv64 {
-    pub(crate) fn new() -> Self {
+    /// A fresh hasher at the FNV-1a 64 offset basis.
+    pub fn new() -> Self {
         Fnv64(0xcbf2_9ce4_8422_2325)
     }
 
-    pub(crate) fn update(&mut self, bytes: &[u8]) {
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    pub(crate) fn finish(self) -> u64 {
+    /// The hash of everything fed so far.
+    pub fn finish(self) -> u64 {
         self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
     }
 }
 

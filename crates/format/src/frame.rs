@@ -1,0 +1,210 @@
+//! Length-prefixed checksummed frames — the unit of the `rprism-server` wire protocol.
+//!
+//! A frame is the smallest self-delimiting, self-verifying chunk of a byte stream:
+//!
+//! ```text
+//! frame ::= varint(payload-len) payload-bytes checksum u64 LE
+//! ```
+//!
+//! The length prefix is a canonical LEB128 varint ([`crate::varint`]) and the checksum
+//! is the FNV-1a 64 ([`Fnv64`]) of the payload bytes — the same integer encoding and
+//! the same hash the binary trace encoding uses, so a stack that already speaks `.rtr`
+//! files needs no new primitives to speak the wire.
+//!
+//! Reading is **bounded and structured**: the caller supplies the maximum payload
+//! length it is willing to buffer, a declared length beyond it is rejected *before*
+//! any allocation ([`FormatError::Corrupt`]), a stream that ends mid-frame reports
+//! [`FormatError::Truncated`], and a checksum mismatch reports
+//! [`FormatError::ChecksumMismatch`]. A clean end of stream *between* frames returns
+//! `Ok(None)`, so connection teardown is distinguishable from damage.
+
+use std::io::{Read, Write};
+
+use crate::binary::Fnv64;
+use crate::error::{FormatError, Result};
+use crate::varint;
+
+/// A sane default bound on a single frame's payload (64 MiB): large enough for any
+/// realistic serialized trace upload, small enough that a forged length prefix cannot
+/// take the process down.
+pub const DEFAULT_MAX_PAYLOAD: u64 = 64 * 1024 * 1024;
+
+/// Writes one frame (length prefix, payload, FNV-64 checksum) and flushes.
+pub fn write_frame(out: &mut impl Write, payload: &[u8]) -> Result<()> {
+    let mut prefix = Vec::with_capacity(10);
+    varint::write_u64(&mut prefix, payload.len() as u64);
+    let mut hash = Fnv64::new();
+    hash.update(payload);
+    out.write_all(&prefix)?;
+    out.write_all(payload)?;
+    out.write_all(&hash.finish().to_le_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// The serialized bytes of one frame, for callers that assemble a message before
+/// handing it to a socket in a single write.
+pub fn frame_to_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(payload.len() + 18);
+    varint::write_u64(&mut bytes, payload.len() as u64);
+    bytes.extend_from_slice(payload);
+    let mut hash = Fnv64::new();
+    hash.update(payload);
+    bytes.extend_from_slice(&hash.finish().to_le_bytes());
+    bytes
+}
+
+/// Reads one frame's payload, or `Ok(None)` at a clean end of stream (end of input
+/// *before* the first length byte).
+///
+/// # Errors
+///
+/// * [`FormatError::Corrupt`] — the declared payload length exceeds `max_payload`
+///   (rejected before allocating), or the length prefix is a non-canonical varint;
+/// * [`FormatError::Truncated`] — the stream ends inside the frame;
+/// * [`FormatError::ChecksumMismatch`] — the payload bytes do not hash to the trailing
+///   checksum.
+pub fn read_frame(input: &mut impl Read, max_payload: u64) -> Result<Option<Vec<u8>>> {
+    // Read the length prefix byte by byte; a clean EOF on the very first byte is the
+    // normal end of a frame stream.
+    let (len, prefix_len) = {
+        let mut source = ReaderSource {
+            input,
+            offset: 0,
+            eof_before_any: false,
+        };
+        let len = match varint::read_u64(&mut source) {
+            Ok(len) => len,
+            Err(FormatError::Truncated { .. }) if source.eof_before_any => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        (len, source.offset)
+    };
+    if len > max_payload {
+        return Err(FormatError::Corrupt {
+            offset: 0,
+            detail: format!("frame payload of {len} bytes exceeds the {max_payload}-byte limit"),
+        });
+    }
+    let mut payload = vec![0u8; usize::try_from(len).expect("bounded by max_payload")];
+    read_exact(input, &mut payload, prefix_len)?;
+    let mut checksum = [0u8; 8];
+    read_exact(input, &mut checksum, prefix_len + len)?;
+    let expected = u64::from_le_bytes(checksum);
+    let mut hash = Fnv64::new();
+    hash.update(&payload);
+    let found = hash.finish();
+    if expected != found {
+        return Err(FormatError::ChecksumMismatch { expected, found });
+    }
+    Ok(Some(payload))
+}
+
+struct ReaderSource<'a, R: Read> {
+    input: &'a mut R,
+    offset: u64,
+    /// Set when end of input arrived before any byte of the length prefix — the clean
+    /// "no more frames" condition.
+    eof_before_any: bool,
+}
+
+impl<R: Read> varint::ByteSource for ReaderSource<'_, R> {
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.input.read(&mut byte) {
+                Ok(0) => {
+                    self.eof_before_any = self.offset == 0;
+                    return Ok(None);
+                }
+                Ok(_) => {
+                    self.offset += 1;
+                    return Ok(Some(byte[0]));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FormatError::Io(e)),
+            }
+        }
+    }
+
+    fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+fn read_exact(input: &mut impl Read, buf: &mut [u8], base: u64) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FormatError::Truncated {
+                    offset: base + filled as u64,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FormatError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut stream = Vec::new();
+        let payloads: [&[u8]; 3] = [b"first", b"", b"a longer third frame payload"];
+        for payload in payloads {
+            write_frame(&mut stream, payload).unwrap();
+        }
+        let mut input = stream.as_slice();
+        for payload in payloads {
+            assert_eq!(read_frame(&mut input, 1024).unwrap().unwrap(), payload);
+        }
+        assert!(read_frame(&mut input, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_to_bytes_matches_write_frame() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, b"payload").unwrap();
+        assert_eq!(streamed, frame_to_bytes(b"payload"));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, u64::MAX);
+        let err = read_frame(&mut bytes.as_slice(), 1024).unwrap_err();
+        assert!(matches!(err, FormatError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_checksum_mismatch() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"some payload").unwrap();
+        let flip = stream.len() / 2;
+        stream[flip] ^= 0x40;
+        let err = read_frame(&mut stream.as_slice(), 1024).unwrap_err();
+        assert!(matches!(
+            err,
+            FormatError::ChecksumMismatch { .. } | FormatError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_inside_a_frame_is_an_error_not_a_hang() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"truncate me").unwrap();
+        for cut in 1..stream.len() {
+            let err = read_frame(&mut &stream[..cut], 1024).unwrap_err();
+            assert!(
+                matches!(err, FormatError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+}

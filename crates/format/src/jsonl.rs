@@ -304,7 +304,11 @@ impl<R: BufRead> JsonlTraceReader<R> {
         }
     }
 
-    /// The next non-blank line, or `None` at end of input.
+    /// The next non-blank line, or `None` at end of input. Windows-authored files use
+    /// CRLF line endings, so the trailing `\r` left behind by `read_line` is stripped
+    /// before parsing — explicitly, ahead of the general whitespace trim, so the
+    /// guarantee survives any future change to how lines are cleaned up (the CRLF
+    /// regression tests pin it under both the direct and the sniffing reader).
     fn next_line(&mut self) -> Result<Option<String>> {
         loop {
             self.buffer.clear();
@@ -313,7 +317,7 @@ impl<R: BufRead> JsonlTraceReader<R> {
                 return Ok(None);
             }
             self.line_no += 1;
-            let line = self.buffer.trim();
+            let line = self.buffer.trim_end_matches(['\r', '\n']).trim();
             if !line.is_empty() {
                 return Ok(Some(line.to_owned()));
             }
@@ -649,6 +653,18 @@ mod tests {
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.meta.name, "hand");
         assert!(matches!(trace.entries[0].event, Event::Init { .. }));
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        // Windows-authored text traces end lines with \r\n; the reader must strip the
+        // carriage return before parsing instead of feeding it to the JSON parser.
+        let trace = sample_trace(17, 30);
+        let crlf = encode(&trace).replace('\n', "\r\n");
+        assert_eq!(decode(&crlf).unwrap(), trace, "direct CRLF decode diverged");
+        // Mixed endings (a hand-edited file) and blank CRLF lines are fine too.
+        let mixed = encode(&trace).replacen('\n', "\r\n", 3) + "\r\n";
+        assert_eq!(decode(&mixed).unwrap(), trace, "mixed-endings decode diverged");
     }
 
     #[test]

@@ -69,6 +69,7 @@
 
 pub mod binary;
 pub mod error;
+pub mod frame;
 pub mod json;
 pub mod jsonl;
 pub mod varint;
@@ -79,7 +80,7 @@ use std::path::Path;
 
 use rprism_trace::{Trace, TraceEntry, TraceMeta};
 
-pub use binary::{BinaryTraceReader, BinaryTraceWriter, FORMAT_VERSION, MAGIC};
+pub use binary::{BinaryTraceReader, BinaryTraceWriter, Fnv64, FORMAT_VERSION, MAGIC};
 pub use error::{FormatError, Result};
 pub use jsonl::{JsonlTraceReader, JsonlTraceWriter, JSONL_VERSION};
 
@@ -340,6 +341,106 @@ pub fn trace_from_bytes(bytes: &[u8]) -> Result<Trace> {
     read_trace(bytes)
 }
 
+/// What [`content_summary`] learns about a trace stream in one bounded-memory pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContentSummary {
+    /// The encoding-independent content hash (see [`content_hash`]).
+    pub hash: u64,
+    /// Number of entries in the stream.
+    pub entries: u64,
+    /// The trace metadata from the stream header.
+    pub meta: TraceMeta,
+    /// The encoding the stream turned out to use.
+    pub encoding: Encoding,
+}
+
+/// An `io::Write` that discards its bytes into a running [`Fnv64`] — the sink behind
+/// the content hash.
+struct HashSink {
+    hash: Fnv64,
+}
+
+impl Write for HashSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.hash.update(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The **encoding-independent content hash** of a trace stream: the FNV-1a 64 of the
+/// canonical *binary* encoding of the trace the stream decodes to, computed in one
+/// streaming pass (entries are decoded one at a time and immediately re-encoded into
+/// the hash — the trace is never materialized).
+///
+/// Because the binary encoding is deterministic and byte-stable, two streams that
+/// decode to the same trace — a `.rtr` file and its JSONL conversion, or the same
+/// upload sent twice — hash identically. This is the content-addressing key of the
+/// `rprism-server` trace repository: re-uploads deduplicate regardless of which
+/// encoding the client happened to send.
+///
+/// The stream is fully validated on the way through (footer checksum, trailer count,
+/// schema), so a corrupt stream yields its decode error, never a hash. Like the
+/// streaming ingest pipeline, hashing interns the stream's names as they arrive.
+///
+/// # Errors
+///
+/// Returns the stream's first [`FormatError`] (empty/truncated/corrupt input, an
+/// unsupported version, or I/O failure).
+pub fn content_hash(input: impl Read) -> Result<u64> {
+    content_summary(input).map(|summary| summary.hash)
+}
+
+/// [`content_hash`] plus the entry count, metadata and detected encoding — everything a
+/// trace repository records about a blob without materializing it.
+///
+/// # Errors
+///
+/// Returns the stream's first [`FormatError`].
+pub fn content_summary(input: impl Read) -> Result<ContentSummary> {
+    let mut reader = TraceReader::new(BufReader::new(input))?;
+    let meta = reader.meta().clone();
+    let encoding = reader.encoding();
+    let mut writer = TraceWriter::new(
+        HashSink { hash: Fnv64::new() },
+        &meta,
+        Encoding::Binary,
+    )?;
+    let mut entries = 0u64;
+    while let Some(entry) = reader.next_entry()? {
+        writer.write_entry(&entry)?;
+        entries += 1;
+    }
+    let sink = writer.finish()?;
+    Ok(ContentSummary {
+        hash: sink.hash.finish(),
+        entries,
+        meta,
+        encoding,
+    })
+}
+
+/// [`content_summary`] over a file.
+///
+/// # Errors
+///
+/// Returns the file's first [`FormatError`].
+pub fn content_summary_path(path: impl AsRef<Path>) -> Result<ContentSummary> {
+    content_summary(File::open(path.as_ref())?)
+}
+
+/// [`content_hash`] over a file.
+///
+/// # Errors
+///
+/// Returns the file's first [`FormatError`].
+pub fn content_hash_path(path: impl AsRef<Path>) -> Result<u64> {
+    content_summary_path(path).map(|summary| summary.hash)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +484,53 @@ mod tests {
             assert_eq!(read_trace_path(&path).unwrap(), trace);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crlf_jsonl_loads_through_the_sniffing_path() {
+        // The CRLF regression fixture must load through the unified sniffing reader
+        // too, not only the direct JSONL reader (covered in `jsonl::tests`).
+        let trace = sample_trace(21, 25);
+        let text = String::from_utf8(trace_to_bytes(&trace, Encoding::Jsonl).unwrap()).unwrap();
+        let crlf = text.replace('\n', "\r\n");
+        let reader = TraceReader::new(BufReader::new(crlf.as_bytes())).unwrap();
+        assert_eq!(reader.encoding(), Encoding::Jsonl);
+        assert_eq!(reader.into_trace().unwrap(), trace);
+    }
+
+    #[test]
+    fn content_hash_is_equal_across_encodings() {
+        let trace = sample_trace(13, 60);
+        let binary = trace_to_bytes(&trace, Encoding::Binary).unwrap();
+        let jsonl = trace_to_bytes(&trace, Encoding::Jsonl).unwrap();
+        let from_binary = content_hash(binary.as_slice()).unwrap();
+        let from_jsonl = content_hash(jsonl.as_slice()).unwrap();
+        assert_eq!(
+            from_binary, from_jsonl,
+            "the repo key must not depend on the serialization a client chose"
+        );
+        // And a CRLF re-lining of the text form still names the same trace.
+        let crlf = String::from_utf8(jsonl).unwrap().replace('\n', "\r\n");
+        assert_eq!(content_hash(crlf.as_bytes()).unwrap(), from_binary);
+
+        // Different content (or different metadata) hashes differently.
+        let other = sample_trace(14, 60);
+        let other_bytes = trace_to_bytes(&other, Encoding::Binary).unwrap();
+        assert_ne!(content_hash(other_bytes.as_slice()).unwrap(), from_binary);
+
+        let summary = content_summary(binary.as_slice()).unwrap();
+        assert_eq!(summary.hash, from_binary);
+        assert_eq!(summary.entries, trace.len() as u64);
+        assert_eq!(summary.meta, trace.meta);
+        assert_eq!(summary.encoding, Encoding::Binary);
+    }
+
+    #[test]
+    fn content_hash_of_damaged_streams_is_an_error() {
+        let trace = sample_trace(15, 40);
+        let bytes = trace_to_bytes(&trace, Encoding::Binary).unwrap();
+        assert!(content_hash(&bytes[..bytes.len() - 3]).is_err());
+        assert!(content_hash(&b""[..]).is_err());
     }
 
     #[test]

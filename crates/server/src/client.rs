@@ -1,0 +1,278 @@
+//! The blocking client of the trace-repository daemon.
+//!
+//! One [`Client`] is one TCP connection running the strict request/response
+//! alternation of [`proto`](crate::proto). Every operation is a method returning a
+//! typed result; server-side failures arrive as [`ServerError::Remote`] with the
+//! server's message. Connect, read and write are all bounded by the timeout given to
+//! [`Client::connect`] — a dead or unroutable address yields an `Err`, never a hang.
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Duration;
+
+use rprism::AnalysisMode;
+use rprism_format::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
+
+use crate::proto::{RepoEntry, Request, Response, WireDiff, WireReport, WireStats};
+use crate::{Result, ServerError};
+
+/// The outcome of a [`Client::put_bytes`]/[`Client::put_path`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// The trace's content hash — the key for every later request.
+    pub hash: u64,
+    /// `true` when the server already held this content.
+    pub deduped: bool,
+    /// Number of entries in the uploaded trace.
+    pub entries: u64,
+}
+
+/// A blocking connection to an `rprism-server` daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u64,
+    /// Set after any transport failure (timeout, I/O error, bad frame). The protocol
+    /// is a strict request/response alternation, so once an exchange is cut short the
+    /// stream may hold a stale late response — every further call on this connection
+    /// is refused instead of risking an off-by-one answer. Reconnect to recover.
+    poisoned: bool,
+}
+
+impl Client {
+    /// Connects with a bound: the TCP connect attempts share one `timeout`-sized
+    /// deadline across every resolved candidate address, and every later read/write
+    /// respects `timeout` — a dead or unroutable address returns [`ServerError::Io`]
+    /// instead of hanging. (Name resolution itself goes through the OS resolver,
+    /// whose own timeout the std library cannot bound; numeric addresses resolve
+    /// instantly.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Io`] when the address does not resolve, refuses, or
+    /// times out.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Client> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut last_error: Option<std::io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match TcpStream::connect_timeout(&candidate, remaining) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    return Ok(Client {
+                        stream,
+                        max_frame: DEFAULT_MAX_PAYLOAD,
+                        poisoned: false,
+                    });
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        Err(ServerError::Io(last_error.unwrap_or_else(|| {
+            std::io::Error::other(format!(
+                "address {addr:?} did not resolve (or the connect deadline passed)"
+            ))
+        })))
+    }
+
+    /// Raises (or lowers) the largest response frame this client accepts, for talking
+    /// to servers configured with a non-default
+    /// [`ServerConfig::max_frame`](crate::ServerConfig). Defaults to
+    /// [`DEFAULT_MAX_PAYLOAD`] (64 MiB).
+    pub fn set_max_frame(&mut self, max_frame: u64) {
+        self.max_frame = max_frame;
+    }
+
+    /// One request/response exchange. Any transport-level failure poisons the
+    /// connection (see the `poisoned` field); a server-reported [`Response::Error`]
+    /// does not — that exchange completed, the protocol is intact.
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        if self.poisoned {
+            return Err(ServerError::Io(std::io::Error::other(
+                "connection poisoned by an earlier transport error; reconnect",
+            )));
+        }
+        let encoded = request.encode();
+        // Pre-flight the frame bound: the server rejects an oversized declared length
+        // before reading the payload and closes, which would surface here as an
+        // opaque broken pipe mid-write. Refuse locally with the real reason instead.
+        if encoded.len() as u64 > self.max_frame {
+            return Err(ServerError::Remote(format!(
+                "request of {} bytes exceeds the {}-byte frame limit (raise it on both \
+                 sides: Client::set_max_frame / ServerConfig::max_frame, or \
+                 --max-frame-bytes on the command line)",
+                encoded.len(),
+                self.max_frame
+            )));
+        }
+        let outcome = (|| {
+            let mut out = BufWriter::new(&self.stream);
+            write_frame(&mut out, &encoded).map_err(proto_error)?;
+            drop(out);
+            let mut input = &self.stream;
+            let payload = read_frame(&mut input, self.max_frame)
+                .map_err(proto_error)?
+                .ok_or_else(|| {
+                    ServerError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection before responding",
+                    ))
+                })?;
+            Response::decode(&payload).map_err(ServerError::Proto)
+        })();
+        let response = match outcome {
+            Ok(response) => response,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+        if let Response::Error { message } = response {
+            return Err(ServerError::Remote(message));
+        }
+        Ok(response)
+    }
+
+    /// Uploads a serialized trace (either encoding), returning its content hash and
+    /// whether the server already held it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] when the server rejects the upload (corrupt
+    /// bytes, frame too large) and transport errors as [`ServerError::Io`]/
+    /// [`ServerError::Proto`].
+    pub fn put_bytes(&mut self, bytes: Vec<u8>) -> Result<PutOutcome> {
+        match self.call(&Request::Put { bytes })? {
+            Response::PutOk {
+                hash,
+                deduped,
+                entries,
+            } => Ok(PutOutcome {
+                hash,
+                deduped,
+                entries,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Uploads a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Client::put_bytes`], plus [`ServerError::Io`] when the file cannot be
+    /// read.
+    pub fn put_path(&mut self, path: impl AsRef<Path>) -> Result<PutOutcome> {
+        self.put_bytes(std::fs::read(path.as_ref())?)
+    }
+
+    /// Downloads the stored blob of a content hash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] for unknown hashes.
+    pub fn get(&mut self, hash: u64) -> Result<Vec<u8>> {
+        match self.call(&Request::Get { hash })? {
+            Response::GetOk { bytes } => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Lists the repository.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn list(&mut self) -> Result<Vec<RepoEntry>> {
+        match self.call(&Request::List)? {
+            Response::ListOk { entries } => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Semantically differences two stored traces on the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] for unknown hashes or a failed diff.
+    pub fn diff(&mut self, left: u64, right: u64, max_sequences: u64) -> Result<WireDiff> {
+        match self.call(&Request::Diff {
+            left,
+            right,
+            max_sequences,
+        })? {
+            Response::DiffOk(diff) => Ok(diff),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Runs the regression-cause analysis over four stored traces on the server
+    /// (`hashes` in the order old-regressing, new-regressing, old-passing,
+    /// new-passing). `max_sequences` bounds how many regression-related sequences the
+    /// server renders into the textual report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] for unknown hashes or a failed analysis.
+    pub fn analyze(
+        &mut self,
+        hashes: [u64; 4],
+        mode: Option<AnalysisMode>,
+        max_sequences: u64,
+    ) -> Result<WireReport> {
+        match self.call(&Request::Analyze {
+            old_regressing: hashes[0],
+            new_regressing: hashes[1],
+            old_passing: hashes[2],
+            new_passing: hashes[3],
+            mode,
+            max_sequences,
+        })? {
+            Response::AnalyzeOk(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn stats(&mut self) -> Result<WireStats> {
+        match self.call(&Request::Stats)? {
+            Response::StatsOk(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully (in-flight requests drain first).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> ServerError {
+    ServerError::Remote(format!("unexpected response {response:?}"))
+}
+
+/// Frame-level failures on the client side are transport problems; keep the io kind
+/// when there is one so timeouts stay recognizable.
+fn proto_error(e: rprism_format::FormatError) -> ServerError {
+    match e {
+        rprism_format::FormatError::Io(io) => ServerError::Io(io),
+        other => ServerError::Proto(other),
+    }
+}

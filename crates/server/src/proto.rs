@@ -1,0 +1,1069 @@
+//! The framed wire protocol of the trace-repository daemon.
+//!
+//! Every message travels as one frame ([`rprism_format::frame`]): a canonical LEB128
+//! length prefix, the payload, and the FNV-64 checksum of the payload — the varint and
+//! checksum machinery of the on-disk trace format, reused on the wire. Inside a frame,
+//! the payload opens with the protocol version byte and a message tag, followed by the
+//! message fields in the same primitive vocabulary the binary trace encoding uses
+//! (varints, length-prefixed UTF-8 strings, length-prefixed byte blobs).
+//!
+//! The protocol is a strict request/response alternation per connection: the client
+//! writes one request frame, the server answers with exactly one response frame, and
+//! either side may close between exchanges. Malformed input never kills the server —
+//! an undecodable frame or message is answered with [`Response::Error`] (and the
+//! connection closed when the stream itself can no longer be trusted, e.g. after a
+//! checksum mismatch).
+//!
+//! Results cross the wire in **canonical, process-independent form**: matchings as
+//! normalized index pairs, difference sequences as index lists, and
+//! [`DiffSignature`]s with their interned symbols spelled back out as strings
+//! ([`WireSignature`]) — the client re-interns them into its own process and obtains
+//! signatures equal to what a local analysis of the same traces would produce. The
+//! `remote_equivalence` integration suite pins exactly that.
+
+use rprism::{AnalysisMode, RegressionReport, TraceDiffResult};
+use rprism_diff::DiffSequence;
+use rprism_format::error::{FormatError, Result as FormatResult};
+use rprism_format::varint::{self, ByteSource as _};
+use rprism_regress::{DiffSet, DiffSignature};
+use rprism_trace::{intern, EventKind, Symbol, ValueFingerprint};
+
+/// The wire-protocol version; bumped on any incompatible message change. Every payload
+/// starts with this byte, so version skew fails fast with a structured error instead
+/// of a garbled decode.
+pub const PROTO_VERSION: u8 = 1;
+
+const TAG_PUT: u8 = 0x01;
+const TAG_GET: u8 = 0x02;
+const TAG_LIST: u8 = 0x03;
+const TAG_DIFF: u8 = 0x04;
+const TAG_ANALYZE: u8 = 0x05;
+const TAG_STATS: u8 = 0x06;
+const TAG_SHUTDOWN: u8 = 0x07;
+
+const TAG_PUT_OK: u8 = 0x81;
+const TAG_GET_OK: u8 = 0x82;
+const TAG_LIST_OK: u8 = 0x83;
+const TAG_DIFF_OK: u8 = 0x84;
+const TAG_ANALYZE_OK: u8 = 0x85;
+const TAG_STATS_OK: u8 = 0x86;
+const TAG_SHUTDOWN_OK: u8 = 0x87;
+const TAG_ERROR: u8 = 0xff;
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Store a serialized trace (either encoding); the server replies with its
+    /// content hash and whether it was already present.
+    Put {
+        /// The serialized trace bytes, exactly as they would sit in a file.
+        bytes: Vec<u8>,
+    },
+    /// Fetch the stored blob of a content hash.
+    Get {
+        /// The content hash ([`rprism_format::content_hash`]) of the trace.
+        hash: u64,
+    },
+    /// List the repository's traces.
+    List,
+    /// Semantically difference two stored traces.
+    Diff {
+        /// Content hash of the left (old) trace.
+        left: u64,
+        /// Content hash of the right (new) trace.
+        right: u64,
+        /// How many difference sequences the server renders into the textual report.
+        max_sequences: u64,
+    },
+    /// Run the §4.1 regression-cause analysis over four stored traces.
+    Analyze {
+        /// Content hash of the old-version, regressing-test trace.
+        old_regressing: u64,
+        /// Content hash of the new-version, regressing-test trace.
+        new_regressing: u64,
+        /// Content hash of the old-version, passing-test trace.
+        old_passing: u64,
+        /// Content hash of the new-version, passing-test trace.
+        new_passing: u64,
+        /// Analysis-mode override (`None` uses the server engine's default).
+        mode: Option<AnalysisMode>,
+        /// How many regression-related sequences the server renders into the textual
+        /// report.
+        max_sequences: u64,
+    },
+    /// Repository and cache statistics.
+    Stats,
+    /// Gracefully stop the daemon: in-flight requests drain, then the listener exits.
+    Shutdown,
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Outcome of a [`Request::Put`].
+    PutOk {
+        /// The trace's content hash — the key for every later request.
+        hash: u64,
+        /// `true` when the repository already held this content (nothing was written).
+        deduped: bool,
+        /// Number of entries in the trace.
+        entries: u64,
+    },
+    /// The stored blob bytes of a [`Request::Get`].
+    GetOk {
+        /// The blob exactly as stored.
+        bytes: Vec<u8>,
+    },
+    /// The repository listing of a [`Request::List`].
+    ListOk {
+        /// One row per stored trace.
+        entries: Vec<RepoEntry>,
+    },
+    /// The result of a [`Request::Diff`].
+    DiffOk(WireDiff),
+    /// The result of a [`Request::Analyze`].
+    AnalyzeOk(WireReport),
+    /// The statistics snapshot of a [`Request::Stats`].
+    StatsOk(WireStats),
+    /// Acknowledges a [`Request::Shutdown`]; the daemon stops accepting connections.
+    ShutdownOk,
+    /// The request failed; the connection stays open unless the transport itself is
+    /// compromised.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// One repository listing row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepoEntry {
+    /// Content hash (the repository key).
+    pub hash: u64,
+    /// The trace's `meta.name`.
+    pub name: String,
+    /// Number of entries.
+    pub entries: u64,
+    /// On-disk blob size in bytes.
+    pub bytes: u64,
+}
+
+/// A [`TraceDiffResult`] in canonical wire form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDiff {
+    /// The differencing algorithm label (`"views"`, `"lcs"`).
+    pub algorithm: String,
+    /// Entry count of the left trace.
+    pub left_len: u64,
+    /// Entry count of the right trace.
+    pub right_len: u64,
+    /// The normalized similarity pairs of the matching (ascending left index).
+    pub pairs: Vec<(u64, u64)>,
+    /// The difference sequences.
+    pub sequences: Vec<WireSequence>,
+    /// Deterministic compare-operation count of the run.
+    pub compare_ops: u64,
+    /// Number of differing entries.
+    pub num_differences: u64,
+    /// The server-rendered textual diff (bounded by the request's `max_sequences`).
+    pub rendered: String,
+}
+
+impl WireDiff {
+    /// Builds the wire form of a local result plus its rendering.
+    pub fn from_result(result: &TraceDiffResult, rendered: String) -> Self {
+        WireDiff {
+            algorithm: result.algorithm.to_owned(),
+            left_len: result.matching.left_len() as u64,
+            right_len: result.matching.right_len() as u64,
+            pairs: result
+                .matching
+                .normalized_pairs()
+                .into_iter()
+                .map(|(l, r)| (l as u64, r as u64))
+                .collect(),
+            sequences: result.sequences.iter().map(WireSequence::from_sequence).collect(),
+            compare_ops: result.cost.compare_ops,
+            num_differences: result.num_differences() as u64,
+            rendered,
+        }
+    }
+
+    /// The sequences as local [`DiffSequence`] values (for equivalence checks).
+    pub fn sequences_local(&self) -> Vec<DiffSequence> {
+        self.sequences.iter().map(WireSequence::to_sequence).collect()
+    }
+
+    /// The matching pairs as `usize` tuples, the shape
+    /// [`Matching::normalized_pairs`](rprism_diff::Matching::normalized_pairs) returns.
+    pub fn pairs_local(&self) -> Vec<(usize, usize)> {
+        self.pairs.iter().map(|&(l, r)| (l as usize, r as usize)).collect()
+    }
+
+    /// Number of difference sequences.
+    pub fn num_sequences(&self) -> usize {
+        self.sequences.len()
+    }
+}
+
+/// A [`DiffSequence`] in wire form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSequence {
+    /// Unmatched left-trace indices, ascending.
+    pub left: Vec<u64>,
+    /// Unmatched right-trace indices, ascending.
+    pub right: Vec<u64>,
+}
+
+impl WireSequence {
+    fn from_sequence(sequence: &DiffSequence) -> Self {
+        WireSequence {
+            left: sequence.left.iter().map(|&i| i as u64).collect(),
+            right: sequence.right.iter().map(|&i| i as u64).collect(),
+        }
+    }
+
+    fn to_sequence(&self) -> DiffSequence {
+        DiffSequence {
+            left: self.left.iter().map(|&i| i as usize).collect(),
+            right: self.right.iter().map(|&i| i as usize).collect(),
+        }
+    }
+}
+
+/// A [`DiffSignature`] in wire form: every interned [`Symbol`] spelled out as its
+/// string, so the signature survives the process boundary. [`WireSignature::to_signature`]
+/// re-interns on the receiving side, producing a signature equal to what that process
+/// would derive locally from the same trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSignature {
+    /// The event form.
+    pub kind: EventKind,
+    /// The field/method/class name the event mentions, if any.
+    pub name: Option<String>,
+    /// Class name and value fingerprint of every operand, in event order.
+    pub operands: Vec<(String, u64)>,
+    /// The enclosing method.
+    pub method: String,
+    /// The enclosing active-object class.
+    pub active_class: String,
+}
+
+impl WireSignature {
+    /// Spells out a local signature's symbols.
+    pub fn from_signature(signature: &DiffSignature) -> Self {
+        WireSignature {
+            kind: signature.kind,
+            name: signature.name.map(|s| s.as_str().to_owned()),
+            operands: signature
+                .operands
+                .iter()
+                .map(|&(class, fp)| (class.as_str().to_owned(), fp.0))
+                .collect(),
+            method: signature.method.as_str().to_owned(),
+            active_class: signature.active_class.as_str().to_owned(),
+        }
+    }
+
+    /// Re-interns the signature into this process.
+    pub fn to_signature(&self) -> DiffSignature {
+        DiffSignature {
+            kind: self.kind,
+            name: self.name.as_deref().map(intern),
+            operands: self
+                .operands
+                .iter()
+                .map(|(class, fp)| (intern(class), ValueFingerprint(*fp)))
+                .collect::<Vec<(Symbol, ValueFingerprint)>>()
+                .into(),
+            method: intern(&self.method),
+            active_class: intern(&self.active_class),
+        }
+    }
+}
+
+/// A [`RegressionReport`] in canonical wire form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireReport {
+    /// The differencing algorithm label.
+    pub algorithm: String,
+    /// The analysis mode that produced D.
+    pub mode: AnalysisMode,
+    /// The suspected differences A.
+    pub suspected: Vec<WireSignature>,
+    /// The expected differences B.
+    pub expected: Vec<WireSignature>,
+    /// The regression differences C.
+    pub regression: Vec<WireSignature>,
+    /// The candidate causes D.
+    pub candidates: Vec<WireSignature>,
+    /// Every suspected-comparison difference sequence with its regression verdict.
+    pub sequences: Vec<(WireSequence, bool)>,
+    /// Total compare operations across the three differencing runs.
+    pub compare_ops: u64,
+    /// The server-rendered textual report.
+    pub rendered: String,
+}
+
+impl WireReport {
+    /// Builds the wire form of a local report plus its rendering.
+    pub fn from_report(report: &RegressionReport, rendered: String) -> Self {
+        let set = |s: &DiffSet| -> Vec<WireSignature> {
+            let mut signatures: Vec<WireSignature> =
+                s.iter().map(WireSignature::from_signature).collect();
+            // Deterministic wire order regardless of hash-set iteration (cached key:
+            // one Debug rendering per signature, not two per comparison).
+            signatures.sort_by_cached_key(|s| format!("{s:?}"));
+            signatures
+        };
+        WireReport {
+            algorithm: report.algorithm.to_owned(),
+            mode: report.mode,
+            suspected: set(&report.suspected),
+            expected: set(&report.expected),
+            regression: set(&report.regression),
+            candidates: set(&report.candidates),
+            sequences: report
+                .sequences
+                .iter()
+                .map(|v| (WireSequence::from_sequence(&v.sequence), v.regression_related))
+                .collect(),
+            compare_ops: report.compare_ops,
+            rendered,
+        }
+    }
+
+    /// One of the four sets re-interned into a local [`DiffSet`].
+    pub fn set_local(signatures: &[WireSignature]) -> DiffSet {
+        let mut set = DiffSet::new();
+        for signature in signatures {
+            set.insert(signature.to_signature());
+        }
+        set
+    }
+
+    /// The regression-related verdicts, in sequence order.
+    pub fn verdicts(&self) -> Vec<bool> {
+        self.sequences.iter().map(|(_, related)| *related).collect()
+    }
+}
+
+/// A repository/cache statistics snapshot in wire form.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Number of stored blobs.
+    pub blobs: u64,
+    /// Total on-disk blob bytes.
+    pub blob_bytes: u64,
+    /// Prepared handles currently cached.
+    pub prepared_cached: u64,
+    /// Weight of the cached handles against the byte budget.
+    pub prepared_cached_bytes: u64,
+    /// The configured prepared-cache byte budget.
+    pub cache_budget_bytes: u64,
+    /// Prepared-cache hits since startup.
+    pub prepared_hits: u64,
+    /// Prepared-cache misses (streaming loads) since startup.
+    pub prepared_misses: u64,
+    /// Prepared handles evicted by the byte budget since startup.
+    pub evictions: u64,
+    /// Uploads deduplicated against existing content since startup.
+    pub dedup_hits: u64,
+    /// Requests served since startup (all kinds).
+    pub requests_served: u64,
+    /// View correlations the shared engine actually built.
+    pub correlation_builds: u64,
+    /// Trace pairs currently in the engine's correlation cache.
+    pub cached_correlations: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encode/decode
+// ---------------------------------------------------------------------------
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    varint::write_u64(buf, value);
+}
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// A cursor over a message payload; all errors are [`FormatError::Corrupt`] with the
+/// byte offset inside the payload.
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> FormatError {
+        FormatError::Corrupt {
+            offset: self.pos as u64,
+            detail: detail.into(),
+        }
+    }
+
+    fn u8(&mut self) -> FormatResult<u8> {
+        let byte = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.corrupt("message truncated"))?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    fn u64(&mut self) -> FormatResult<u64> {
+        let mut source = varint::SliceSource::new(&self.bytes[self.pos..], self.pos as u64);
+        let value = varint::read_u64(&mut source)?;
+        self.pos = source.offset() as usize;
+        Ok(value)
+    }
+
+    fn bool(&mut self) -> FormatResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(self.corrupt(format!("invalid boolean byte {other:#04x}"))),
+        }
+    }
+
+    fn bytes(&mut self) -> FormatResult<Vec<u8>> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| self.corrupt("length overflows usize"))?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| self.corrupt(format!("field of {len} bytes overruns the message")))?;
+        let out = self.bytes[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn str(&mut self) -> FormatResult<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| self.corrupt("string is not valid UTF-8"))
+    }
+
+    fn u64s(&mut self) -> FormatResult<Vec<u64>> {
+        let count = self.u64()?;
+        let mut out = Vec::new();
+        for _ in 0..count {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> FormatResult<()> {
+        if self.pos != self.bytes.len() {
+            return Err(self.corrupt(format!(
+                "{} trailing bytes after the message",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn kind_byte(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::Get => 1,
+        EventKind::Set => 2,
+        EventKind::Call => 3,
+        EventKind::Return => 4,
+        EventKind::Init => 5,
+        EventKind::Fork => 6,
+        EventKind::End => 7,
+    }
+}
+
+fn byte_kind(byte: u8, dec: &Dec<'_>) -> FormatResult<EventKind> {
+    Ok(match byte {
+        1 => EventKind::Get,
+        2 => EventKind::Set,
+        3 => EventKind::Call,
+        4 => EventKind::Return,
+        5 => EventKind::Init,
+        6 => EventKind::Fork,
+        7 => EventKind::End,
+        other => return Err(dec.corrupt(format!("unknown event kind {other:#04x}"))),
+    })
+}
+
+fn mode_byte(mode: Option<AnalysisMode>) -> u8 {
+    match mode {
+        None => 0,
+        Some(AnalysisMode::Intersect) => 1,
+        Some(AnalysisMode::SubtractRegressionSet) => 2,
+    }
+}
+
+fn byte_mode(byte: u8, dec: &Dec<'_>) -> FormatResult<Option<AnalysisMode>> {
+    Ok(match byte {
+        0 => None,
+        1 => Some(AnalysisMode::Intersect),
+        2 => Some(AnalysisMode::SubtractRegressionSet),
+        other => return Err(dec.corrupt(format!("unknown analysis mode {other:#04x}"))),
+    })
+}
+
+fn put_sequence(buf: &mut Vec<u8>, sequence: &WireSequence) {
+    put_u64(buf, sequence.left.len() as u64);
+    for &i in &sequence.left {
+        put_u64(buf, i);
+    }
+    put_u64(buf, sequence.right.len() as u64);
+    for &i in &sequence.right {
+        put_u64(buf, i);
+    }
+}
+
+fn get_sequence(dec: &mut Dec<'_>) -> FormatResult<WireSequence> {
+    Ok(WireSequence {
+        left: dec.u64s()?,
+        right: dec.u64s()?,
+    })
+}
+
+fn put_signature(buf: &mut Vec<u8>, signature: &WireSignature) {
+    buf.push(kind_byte(signature.kind));
+    match &signature.name {
+        None => buf.push(0),
+        Some(name) => {
+            buf.push(1);
+            put_str(buf, name);
+        }
+    }
+    put_u64(buf, signature.operands.len() as u64);
+    for (class, fp) in &signature.operands {
+        put_str(buf, class);
+        put_u64(buf, *fp);
+    }
+    put_str(buf, &signature.method);
+    put_str(buf, &signature.active_class);
+}
+
+fn get_signature(dec: &mut Dec<'_>) -> FormatResult<WireSignature> {
+    let kind_raw = dec.u8()?;
+    let kind = byte_kind(kind_raw, dec)?;
+    let name = if dec.bool()? { Some(dec.str()?) } else { None };
+    let operand_count = dec.u64()?;
+    let mut operands = Vec::new();
+    for _ in 0..operand_count {
+        let class = dec.str()?;
+        let fp = dec.u64()?;
+        operands.push((class, fp));
+    }
+    Ok(WireSignature {
+        kind,
+        name,
+        operands,
+        method: dec.str()?,
+        active_class: dec.str()?,
+    })
+}
+
+fn put_signatures(buf: &mut Vec<u8>, signatures: &[WireSignature]) {
+    put_u64(buf, signatures.len() as u64);
+    for signature in signatures {
+        put_signature(buf, signature);
+    }
+}
+
+fn get_signatures(dec: &mut Dec<'_>) -> FormatResult<Vec<WireSignature>> {
+    let count = dec.u64()?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        out.push(get_signature(dec)?);
+    }
+    Ok(out)
+}
+
+fn header(tag: u8) -> Vec<u8> {
+    vec![PROTO_VERSION, tag]
+}
+
+fn open(bytes: &[u8]) -> FormatResult<(u8, Dec<'_>)> {
+    let mut dec = Dec::new(bytes);
+    let version = dec.u8()?;
+    if version != PROTO_VERSION {
+        return Err(FormatError::UnsupportedVersion {
+            found: u16::from(version),
+            supported: u16::from(PROTO_VERSION),
+        });
+    }
+    let tag = dec.u8()?;
+    Ok((tag, dec))
+}
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Put { bytes } => {
+                let mut buf = header(TAG_PUT);
+                put_bytes(&mut buf, bytes);
+                buf
+            }
+            Request::Get { hash } => {
+                let mut buf = header(TAG_GET);
+                put_u64(&mut buf, *hash);
+                buf
+            }
+            Request::List => header(TAG_LIST),
+            Request::Diff {
+                left,
+                right,
+                max_sequences,
+            } => {
+                let mut buf = header(TAG_DIFF);
+                put_u64(&mut buf, *left);
+                put_u64(&mut buf, *right);
+                put_u64(&mut buf, *max_sequences);
+                buf
+            }
+            Request::Analyze {
+                old_regressing,
+                new_regressing,
+                old_passing,
+                new_passing,
+                mode,
+                max_sequences,
+            } => {
+                let mut buf = header(TAG_ANALYZE);
+                for hash in [old_regressing, new_regressing, old_passing, new_passing] {
+                    put_u64(&mut buf, *hash);
+                }
+                buf.push(mode_byte(*mode));
+                put_u64(&mut buf, *max_sequences);
+                buf
+            }
+            Request::Stats => header(TAG_STATS),
+            Request::Shutdown => header(TAG_SHUTDOWN),
+        }
+    }
+
+    /// Decodes a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on a version mismatch, unknown tag, or malformed field
+    /// — the server answers these with a structured error frame.
+    pub fn decode(bytes: &[u8]) -> FormatResult<Request> {
+        let (tag, mut dec) = open(bytes)?;
+        let request = match tag {
+            TAG_PUT => Request::Put { bytes: dec.bytes()? },
+            TAG_GET => Request::Get { hash: dec.u64()? },
+            TAG_LIST => Request::List,
+            TAG_DIFF => Request::Diff {
+                left: dec.u64()?,
+                right: dec.u64()?,
+                max_sequences: dec.u64()?,
+            },
+            TAG_ANALYZE => {
+                let old_regressing = dec.u64()?;
+                let new_regressing = dec.u64()?;
+                let old_passing = dec.u64()?;
+                let new_passing = dec.u64()?;
+                let mode_raw = dec.u8()?;
+                let mode = byte_mode(mode_raw, &dec)?;
+                Request::Analyze {
+                    old_regressing,
+                    new_regressing,
+                    old_passing,
+                    new_passing,
+                    mode,
+                    max_sequences: dec.u64()?,
+                }
+            }
+            TAG_STATS => Request::Stats,
+            TAG_SHUTDOWN => Request::Shutdown,
+            other => return Err(dec.corrupt(format!("unknown request tag {other:#04x}"))),
+        };
+        dec.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::PutOk {
+                hash,
+                deduped,
+                entries,
+            } => {
+                let mut buf = header(TAG_PUT_OK);
+                put_u64(&mut buf, *hash);
+                buf.push(u8::from(*deduped));
+                put_u64(&mut buf, *entries);
+                buf
+            }
+            Response::GetOk { bytes } => {
+                let mut buf = header(TAG_GET_OK);
+                put_bytes(&mut buf, bytes);
+                buf
+            }
+            Response::ListOk { entries } => {
+                let mut buf = header(TAG_LIST_OK);
+                put_u64(&mut buf, entries.len() as u64);
+                for entry in entries {
+                    put_u64(&mut buf, entry.hash);
+                    put_str(&mut buf, &entry.name);
+                    put_u64(&mut buf, entry.entries);
+                    put_u64(&mut buf, entry.bytes);
+                }
+                buf
+            }
+            Response::DiffOk(diff) => {
+                let mut buf = header(TAG_DIFF_OK);
+                put_str(&mut buf, &diff.algorithm);
+                put_u64(&mut buf, diff.left_len);
+                put_u64(&mut buf, diff.right_len);
+                put_u64(&mut buf, diff.pairs.len() as u64);
+                for &(l, r) in &diff.pairs {
+                    put_u64(&mut buf, l);
+                    put_u64(&mut buf, r);
+                }
+                put_u64(&mut buf, diff.sequences.len() as u64);
+                for sequence in &diff.sequences {
+                    put_sequence(&mut buf, sequence);
+                }
+                put_u64(&mut buf, diff.compare_ops);
+                put_u64(&mut buf, diff.num_differences);
+                put_str(&mut buf, &diff.rendered);
+                buf
+            }
+            Response::AnalyzeOk(report) => {
+                let mut buf = header(TAG_ANALYZE_OK);
+                put_str(&mut buf, &report.algorithm);
+                buf.push(mode_byte(Some(report.mode)));
+                for set in [
+                    &report.suspected,
+                    &report.expected,
+                    &report.regression,
+                    &report.candidates,
+                ] {
+                    put_signatures(&mut buf, set);
+                }
+                put_u64(&mut buf, report.sequences.len() as u64);
+                for (sequence, related) in &report.sequences {
+                    put_sequence(&mut buf, sequence);
+                    buf.push(u8::from(*related));
+                }
+                put_u64(&mut buf, report.compare_ops);
+                put_str(&mut buf, &report.rendered);
+                buf
+            }
+            Response::StatsOk(stats) => {
+                let mut buf = header(TAG_STATS_OK);
+                for value in [
+                    stats.blobs,
+                    stats.blob_bytes,
+                    stats.prepared_cached,
+                    stats.prepared_cached_bytes,
+                    stats.cache_budget_bytes,
+                    stats.prepared_hits,
+                    stats.prepared_misses,
+                    stats.evictions,
+                    stats.dedup_hits,
+                    stats.requests_served,
+                    stats.correlation_builds,
+                    stats.cached_correlations,
+                ] {
+                    put_u64(&mut buf, value);
+                }
+                buf
+            }
+            Response::ShutdownOk => header(TAG_SHUTDOWN_OK),
+            Response::Error { message } => {
+                let mut buf = header(TAG_ERROR);
+                put_str(&mut buf, message);
+                buf
+            }
+        }
+    }
+
+    /// Decodes a frame payload into a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on a version mismatch, unknown tag, or malformed field.
+    pub fn decode(bytes: &[u8]) -> FormatResult<Response> {
+        let (tag, mut dec) = open(bytes)?;
+        let response = match tag {
+            TAG_PUT_OK => Response::PutOk {
+                hash: dec.u64()?,
+                deduped: dec.bool()?,
+                entries: dec.u64()?,
+            },
+            TAG_GET_OK => Response::GetOk { bytes: dec.bytes()? },
+            TAG_LIST_OK => {
+                let count = dec.u64()?;
+                let mut entries = Vec::new();
+                for _ in 0..count {
+                    entries.push(RepoEntry {
+                        hash: dec.u64()?,
+                        name: dec.str()?,
+                        entries: dec.u64()?,
+                        bytes: dec.u64()?,
+                    });
+                }
+                Response::ListOk { entries }
+            }
+            TAG_DIFF_OK => {
+                let algorithm = dec.str()?;
+                let left_len = dec.u64()?;
+                let right_len = dec.u64()?;
+                let pair_count = dec.u64()?;
+                let mut pairs = Vec::new();
+                for _ in 0..pair_count {
+                    let l = dec.u64()?;
+                    let r = dec.u64()?;
+                    pairs.push((l, r));
+                }
+                let sequence_count = dec.u64()?;
+                let mut sequences = Vec::new();
+                for _ in 0..sequence_count {
+                    sequences.push(get_sequence(&mut dec)?);
+                }
+                Response::DiffOk(WireDiff {
+                    algorithm,
+                    left_len,
+                    right_len,
+                    pairs,
+                    sequences,
+                    compare_ops: dec.u64()?,
+                    num_differences: dec.u64()?,
+                    rendered: dec.str()?,
+                })
+            }
+            TAG_ANALYZE_OK => {
+                let algorithm = dec.str()?;
+                let mode_raw = dec.u8()?;
+                let mode = byte_mode(mode_raw, &dec)?
+                    .ok_or_else(|| dec.corrupt("report mode cannot be the default marker"))?;
+                let suspected = get_signatures(&mut dec)?;
+                let expected = get_signatures(&mut dec)?;
+                let regression = get_signatures(&mut dec)?;
+                let candidates = get_signatures(&mut dec)?;
+                let sequence_count = dec.u64()?;
+                let mut sequences = Vec::new();
+                for _ in 0..sequence_count {
+                    let sequence = get_sequence(&mut dec)?;
+                    let related = dec.bool()?;
+                    sequences.push((sequence, related));
+                }
+                Response::AnalyzeOk(WireReport {
+                    algorithm,
+                    mode,
+                    suspected,
+                    expected,
+                    regression,
+                    candidates,
+                    sequences,
+                    compare_ops: dec.u64()?,
+                    rendered: dec.str()?,
+                })
+            }
+            TAG_STATS_OK => {
+                let mut values = [0u64; 12];
+                for value in &mut values {
+                    *value = dec.u64()?;
+                }
+                Response::StatsOk(WireStats {
+                    blobs: values[0],
+                    blob_bytes: values[1],
+                    prepared_cached: values[2],
+                    prepared_cached_bytes: values[3],
+                    cache_budget_bytes: values[4],
+                    prepared_hits: values[5],
+                    prepared_misses: values[6],
+                    evictions: values[7],
+                    dedup_hits: values[8],
+                    requests_served: values[9],
+                    correlation_builds: values[10],
+                    cached_correlations: values[11],
+                })
+            }
+            TAG_SHUTDOWN_OK => Response::ShutdownOk,
+            TAG_ERROR => Response::Error { message: dec.str()? },
+            other => return Err(dec.corrupt(format!("unknown response tag {other:#04x}"))),
+        };
+        dec.finish()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let decoded = Request::decode(&request.encode()).unwrap();
+        assert_eq!(decoded, request);
+    }
+
+    fn round_trip_response(response: Response) {
+        let decoded = Response::decode(&response.encode()).unwrap();
+        assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Put { bytes: b"blob".to_vec() });
+        round_trip_request(Request::Get { hash: 0xdead_beef });
+        round_trip_request(Request::List);
+        round_trip_request(Request::Diff {
+            left: 1,
+            right: u64::MAX,
+            max_sequences: 5,
+        });
+        round_trip_request(Request::Analyze {
+            old_regressing: 1,
+            new_regressing: 2,
+            old_passing: 3,
+            new_passing: 4,
+            mode: Some(AnalysisMode::SubtractRegressionSet),
+            max_sequences: 5,
+        });
+        round_trip_request(Request::Analyze {
+            old_regressing: 1,
+            new_regressing: 2,
+            old_passing: 3,
+            new_passing: 4,
+            mode: None,
+            max_sequences: 10,
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::PutOk {
+            hash: 42,
+            deduped: true,
+            entries: 7,
+        });
+        round_trip_response(Response::GetOk { bytes: vec![1, 2, 3] });
+        round_trip_response(Response::ListOk {
+            entries: vec![RepoEntry {
+                hash: 9,
+                name: "daikon".into(),
+                entries: 120,
+                bytes: 4096,
+            }],
+        });
+        round_trip_response(Response::DiffOk(WireDiff {
+            algorithm: "views".into(),
+            left_len: 10,
+            right_len: 11,
+            pairs: vec![(0, 0), (2, 3)],
+            sequences: vec![WireSequence {
+                left: vec![1],
+                right: vec![1, 2],
+            }],
+            compare_ops: 999,
+            num_differences: 3,
+            rendered: "semantic diff…".into(),
+        }));
+        round_trip_response(Response::AnalyzeOk(WireReport {
+            algorithm: "views".into(),
+            mode: AnalysisMode::Intersect,
+            suspected: vec![WireSignature {
+                kind: EventKind::Set,
+                name: Some("field".into()),
+                operands: vec![("C".into(), 0xfeed), ("Int".into(), 2)],
+                method: "m".into(),
+                active_class: "App".into(),
+            }],
+            expected: vec![],
+            regression: vec![],
+            candidates: vec![],
+            sequences: vec![(
+                WireSequence {
+                    left: vec![],
+                    right: vec![4],
+                },
+                true,
+            )],
+            compare_ops: 123,
+            rendered: "report".into(),
+        }));
+        round_trip_response(Response::StatsOk(WireStats {
+            blobs: 1,
+            blob_bytes: 2,
+            prepared_cached: 3,
+            prepared_cached_bytes: 4,
+            cache_budget_bytes: 5,
+            prepared_hits: 6,
+            prepared_misses: 7,
+            evictions: 8,
+            dedup_hits: 9,
+            requests_served: 10,
+            correlation_builds: 11,
+            cached_correlations: 12,
+        }));
+        round_trip_response(Response::ShutdownOk);
+        round_trip_response(Response::Error {
+            message: "nope".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_messages_are_structured_errors() {
+        assert!(Request::decode(&[]).is_err());
+        // Wrong protocol version.
+        assert!(matches!(
+            Request::decode(&[99, TAG_LIST]),
+            Err(FormatError::UnsupportedVersion { found: 99, .. })
+        ));
+        // Unknown tag.
+        assert!(Request::decode(&[PROTO_VERSION, 0x7f]).is_err());
+        // Trailing garbage.
+        assert!(Request::decode(&[PROTO_VERSION, TAG_LIST, 0x00]).is_err());
+        // Truncated field.
+        let mut put = Request::Put { bytes: vec![1; 100] }.encode();
+        put.truncate(10);
+        assert!(Request::decode(&put).is_err());
+        // A request is not a response and vice versa.
+        assert!(Response::decode(&Request::List.encode()).is_err());
+        assert!(Request::decode(&Response::ShutdownOk.encode()).is_err());
+    }
+
+    #[test]
+    fn wire_signatures_re_intern_to_equal_signatures() {
+        let engine = rprism::Engine::new();
+        let old = engine
+            .trace_source(
+                "class C extends Object { Int x; Unit set(Int v) { this.x = v; } }
+                 main { let c = new C(0); c.set(32); }",
+                "old",
+            )
+            .unwrap();
+        let new = engine
+            .trace_source(
+                "class C extends Object { Int x; Unit set(Int v) { this.x = v; } }
+                 main { let c = new C(0); c.set(1); }",
+                "new",
+            )
+            .unwrap();
+        let diff = engine.diff(&old, &new).unwrap();
+        let set = DiffSet::from_diff_keyed(&diff, old.trace(), new.trace(), old.keyed(), new.keyed());
+        assert!(!set.is_empty());
+        let wire: Vec<WireSignature> = set.iter().map(WireSignature::from_signature).collect();
+        let back = WireReport::set_local(&wire);
+        assert_eq!(back, set);
+    }
+}

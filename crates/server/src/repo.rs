@@ -1,0 +1,531 @@
+//! The content-addressed trace repository: blobs on disk, prepared handles in a
+//! byte-budgeted LRU cache.
+//!
+//! Storage is keyed by [`rprism_format::content_hash`] — the encoding-independent
+//! FNV-64 of the trace's canonical binary form — so the *content* is the identity:
+//! uploading the same trace twice, or once as `.rtr` and once as its JSONL conversion,
+//! stores exactly one blob. Blobs keep the bytes the client sent (`<hash>.trace`,
+//! either encoding; readers sniff), and the startup scan re-derives every blob's
+//! summary from its content, verifying the filename hash in the process — a repo
+//! directory is self-describing, with no index file to drift.
+//!
+//! Above the blobs sits the hot cache: [`PreparedTrace`] handles produced by
+//! [`Engine::load_prepared`]'s bounded-memory streaming pipeline, keyed by content
+//! hash and bounded by a **byte budget** with least-recently-used eviction. The weight
+//! of a handle is its blob's on-disk size — a deliberate proxy for the prepared
+//! artifacts' footprint that is cheap, deterministic, and proportional to the trace.
+//! Eviction drops handles only; blobs are never deleted, and an evicted trace simply
+//! streams back in on its next use. Handles are `Arc`s, so evicting one that an
+//! in-flight request is using is safe — the request keeps its clone alive.
+//!
+//! One deliberate slack: evicting a handle does not purge the engine's pair-level
+//! correlation cache, so correlations of evicted handles linger until LRU churn
+//! pushes them out. That lingering set is hard-bounded by the engine's correlation
+//! capacity (128 pairs by default, tunable via
+//! [`EngineBuilder::correlation_cache_capacity`](rprism::EngineBuilder::correlation_cache_capacity)),
+//! so it adds a bounded constant on top of the byte budget rather than growing with
+//! repository churn.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use rprism::{Engine, PreparedTrace};
+use rprism_format::content_summary_path;
+
+use crate::proto::RepoEntry;
+use crate::{Result, ServerError};
+
+/// Default prepared-cache byte budget (256 MiB of blob-weight).
+pub const DEFAULT_CACHE_BUDGET: u64 = 256 * 1024 * 1024;
+
+const BLOB_EXTENSION: &str = "trace";
+
+/// What the repository knows about one stored blob.
+#[derive(Clone, Debug)]
+struct BlobInfo {
+    name: String,
+    entries: u64,
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct PreparedCache {
+    /// Hash → hot handle. Handles are cheap `Arc` clones of what requests borrow.
+    handles: HashMap<u64, PreparedTrace>,
+    /// LRU order, least recently used at the front.
+    order: VecDeque<u64>,
+    /// Sum of the cached handles' weights (blob bytes).
+    weight: u64,
+    /// Hashes some worker is currently streaming in (single-flight guard: concurrent
+    /// cold misses of one trace wait for the first load instead of each re-streaming
+    /// the blob — N identical loads would multiply both wall time and the transient
+    /// O(artifacts) heap).
+    in_flight: std::collections::HashSet<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PreparedCache {
+    fn touch(&mut self, hash: u64) {
+        if let Some(pos) = self.order.iter().position(|&h| h == hash) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(hash);
+    }
+}
+
+/// A point-in-time statistics snapshot of the repository.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepoStats {
+    /// Number of stored blobs.
+    pub blobs: u64,
+    /// Total on-disk blob bytes.
+    pub blob_bytes: u64,
+    /// Prepared handles currently cached.
+    pub prepared_cached: u64,
+    /// Current cache weight against the byte budget.
+    pub prepared_cached_bytes: u64,
+    /// The configured byte budget.
+    pub cache_budget_bytes: u64,
+    /// Cache hits since startup.
+    pub prepared_hits: u64,
+    /// Cache misses (streaming loads) since startup.
+    pub prepared_misses: u64,
+    /// Handles evicted by the budget since startup.
+    pub evictions: u64,
+    /// Uploads deduplicated against existing content since startup.
+    pub dedup_hits: u64,
+}
+
+/// The content-addressed trace store shared by every server worker.
+#[derive(Debug)]
+pub struct TraceRepo {
+    dir: PathBuf,
+    engine: Engine,
+    cache_budget: u64,
+    index: Mutex<BTreeMap<u64, BlobInfo>>,
+    cache: Mutex<PreparedCache>,
+    /// Wakes waiters of the single-flight guard when an in-flight load finishes.
+    load_done: Condvar,
+    dedup_hits: AtomicU64,
+    /// Distinguishes the staging files of concurrent puts of identical content.
+    staging_seq: AtomicU64,
+}
+
+impl TraceRepo {
+    /// Opens a repository over an **existing, writable** directory, scanning (and
+    /// content-verifying) the blobs already in it. The engine is the analysis session
+    /// every request shares — its prepared-pair correlation cache is what makes
+    /// repeated remote diffs cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Repo`] when the directory is missing, not a directory,
+    /// or not writable, and [`ServerError::Format`] when a blob in it is corrupt or
+    /// misnamed.
+    pub fn open(dir: impl AsRef<Path>, engine: Engine, cache_budget: u64) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        if !dir.is_dir() {
+            return Err(ServerError::Repo(format!(
+                "repository directory {} does not exist (create it first)",
+                dir.display()
+            )));
+        }
+        // Probe writability up front so `serve` fails at startup, not on the first put.
+        let probe = dir.join(".rprism-write-probe");
+        std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&probe)
+            .and_then(|_| std::fs::remove_file(&probe))
+            .map_err(|e| {
+                ServerError::Repo(format!(
+                    "repository directory {} is not writable: {e}",
+                    dir.display()
+                ))
+            })?;
+
+        let mut index = BTreeMap::new();
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| ServerError::Repo(format!("cannot scan {}: {e}", dir.display())))?;
+        for entry in entries {
+            let path = entry
+                .map_err(|e| ServerError::Repo(format!("cannot scan {}: {e}", dir.display())))?
+                .path();
+            match path.extension().and_then(|e| e.to_str()) {
+                Some(BLOB_EXTENSION) => {}
+                // Staging leftovers of a put that crashed mid-write: harmless (never
+                // under a valid blob name) but worth sweeping so crash-restart cycles
+                // cannot accumulate dead blob-sized files.
+                Some("tmp") => {
+                    std::fs::remove_file(&path).ok();
+                    continue;
+                }
+                _ => continue,
+            }
+            let declared = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            let summary = content_summary_path(&path).map_err(ServerError::Format)?;
+            if declared != Some(summary.hash) {
+                return Err(ServerError::Repo(format!(
+                    "blob {} does not hash to its filename (content hash {:016x})",
+                    path.display(),
+                    summary.hash
+                )));
+            }
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            index.insert(
+                summary.hash,
+                BlobInfo {
+                    name: summary.meta.name.clone(),
+                    entries: summary.entries,
+                    bytes,
+                },
+            );
+        }
+        Ok(TraceRepo {
+            dir,
+            engine,
+            cache_budget: cache_budget.max(1),
+            index: Mutex::new(index),
+            cache: Mutex::new(PreparedCache::default()),
+            load_done: Condvar::new(),
+            dedup_hits: AtomicU64::new(0),
+            staging_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared analysis engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The blob path of a content hash (whether or not it exists yet).
+    fn blob_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.{BLOB_EXTENSION}"))
+    }
+
+    /// Stores a serialized trace, deduplicating by content: the upload is validated
+    /// and hashed in one streaming pass, and when the repository already holds the
+    /// content — regardless of which encoding either upload used — nothing is written.
+    /// Returns `(hash, deduped, entries)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Format`] for corrupt uploads and [`ServerError::Io`]
+    /// when the blob cannot be written.
+    pub fn put_bytes(&self, bytes: &[u8]) -> Result<(u64, bool, u64)> {
+        // Hash/validate outside the lock — this is the expensive part of a put.
+        let summary = rprism_format::content_summary(bytes).map_err(ServerError::Format)?;
+        if self
+            .index
+            .lock()
+            .expect("repo index poisoned")
+            .contains_key(&summary.hash)
+        {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((summary.hash, true, summary.entries));
+        }
+        // Stage the blob *outside* the lock (the disk write is the slow part and must
+        // not stall concurrent requests), under a writer-unique name so racing puts of
+        // the same content cannot trample each other's staging file. Write-then-rename
+        // keeps a crashed put from leaving a half-blob under a valid blob name (the
+        // startup scan would reject it).
+        let path = self.blob_path(summary.hash);
+        let staging = self.dir.join(format!(
+            "{:016x}-{}.tmp",
+            summary.hash,
+            self.staging_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&staging, bytes)?;
+        let mut index = self.index.lock().expect("repo index poisoned");
+        if index.contains_key(&summary.hash) {
+            // A racing put of the same content won; ours is redundant.
+            drop(index);
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            std::fs::remove_file(&staging).ok();
+            return Ok((summary.hash, true, summary.entries));
+        }
+        if let Err(e) = std::fs::rename(&staging, &path) {
+            std::fs::remove_file(&staging).ok();
+            return Err(e.into());
+        }
+        index.insert(
+            summary.hash,
+            BlobInfo {
+                name: summary.meta.name.clone(),
+                entries: summary.entries,
+                bytes: bytes.len() as u64,
+            },
+        );
+        Ok((summary.hash, false, summary.entries))
+    }
+
+    /// The stored bytes of a blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownTrace`] for hashes the repository does not hold.
+    pub fn get_bytes(&self, hash: u64) -> Result<Vec<u8>> {
+        if !self.index.lock().expect("repo index poisoned").contains_key(&hash) {
+            return Err(ServerError::UnknownTrace { hash });
+        }
+        Ok(std::fs::read(self.blob_path(hash))?)
+    }
+
+    /// The prepared handle of a stored trace: from the hot cache when present, else
+    /// streamed in from its blob via [`Engine::load_prepared`] (one bounded-memory
+    /// pass — the server never materializes a full `Trace` for a repository read) and
+    /// cached under the byte budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownTrace`] for unknown hashes and
+    /// [`ServerError::Engine`] when the blob fails to stream.
+    pub fn prepared(&self, hash: u64) -> Result<PreparedTrace> {
+        let weight = {
+            let index = self.index.lock().expect("repo index poisoned");
+            index
+                .get(&hash)
+                .map(|info| info.bytes)
+                .ok_or(ServerError::UnknownTrace { hash })?
+        };
+        // Hit, or claim the single-flight load of this hash. Concurrent cold misses
+        // of one trace wait here for the claiming worker instead of each streaming
+        // the blob; if that load *fails*, a waiter wakes with the hash neither cached
+        // nor in flight and becomes the next claimant (a transient failure is retried
+        // by the next request, not broadcast to all waiters).
+        {
+            let mut cache = self.cache.lock().expect("prepared cache poisoned");
+            loop {
+                if let Some(handle) = cache.handles.get(&hash).cloned() {
+                    cache.hits += 1;
+                    cache.touch(hash);
+                    return Ok(handle);
+                }
+                if cache.in_flight.insert(hash) {
+                    break;
+                }
+                cache = self
+                    .load_done
+                    .wait(cache)
+                    .expect("prepared cache poisoned");
+            }
+        }
+        // Stream outside the lock — this is the expensive part.
+        let loaded = self.engine.load_prepared(self.blob_path(hash));
+        let mut cache = self.cache.lock().expect("prepared cache poisoned");
+        cache.in_flight.remove(&hash);
+        self.load_done.notify_all();
+        cache.misses += 1;
+        let handle = loaded?;
+        cache.handles.insert(hash, handle.clone());
+        cache.order.push_back(hash);
+        cache.weight += weight;
+        // Evict least-recently-used down to the budget, always keeping the handle
+        // just inserted (evicting it immediately would make an over-budget trace
+        // reload on every request for no memory win — the in-flight request holds it
+        // alive anyway).
+        while cache.weight > self.cache_budget && cache.order.len() > 1 {
+            let Some(evicted) = cache.order.pop_front() else {
+                break;
+            };
+            if evicted == hash {
+                cache.order.push_back(hash);
+                continue;
+            }
+            if cache.handles.remove(&evicted).is_some() {
+                cache.evictions += 1;
+                let evicted_weight = self
+                    .index
+                    .lock()
+                    .expect("repo index poisoned")
+                    .get(&evicted)
+                    .map(|info| info.bytes)
+                    .unwrap_or(0);
+                cache.weight = cache.weight.saturating_sub(evicted_weight);
+            }
+        }
+        Ok(handle)
+    }
+
+    /// The repository listing, ordered by content hash.
+    pub fn list(&self) -> Vec<RepoEntry> {
+        self.index
+            .lock()
+            .expect("repo index poisoned")
+            .iter()
+            .map(|(&hash, info)| RepoEntry {
+                hash,
+                name: info.name.clone(),
+                entries: info.entries,
+                bytes: info.bytes,
+            })
+            .collect()
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> RepoStats {
+        let (blobs, blob_bytes) = {
+            let index = self.index.lock().expect("repo index poisoned");
+            (
+                index.len() as u64,
+                index.values().map(|info| info.bytes).sum(),
+            )
+        };
+        let cache = self.cache.lock().expect("prepared cache poisoned");
+        RepoStats {
+            blobs,
+            blob_bytes,
+            prepared_cached: cache.handles.len() as u64,
+            prepared_cached_bytes: cache.weight,
+            cache_budget_bytes: self.cache_budget,
+            prepared_hits: cache.hits,
+            prepared_misses: cache.misses,
+            evictions: cache.evictions,
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rprism_format::{trace_to_bytes, Encoding};
+    use rprism_trace::testgen::{arbitrary_trace, Rng};
+
+    fn temp_repo(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rprism-repo-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_bytes(seed: u64, len: usize, encoding: Encoding) -> Vec<u8> {
+        let mut rng = Rng::new(seed);
+        let trace = arbitrary_trace(&mut rng, len);
+        trace_to_bytes(&trace, encoding).unwrap()
+    }
+
+    #[test]
+    fn put_deduplicates_across_encodings_and_survives_reopen() {
+        let dir = temp_repo("dedup");
+        let repo = TraceRepo::open(&dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap();
+
+        let mut rng = Rng::new(0xabc);
+        let trace = arbitrary_trace(&mut rng, 80);
+        let binary = trace_to_bytes(&trace, Encoding::Binary).unwrap();
+        let jsonl = trace_to_bytes(&trace, Encoding::Jsonl).unwrap();
+
+        let (hash, deduped, entries) = repo.put_bytes(&binary).unwrap();
+        assert!(!deduped);
+        assert_eq!(entries, 80);
+        // Same bytes again: deduplicated.
+        assert_eq!(repo.put_bytes(&binary).unwrap(), (hash, true, 80));
+        // Same *content* in the other encoding: still deduplicated.
+        assert_eq!(repo.put_bytes(&jsonl).unwrap(), (hash, true, 80));
+        let stats = repo.stats();
+        assert_eq!(stats.blobs, 1);
+        assert_eq!(stats.dedup_hits, 2);
+        assert_eq!(repo.list().len(), 1);
+
+        // A different trace is a second blob.
+        let other = sample_bytes(0xdef, 40, Encoding::Binary);
+        let (other_hash, deduped, _) = repo.put_bytes(&other).unwrap();
+        assert!(!deduped);
+        assert_ne!(other_hash, hash);
+
+        // Reopening rebuilds the index from the blobs themselves.
+        drop(repo);
+        let reopened = TraceRepo::open(&dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap();
+        assert_eq!(reopened.stats().blobs, 2);
+        assert_eq!(reopened.get_bytes(hash).unwrap(), binary);
+        assert!(matches!(
+            reopened.get_bytes(0x1234),
+            Err(ServerError::UnknownTrace { hash: 0x1234 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_uploads_are_rejected_without_storing() {
+        let dir = temp_repo("corrupt");
+        let repo = TraceRepo::open(&dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap();
+        let mut bytes = sample_bytes(7, 30, Encoding::Binary);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(matches!(
+            repo.put_bytes(&bytes),
+            Err(ServerError::Format(_))
+        ));
+        assert_eq!(repo.stats().blobs, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_or_invalid_directories_fail_cleanly() {
+        let missing = std::env::temp_dir().join(format!(
+            "rprism-repo-definitely-missing-{}",
+            std::process::id()
+        ));
+        assert!(matches!(
+            TraceRepo::open(&missing, Engine::new(), DEFAULT_CACHE_BUDGET),
+            Err(ServerError::Repo(_))
+        ));
+        // A path that exists but is a file, not a directory.
+        let file = std::env::temp_dir().join(format!("rprism-repo-file-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        assert!(matches!(
+            TraceRepo::open(&file, Engine::new(), DEFAULT_CACHE_BUDGET),
+            Err(ServerError::Repo(_))
+        ));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn lru_budget_evicts_handles_but_never_blobs() {
+        let dir = temp_repo("lru");
+        let blobs: Vec<Vec<u8>> = (0..3)
+            .map(|i| sample_bytes(100 + i, 60, Encoding::Binary))
+            .collect();
+        // Budget fits any two of the three blobs' weights, never all three.
+        let sizes: Vec<u64> = blobs.iter().map(|b| b.len() as u64).collect();
+        let total: u64 = sizes.iter().sum();
+        let budget = total - sizes.iter().min().unwrap() / 2;
+        let repo = TraceRepo::open(&dir, Engine::new(), budget).unwrap();
+        let hashes: Vec<u64> = blobs
+            .iter()
+            .map(|b| repo.put_bytes(b).unwrap().0)
+            .collect();
+
+        repo.prepared(hashes[0]).unwrap();
+        repo.prepared(hashes[1]).unwrap();
+        repo.prepared(hashes[0]).unwrap(); // touch: 0 is now most recent
+        assert_eq!(repo.stats().prepared_misses, 2);
+        assert_eq!(repo.stats().prepared_hits, 1);
+
+        repo.prepared(hashes[2]).unwrap(); // over budget: evicts 1 (LRU), not 0
+        let stats = repo.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.prepared_cached_bytes <= budget);
+        assert_eq!(stats.blobs, 3, "eviction must never touch the blobs");
+
+        // The touched survivor is still a hit…
+        repo.prepared(hashes[0]).unwrap();
+        assert_eq!(repo.stats().prepared_hits, 2);
+        // …and the evicted trace streams back in from its blob (a miss, not an error),
+        // pushing out the now-least-recently-used handle in turn.
+        repo.prepared(hashes[1]).unwrap();
+        let stats = repo.stats();
+        assert_eq!(stats.prepared_misses, 4);
+        assert_eq!(stats.evictions, 2);
+        repo.prepared(hashes[0]).unwrap();
+        assert_eq!(repo.stats().prepared_hits, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

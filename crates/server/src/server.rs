@@ -1,0 +1,401 @@
+//! The TCP daemon: a bounded worker pool serving the framed protocol over one shared
+//! [`TraceRepo`] and its [`Engine`](rprism::Engine).
+//!
+//! ## Concurrency model
+//!
+//! The listener thread accepts connections and hands them to a fixed pool of worker
+//! threads over a bounded channel (back-pressure: when every worker is busy and the
+//! queue is full, accepting pauses instead of piling up sockets). Each worker owns one
+//! connection at a time and runs its request/response loop to completion. All workers
+//! share one `Arc<TraceRepo>` — and therefore one `Engine`, whose `Send + Sync`
+//! prepared/correlation caches are exactly what turns N clients diffing the same pairs
+//! into cache hits (the stress test in `rprism-core` pins the engine-level guarantee;
+//! `BENCH_5.json` records the resulting request throughput).
+//!
+//! ## Failure containment
+//!
+//! A connection's errors never leave the connection: an undecodable message is
+//! answered with an error frame and the loop continues; a transport-level failure
+//! (checksum mismatch, truncated frame, I/O error) is answered best-effort and the
+//! connection closed. Workers catch panics per connection (`catch_unwind`), so even a
+//! bug in a single request cannot take the daemon down.
+//!
+//! ## Shutdown
+//!
+//! A [`Request::Shutdown`] flips the shared stop flag and is acknowledged immediately.
+//! The listener stops accepting, the connection queue is closed and drained, and
+//! every worker finishes the requests already in flight before exiting —
+//! [`Server::run`] returns only after the pool has joined.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rprism::{Engine, PreparedTrace, RegressionInput};
+use rprism_format::frame::{read_frame, write_frame};
+
+use crate::proto::{Request, Response, WireDiff, WireReport, WireStats};
+use crate::repo::{TraceRepo, DEFAULT_CACHE_BUDGET};
+use crate::{Result, ServerError};
+
+/// How long a worker waits for the rest of a frame once its first byte arrived. A peer
+/// that stalls mid-frame has lost framing sync anyway, so this closes the connection.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The poll quantum of idle waits (between frames on a connection, and in the accept
+/// loop): how quickly a blocked worker or the listener notices the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The address to bind (e.g. `127.0.0.1:7171`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// The repository directory (must exist and be writable).
+    pub repo_dir: std::path::PathBuf,
+    /// Worker threads serving connections (defaults to `available_parallelism`,
+    /// minimum 2 so a long request cannot starve the shutdown path). Each open
+    /// connection occupies one worker for its lifetime, so size the pool for the
+    /// expected peak of *concurrent connections* — further connections queue (with
+    /// back-pressure) until a worker frees up.
+    pub threads: usize,
+    /// Byte budget of the prepared-handle cache.
+    pub cache_budget: u64,
+    /// Maximum accepted frame payload (uploads larger than this are rejected).
+    pub max_frame: u64,
+    /// The analysis engine configuration shared by every request.
+    pub engine: Engine,
+}
+
+impl ServerConfig {
+    /// A configuration with the defaults: one worker per core (min 2), a 256 MiB
+    /// prepared-cache budget, 64 MiB frames, and a default [`Engine`].
+    pub fn new(addr: impl Into<String>, repo_dir: impl Into<std::path::PathBuf>) -> Self {
+        ServerConfig {
+            addr: addr.into(),
+            repo_dir: repo_dir.into(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .max(2),
+            cache_budget: DEFAULT_CACHE_BUDGET,
+            max_frame: rprism_format::frame::DEFAULT_MAX_PAYLOAD,
+            engine: Engine::new(),
+        }
+    }
+}
+
+/// A bound (but not yet running) trace-repository daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    repo: Arc<TraceRepo>,
+    threads: usize,
+    max_frame: u64,
+    stop: Arc<AtomicBool>,
+    requests_served: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds the listener and opens the repository. Fails fast — a missing or
+    /// unwritable repository directory, a corrupt blob, or an unbindable address is a
+    /// startup error, not a latent runtime one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Repo`]/[`ServerError::Format`] for repository problems
+    /// and [`ServerError::Io`] when the address cannot be bound.
+    pub fn bind(config: ServerConfig) -> Result<Server> {
+        let repo = TraceRepo::open(&config.repo_dir, config.engine.clone(), config.cache_budget)?;
+        let listener = TcpListener::bind(resolve(&config.addr)?)?;
+        Ok(Server {
+            listener,
+            repo: Arc::new(repo),
+            threads: config.threads.max(2),
+            max_frame: config.max_frame,
+            stop: Arc::new(AtomicBool::new(false)),
+            requests_served: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (the actual port when the config asked for port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Io`] when the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A handle that can stop this server from another thread (equivalent to a
+    /// [`Request::Shutdown`] arriving on the wire).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Runs the daemon until a shutdown request (or [`Server::stop_handle`]) stops it,
+    /// then drains in-flight requests and joins the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Io`] only for listener-level failures; per-connection
+    /// errors are contained and answered on their own connections.
+    pub fn run(self) -> Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (queue_tx, queue_rx) = sync_channel::<TcpStream>(self.threads * 2);
+        let queue_rx = Arc::new(Mutex::new(queue_rx));
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let worker = Worker {
+                    repo: Arc::clone(&self.repo),
+                    stop: Arc::clone(&self.stop),
+                    requests_served: Arc::clone(&self.requests_served),
+                    max_frame: self.max_frame,
+                };
+                let queue_rx = Arc::clone(&queue_rx);
+                scope.spawn(move || loop {
+                    // Take the next queued connection; the queue closing is the pool's
+                    // signal to exit (after the in-flight connection finished).
+                    let next = queue_rx.lock().expect("queue poisoned").recv();
+                    match next {
+                        Ok(stream) => worker.serve_connection(stream),
+                        Err(_) => break,
+                    }
+                });
+            }
+
+            while !self.stop.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        // Block for queue space (back-pressure), but never enqueue
+                        // past a stop request.
+                        if self.stop.load(Ordering::SeqCst) || queue_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(IDLE_POLL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(ServerError::Io(e)),
+                }
+            }
+            // Closing the queue drains it: workers finish queued and in-flight
+            // connections, then exit; the scope joins them.
+            drop(queue_tx);
+            Ok(())
+        })
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ServerError::Io(std::io::Error::other(format!("cannot resolve {addr:?}"))))
+}
+
+/// Per-worker state: everything a connection handler needs, cheap to clone into the
+/// pool.
+struct Worker {
+    repo: Arc<TraceRepo>,
+    stop: Arc<AtomicBool>,
+    requests_served: Arc<AtomicU64>,
+    max_frame: u64,
+}
+
+impl Worker {
+    /// Serves one connection to completion. Panics are contained per connection.
+    fn serve_connection(&self, stream: TcpStream) {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Err(e) = self.connection_loop(&stream) {
+                // Best effort: tell the peer what went wrong before closing.
+                let response = Response::Error {
+                    message: e.to_string(),
+                };
+                let mut out = BufWriter::new(&stream);
+                let _ = write_frame(&mut out, &response.encode());
+            }
+        }));
+        if outcome.is_err() {
+            let response = Response::Error {
+                message: "internal server error (request handler panicked)".into(),
+            };
+            let mut out = BufWriter::new(&stream);
+            let _ = write_frame(&mut out, &response.encode());
+        }
+    }
+
+    /// The request/response loop. Returns `Ok` on clean close (peer done, or
+    /// post-shutdown), `Err` when the transport is no longer trustworthy.
+    fn connection_loop(&self, stream: &TcpStream) -> Result<()> {
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(FRAME_READ_TIMEOUT))?;
+        let mut input = stream;
+        loop {
+            // Idle wait: poll (peek, no bytes consumed) for the next frame's first
+            // byte, so a worker parked on an idle connection notices a shutdown and
+            // releases itself instead of blocking the drain.
+            stream.set_read_timeout(Some(IDLE_POLL))?;
+            let mut probe = [0u8; 1];
+            match stream.peek(&mut probe) {
+                Ok(0) => return Ok(()), // peer closed between frames
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ServerError::Io(e)),
+            }
+            // A frame is arriving: switch to the real read timeout for its body.
+            stream.set_read_timeout(Some(FRAME_READ_TIMEOUT))?;
+            let payload = match read_frame(&mut input, self.max_frame) {
+                Ok(Some(payload)) => payload,
+                // Clean end of stream between frames: the peer is done.
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(ServerError::Proto(e)),
+            };
+            // A decode failure is a *request* problem, not a transport one: answer it
+            // and keep the connection.
+            let response = match Request::decode(&payload) {
+                Ok(request) => {
+                    let is_shutdown = matches!(request, Request::Shutdown);
+                    let response = self.handle(request);
+                    self.requests_served.fetch_add(1, Ordering::Relaxed);
+                    if is_shutdown {
+                        let mut out = BufWriter::new(stream);
+                        write_frame(&mut out, &response.encode()).map_err(ServerError::Proto)?;
+                        return Ok(());
+                    }
+                    response
+                }
+                Err(e) => Response::Error {
+                    message: format!("malformed request: {e}"),
+                },
+            };
+            let mut out = BufWriter::new(stream);
+            write_frame(&mut out, &response.encode()).map_err(ServerError::Proto)?;
+            if self.stop.load(Ordering::SeqCst) {
+                // Drain semantics: the request that was in flight got its response;
+                // new requests belong to a restarted server.
+                return Ok(());
+            }
+        }
+    }
+
+    /// Executes one request. Every failure becomes a structured [`Response::Error`].
+    fn handle(&self, request: Request) -> Response {
+        match self.try_handle(request) {
+            Ok(response) => response,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn try_handle(&self, request: Request) -> Result<Response> {
+        let engine = self.repo.engine();
+        match request {
+            Request::Put { bytes } => {
+                let (hash, deduped, entries) = self.repo.put_bytes(&bytes)?;
+                Ok(Response::PutOk {
+                    hash,
+                    deduped,
+                    entries,
+                })
+            }
+            Request::Get { hash } => Ok(Response::GetOk {
+                bytes: self.repo.get_bytes(hash)?,
+            }),
+            Request::List => Ok(Response::ListOk {
+                entries: self.repo.list(),
+            }),
+            Request::Diff {
+                left,
+                right,
+                max_sequences,
+            } => {
+                let left = self.repo.prepared(left)?;
+                let right = self.repo.prepared(right)?;
+                let result = engine.diff(&left, &right)?;
+                let rendered = render_diff(&result, &left, &right, max_sequences as usize);
+                Ok(Response::DiffOk(WireDiff::from_result(&result, rendered)))
+            }
+            Request::Analyze {
+                old_regressing,
+                new_regressing,
+                old_passing,
+                new_passing,
+                mode,
+                max_sequences,
+            } => {
+                let mut input = RegressionInput::new(
+                    self.repo.prepared(old_regressing)?,
+                    self.repo.prepared(new_regressing)?,
+                    self.repo.prepared(old_passing)?,
+                    self.repo.prepared(new_passing)?,
+                );
+                if let Some(mode) = mode {
+                    input = input.with_mode(mode);
+                }
+                let report = engine.analyze(&input)?;
+                // Render under the caller's sequence bound (engine defaults for the
+                // rest) so remote reports read exactly like local ones.
+                let render = rprism_regress::RenderOptions {
+                    max_regression_sequences: max_sequences as usize,
+                    ..*engine.render_options()
+                };
+                let rendered = rprism_regress::render_report_with(
+                    &report,
+                    &render,
+                    |idx| input.old_regressing.describe_entry(idx),
+                    |idx| input.new_regressing.describe_entry(idx),
+                );
+                Ok(Response::AnalyzeOk(WireReport::from_report(&report, rendered)))
+            }
+            Request::Stats => {
+                let repo = self.repo.stats();
+                Ok(Response::StatsOk(WireStats {
+                    blobs: repo.blobs,
+                    blob_bytes: repo.blob_bytes,
+                    prepared_cached: repo.prepared_cached,
+                    prepared_cached_bytes: repo.prepared_cached_bytes,
+                    cache_budget_bytes: repo.cache_budget_bytes,
+                    prepared_hits: repo.prepared_hits,
+                    prepared_misses: repo.prepared_misses,
+                    evictions: repo.evictions,
+                    dedup_hits: repo.dedup_hits,
+                    requests_served: self.requests_served.load(Ordering::Relaxed),
+                    correlation_builds: engine.correlation_builds(),
+                    cached_correlations: engine.cached_correlations() as u64,
+                }))
+            }
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                Ok(Response::ShutdownOk)
+            }
+        }
+    }
+}
+
+fn render_diff(
+    result: &rprism::TraceDiffResult,
+    left: &PreparedTrace,
+    right: &PreparedTrace,
+    max_sequences: usize,
+) -> String {
+    result.render_with(
+        max_sequences,
+        |idx| left.describe_entry(idx),
+        |idx| right.describe_entry(idx),
+    )
+}

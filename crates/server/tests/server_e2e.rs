@@ -1,0 +1,279 @@
+//! End-to-end and failure-mode tests of the daemon: the full request vocabulary over
+//! a real loopback socket, malformed-input containment, startup errors, client
+//! timeouts, and graceful shutdown draining in-flight work.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rprism::Engine;
+use rprism_format::frame::{frame_to_bytes, read_frame};
+use rprism_format::{trace_to_bytes, Encoding};
+use rprism_server::proto::{Request, Response};
+use rprism_server::{Client, Server, ServerConfig, ServerError};
+use rprism_trace::testgen::{arbitrary_trace, Rng};
+use rprism_trace::Trace;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn temp_repo(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rprism-srv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample(seed: u64, len: usize) -> Trace {
+    let mut rng = Rng::new(seed);
+    arbitrary_trace(&mut rng, len)
+}
+
+/// Binds a server on an ephemeral loopback port and runs it on a background thread.
+fn start(tag: &str) -> (SocketAddr, std::thread::JoinHandle<()>, PathBuf) {
+    let dir = temp_repo(tag);
+    let server = Server::bind(ServerConfig::new("127.0.0.1:0", &dir)).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, dir)
+}
+
+#[test]
+fn full_request_vocabulary_round_trips() {
+    let (addr, server, dir) = start("vocab");
+    let mut client = Client::connect(&addr.to_string(), TIMEOUT).unwrap();
+
+    let old = sample(1, 120);
+    let new = sample(2, 120);
+    let old_bytes = trace_to_bytes(&old, Encoding::Binary).unwrap();
+    let put = client.put_bytes(old_bytes.clone()).unwrap();
+    assert!(!put.deduped);
+    assert_eq!(put.entries, 120);
+    // Re-uploading (even as JSONL) deduplicates against the stored content.
+    let again = client
+        .put_bytes(trace_to_bytes(&old, Encoding::Jsonl).unwrap())
+        .unwrap();
+    assert_eq!(again.hash, put.hash);
+    assert!(again.deduped);
+
+    let put_new = client
+        .put_bytes(trace_to_bytes(&new, Encoding::Binary).unwrap())
+        .unwrap();
+
+    let listing = client.list().unwrap();
+    assert_eq!(listing.len(), 2);
+    assert!(listing.iter().any(|e| e.hash == put.hash));
+
+    // Get returns the blob exactly as stored (the first upload's bytes).
+    assert_eq!(client.get(put.hash).unwrap(), old_bytes);
+    assert!(matches!(
+        client.get(0xdead_beef),
+        Err(ServerError::Remote(_))
+    ));
+
+    // Remote diff matches a local engine diff of the same traces.
+    let remote = client.diff(put.hash, put_new.hash, 3).unwrap();
+    let engine = Engine::new();
+    let local = engine
+        .diff(&engine.prepare(old.clone()), &engine.prepare(new.clone()))
+        .unwrap();
+    assert_eq!(remote.pairs_local(), local.matching.normalized_pairs());
+    assert_eq!(remote.sequences_local(), local.sequences);
+    assert_eq!(remote.compare_ops, local.cost.compare_ops);
+    assert!(!remote.rendered.is_empty());
+
+    // Repeating the diff is served from the prepared/correlation caches.
+    let repeat = client.diff(put.hash, put_new.hash, 3).unwrap();
+    assert_eq!(repeat, remote);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.blobs, 2);
+    assert_eq!(stats.dedup_hits, 1);
+    assert!(stats.prepared_hits >= 2, "repeat diff must hit the cache");
+    assert_eq!(stats.correlation_builds, 1);
+    assert!(stats.requests_served >= 7);
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+
+    // The repository survives the daemon: a fresh server over the same directory
+    // still serves the stored blobs.
+    let reopened = Server::bind(ServerConfig::new("127.0.0.1:0", &dir)).unwrap();
+    let addr = reopened.local_addr().unwrap();
+    let handle = std::thread::spawn(move || reopened.run().unwrap());
+    let mut client = Client::connect(&addr.to_string(), TIMEOUT).unwrap();
+    assert_eq!(client.list().unwrap().len(), 2);
+    assert_eq!(client.get(put.hash).unwrap(), old_bytes);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_input_gets_structured_errors_never_a_hang() {
+    let (addr, server, dir) = start("malformed");
+
+    // 1. A valid frame carrying an unknown request tag: structured error, and the
+    //    connection stays usable for a correct request afterwards.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(&frame_to_bytes(&[1u8, 0x7f])).unwrap();
+    let reply = read_frame(&mut &raw, u64::MAX).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&reply).unwrap(),
+        Response::Error { .. }
+    ));
+    raw.write_all(&frame_to_bytes(&Request::List.encode()))
+        .unwrap();
+    let reply = read_frame(&mut &raw, u64::MAX).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&reply).unwrap(),
+        Response::ListOk { .. }
+    ));
+    drop(raw);
+
+    // 2. A corrupt frame (checksum mismatch): the server answers with an error frame
+    //    and closes — no panic, no hang.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    let mut frame = frame_to_bytes(&Request::List.encode());
+    let last = frame.len() - 1;
+    frame[last] ^= 0xff;
+    raw.write_all(&frame).unwrap();
+    let reply = read_frame(&mut &raw, u64::MAX).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&reply).unwrap(),
+        Response::Error { .. }
+    ));
+    let mut rest = Vec::new();
+    (&raw).read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection must be closed after the error");
+
+    // 3. An absurd declared frame length: rejected before any allocation.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(&[0xff; 10]).unwrap();
+    let reply = read_frame(&mut &raw, u64::MAX).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&reply).unwrap(),
+        Response::Error { .. }
+    ));
+
+    // 4. A corrupt *upload* (valid frame, damaged trace bytes): structured error, and
+    //    nothing is stored.
+    let mut client = Client::connect(&addr.to_string(), TIMEOUT).unwrap();
+    let mut bytes = trace_to_bytes(&sample(3, 40), Encoding::Binary).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    assert!(matches!(
+        client.put_bytes(bytes),
+        Err(ServerError::Remote(_))
+    ));
+    assert_eq!(client.stats().unwrap().blobs, 0);
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn startup_fails_cleanly_without_a_usable_repo_dir() {
+    let missing = std::env::temp_dir().join(format!("rprism-srv-missing-{}", std::process::id()));
+    assert!(matches!(
+        Server::bind(ServerConfig::new("127.0.0.1:0", &missing)),
+        Err(ServerError::Repo(_))
+    ));
+    let file = std::env::temp_dir().join(format!("rprism-srv-notadir-{}", std::process::id()));
+    std::fs::write(&file, b"x").unwrap();
+    assert!(matches!(
+        Server::bind(ServerConfig::new("127.0.0.1:0", &file)),
+        Err(ServerError::Repo(_))
+    ));
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn dead_addresses_error_within_the_timeout_instead_of_hanging() {
+    // A loopback port with no listener refuses: an immediate Err, not a hang.
+    let start = Instant::now();
+    assert!(matches!(
+        Client::connect("127.0.0.1:1", Duration::from_millis(300)),
+        Err(ServerError::Io(_))
+    ));
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "refused connect took {:?}",
+        start.elapsed()
+    );
+
+    // A "server" that accepts and then never answers: the configured timeout bounds
+    // every read, so the request errors out instead of blocking forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let silent = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        // Hold the connection open, saying nothing, until the client gives up.
+        std::thread::sleep(Duration::from_secs(3));
+        drop(stream);
+    });
+    let start = Instant::now();
+    let mut client = Client::connect(&addr.to_string(), Duration::from_millis(300)).unwrap();
+    let result = client.stats();
+    assert!(matches!(result, Err(ServerError::Io(_))));
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "silent server held the client for {:?}",
+        start.elapsed()
+    );
+    // The timed-out exchange poisoned the connection: a retry on it must be refused
+    // (a late response could otherwise answer the wrong request), not re-attempted.
+    match client.stats() {
+        Err(ServerError::Io(e)) => assert!(
+            e.to_string().contains("poisoned"),
+            "expected a poisoned-connection refusal, got {e}"
+        ),
+        other => panic!("expected a poisoned-connection refusal, got {other:?}"),
+    }
+    silent.join().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let (addr, server, dir) = start("drain");
+    let mut uploader = Client::connect(&addr.to_string(), TIMEOUT).unwrap();
+    // A pair big enough that its first (cold) diff takes real time.
+    let old = sample(40, 6000);
+    let new = sample(41, 6000);
+    let left = uploader
+        .put_bytes(trace_to_bytes(&old, Encoding::Binary).unwrap())
+        .unwrap()
+        .hash;
+    let right = uploader
+        .put_bytes(trace_to_bytes(&new, Encoding::Binary).unwrap())
+        .unwrap()
+        .hash;
+
+    let addr_text = addr.to_string();
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr_text, TIMEOUT).unwrap();
+        // A first round trip proves a worker owns this connection, so the diff below
+        // is genuinely in flight when the shutdown lands.
+        client.list().unwrap();
+        ready_tx.send(()).unwrap();
+        client.diff(left, right, 2)
+    });
+    ready_rx.recv().unwrap();
+    // Give the diff request time to reach the worker, then ask for shutdown on
+    // another connection while it computes.
+    std::thread::sleep(Duration::from_millis(50));
+    uploader.shutdown().unwrap();
+
+    // The in-flight diff must complete with a full response, not be cut off.
+    let diff = in_flight.join().unwrap().unwrap();
+    assert!(diff.left_len == 6000 && diff.right_len == 6000);
+    server.join().unwrap();
+
+    // And the daemon really is down now.
+    assert!(Client::connect(&addr.to_string(), Duration::from_millis(500)).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

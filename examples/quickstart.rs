@@ -4,14 +4,17 @@
 //! The [`rprism::Engine`] is the session object: traces come back as `PreparedTrace`
 //! handles whose derived artifacts (interned event keys, the view web) are built once
 //! and reused by every query — note the second diff below reuses everything the first
-//! one built. At the end the traces are stored to disk and re-loaded: the same pair of
-//! files feeds the CLI (`rprism diff old.rtr new.rtr`).
+//! one built. The traces are then stored to disk and re-loaded: the same pair of
+//! files feeds the CLI (`rprism diff old.rtr new.rtr`). Finally the same analysis
+//! runs **remotely**: an `rprism-server` daemon on a loopback port stores the traces
+//! content-addressed and serves the diff from its shared warm engine — what
+//! `rprism serve` / `rprism remote` do from the shell.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use rprism::Engine;
 
-fn main() -> Result<(), rprism::Error> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let old_src = r#"
         class Range extends Object { Int min; Int max; }
         class App extends Object {
@@ -79,6 +82,29 @@ fn main() -> Result<(), rprism::Error> {
         reloaded.num_differences(),
         reloaded.num_differences() == diff.num_differences()
     );
+
+    // The same analysis as a service: a trace-repository daemon holds the traces
+    // content-addressed (re-uploads deduplicate) and serves diff/analyze requests
+    // from one shared warm engine. On the shell this is `rprism serve --addr ...
+    // --repo ...` plus `rprism remote put/diff/analyze/stats --addr ...`.
+    use rprism_server::{Client, Server, ServerConfig};
+    let repo = dir.join("repo");
+    std::fs::create_dir_all(&repo).map_err(rprism::FormatError::Io)?;
+    let server = Server::bind(ServerConfig::new("127.0.0.1:0", &repo))?;
+    let addr = server.local_addr()?.to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr, std::time::Duration::from_secs(10))?;
+    let old_hash = client.put_path(&old_path)?.hash;
+    let new_hash = client.put_path(&new_path)?.hash;
+    let remote = client.diff(old_hash, new_hash, 5)?;
+    println!(
+        "remote diff through the daemon: {} differences (identical: {})",
+        remote.num_differences,
+        remote.num_differences as usize == diff.num_differences()
+    );
+    client.shutdown()?;
+    daemon.join().expect("daemon thread")?;
+
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }
