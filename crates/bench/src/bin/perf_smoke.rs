@@ -28,6 +28,11 @@
 //!    concurrency speedup (the numbers recorded in `BENCH_5.json`). The speedup is
 //!    hardware-dependent: the worker pool scales request throughput with available
 //!    cores, so a single-core container pins it near 1×.
+//! 6. **put durability** — the same batch of distinct blobs stored into a fresh
+//!    repository with the crash-safe commit sequence (staging fsync → rename →
+//!    directory fsync) and with `durable: false` (rename-commit only), printing
+//!    puts per second for both and the fsync cost ratio — the price of the
+//!    chaos-suite crash guarantees, and what `serve --no-fsync` buys back.
 //!
 //! The `--json` flag emits all numbers as one JSON object.
 //!
@@ -435,6 +440,82 @@ fn measure_server_throughput(samples: usize, old: &Trace, new: &Trace) -> Server
     }
 }
 
+struct DurabilityMeasured {
+    puts: usize,
+    durable_wall: Duration,
+    fast_wall: Duration,
+}
+
+impl DurabilityMeasured {
+    fn puts_per_second(&self, wall: Duration) -> f64 {
+        self.puts as f64 / wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Durable put cost over non-durable: how much the fsync pair costs per commit.
+    fn fsync_cost_ratio(&self) -> f64 {
+        self.durable_wall.as_secs_f64() / self.fast_wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Stores a batch of distinct blobs into a fresh repository per sample, once with the
+/// crash-safe commit sequence (`durable: true`: staging fsync → rename → directory
+/// fsync) and once with `durable: false` (rename-commit only, the pre-chaos behavior
+/// and `serve --no-fsync`). Best wall per mode; blobs are pre-encoded so only the
+/// storage path is timed.
+fn measure_put_durability(samples: usize, old: &Trace) -> DurabilityMeasured {
+    use rprism_server::{RepoOptions, TraceRepo};
+
+    const PUTS: usize = 16;
+    let entries = old.len().min(400);
+    let blobs: Vec<Vec<u8>> = (0..PUTS)
+        .map(|i| {
+            // Distinct labels give distinct content hashes over identical entries,
+            // so every put commits a new blob instead of deduplicating.
+            let mut trace = Trace::new(TraceMeta::new(format!("durability-{i}"), "", ""));
+            for entry in old.iter().take(entries) {
+                trace.push(entry.clone());
+            }
+            rprism_format::trace_to_bytes(&trace, rprism_format::Encoding::Binary).unwrap()
+        })
+        .collect();
+
+    let timed = |durable: bool| -> Duration {
+        let mut best = Duration::MAX;
+        for sample in 0..samples {
+            let dir = std::env::temp_dir().join(format!(
+                "rprism-perf-durability-{}-{durable}-{sample}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create repo dir");
+            let repo = TraceRepo::open_with(
+                &dir,
+                Engine::new(),
+                RepoOptions {
+                    durable,
+                    ..RepoOptions::default()
+                },
+            )
+            .expect("open repo");
+            let start = std::time::Instant::now();
+            for bytes in &blobs {
+                let (_, deduped, _) = repo.put_bytes(bytes).expect("put");
+                assert!(!deduped, "durability blobs must be distinct");
+            }
+            best = best.min(start.elapsed());
+            drop(repo);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        best
+    };
+
+    DurabilityMeasured {
+        puts: PUTS,
+        durable_wall: timed(true),
+        fast_wall: timed(false),
+    }
+}
+
 fn main() {
     let mut json = false;
     let mut iterations = 400usize;
@@ -464,6 +545,7 @@ fn main() {
     let io = measure_trace_io(samples, &old);
     let ingest = measure_streaming_ingest(samples, &old, &new);
     let server = measure_server_throughput(samples, &reuse_old, &reuse_new);
+    let durability = measure_put_durability(samples, &old);
 
     let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
     let reuse_speedup =
@@ -519,7 +601,7 @@ fn main() {
             ingest.peak_reduction()
         );
         println!(
-            "  \"server_throughput\": {{ \"total_requests\": {}, \"server_threads\": {}, \"host_cores\": {}, \"one_client\": {{ \"wall_seconds\": {:.6}, \"requests_per_second\": {:.1} }}, \"four_clients\": {{ \"wall_seconds\": {:.6}, \"requests_per_second\": {:.1} }}, \"concurrency_speedup\": {:.2}, \"cold_cache\": {{ \"wall_seconds\": {:.6}, \"requests_per_second\": {:.1} }}, \"prepared_cache_speedup\": {:.2} }}",
+            "  \"server_throughput\": {{ \"total_requests\": {}, \"server_threads\": {}, \"host_cores\": {}, \"one_client\": {{ \"wall_seconds\": {:.6}, \"requests_per_second\": {:.1} }}, \"four_clients\": {{ \"wall_seconds\": {:.6}, \"requests_per_second\": {:.1} }}, \"concurrency_speedup\": {:.2}, \"cold_cache\": {{ \"wall_seconds\": {:.6}, \"requests_per_second\": {:.1} }}, \"prepared_cache_speedup\": {:.2} }},",
             server.total_requests,
             server.threads,
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
@@ -531,6 +613,15 @@ fn main() {
             server.cold_cache_wall.as_secs_f64(),
             server.requests_per_second(server.cold_cache_wall),
             server.prepared_cache_speedup()
+        );
+        println!(
+            "  \"put_durability\": {{ \"puts\": {}, \"durable\": {{ \"wall_seconds\": {:.6}, \"puts_per_second\": {:.1} }}, \"no_fsync\": {{ \"wall_seconds\": {:.6}, \"puts_per_second\": {:.1} }}, \"fsync_cost_ratio\": {:.2} }}",
+            durability.puts,
+            durability.durable_wall.as_secs_f64(),
+            durability.puts_per_second(durability.durable_wall),
+            durability.fast_wall.as_secs_f64(),
+            durability.puts_per_second(durability.fast_wall),
+            durability.fsync_cost_ratio()
         );
         println!("}}");
     } else {
@@ -595,6 +686,21 @@ fn main() {
             server.cold_cache_wall,
             server.requests_per_second(server.cold_cache_wall),
             server.prepared_cache_speedup()
+        );
+        println!(
+            "\n  put durability ({} distinct blobs into a fresh repo):",
+            durability.puts
+        );
+        println!(
+            "    durable (fsync + rename + dir fsync): wall {:>9.3?}  {:>8.1} puts/s",
+            durability.durable_wall,
+            durability.puts_per_second(durability.durable_wall)
+        );
+        println!(
+            "    --no-fsync (rename-commit only):      wall {:>9.3?}  {:>8.1} puts/s  (fsync cost {:.2}x)",
+            durability.fast_wall,
+            durability.puts_per_second(durability.fast_wall),
+            durability.fsync_cost_ratio()
         );
         println!("\n  trace i/o ({} entries):", old.len());
         for m in &io {

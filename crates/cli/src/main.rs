@@ -10,7 +10,8 @@
 //! rprism convert <in> <out> [--encoding binary|jsonl]
 //! rprism corpus --dir <dir> [--check]
 //! rprism serve --addr <host:port> --repo <dir> [--threads N] [--cache-bytes B]
-//! rprism remote put|get|list|diff|analyze|stats|shutdown ... --addr <host:port>
+//!              [--backlog N] [--cache-low-watermark B] [--busy-retry-ms MS] [--no-fsync]
+//! rprism remote put|get|list|diff|analyze|stats|shutdown ... --addr <host:port> [--retries N]
 //! ```
 //!
 //! Trace files are read with content sniffing (binary `.rtr` or JSONL text, regardless
@@ -63,16 +64,23 @@ usage:
   rprism corpus --dir <dir> [--check]
       Regenerate the golden case-study corpus (or verify it, failing on drift).
   rprism serve --addr <host:port> --repo <dir> [--threads <n>] [--cache-bytes <b>]
-               [--max-frame-bytes <b>]
+               [--max-frame-bytes <b>] [--backlog <n>] [--cache-low-watermark <b>]
+               [--busy-retry-ms <ms>] [--no-fsync]
       Run the trace-repository daemon: content-addressed storage plus remote
       diff/analyze over a framed TCP protocol, served by a bounded thread pool
-      sharing one analysis engine.
+      sharing one analysis engine. Puts are crash-safe (fsync + rename-commit) by
+      default; --no-fsync trades that durability for put throughput. When the
+      accept backlog (--backlog, default 2x threads) is full, connections are shed
+      with an explicit Busy frame hinting --busy-retry-ms, and the prepared cache
+      is shrunk to --cache-low-watermark bytes to relieve memory pressure.
   rprism remote put <file ...> --addr <host:port>
       Upload traces (either encoding); prints each trace's content hash.
       Re-uploads of content the server already holds are deduplicated.
       Every remote verb also accepts [--timeout <seconds>] (default 60; raise it
-      for long server-side computations) and [--max-frame-bytes <b>] (match the
-      server's value when shipping traces beyond the 64 MiB default).
+      for long server-side computations), [--max-frame-bytes <b>] (match the
+      server's value when shipping traces beyond the 64 MiB default), and
+      [--retries <n>] (retry idempotent requests up to n times with jittered
+      exponential backoff on connection failures and Busy sheds; default 0).
   rprism remote get <hash> --out <file> --addr <host:port>
       Download a stored blob by content hash.
   rprism remote list --addr <host:port>
@@ -102,7 +110,8 @@ struct Args {
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--label", "--encoding", "--scenario", "--dir", "--max-seqs", "--mode",
     "--entries", "--seed", "--addr", "--repo", "--threads", "--cache-bytes",
-    "--max-frame-bytes", "--timeout",
+    "--max-frame-bytes", "--timeout", "--backlog", "--cache-low-watermark",
+    "--busy-retry-ms", "--retries",
 ];
 
 impl Args {
@@ -441,7 +450,17 @@ fn convert(args: &Args) -> Result<(), String> {
 }
 
 fn serve(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--repo", "--threads", "--cache-bytes", "--max-frame-bytes"])?;
+    args.reject_unknown(&[
+        "--addr",
+        "--repo",
+        "--threads",
+        "--cache-bytes",
+        "--max-frame-bytes",
+        "--backlog",
+        "--cache-low-watermark",
+        "--busy-retry-ms",
+        "--no-fsync",
+    ])?;
     if !args.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
     }
@@ -463,6 +482,23 @@ fn serve(args: &Args) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--max-frame-bytes expects a byte count, got {max_frame:?}"))?;
     }
+    if let Some(backlog) = args.value("--backlog") {
+        config.backlog = backlog
+            .parse()
+            .map_err(|_| format!("--backlog expects a number, got {backlog:?}"))?;
+    }
+    if let Some(watermark) = args.value("--cache-low-watermark") {
+        config.cache_low_watermark = watermark.parse().map_err(|_| {
+            format!("--cache-low-watermark expects a byte count, got {watermark:?}")
+        })?;
+    }
+    if let Some(retry_ms) = args.value("--busy-retry-ms") {
+        config.busy_retry_ms = retry_ms
+            .parse()
+            .map_err(|_| format!("--busy-retry-ms expects milliseconds, got {retry_ms:?}"))?;
+    }
+    // Trade crash-durability for put throughput (useful for ephemeral repos).
+    config.durable = !args.switch("--no-fsync");
     let server = rprism_server::Server::bind(config).map_err(|e| e.to_string())?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!("rprism-server listening on {bound} (repo {repo})");
@@ -483,9 +519,22 @@ fn remote_client(args: &Args) -> Result<rprism_server::Client, String> {
             .parse()
             .map_err(|_| format!("--timeout expects a number of seconds, got {text:?}"))?,
     };
-    let mut client =
-        rprism_server::Client::connect(addr, std::time::Duration::from_secs(timeout))
-            .map_err(|e| e.to_string())?;
+    let mut retry = rprism_server::RetryPolicy::none();
+    if let Some(text) = args.value("--retries") {
+        let retries: u32 = text
+            .parse()
+            .map_err(|_| format!("--retries expects a number, got {text:?}"))?;
+        retry = rprism_server::RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..rprism_server::RetryPolicy::default()
+        };
+    }
+    let mut client = rprism_server::Client::connect_with_retry(
+        addr,
+        std::time::Duration::from_secs(timeout),
+        retry,
+    )
+    .map_err(|e| e.to_string())?;
     if let Some(max_frame) = args.value("--max-frame-bytes") {
         client.set_max_frame(max_frame.parse().map_err(|_| {
             format!("--max-frame-bytes expects a byte count, got {max_frame:?}")
@@ -529,7 +578,7 @@ fn remote(args: &[String]) -> Result<(), String> {
 }
 
 fn remote_put(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout"])?;
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries"])?;
     if args.positional.is_empty() {
         return Err("remote put expects at least one trace file".into());
     }
@@ -549,7 +598,7 @@ fn remote_put(args: &Args) -> Result<(), String> {
 }
 
 fn remote_get(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--out"])?;
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries", "--out"])?;
     let [hash] = args.positional.as_slice() else {
         return Err("remote get expects one content hash".into());
     };
@@ -564,7 +613,7 @@ fn remote_get(args: &Args) -> Result<(), String> {
 }
 
 fn remote_list(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout"])?;
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries"])?;
     if !args.positional.is_empty() {
         return Err("remote list takes no positional arguments".into());
     }
@@ -581,7 +630,7 @@ fn remote_list(args: &Args) -> Result<(), String> {
 }
 
 fn remote_diff(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--max-seqs", "--quiet"])?;
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries", "--max-seqs", "--quiet"])?;
     let [left, right] = args.positional.as_slice() else {
         return Err("remote diff expects two traces (content hashes or files)".into());
     };
@@ -610,7 +659,7 @@ fn remote_diff(args: &Args) -> Result<(), String> {
 }
 
 fn remote_analyze(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--mode", "--max-seqs"])?;
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries", "--mode", "--max-seqs"])?;
     let [or, nr, op, np] = args.positional.as_slice() else {
         return Err(
             "remote analyze expects four traces \
@@ -654,7 +703,7 @@ fn remote_analyze(args: &Args) -> Result<(), String> {
 }
 
 fn remote_stats(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout"])?;
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries"])?;
     let mut client = remote_client(args)?;
     let stats = client.stats().map_err(|e| e.to_string())?;
     println!(
@@ -675,6 +724,11 @@ fn remote_stats(args: &Args) -> Result<(), String> {
         stats.dedup_hits, stats.requests_served
     );
     println!(
+        "resilience: {} orphaned staging file(s) removed at startup, {} blob(s) \
+         quarantined, {} overload cache shrink(s)",
+        stats.orphans_removed, stats.quarantined, stats.cache_shrinks
+    );
+    println!(
         "engine: {} correlation build(s), {} pair(s) cached",
         stats.correlation_builds, stats.cached_correlations
     );
@@ -682,7 +736,7 @@ fn remote_stats(args: &Args) -> Result<(), String> {
 }
 
 fn remote_shutdown(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout"])?;
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries"])?;
     let mut client = remote_client(args)?;
     client.shutdown().map_err(|e| e.to_string())?;
     println!("server shutting down (in-flight requests drain first)");

@@ -649,7 +649,25 @@ impl Engine {
     /// or uses an unsupported format version.
     pub fn load_prepared(&self, path: impl AsRef<Path>) -> Result<PreparedTrace> {
         let file = File::open(path.as_ref()).map_err(rprism_format::FormatError::Io)?;
-        let reader = TraceReader::new(BufReader::new(file))?;
+        self.load_prepared_reader(file)
+    }
+
+    /// [`Engine::load_prepared`] over any byte source instead of a file path: the
+    /// stream is sniffed, decoded and folded into a streamed handle in the same
+    /// bounded-memory pass. This is the ingestion entry point for callers that do not
+    /// own a filesystem path — a trace repository reading blobs through its own
+    /// storage abstraction, a network peer streaming an upload straight into
+    /// preparation, or a test harness wrapping the source in a fault-injection shim.
+    ///
+    /// `Send` is required because the parallel ingest pipeline moves the reader onto
+    /// a decode thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] when the stream is empty, truncated, corrupt,
+    /// or uses an unsupported format version.
+    pub fn load_prepared_reader(&self, input: impl std::io::Read + Send) -> Result<PreparedTrace> {
+        let reader = TraceReader::new(BufReader::new(input))?;
         let artifacts = stream_prepare(reader, self.parallel)?;
         Ok(PreparedTrace::from_streamed(artifacts))
     }

@@ -4,15 +4,31 @@
 //! nothing after the keys are built.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    // Per-thread, not process-global: the libtest harness runs tests on several
+    // threads at once, and a global counter picks up allocations from whatever
+    // *other* test happens to run during the measured window — a scheduling-
+    // dependent flake (most visible on single-core machines, where the harness
+    // interleaves test threads through the measured loop). Counting per thread
+    // makes each test observe exactly its own allocations.
+    //
+    // `const`-initialized so reading the counter never allocates (a lazily
+    // initialized TLS slot would recurse into the allocator).
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bump this thread's counter; silently skip during TLS teardown.
+fn count_one() {
+    let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.alloc(layout) }
     }
 
@@ -21,7 +37,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -30,7 +46,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn allocation_count() -> u64 {
-    ALLOCATIONS.load(Ordering::SeqCst)
+    ALLOCATIONS.with(Cell::get)
 }
 
 use rprism_trace::testgen::{arbitrary_entry, Rng};

@@ -248,7 +248,7 @@ pub struct JsonlTraceReader<R: BufRead> {
     meta: TraceMeta,
     line_no: u64,
     entries_read: u64,
-    buffer: String,
+    buffer: Vec<u8>,
     done: bool,
 }
 
@@ -260,7 +260,7 @@ impl<R: BufRead> JsonlTraceReader<R> {
             meta: TraceMeta::default(),
             line_no: 0,
             entries_read: 0,
-            buffer: String::new(),
+            buffer: Vec::new(),
             done: false,
         };
         let Some(header) = reader.next_line()? else {
@@ -305,19 +305,50 @@ impl<R: BufRead> JsonlTraceReader<R> {
     }
 
     /// The next non-blank line, or `None` at end of input. Windows-authored files use
-    /// CRLF line endings, so the trailing `\r` left behind by `read_line` is stripped
+    /// CRLF line endings, so the trailing `\r` left by line splitting is stripped
     /// before parsing — explicitly, ahead of the general whitespace trim, so the
     /// guarantee survives any future change to how lines are cleaned up (the CRLF
     /// regression tests pin it under both the direct and the sniffing reader).
+    ///
+    /// Lines are assembled through a `fill_buf`/`consume` loop rather than
+    /// `BufRead::read_line`: `read_line` truncates its buffer when the underlying
+    /// reader fails, so a signal-interrupted (`EINTR`) read mid-line would silently
+    /// drop the bytes already consumed. This loop retries `Interrupted` with nothing
+    /// lost (the fault-injection suite pins that).
     fn next_line(&mut self) -> Result<Option<String>> {
         loop {
             self.buffer.clear();
-            let read = self.input.read_line(&mut self.buffer)?;
-            if read == 0 {
+            loop {
+                let available = match self.input.fill_buf() {
+                    Ok(available) => available,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(FormatError::Io(e)),
+                };
+                if available.is_empty() {
+                    break; // end of input (possibly ending a final unterminated line)
+                }
+                match available.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        self.buffer.extend_from_slice(&available[..=i]);
+                        self.input.consume(i + 1);
+                        break;
+                    }
+                    None => {
+                        let n = available.len();
+                        self.buffer.extend_from_slice(available);
+                        self.input.consume(n);
+                    }
+                }
+            }
+            if self.buffer.is_empty() {
                 return Ok(None);
             }
             self.line_no += 1;
-            let line = self.buffer.trim_end_matches(['\r', '\n']).trim();
+            let text = std::str::from_utf8(&self.buffer).map_err(|_| FormatError::Json {
+                line: self.line_no,
+                detail: "line is not valid UTF-8".into(),
+            })?;
+            let line = text.trim_end_matches(['\r', '\n']).trim();
             if !line.is_empty() {
                 return Ok(Some(line.to_owned()));
             }

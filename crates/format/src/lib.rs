@@ -69,6 +69,7 @@
 
 pub mod binary;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod json;
 pub mod jsonl;

@@ -5,6 +5,18 @@
 //! typed result; server-side failures arrive as [`ServerError::Remote`] with the
 //! server's message. Connect, read and write are all bounded by the timeout given to
 //! [`Client::connect`] — a dead or unroutable address yields an `Err`, never a hang.
+//!
+//! ## Retries
+//!
+//! A client carries a [`RetryPolicy`]. [`Client::connect`] disables it (one attempt,
+//! errors surface immediately — the historical behavior);
+//! [`Client::connect_with_retry`] enables capped exponential backoff with
+//! decorrelated jitter. Retrying is **idempotency-gated**: every request except
+//! `Shutdown` is safe to repeat (puts are content-addressed — re-uploading converges
+//! on the same hash with nothing written twice; diffs and analyses are pure reads),
+//! so a transport failure mid-exchange reconnects and replays. A server
+//! [`Response::Busy`] shed is retried for any request, honoring the server's
+//! `retry_after_ms` hint as the backoff floor.
 
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -28,15 +40,67 @@ pub struct PutOutcome {
     pub entries: u64,
 }
 
+/// How a [`Client`] retries failed exchanges: up to `max_attempts` tries, sleeping
+/// a capped, decorrelated-jitter backoff between them (`sleep = min(cap,
+/// uniform(base, 3 × previous))`, the AWS "decorrelated jitter" recipe — it spreads
+/// a thundering herd of retriers without the lockstep of pure exponential doubling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retry).
+    pub max_attempts: u32,
+    /// The minimum backoff between attempts.
+    pub base: Duration,
+    /// The maximum backoff between attempts (a server Busy hint may exceed it).
+    pub cap: Duration,
+    /// Seed of the jitter sequence; fixed so a given client's schedule is
+    /// reproducible in tests. Vary it per client if many start simultaneously.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 25 ms base, 1 s cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0x243f_6a88_85a3_08d3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry policy: one attempt, failures surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// This policy with a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// A blocking connection to an `rprism-server` daemon.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The address given to connect, kept for retry-driven reconnects.
+    addr: String,
+    timeout: Duration,
     max_frame: u64,
+    retry: RetryPolicy,
+    /// Jitter state (xorshift64*), seeded from the policy.
+    rng: u64,
     /// Set after any transport failure (timeout, I/O error, bad frame). The protocol
     /// is a strict request/response alternation, so once an exchange is cut short the
     /// stream may hold a stale late response — every further call on this connection
-    /// is refused instead of risking an off-by-one answer. Reconnect to recover.
+    /// is refused instead of risking an off-by-one answer. Reconnect to recover
+    /// (retrying clients do so automatically).
     poisoned: bool,
 }
 
@@ -53,6 +117,47 @@ impl Client {
     /// Returns [`ServerError::Io`] when the address does not resolve, refuses, or
     /// times out.
     pub fn connect(addr: &str, timeout: Duration) -> Result<Client> {
+        Self::connect_with_retry(addr, timeout, RetryPolicy::none())
+    }
+
+    /// [`Client::connect`] with a [`RetryPolicy`]: the connect itself retries on
+    /// refusal (a restarting server comes back), and every later operation retries
+    /// idempotent requests across transport failures and server Busy sheds,
+    /// reconnecting as needed (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Io`] when the address does not resolve, or still
+    /// refuses or times out after the policy's attempts.
+    pub fn connect_with_retry(addr: &str, timeout: Duration, retry: RetryPolicy) -> Result<Client> {
+        let mut rng = seed_rng(retry.seed);
+        let mut previous = retry.base;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match Self::connect_stream(addr, timeout) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        stream,
+                        addr: addr.to_owned(),
+                        timeout,
+                        max_frame: DEFAULT_MAX_PAYLOAD,
+                        retry,
+                        rng,
+                        poisoned: false,
+                    })
+                }
+                Err(e) if attempt < retry.max_attempts => {
+                    previous = backoff(&retry, &mut rng, previous, None);
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One bounded TCP dial across every resolved candidate address.
+    fn connect_stream(addr: &str, timeout: Duration) -> Result<TcpStream> {
         let deadline = std::time::Instant::now() + timeout;
         let mut last_error: Option<std::io::Error> = None;
         for candidate in addr.to_socket_addrs()? {
@@ -65,11 +170,7 @@ impl Client {
                     stream.set_nodelay(true)?;
                     stream.set_read_timeout(Some(timeout))?;
                     stream.set_write_timeout(Some(timeout))?;
-                    return Ok(Client {
-                        stream,
-                        max_frame: DEFAULT_MAX_PAYLOAD,
-                        poisoned: false,
-                    });
+                    return Ok(stream);
                 }
                 Err(e) => last_error = Some(e),
             }
@@ -89,10 +190,57 @@ impl Client {
         self.max_frame = max_frame;
     }
 
+    /// One operation under the retry policy: reconnect when poisoned, exchange,
+    /// and — for retryable failures of retryable requests — back off and try
+    /// again. A completed exchange that reports a server-side failure
+    /// ([`ServerError::Remote`], [`ServerError::CorruptTrace`]) is never retried:
+    /// the answer is deterministic until someone changes the repository.
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        let mut previous = self.retry.base;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if self.poisoned && self.retry.max_attempts > 1 {
+                match Self::connect_stream(&self.addr, self.timeout) {
+                    Ok(stream) => {
+                        self.stream = stream;
+                        self.poisoned = false;
+                    }
+                    Err(e) => {
+                        if attempt >= self.retry.max_attempts || !retryable(request) {
+                            return Err(e);
+                        }
+                        previous = backoff(&self.retry, &mut self.rng, previous, None);
+                        continue;
+                    }
+                }
+            }
+            match self.call_once(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    let hint = match &e {
+                        // A shed: any request is safe to retry — the server read
+                        // nothing. Honor its backoff hint as the floor.
+                        ServerError::Busy { retry_after_ms } => {
+                            Some(Duration::from_millis(u64::from(*retry_after_ms)))
+                        }
+                        // A torn exchange: only idempotent requests replay.
+                        ServerError::Io(_) | ServerError::Proto(_) if retryable(request) => None,
+                        _ => return Err(e),
+                    };
+                    if attempt >= self.retry.max_attempts {
+                        return Err(e);
+                    }
+                    previous = backoff(&self.retry, &mut self.rng, previous, hint);
+                }
+            }
+        }
+    }
+
     /// One request/response exchange. Any transport-level failure poisons the
     /// connection (see the `poisoned` field); a server-reported [`Response::Error`]
     /// does not — that exchange completed, the protocol is intact.
-    fn call(&mut self, request: &Request) -> Result<Response> {
+    fn call_once(&mut self, request: &Request) -> Result<Response> {
         if self.poisoned {
             return Err(ServerError::Io(std::io::Error::other(
                 "connection poisoned by an earlier transport error; reconnect",
@@ -133,10 +281,17 @@ impl Client {
                 return Err(e);
             }
         };
-        if let Response::Error { message } = response {
-            return Err(ServerError::Remote(message));
+        match response {
+            Response::Error { message } => Err(ServerError::Remote(message)),
+            // The server closes a shed connection after the Busy frame; mark the
+            // stream dead so a retry dials fresh.
+            Response::Busy { retry_after_ms } => {
+                self.poisoned = true;
+                Err(ServerError::Busy { retry_after_ms })
+            }
+            Response::Corrupt { hash, .. } => Err(ServerError::CorruptTrace { hash }),
+            other => Ok(other),
         }
-        Ok(response)
     }
 
     /// Uploads a serialized trace (either encoding), returning its content hash and
@@ -262,6 +417,49 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+}
+
+/// Whether a request is safe to replay after a torn exchange. Everything except
+/// `Shutdown`: puts are content-addressed (a replay converges on the same hash
+/// without writing twice) and every other request is a pure read. A lost shutdown
+/// acknowledgement is *not* replayed — the first attempt may well have stopped the
+/// server, and "connection refused" would mask that success.
+fn retryable(request: &Request) -> bool {
+    !matches!(request, Request::Shutdown)
+}
+
+/// Seeds the xorshift64* jitter state (zero is a fixed point; displace it).
+fn seed_rng(seed: u64) -> u64 {
+    if seed == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        seed
+    }
+}
+
+fn next_rand(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *rng = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Sleeps one decorrelated-jitter step and returns it: uniform in
+/// `[base, max(base, min(cap, 3 × previous))]`, floored by a server-provided
+/// `hint` (a Busy `retry_after_ms` may exceed the cap — the server knows best).
+fn backoff(policy: &RetryPolicy, rng: &mut u64, previous: Duration, hint: Option<Duration>) -> Duration {
+    let base = policy.base.max(Duration::from_millis(1));
+    let upper = previous
+        .saturating_mul(3)
+        .min(policy.cap)
+        .max(base);
+    let span = upper.saturating_sub(base).as_nanos() as u64;
+    let jitter = base + Duration::from_nanos(if span == 0 { 0 } else { next_rand(rng) % span });
+    let sleep = jitter.max(hint.unwrap_or(Duration::ZERO));
+    std::thread::sleep(sleep);
+    sleep
 }
 
 fn unexpected(response: Response) -> ServerError {

@@ -47,13 +47,15 @@
 //! ```
 
 mod client;
+pub mod fs;
 pub mod proto;
 mod repo;
 mod server;
 
-pub use client::{Client, PutOutcome};
-pub use repo::{RepoStats, TraceRepo, DEFAULT_CACHE_BUDGET};
-pub use server::{Server, ServerConfig};
+pub use client::{Client, PutOutcome, RetryPolicy};
+pub use fs::{FaultyFs, RepoFs, StdFs};
+pub use repo::{RepoOptions, RepoStats, TraceRepo, DEFAULT_CACHE_BUDGET};
+pub use server::{Conn, Server, ServerConfig};
 
 /// Errors of the server stack: transport, protocol, storage and analysis failures.
 #[derive(Debug)]
@@ -77,6 +79,19 @@ pub enum ServerError {
     },
     /// The repository directory is missing, not a directory, or not writable.
     Repo(String),
+    /// A stored blob failed verification when read back and was quarantined; the
+    /// repository stays up, and the blob's bytes are preserved under `quarantine/`
+    /// for forensics. Re-uploading the trace heals the entry.
+    CorruptTrace {
+        /// The content hash whose blob was quarantined.
+        hash: u64,
+    },
+    /// The server is saturated (accept backlog full) and shed this connection
+    /// before reading a request. Retry after the hinted delay.
+    Busy {
+        /// Server-suggested minimum backoff before retrying.
+        retry_after_ms: u32,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -91,6 +106,14 @@ impl std::fmt::Display for ServerError {
                 write!(f, "unknown trace {hash:016x} (not in the repository)")
             }
             ServerError::Repo(message) => write!(f, "repository error: {message}"),
+            ServerError::CorruptTrace { hash } => write!(
+                f,
+                "trace {hash:016x} failed verification and was quarantined \
+                 (re-upload it to heal the entry)"
+            ),
+            ServerError::Busy { retry_after_ms } => {
+                write!(f, "server busy; retry after {retry_after_ms} ms")
+            }
         }
     }
 }

@@ -31,7 +31,11 @@ use rprism_trace::{intern, EventKind, Symbol, ValueFingerprint};
 /// The wire-protocol version; bumped on any incompatible message change. Every payload
 /// starts with this byte, so version skew fails fast with a structured error instead
 /// of a garbled decode.
-pub const PROTO_VERSION: u8 = 1;
+///
+/// Version 2 added the [`Response::Busy`] load-shed frame, the
+/// [`Response::Corrupt`] quarantine answer, and the recovery counters at the end
+/// of [`WireStats`].
+pub const PROTO_VERSION: u8 = 2;
 
 const TAG_PUT: u8 = 0x01;
 const TAG_GET: u8 = 0x02;
@@ -48,6 +52,8 @@ const TAG_DIFF_OK: u8 = 0x84;
 const TAG_ANALYZE_OK: u8 = 0x85;
 const TAG_STATS_OK: u8 = 0x86;
 const TAG_SHUTDOWN_OK: u8 = 0x87;
+const TAG_BUSY: u8 = 0xfd;
+const TAG_CORRUPT: u8 = 0xfe;
 const TAG_ERROR: u8 = 0xff;
 
 /// One client request.
@@ -127,6 +133,23 @@ pub enum Response {
     StatsOk(WireStats),
     /// Acknowledges a [`Request::Shutdown`]; the daemon stops accepting connections.
     ShutdownOk,
+    /// The server is saturated and shed this connection before serving any request;
+    /// the connection closes after this frame. Clients with a retry policy back off
+    /// at least the hinted delay and reconnect.
+    Busy {
+        /// Server-suggested minimum backoff before retrying.
+        retry_after_ms: u32,
+    },
+    /// The named blob failed verification when read back and was quarantined. The
+    /// repository stays up, and re-uploading the trace heals the entry — unlike
+    /// [`Response::Error`], this failure names the hash so clients can do exactly
+    /// that.
+    Corrupt {
+        /// The content hash whose blob was quarantined.
+        hash: u64,
+        /// Human-readable detail.
+        message: String,
+    },
     /// The request failed; the connection stays open unless the transport itself is
     /// compromised.
     Error {
@@ -375,6 +398,12 @@ pub struct WireStats {
     pub correlation_builds: u64,
     /// Trace pairs currently in the engine's correlation cache.
     pub cached_correlations: u64,
+    /// Orphaned staging files swept by startup recovery.
+    pub orphans_removed: u64,
+    /// Blobs quarantined after failing content verification.
+    pub quarantined: u64,
+    /// Watermark-triggered prepared-cache shrinks.
+    pub cache_shrinks: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -780,12 +809,26 @@ impl Response {
                     stats.requests_served,
                     stats.correlation_builds,
                     stats.cached_correlations,
+                    stats.orphans_removed,
+                    stats.quarantined,
+                    stats.cache_shrinks,
                 ] {
                     put_u64(&mut buf, value);
                 }
                 buf
             }
             Response::ShutdownOk => header(TAG_SHUTDOWN_OK),
+            Response::Busy { retry_after_ms } => {
+                let mut buf = header(TAG_BUSY);
+                put_u64(&mut buf, u64::from(*retry_after_ms));
+                buf
+            }
+            Response::Corrupt { hash, message } => {
+                let mut buf = header(TAG_CORRUPT);
+                put_u64(&mut buf, *hash);
+                put_str(&mut buf, message);
+                buf
+            }
             Response::Error { message } => {
                 let mut buf = header(TAG_ERROR);
                 put_str(&mut buf, message);
@@ -877,7 +920,7 @@ impl Response {
                 })
             }
             TAG_STATS_OK => {
-                let mut values = [0u64; 12];
+                let mut values = [0u64; 15];
                 for value in &mut values {
                     *value = dec.u64()?;
                 }
@@ -894,9 +937,20 @@ impl Response {
                     requests_served: values[9],
                     correlation_builds: values[10],
                     cached_correlations: values[11],
+                    orphans_removed: values[12],
+                    quarantined: values[13],
+                    cache_shrinks: values[14],
                 })
             }
             TAG_SHUTDOWN_OK => Response::ShutdownOk,
+            TAG_BUSY => Response::Busy {
+                retry_after_ms: u32::try_from(dec.u64()?)
+                    .map_err(|_| dec.corrupt("retry_after_ms overflows u32"))?,
+            },
+            TAG_CORRUPT => Response::Corrupt {
+                hash: dec.u64()?,
+                message: dec.str()?,
+            },
             TAG_ERROR => Response::Error { message: dec.str()? },
             other => return Err(dec.corrupt(format!("unknown response tag {other:#04x}"))),
         };
@@ -1014,8 +1068,16 @@ mod tests {
             requests_served: 10,
             correlation_builds: 11,
             cached_correlations: 12,
+            orphans_removed: 13,
+            quarantined: 14,
+            cache_shrinks: 15,
         }));
         round_trip_response(Response::ShutdownOk);
+        round_trip_response(Response::Busy { retry_after_ms: 250 });
+        round_trip_response(Response::Corrupt {
+            hash: 0xfeed_f00d,
+            message: "checksum mismatch".into(),
+        });
         round_trip_response(Response::Error {
             message: "nope".into(),
         });

@@ -9,6 +9,19 @@
 //! summary from its content, verifying the filename hash in the process — a repo
 //! directory is self-describing, with no index file to drift.
 //!
+//! Storage is **crash-safe**: a put stages the blob under a `.tmp` name, fsyncs the
+//! file, renames it to its content-addressed name, then fsyncs the directory — the
+//! rename is the commit point, so a crash at any instant leaves either no trace of
+//! the put or a fully durable blob, never a half-written file under a valid blob
+//! name. Startup recovery finishes what crashes started: orphaned `.tmp` staging
+//! files are swept (and counted in [`RepoStats::orphans_removed`]), and any blob
+//! that fails content verification — at startup *or* later when read back — is
+//! moved into `quarantine/` rather than taking the repository down; requests for a
+//! quarantined hash answer with [`ServerError::CorruptTrace`], and re-uploading the
+//! trace heals the entry. Every disk operation goes through the [`RepoFs`] seam
+//! (see [`crate::fs`]) so the chaos suite can kill a put at each step and prove
+//! these invariants.
+//!
 //! Above the blobs sits the hot cache: [`PreparedTrace`] handles produced by
 //! [`Engine::load_prepared`]'s bounded-memory streaming pipeline, keyed by content
 //! hash and bounded by a **byte budget** with least-recently-used eviction. The weight
@@ -29,11 +42,12 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use rprism::{Engine, PreparedTrace};
-use rprism_format::content_summary_path;
+use rprism_format::content_summary;
 
+use crate::fs::{RepoFs, StdFs};
 use crate::proto::RepoEntry;
 use crate::{Result, ServerError};
 
@@ -41,6 +55,34 @@ use crate::{Result, ServerError};
 pub const DEFAULT_CACHE_BUDGET: u64 = 256 * 1024 * 1024;
 
 const BLOB_EXTENSION: &str = "trace";
+
+/// Subdirectory that receives blobs failing content verification.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// How a [`TraceRepo`] is opened: cache budget, durability, and the filesystem
+/// implementation (the chaos suite swaps in [`crate::fs::FaultyFs`] here).
+#[derive(Clone, Debug)]
+pub struct RepoOptions {
+    /// Prepared-cache byte budget (blob-weight), clamped to at least 1.
+    pub cache_budget: u64,
+    /// When `true` (the default), every put fsyncs the staged blob and the
+    /// repository directory around the rename-commit. Turning this off trades
+    /// crash-safety for put throughput — an OS crash can then lose or tear blobs
+    /// that a client saw acknowledged.
+    pub durable: bool,
+    /// The filesystem the repository performs all disk operations through.
+    pub fs: Arc<dyn RepoFs>,
+}
+
+impl Default for RepoOptions {
+    fn default() -> Self {
+        RepoOptions {
+            cache_budget: DEFAULT_CACHE_BUDGET,
+            durable: true,
+            fs: Arc::new(StdFs),
+        }
+    }
+}
 
 /// What the repository knows about one stored blob.
 #[derive(Clone, Debug)]
@@ -98,6 +140,14 @@ pub struct RepoStats {
     pub evictions: u64,
     /// Uploads deduplicated against existing content since startup.
     pub dedup_hits: u64,
+    /// Orphaned `.tmp` staging files swept by startup recovery.
+    pub orphans_removed: u64,
+    /// Blobs moved to `quarantine/` after failing content verification (at
+    /// startup or when read back).
+    pub quarantined: u64,
+    /// Watermark-triggered cache shrinks ([`TraceRepo::shrink_cache`]) since
+    /// startup.
+    pub cache_shrinks: u64,
 }
 
 /// The content-addressed trace store shared by every server worker.
@@ -105,6 +155,8 @@ pub struct RepoStats {
 pub struct TraceRepo {
     dir: PathBuf,
     engine: Engine,
+    fs: Arc<dyn RepoFs>,
+    durable: bool,
     cache_budget: u64,
     index: Mutex<BTreeMap<u64, BlobInfo>>,
     cache: Mutex<PreparedCache>,
@@ -113,21 +165,40 @@ pub struct TraceRepo {
     dedup_hits: AtomicU64,
     /// Distinguishes the staging files of concurrent puts of identical content.
     staging_seq: AtomicU64,
+    /// Orphaned `.tmp` files swept by this open's startup recovery.
+    orphans_removed: u64,
+    quarantined: AtomicU64,
+    cache_shrinks: AtomicU64,
 }
 
 impl TraceRepo {
-    /// Opens a repository over an **existing, writable** directory, scanning (and
-    /// content-verifying) the blobs already in it. The engine is the analysis session
-    /// every request shares — its prepared-pair correlation cache is what makes
-    /// repeated remote diffs cheap.
+    /// Opens a repository over an **existing, writable** directory with default
+    /// options (durable puts, [`StdFs`]), scanning — and content-verifying — the
+    /// blobs already in it. The engine is the analysis session every request
+    /// shares; its prepared-pair correlation cache is what makes repeated remote
+    /// diffs cheap.
     ///
     /// # Errors
     ///
-    /// Returns [`ServerError::Repo`] when the directory is missing, not a directory,
-    /// or not writable, and [`ServerError::Format`] when a blob in it is corrupt or
-    /// misnamed.
+    /// Returns [`ServerError::Repo`] when the directory is missing, not a
+    /// directory, or not writable. Corrupt or misnamed blobs do **not** fail the
+    /// open — they are quarantined (see [`RepoOptions`] and the module docs).
     pub fn open(dir: impl AsRef<Path>, engine: Engine, cache_budget: u64) -> Result<Self> {
+        Self::open_with(
+            dir,
+            engine,
+            RepoOptions {
+                cache_budget,
+                ..RepoOptions::default()
+            },
+        )
+    }
+
+    /// [`TraceRepo::open`] with explicit [`RepoOptions`] (durability toggle and a
+    /// pluggable [`RepoFs`] for fault injection).
+    pub fn open_with(dir: impl AsRef<Path>, engine: Engine, options: RepoOptions) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
+        let fs = options.fs;
         if !dir.is_dir() {
             return Err(ServerError::Repo(format!(
                 "repository directory {} does not exist (create it first)",
@@ -148,7 +219,11 @@ impl TraceRepo {
                 ))
             })?;
 
+        // Startup recovery: sweep crash leftovers, verify every blob, quarantine
+        // what fails — the repository comes up on whatever is intact.
         let mut index = BTreeMap::new();
+        let mut orphans_removed = 0u64;
+        let mut quarantined = 0u64;
         let entries = std::fs::read_dir(&dir)
             .map_err(|e| ServerError::Repo(format!("cannot scan {}: {e}", dir.display())))?;
         for entry in entries {
@@ -156,12 +231,14 @@ impl TraceRepo {
                 .map_err(|e| ServerError::Repo(format!("cannot scan {}: {e}", dir.display())))?
                 .path();
             match path.extension().and_then(|e| e.to_str()) {
-                Some(BLOB_EXTENSION) => {}
-                // Staging leftovers of a put that crashed mid-write: harmless (never
-                // under a valid blob name) but worth sweeping so crash-restart cycles
-                // cannot accumulate dead blob-sized files.
+                Some(BLOB_EXTENSION) if path.is_file() => {}
+                // Staging leftovers of a put that crashed mid-write: never visible
+                // under a valid blob name, but swept (and counted) so crash-restart
+                // cycles cannot accumulate dead blob-sized files.
                 Some("tmp") => {
-                    std::fs::remove_file(&path).ok();
+                    if fs.remove_file(&path).is_ok() {
+                        orphans_removed += 1;
+                    }
                     continue;
                 }
                 _ => continue,
@@ -170,15 +247,22 @@ impl TraceRepo {
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .and_then(|s| u64::from_str_radix(s, 16).ok());
-            let summary = content_summary_path(&path).map_err(ServerError::Format)?;
-            if declared != Some(summary.hash) {
-                return Err(ServerError::Repo(format!(
-                    "blob {} does not hash to its filename (content hash {:016x})",
-                    path.display(),
-                    summary.hash
-                )));
-            }
-            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let verified = fs
+                .open_read(&path)
+                .map_err(rprism_format::FormatError::Io)
+                .and_then(content_summary);
+            let summary = match verified {
+                Ok(summary) if declared == Some(summary.hash) => summary,
+                // Undecodable or misnamed: preserve the bytes for forensics, keep
+                // the repository up.
+                Ok(_) | Err(_) => {
+                    if quarantine_file(fs.as_ref(), &dir, &path) {
+                        quarantined += 1;
+                    }
+                    continue;
+                }
+            };
+            let bytes = fs.len(&path).unwrap_or(0);
             index.insert(
                 summary.hash,
                 BlobInfo {
@@ -191,12 +275,17 @@ impl TraceRepo {
         Ok(TraceRepo {
             dir,
             engine,
-            cache_budget: cache_budget.max(1),
+            fs,
+            durable: options.durable,
+            cache_budget: options.cache_budget.max(1),
             index: Mutex::new(index),
             cache: Mutex::new(PreparedCache::default()),
             load_done: Condvar::new(),
             dedup_hits: AtomicU64::new(0),
             staging_seq: AtomicU64::new(0),
+            orphans_removed,
+            quarantined: AtomicU64::new(quarantined),
+            cache_shrinks: AtomicU64::new(0),
         })
     }
 
@@ -208,6 +297,15 @@ impl TraceRepo {
     /// The blob path of a content hash (whether or not it exists yet).
     fn blob_path(&self, hash: u64) -> PathBuf {
         self.dir.join(format!("{hash:016x}.{BLOB_EXTENSION}"))
+    }
+
+    /// Moves `path` into `quarantine/`, counting it. Best-effort: a quarantine
+    /// that itself fails leaves the file in place (it stays out of the index
+    /// either way).
+    fn quarantine(&self, path: &Path) {
+        if quarantine_file(self.fs.as_ref(), &self.dir, path) {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Stores a serialized trace, deduplicating by content: the upload is validated
@@ -233,27 +331,48 @@ impl TraceRepo {
         }
         // Stage the blob *outside* the lock (the disk write is the slow part and must
         // not stall concurrent requests), under a writer-unique name so racing puts of
-        // the same content cannot trample each other's staging file. Write-then-rename
-        // keeps a crashed put from leaving a half-blob under a valid blob name (the
-        // startup scan would reject it).
+        // the same content cannot trample each other's staging file. The durable
+        // commit sequence is write → fsync file → rename → fsync directory: the
+        // rename is the commit point, so a crash at any step leaves at worst an
+        // orphaned `.tmp` (swept at the next open), never a torn blob under a valid
+        // blob name.
         let path = self.blob_path(summary.hash);
         let staging = self.dir.join(format!(
             "{:016x}-{}.tmp",
             summary.hash,
             self.staging_seq.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&staging, bytes)?;
+        let staged = self.fs.write_all(&staging, bytes).and_then(|()| {
+            if self.durable {
+                self.fs.sync_file(&staging)
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = staged {
+            self.fs.remove_file(&staging).ok();
+            return Err(e.into());
+        }
         let mut index = self.index.lock().expect("repo index poisoned");
         if index.contains_key(&summary.hash) {
             // A racing put of the same content won; ours is redundant.
             drop(index);
             self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-            std::fs::remove_file(&staging).ok();
+            self.fs.remove_file(&staging).ok();
             return Ok((summary.hash, true, summary.entries));
         }
-        if let Err(e) = std::fs::rename(&staging, &path) {
-            std::fs::remove_file(&staging).ok();
+        if let Err(e) = self.fs.rename(&staging, &path) {
+            self.fs.remove_file(&staging).ok();
             return Err(e.into());
+        }
+        if self.durable {
+            if let Err(e) = self.fs.sync_dir(&self.dir) {
+                // The commit's durability is unknown — report failure and undo the
+                // visible entry so the caller's retry (puts are idempotent) converges
+                // on a fully acknowledged-and-durable blob or a clean error.
+                self.fs.remove_file(&path).ok();
+                return Err(e.into());
+            }
         }
         index.insert(
             summary.hash,
@@ -275,7 +394,7 @@ impl TraceRepo {
         if !self.index.lock().expect("repo index poisoned").contains_key(&hash) {
             return Err(ServerError::UnknownTrace { hash });
         }
-        Ok(std::fs::read(self.blob_path(hash))?)
+        Ok(self.fs.read(&self.blob_path(hash))?)
     }
 
     /// The prepared handle of a stored trace: from the hot cache when present, else
@@ -285,8 +404,11 @@ impl TraceRepo {
     ///
     /// # Errors
     ///
-    /// Returns [`ServerError::UnknownTrace`] for unknown hashes and
-    /// [`ServerError::Engine`] when the blob fails to stream.
+    /// Returns [`ServerError::UnknownTrace`] for unknown hashes,
+    /// [`ServerError::CorruptTrace`] when the blob fails verification on the way
+    /// back in (it is quarantined and dropped from the index — the repository
+    /// stays up), and [`ServerError::Io`] for transient read failures (the blob
+    /// stays; the next request retries the load).
     pub fn prepared(&self, hash: u64) -> Result<PreparedTrace> {
         let weight = {
             let index = self.index.lock().expect("repo index poisoned");
@@ -318,12 +440,36 @@ impl TraceRepo {
             }
         }
         // Stream outside the lock — this is the expensive part.
-        let loaded = self.engine.load_prepared(self.blob_path(hash));
+        let loaded = self
+            .fs
+            .open_read(&self.blob_path(hash))
+            .map_err(|e| rprism::Error::Format(rprism_format::FormatError::Io(e)))
+            .and_then(|input| self.engine.load_prepared_reader(input));
         let mut cache = self.cache.lock().expect("prepared cache poisoned");
         cache.in_flight.remove(&hash);
         self.load_done.notify_all();
         cache.misses += 1;
-        let handle = loaded?;
+        let handle = match loaded {
+            Ok(handle) => handle,
+            // An unreadable byte (bad magic, failed checksum, truncation) means the
+            // blob on disk no longer matches what verification admitted: quarantine
+            // it and drop the entry rather than erroring forever — the structured
+            // `CorruptTrace` answer tells the client a re-upload heals it. Plain
+            // I/O errors (disk hiccup, injected fault) are transient: the blob
+            // stays, and the next request retries the load.
+            Err(rprism::Error::Format(e)) => {
+                drop(cache);
+                return Err(match e {
+                    rprism_format::FormatError::Io(io) => ServerError::Io(io),
+                    _ => {
+                        self.index.lock().expect("repo index poisoned").remove(&hash);
+                        self.quarantine(&self.blob_path(hash));
+                        ServerError::CorruptTrace { hash }
+                    }
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
         cache.handles.insert(hash, handle.clone());
         cache.order.push_back(hash);
         cache.weight += weight;
@@ -352,6 +498,42 @@ impl TraceRepo {
             }
         }
         Ok(handle)
+    }
+
+    /// Evicts least-recently-used prepared handles until the cache weighs at most
+    /// `target_bytes`, returning how many were dropped. This is the memory-pressure
+    /// valve the server pulls when it sheds load: reads *degrade* to re-streaming
+    /// blobs (a latency cost), they are never refused. In-flight requests keep
+    /// their `Arc` clones alive, so shrinking is always safe.
+    pub fn shrink_cache(&self, target_bytes: u64) -> u64 {
+        let mut cache = self.cache.lock().expect("prepared cache poisoned");
+        let mut evicted = 0u64;
+        while cache.weight > target_bytes {
+            let Some(victim) = cache.order.pop_front() else {
+                break;
+            };
+            if cache.handles.remove(&victim).is_some() {
+                evicted += 1;
+                cache.evictions += 1;
+                let weight = self
+                    .index
+                    .lock()
+                    .expect("repo index poisoned")
+                    .get(&victim)
+                    .map(|info| info.bytes)
+                    .unwrap_or(0);
+                cache.weight = cache.weight.saturating_sub(weight);
+            }
+        }
+        if cache.handles.is_empty() {
+            // A victim quarantined after caching has no index weight to subtract;
+            // an empty cache weighs nothing by definition.
+            cache.weight = 0;
+        }
+        if evicted > 0 {
+            self.cache_shrinks.fetch_add(1, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// The repository listing, ordered by content hash.
@@ -389,8 +571,24 @@ impl TraceRepo {
             prepared_misses: cache.misses,
             evictions: cache.evictions,
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            orphans_removed: self.orphans_removed,
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            cache_shrinks: self.cache_shrinks.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Moves `path` into `dir/quarantine/` under its own file name, creating the
+/// quarantine directory on demand. Returns whether the move happened.
+fn quarantine_file(fs: &dyn RepoFs, dir: &Path, path: &Path) -> bool {
+    let Some(name) = path.file_name() else {
+        return false;
+    };
+    let qdir = dir.join(QUARANTINE_DIR);
+    if fs.create_dir_all(&qdir).is_err() {
+        return false;
+    }
+    fs.rename(path, &qdir.join(name)).is_ok()
 }
 
 #[cfg(test)]
@@ -485,6 +683,122 @@ mod tests {
             Err(ServerError::Repo(_))
         ));
         std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn startup_recovery_sweeps_orphans_and_quarantines_bad_blobs() {
+        let dir = temp_repo("recovery");
+        // A valid blob, an orphaned staging file, and two damaged "blobs": one
+        // undecodable, one valid but misnamed.
+        let good = sample_bytes(0x51, 50, Encoding::Binary);
+        let good_hash = {
+            let repo = TraceRepo::open(&dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap();
+            repo.put_bytes(&good).unwrap().0
+        };
+        std::fs::write(dir.join("deadbeefdeadbeef-3.tmp"), b"half a blob").unwrap();
+        std::fs::write(dir.join("0123456789abcdef.trace"), b"not a trace at all").unwrap();
+        let misnamed = sample_bytes(0x52, 20, Encoding::Binary);
+        std::fs::write(dir.join("00000000000000aa.trace"), &misnamed).unwrap();
+
+        let repo = TraceRepo::open(&dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap();
+        let stats = repo.stats();
+        assert_eq!(stats.blobs, 1, "only the intact blob survives");
+        assert_eq!(stats.orphans_removed, 1);
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(repo.get_bytes(good_hash).unwrap(), good);
+        assert!(matches!(
+            repo.get_bytes(0x0123456789abcdef),
+            Err(ServerError::UnknownTrace { .. })
+        ));
+        // The damaged bytes are preserved for forensics, not deleted.
+        assert!(dir.join("quarantine/0123456789abcdef.trace").is_file());
+        assert!(dir.join("quarantine/00000000000000aa.trace").is_file());
+        assert!(!dir.join("deadbeefdeadbeef-3.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runtime_corruption_is_quarantined_and_healed_by_reupload() {
+        let dir = temp_repo("heal");
+        let repo = TraceRepo::open(&dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap();
+        let bytes = sample_bytes(0x53, 40, Encoding::Binary);
+        let (hash, _, _) = repo.put_bytes(&bytes).unwrap();
+        // Scribble over the blob behind the repository's back.
+        let blob = dir.join(format!("{hash:016x}.trace"));
+        std::fs::write(&blob, b"bitrot").unwrap();
+
+        // The read answers a structured error; the repository stays up and the
+        // damaged bytes move aside.
+        assert!(matches!(
+            repo.prepared(hash),
+            Err(ServerError::CorruptTrace { hash: h }) if h == hash
+        ));
+        assert_eq!(repo.stats().blobs, 0);
+        assert_eq!(repo.stats().quarantined, 1);
+        assert!(dir.join(format!("quarantine/{hash:016x}.trace")).is_file());
+
+        // Re-uploading the same content heals the entry under the same hash.
+        let (rehash, deduped, _) = repo.put_bytes(&bytes).unwrap();
+        assert_eq!(rehash, hash);
+        assert!(!deduped);
+        repo.prepared(hash).expect("healed blob prepares");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shrink_cache_degrades_to_restreaming_never_refuses() {
+        let dir = temp_repo("shrink");
+        let repo = TraceRepo::open(&dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap();
+        let hashes: Vec<u64> = (0..2)
+            .map(|i| {
+                repo.put_bytes(&sample_bytes(0x60 + i, 40, Encoding::Binary))
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        for &h in &hashes {
+            repo.prepared(h).unwrap();
+        }
+        assert_eq!(repo.stats().prepared_cached, 2);
+
+        assert_eq!(repo.shrink_cache(0), 2);
+        let stats = repo.stats();
+        assert_eq!(stats.prepared_cached, 0);
+        assert_eq!(stats.prepared_cached_bytes, 0);
+        assert_eq!(stats.cache_shrinks, 1);
+
+        // Shrinking costs latency, not availability: both traces stream back in.
+        for &h in &hashes {
+            repo.prepared(h).unwrap();
+        }
+        assert_eq!(repo.stats().prepared_misses, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_staging_write_is_invisible_and_swept_on_reopen() {
+        use crate::fs::{FaultyFs, StdFs};
+        use rprism_format::fault::{Fault, FaultPlan};
+
+        let dir = temp_repo("torn");
+        let bytes = sample_bytes(0x70, 60, Encoding::Binary);
+        let plan = FaultPlan::new().fail_at("fs:write", 0, Fault::Short(16));
+        {
+            let options = RepoOptions {
+                fs: Arc::new(FaultyFs::new(StdFs, plan)),
+                ..RepoOptions::default()
+            };
+            let repo = TraceRepo::open_with(&dir, Engine::new(), options).unwrap();
+            assert!(repo.put_bytes(&bytes).is_err(), "torn write must surface");
+            assert_eq!(repo.stats().blobs, 0, "no half-written blob is visible");
+        }
+        // The torn put cleans its own staging file; even if a crash had prevented
+        // that, reopen sweeps anything left and the retry converges.
+        let repo = TraceRepo::open(&dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap();
+        let (hash, deduped, _) = repo.put_bytes(&bytes).unwrap();
+        assert!(!deduped);
+        assert_eq!(repo.get_bytes(hash).unwrap(), bytes);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,13 +4,22 @@
 //! ## Concurrency model
 //!
 //! The listener thread accepts connections and hands them to a fixed pool of worker
-//! threads over a bounded channel (back-pressure: when every worker is busy and the
-//! queue is full, accepting pauses instead of piling up sockets). Each worker owns one
+//! threads over a bounded queue ([`ServerConfig::backlog`]). Each worker owns one
 //! connection at a time and runs its request/response loop to completion. All workers
 //! share one `Arc<TraceRepo>` — and therefore one `Engine`, whose `Send + Sync`
 //! prepared/correlation caches are exactly what turns N clients diffing the same pairs
 //! into cache hits (the stress test in `rprism-core` pins the engine-level guarantee;
 //! `BENCH_5.json` records the resulting request throughput).
+//!
+//! ## Overload
+//!
+//! When every worker is busy *and* the queue is full, further connections are not
+//! silently parked: the listener answers each with one [`Response::Busy`] frame
+//! carrying a retry hint and closes it — an explicit, machine-readable shed that a
+//! retrying [`Client`](crate::Client) turns into bounded backoff. Saturation is
+//! also the memory-pressure signal: each shed shrinks the prepared cache to
+//! [`ServerConfig::cache_low_watermark`], degrading reads to re-streaming blobs
+//! rather than ever refusing them.
 //!
 //! ## Failure containment
 //!
@@ -27,11 +36,11 @@
 //! every worker finishes the requests already in flight before exiting —
 //! [`Server::run`] returns only after the pool has joined.
 
-use std::io::BufWriter;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::sync_channel;
+use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -39,12 +48,17 @@ use rprism::{Engine, PreparedTrace, RegressionInput};
 use rprism_format::frame::{read_frame, write_frame};
 
 use crate::proto::{Request, Response, WireDiff, WireReport, WireStats};
-use crate::repo::{TraceRepo, DEFAULT_CACHE_BUDGET};
+use crate::repo::{RepoOptions, TraceRepo, DEFAULT_CACHE_BUDGET};
 use crate::{Result, ServerError};
 
-/// How long a worker waits for the rest of a frame once its first byte arrived. A peer
-/// that stalls mid-frame has lost framing sync anyway, so this closes the connection.
+/// Default per-request transport deadline ([`ServerConfig::request_deadline`]): how
+/// long a worker waits for the rest of a frame once its first byte arrived, and how
+/// long a response write may take. A peer that stalls mid-frame has lost framing
+/// sync anyway, so this closes the connection.
 const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default [`ServerConfig::busy_retry_ms`] hint in a shed [`Response::Busy`] frame.
+const DEFAULT_BUSY_RETRY_MS: u32 = 100;
 
 /// The poll quantum of idle waits (between frames on a connection, and in the accept
 /// loop): how quickly a blocked worker or the listener notices the stop flag.
@@ -67,23 +81,47 @@ pub struct ServerConfig {
     pub cache_budget: u64,
     /// Maximum accepted frame payload (uploads larger than this are rejected).
     pub max_frame: u64,
+    /// Accepted connections that may wait for a free worker before the listener
+    /// sheds new ones with [`Response::Busy`] (defaults to `2 × threads`).
+    pub backlog: usize,
+    /// The backoff hint carried in a shed [`Response::Busy`] frame.
+    pub busy_retry_ms: u32,
+    /// The prepared-cache size the server shrinks to when it sheds load (defaults
+    /// to half the budget). Shrinking degrades reads to re-streaming blobs; it
+    /// never refuses them.
+    pub cache_low_watermark: u64,
+    /// When `true` (the default), puts fsync the staged blob and the repository
+    /// directory around the rename-commit (see [`RepoOptions::durable`]).
+    pub durable: bool,
+    /// Per-request transport deadline: the time budget for reading the rest of a
+    /// request frame after its first byte, and for writing a response frame. This
+    /// bounds the *transport* phases of a request — a slow peer cannot pin a
+    /// worker — not the analysis compute between them.
+    pub request_deadline: Duration,
     /// The analysis engine configuration shared by every request.
     pub engine: Engine,
 }
 
 impl ServerConfig {
     /// A configuration with the defaults: one worker per core (min 2), a 256 MiB
-    /// prepared-cache budget, 64 MiB frames, and a default [`Engine`].
+    /// prepared-cache budget, 64 MiB frames, a `2 × threads` backlog, durable
+    /// puts, a 60 s request deadline, and a default [`Engine`].
     pub fn new(addr: impl Into<String>, repo_dir: impl Into<std::path::PathBuf>) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2);
         ServerConfig {
             addr: addr.into(),
             repo_dir: repo_dir.into(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(2)
-                .max(2),
+            threads,
             cache_budget: DEFAULT_CACHE_BUDGET,
             max_frame: rprism_format::frame::DEFAULT_MAX_PAYLOAD,
+            backlog: threads * 2,
+            busy_retry_ms: DEFAULT_BUSY_RETRY_MS,
+            cache_low_watermark: DEFAULT_CACHE_BUDGET / 2,
+            durable: true,
+            request_deadline: FRAME_READ_TIMEOUT,
             engine: Engine::new(),
         }
     }
@@ -96,27 +134,44 @@ pub struct Server {
     repo: Arc<TraceRepo>,
     threads: usize,
     max_frame: u64,
+    backlog: usize,
+    busy_retry_ms: u32,
+    cache_low_watermark: u64,
+    request_deadline: Duration,
     stop: Arc<AtomicBool>,
     requests_served: Arc<AtomicU64>,
 }
 
 impl Server {
-    /// Binds the listener and opens the repository. Fails fast — a missing or
-    /// unwritable repository directory, a corrupt blob, or an unbindable address is a
-    /// startup error, not a latent runtime one.
+    /// Binds the listener and opens the repository (running its startup recovery:
+    /// orphan sweep and quarantine of damaged blobs). Fails fast — a missing or
+    /// unwritable repository directory or an unbindable address is a startup error,
+    /// not a latent runtime one.
     ///
     /// # Errors
     ///
-    /// Returns [`ServerError::Repo`]/[`ServerError::Format`] for repository problems
-    /// and [`ServerError::Io`] when the address cannot be bound.
+    /// Returns [`ServerError::Repo`] for repository problems and
+    /// [`ServerError::Io`] when the address cannot be bound.
     pub fn bind(config: ServerConfig) -> Result<Server> {
-        let repo = TraceRepo::open(&config.repo_dir, config.engine.clone(), config.cache_budget)?;
+        let repo = TraceRepo::open_with(
+            &config.repo_dir,
+            config.engine.clone(),
+            RepoOptions {
+                cache_budget: config.cache_budget,
+                durable: config.durable,
+                ..RepoOptions::default()
+            },
+        )?;
         let listener = TcpListener::bind(resolve(&config.addr)?)?;
         Ok(Server {
             listener,
             repo: Arc::new(repo),
             threads: config.threads.max(2),
             max_frame: config.max_frame,
+            backlog: config.backlog.max(1),
+            busy_retry_ms: config.busy_retry_ms,
+            cache_low_watermark: config.cache_low_watermark,
+            request_deadline: config.request_deadline,
             stop: Arc::new(AtomicBool::new(false)),
             requests_served: Arc::new(AtomicU64::new(0)),
         })
@@ -146,7 +201,7 @@ impl Server {
     /// errors are contained and answered on their own connections.
     pub fn run(self) -> Result<()> {
         self.listener.set_nonblocking(true)?;
-        let (queue_tx, queue_rx) = sync_channel::<TcpStream>(self.threads * 2);
+        let (queue_tx, queue_rx) = sync_channel::<TcpStream>(self.backlog);
         let queue_rx = Arc::new(Mutex::new(queue_rx));
         std::thread::scope(|scope| {
             for _ in 0..self.threads {
@@ -155,6 +210,7 @@ impl Server {
                     stop: Arc::clone(&self.stop),
                     requests_served: Arc::clone(&self.requests_served),
                     max_frame: self.max_frame,
+                    request_deadline: self.request_deadline,
                 };
                 let queue_rx = Arc::clone(&queue_rx);
                 scope.spawn(move || loop {
@@ -162,7 +218,7 @@ impl Server {
                     // signal to exit (after the in-flight connection finished).
                     let next = queue_rx.lock().expect("queue poisoned").recv();
                     match next {
-                        Ok(stream) => worker.serve_connection(stream),
+                        Ok(mut stream) => worker.serve_connection(&mut stream),
                         Err(_) => break,
                     }
                 });
@@ -171,10 +227,13 @@ impl Server {
             while !self.stop.load(Ordering::SeqCst) {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
-                        // Block for queue space (back-pressure), but never enqueue
-                        // past a stop request.
-                        if self.stop.load(Ordering::SeqCst) || queue_tx.send(stream).is_err() {
+                        if self.stop.load(Ordering::SeqCst) {
                             break;
+                        }
+                        match queue_tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => self.shed(stream),
+                            Err(TrySendError::Disconnected(_)) => break,
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -190,12 +249,63 @@ impl Server {
             Ok(())
         })
     }
+
+    /// Sheds one connection under saturation: answer a single [`Response::Busy`]
+    /// frame (best-effort, bounded write) and close. Saturation doubles as the
+    /// memory-pressure signal, so the prepared cache shrinks to the low watermark —
+    /// future reads may re-stream blobs, but nothing is refused.
+    fn shed(&self, mut stream: TcpStream) {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let busy = Response::Busy {
+            retry_after_ms: self.busy_retry_ms,
+        };
+        let mut frame = Vec::new();
+        let _ = write_frame(&mut frame, &busy.encode());
+        let _ = stream.write_all(&frame);
+        self.repo.shrink_cache(self.cache_low_watermark);
+    }
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr> {
     addr.to_socket_addrs()?
         .next()
         .ok_or_else(|| ServerError::Io(std::io::Error::other(format!("cannot resolve {addr:?}"))))
+}
+
+/// The connection-stream seam: what a server worker needs from a transport. The
+/// production implementation is [`TcpStream`]; the in-module unit tests drive the
+/// request loop over an in-memory duplex with injected faults, pinning the loop's
+/// behavior against torn frames without a socket in sight.
+pub trait Conn: Read + Write + Send {
+    /// Reads available bytes without consuming them (`Ok(0)` means peer closed).
+    fn peek(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+    /// Bounds subsequent reads (`WouldBlock`/`TimedOut` on expiry).
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()>;
+    /// Bounds subsequent writes.
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()>;
+    /// Disables Nagle batching where that concept exists; a no-op elsewhere.
+    fn set_nodelay(&mut self, nodelay: bool) -> std::io::Result<()> {
+        let _ = nodelay;
+        Ok(())
+    }
+}
+
+impl Conn for TcpStream {
+    fn peek(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        TcpStream::peek(self, buf)
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
+
+    fn set_nodelay(&mut self, nodelay: bool) -> std::io::Result<()> {
+        TcpStream::set_nodelay(self, nodelay)
+    }
 }
 
 /// Per-worker state: everything a connection handler needs, cheap to clone into the
@@ -205,36 +315,34 @@ struct Worker {
     stop: Arc<AtomicBool>,
     requests_served: Arc<AtomicU64>,
     max_frame: u64,
+    request_deadline: Duration,
 }
 
 impl Worker {
     /// Serves one connection to completion. Panics are contained per connection.
-    fn serve_connection(&self, stream: TcpStream) {
+    fn serve_connection<C: Conn>(&self, stream: &mut C) {
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            if let Err(e) = self.connection_loop(&stream) {
+            if let Err(e) = self.connection_loop(stream) {
                 // Best effort: tell the peer what went wrong before closing.
                 let response = Response::Error {
                     message: e.to_string(),
                 };
-                let mut out = BufWriter::new(&stream);
-                let _ = write_frame(&mut out, &response.encode());
+                let _ = write_response(stream, &response);
             }
         }));
         if outcome.is_err() {
             let response = Response::Error {
                 message: "internal server error (request handler panicked)".into(),
             };
-            let mut out = BufWriter::new(&stream);
-            let _ = write_frame(&mut out, &response.encode());
+            let _ = write_response(stream, &response);
         }
     }
 
     /// The request/response loop. Returns `Ok` on clean close (peer done, or
     /// post-shutdown), `Err` when the transport is no longer trustworthy.
-    fn connection_loop(&self, stream: &TcpStream) -> Result<()> {
+    fn connection_loop<C: Conn>(&self, stream: &mut C) -> Result<()> {
         stream.set_nodelay(true)?;
-        stream.set_write_timeout(Some(FRAME_READ_TIMEOUT))?;
-        let mut input = stream;
+        stream.set_write_timeout(Some(self.request_deadline))?;
         loop {
             // Idle wait: poll (peek, no bytes consumed) for the next frame's first
             // byte, so a worker parked on an idle connection notices a shutdown and
@@ -256,9 +364,9 @@ impl Worker {
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(ServerError::Io(e)),
             }
-            // A frame is arriving: switch to the real read timeout for its body.
-            stream.set_read_timeout(Some(FRAME_READ_TIMEOUT))?;
-            let payload = match read_frame(&mut input, self.max_frame) {
+            // A frame is arriving: switch to the request deadline for its body.
+            stream.set_read_timeout(Some(self.request_deadline))?;
+            let payload = match read_frame(stream, self.max_frame) {
                 Ok(Some(payload)) => payload,
                 // Clean end of stream between frames: the peer is done.
                 Ok(None) => return Ok(()),
@@ -272,8 +380,7 @@ impl Worker {
                     let response = self.handle(request);
                     self.requests_served.fetch_add(1, Ordering::Relaxed);
                     if is_shutdown {
-                        let mut out = BufWriter::new(stream);
-                        write_frame(&mut out, &response.encode()).map_err(ServerError::Proto)?;
+                        write_response(stream, &response)?;
                         return Ok(());
                     }
                     response
@@ -282,8 +389,7 @@ impl Worker {
                     message: format!("malformed request: {e}"),
                 },
             };
-            let mut out = BufWriter::new(stream);
-            write_frame(&mut out, &response.encode()).map_err(ServerError::Proto)?;
+            write_response(stream, &response)?;
             if self.stop.load(Ordering::SeqCst) {
                 // Drain semantics: the request that was in flight got its response;
                 // new requests belong to a restarted server.
@@ -292,10 +398,16 @@ impl Worker {
         }
     }
 
-    /// Executes one request. Every failure becomes a structured [`Response::Error`].
+    /// Executes one request. Every failure becomes a structured response frame:
+    /// a quarantined blob answers [`Response::Corrupt`] (the hash-bearing variant
+    /// clients heal by re-uploading), everything else [`Response::Error`].
     fn handle(&self, request: Request) -> Response {
         match self.try_handle(request) {
             Ok(response) => response,
+            Err(e @ ServerError::CorruptTrace { hash }) => Response::Corrupt {
+                hash,
+                message: e.to_string(),
+            },
             Err(e) => Response::Error {
                 message: e.to_string(),
             },
@@ -377,6 +489,9 @@ impl Worker {
                     requests_served: self.requests_served.load(Ordering::Relaxed),
                     correlation_builds: engine.correlation_builds(),
                     cached_correlations: engine.cached_correlations() as u64,
+                    orphans_removed: repo.orphans_removed,
+                    quarantined: repo.quarantined,
+                    cache_shrinks: repo.cache_shrinks,
                 }))
             }
             Request::Shutdown => {
@@ -385,6 +500,17 @@ impl Worker {
             }
         }
     }
+}
+
+/// Frames and writes one response in a single `write_all` (the frame is built in
+/// memory first, so a partial transport write can never emit a torn prefix that
+/// looks like the start of a valid frame followed by silence).
+fn write_response<C: Conn>(stream: &mut C, response: &Response) -> Result<()> {
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &response.encode()).map_err(ServerError::Proto)?;
+    stream.write_all(&frame)?;
+    stream.flush()?;
+    Ok(())
 }
 
 fn render_diff(
@@ -398,4 +524,147 @@ fn render_diff(
         |idx| left.describe_entry(idx),
         |idx| right.describe_entry(idx),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// An in-memory [`Conn`]: scripted input bytes on one side, captured output on
+    /// the other. Timeouts are no-ops — exhausted input reads as peer-closed, so
+    /// the request loop terminates instead of polling.
+    struct MemConn {
+        input: Vec<u8>,
+        pos: usize,
+        output: Vec<u8>,
+    }
+
+    impl MemConn {
+        fn new(input: Vec<u8>) -> Self {
+            MemConn {
+                input,
+                pos: 0,
+                output: Vec::new(),
+            }
+        }
+
+        /// The response frames the worker wrote, decoded in order.
+        fn responses(&self) -> Vec<Response> {
+            let mut cursor = &self.output[..];
+            let mut out = Vec::new();
+            while let Ok(Some(payload)) = read_frame(&mut cursor, u64::MAX) {
+                out.push(Response::decode(&payload).expect("response decodes"));
+            }
+            out
+        }
+    }
+
+    impl Read for MemConn {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.input.len() - self.pos);
+            buf[..n].copy_from_slice(&self.input[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for MemConn {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Conn for MemConn {
+        fn peek(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.input.len() - self.pos);
+            buf[..n].copy_from_slice(&self.input[self.pos..self.pos + n]);
+            Ok(n)
+        }
+
+        fn set_read_timeout(&mut self, _timeout: Option<Duration>) -> std::io::Result<()> {
+            Ok(())
+        }
+
+        fn set_write_timeout(&mut self, _timeout: Option<Duration>) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn temp_repo(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rprism-worker-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn worker(dir: &PathBuf) -> Worker {
+        Worker {
+            repo: Arc::new(TraceRepo::open(dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap()),
+            stop: Arc::new(AtomicBool::new(false)),
+            requests_served: Arc::new(AtomicU64::new(0)),
+            max_frame: rprism_format::frame::DEFAULT_MAX_PAYLOAD,
+            request_deadline: FRAME_READ_TIMEOUT,
+        }
+    }
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn malformed_requests_are_answered_and_the_connection_survives() {
+        let dir = temp_repo("malformed");
+        let worker = worker(&dir);
+        // An undecodable request followed by a valid one on the same connection.
+        let mut input = framed(b"this is not a request");
+        input.extend(framed(&Request::List.encode()));
+        let mut conn = MemConn::new(input);
+        worker.serve_connection(&mut conn);
+        let responses = conn.responses();
+        assert_eq!(responses.len(), 2, "both frames answered: {responses:?}");
+        assert!(matches!(&responses[0], Response::Error { .. }));
+        assert!(matches!(&responses[1], Response::ListOk { entries } if entries.is_empty()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_request_frame_is_a_contained_transport_error() {
+        let dir = temp_repo("torn-frame");
+        let worker = worker(&dir);
+        // A connection cut mid-frame: valid length prefix, half the payload.
+        let mut torn = framed(&Request::List.encode());
+        torn.truncate(torn.len() - 3);
+        let mut conn = MemConn::new(torn);
+        worker.serve_connection(&mut conn);
+        let responses = conn.responses();
+        assert_eq!(responses.len(), 1);
+        assert!(
+            matches!(&responses[0], Response::Error { message } if message.contains("truncated")),
+            "got {responses:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_frame_bytes_are_caught_by_the_checksum() {
+        let dir = temp_repo("flipped");
+        let worker = worker(&dir);
+        let mut input = framed(&Request::List.encode());
+        let mid = input.len() / 2;
+        input[mid] ^= 0x40;
+        let mut conn = MemConn::new(input);
+        worker.serve_connection(&mut conn);
+        let responses = conn.responses();
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(&responses[0], Response::Error { .. }), "got {responses:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
