@@ -33,6 +33,11 @@
 //!    directory fsync) and with `durable: false` (rename-commit only), printing
 //!    puts per second for both and the fsync cost ratio — the price of the
 //!    chaos-suite crash guarantees, and what `serve --no-fsync` buys back.
+//! 7. **check throughput** — a large well-formed `gen` trace streamed through the
+//!    `rprism-check` rule engine (`Engine::check_reader`: decode + all 20 rules,
+//!    including the vector-clock race detector, in one bounded-memory pass),
+//!    printing entries per second — the budget of a `check`-on-ingest gate (the
+//!    number recorded in `BENCH_6.json`).
 //!
 //! The `--json` flag emits all numbers as one JSON object.
 //!
@@ -516,6 +521,45 @@ fn measure_put_durability(samples: usize, old: &Trace) -> DurabilityMeasured {
     }
 }
 
+struct CheckMeasured {
+    entries: usize,
+    bytes: usize,
+    wall: Duration,
+}
+
+impl CheckMeasured {
+    fn entries_per_second(&self) -> f64 {
+        self.entries as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Streams a large well-formed `gen` trace (serialized binary, in memory) through
+/// `Engine::check_reader` — one decode + rule-engine fold per sample, best wall wins.
+/// The trace must check clean: a diagnostic here would mean the generator or a rule
+/// regressed, which would also skew the measurement with diagnostic formatting.
+fn measure_check_throughput(samples: usize) -> CheckMeasured {
+    use rprism_trace::testgen::{GenProfile, Rng};
+
+    const ENTRIES: usize = 100_000;
+    let trace = GenProfile::WellFormed.generate(&mut Rng::new(6), ENTRIES);
+    let bytes =
+        rprism_format::trace_to_bytes(&trace, rprism_format::Encoding::Binary).unwrap();
+    let engine = Engine::new();
+    let mut wall = Duration::MAX;
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        let report = engine.check_reader(&bytes[..]).expect("check streams");
+        wall = wall.min(start.elapsed());
+        assert!(report.is_clean(), "the well-formed profile must check clean");
+        assert_eq!(report.entries, ENTRIES);
+    }
+    CheckMeasured {
+        entries: ENTRIES,
+        bytes: bytes.len(),
+        wall,
+    }
+}
+
 fn main() {
     let mut json = false;
     let mut iterations = 400usize;
@@ -546,6 +590,7 @@ fn main() {
     let ingest = measure_streaming_ingest(samples, &old, &new);
     let server = measure_server_throughput(samples, &reuse_old, &reuse_new);
     let durability = measure_put_durability(samples, &old);
+    let check = measure_check_throughput(samples);
 
     let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
     let reuse_speedup =
@@ -615,13 +660,20 @@ fn main() {
             server.prepared_cache_speedup()
         );
         println!(
-            "  \"put_durability\": {{ \"puts\": {}, \"durable\": {{ \"wall_seconds\": {:.6}, \"puts_per_second\": {:.1} }}, \"no_fsync\": {{ \"wall_seconds\": {:.6}, \"puts_per_second\": {:.1} }}, \"fsync_cost_ratio\": {:.2} }}",
+            "  \"put_durability\": {{ \"puts\": {}, \"durable\": {{ \"wall_seconds\": {:.6}, \"puts_per_second\": {:.1} }}, \"no_fsync\": {{ \"wall_seconds\": {:.6}, \"puts_per_second\": {:.1} }}, \"fsync_cost_ratio\": {:.2} }},",
             durability.puts,
             durability.durable_wall.as_secs_f64(),
             durability.puts_per_second(durability.durable_wall),
             durability.fast_wall.as_secs_f64(),
             durability.puts_per_second(durability.fast_wall),
             durability.fsync_cost_ratio()
+        );
+        println!(
+            "  \"check_throughput\": {{ \"trace_entries\": {}, \"bytes\": {}, \"wall_seconds\": {:.6}, \"entries_per_second\": {:.0} }}",
+            check.entries,
+            check.bytes,
+            check.wall.as_secs_f64(),
+            check.entries_per_second()
         );
         println!("}}");
     } else {
@@ -701,6 +753,15 @@ fn main() {
             durability.fast_wall,
             durability.puts_per_second(durability.fast_wall),
             durability.fsync_cost_ratio()
+        );
+        println!(
+            "\n  check throughput ({} entries, {} bytes, all 20 rules):",
+            check.entries, check.bytes
+        );
+        println!(
+            "    streaming check: wall {:>10.3?}  {:>10.0} entries/s",
+            check.wall,
+            check.entries_per_second()
         );
         println!("\n  trace i/o ({} entries):", old.len());
         for m in &io {

@@ -1,0 +1,503 @@
+//! The rule registry: every invariant the checker enforces, with its identifier, default
+//! severity and semantic justification.
+//!
+//! The rules fall into the two families of the tentpole design:
+//!
+//! * **well-formedness** — invariants that any trace produced by the paper's
+//!   instrumentation semantics (§2.3, METH-E/RETURN-E/CONS-E/FORK-E/END-E) satisfies by
+//!   construction: call/return balance, context consistency, define-before-use of object
+//!   identities, fork/end discipline;
+//! * **concurrency** — a happens-before construction over program order and fork edges
+//!   (in the FastTrack tradition, scoped to the trace model) that flags conflicting
+//!   unordered accesses.
+//!
+//! Each rule documents a *clean* example (the fixture [`crate::fixtures::clean_trace`]
+//! never trips any rule) and a *violating* example
+//! ([`crate::fixtures::violating`] builds a minimal trace that trips exactly that rule).
+
+use crate::diag::Severity;
+
+/// Which analysis family a rule belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleFamily {
+    /// Structural trace-model invariants (paper §2.2–§2.3).
+    WellFormedness,
+    /// Happens-before reasoning over the concurrency events (fork/end, §2.3).
+    Concurrency,
+}
+
+impl RuleFamily {
+    /// A short lowercase label (`well-formedness` / `concurrency`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleFamily::WellFormedness => "well-formedness",
+            RuleFamily::Concurrency => "concurrency",
+        }
+    }
+}
+
+/// Registry metadata for one rule.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable kebab-case identifier (used in diagnostics, JSON output and CLI flags).
+    pub id: &'static str,
+    /// The severity assigned when the configuration does not override it.
+    pub default_severity: Severity,
+    /// The family the rule belongs to.
+    pub family: RuleFamily,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+    /// Why a well-formed trace satisfies the invariant (paper section / semantics rule).
+    pub justification: &'static str,
+}
+
+/// Entry ids must equal entry positions.
+///
+/// The trace container assigns `eid = index` on push (§2.2: a trace is a sequence and
+/// `eid` names a position), and every serialization round-trip preserves it.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("entry-id-order"));
+/// assert!(report.by_rule("entry-id-order").count() >= 1);
+/// ```
+pub const ENTRY_ID_ORDER: RuleInfo = RuleInfo {
+    id: "entry-id-order",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "entry ids equal entry positions",
+    justification: "a trace is a sequence; eid names the position (§2.2)",
+};
+
+/// A `return` event needs a matching open `call` on its thread.
+///
+/// METH-E emits the call before the frame is pushed and RETURN-E emits the return after
+/// it is popped, so per thread the return count never exceeds the call count at any
+/// prefix of the trace.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("return-without-call"));
+/// assert!(report.by_rule("return-without-call").count() >= 1);
+/// ```
+pub const RETURN_WITHOUT_CALL: RuleInfo = RuleInfo {
+    id: "return-without-call",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "every return has an open call on its thread",
+    justification: "METH-E/RETURN-E bracket each frame (§2.3)",
+};
+
+/// A `return` must name the innermost open method.
+///
+/// Calls and returns nest properly: the method a RETURN-E event names is the method of
+/// the frame being popped, which is the most recent unreturned call.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("return-method-mismatch"));
+/// assert!(report.by_rule("return-method-mismatch").count() >= 1);
+/// ```
+pub const RETURN_METHOD_MISMATCH: RuleInfo = RuleInfo {
+    id: "return-method-mismatch",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "returns name the innermost open method",
+    justification: "call/return events nest like the call stack (§2.3)",
+};
+
+/// An entry's context method must match the reconstructed call stack.
+///
+/// Every entry carries the method under execution (`entry(eid, tid, m, θ, e)`); replaying
+/// calls and returns reproduces exactly that method — `<main>` outside any call.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("method-context"));
+/// assert!(report.by_rule("method-context").count() >= 1);
+/// ```
+pub const METHOD_CONTEXT: RuleInfo = RuleInfo {
+    id: "method-context",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "the context method matches the reconstructed stack",
+    justification: "entries record the top stack frame's method (§2.2, Fig. 4)",
+};
+
+/// An entry's active object must match the reconstructed call stack.
+///
+/// The active object θ of an entry is the receiver of the innermost open call (compared
+/// by identity — class, location and creation sequence — since value fingerprints change
+/// as object state mutates).
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("active-context"));
+/// assert!(report.by_rule("active-context").count() >= 1);
+/// ```
+pub const ACTIVE_CONTEXT: RuleInfo = RuleInfo {
+    id: "active-context",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "the active object matches the reconstructed stack",
+    justification: "entries record the top stack frame's receiver (§2.2, Fig. 4)",
+};
+
+/// Calls still open when a thread ends.
+///
+/// Info by default: an aborted run (`Sys.fail`, the Derby-1633 shape) legitimately
+/// unwinds without emitting returns, so unreturned calls at `end` describe the run
+/// rather than indict the trace.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("unclosed-call"));
+/// assert!(report.by_rule("unclosed-call").count() >= 1);
+/// ```
+pub const UNCLOSED_CALL: RuleInfo = RuleInfo {
+    id: "unclosed-call",
+    default_severity: Severity::Info,
+    family: RuleFamily::WellFormedness,
+    summary: "calls left open at thread end (aborted run?)",
+    justification: "error propagation unwinds without RETURN-E events (§2.3)",
+};
+
+/// The `end` event's stack snapshot must be the unwound root frame.
+///
+/// END-E records the stack after unwinding: exactly one frame, the thread's synthetic
+/// `<main>` root.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("end-stack"));
+/// assert!(report.by_rule("end-stack").count() >= 1);
+/// ```
+pub const END_STACK: RuleInfo = RuleInfo {
+    id: "end-stack",
+    default_severity: Severity::Warning,
+    family: RuleFamily::WellFormedness,
+    summary: "end snapshots are the single root frame",
+    justification: "END-E snapshots the unwound stack (§2.3)",
+};
+
+/// Every thread that emits entries must emit an `end` event.
+///
+/// END-E fires even for aborted runs, so a thread with entries but no `end` indicates a
+/// truncated or filtered recording.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("missing-end"));
+/// assert!(report.by_rule("missing-end").count() >= 1);
+/// ```
+pub const MISSING_END: RuleInfo = RuleInfo {
+    id: "missing-end",
+    default_severity: Severity::Warning,
+    family: RuleFamily::WellFormedness,
+    summary: "threads with entries emit an end event",
+    justification: "END-E fires unconditionally at thread exit (§2.3)",
+};
+
+/// No entries after a thread's `end` event.
+///
+/// `end` is the last event of a thread; anything after it (including a second `end`)
+/// means thread ids were confused or the trace was stitched incorrectly.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("thread-after-end"));
+/// assert!(report.by_rule("thread-after-end").count() >= 1);
+/// ```
+pub const THREAD_AFTER_END: RuleInfo = RuleInfo {
+    id: "thread-after-end",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "no entries after a thread's end event",
+    justification: "END-E terminates the thread's entry stream (§2.3)",
+};
+
+/// A thread cannot fork itself.
+///
+/// FORK-E names a *fresh* child thread id; the forking thread already exists.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("fork-self"));
+/// assert!(report.by_rule("fork-self").count() >= 1);
+/// ```
+pub const FORK_SELF: RuleInfo = RuleInfo {
+    id: "fork-self",
+    default_severity: Severity::Error,
+    family: RuleFamily::Concurrency,
+    summary: "a fork never names the forking thread",
+    justification: "FORK-E allocates a fresh child tid (§2.3)",
+};
+
+/// A thread id is forked at most once (and never the main thread).
+///
+/// Child thread ids are allocated monotonically, so a second fork of the same id — or a
+/// fork naming the main thread, which exists from trace start — makes the fork graph
+/// cyclic or ambiguous.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("duplicate-fork"));
+/// assert!(report.by_rule("duplicate-fork").count() >= 1);
+/// ```
+pub const DUPLICATE_FORK: RuleInfo = RuleInfo {
+    id: "duplicate-fork",
+    default_severity: Severity::Error,
+    family: RuleFamily::Concurrency,
+    summary: "each thread id is forked at most once",
+    justification: "fresh monotone child tids keep the fork graph acyclic (§2.3)",
+};
+
+/// Every non-main thread is forked before it runs.
+///
+/// A child's first entry happens after its FORK-E event in any valid interleaving; a
+/// thread appearing out of nowhere (or before its fork) breaks thread parentage.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("orphan-thread"));
+/// assert!(report.by_rule("orphan-thread").count() >= 1);
+/// ```
+pub const ORPHAN_THREAD: RuleInfo = RuleInfo {
+    id: "orphan-thread",
+    default_severity: Severity::Error,
+    family: RuleFamily::Concurrency,
+    summary: "non-main threads appear only after their fork",
+    justification: "the trace order is a valid interleaving; forks precede children (§2.3)",
+};
+
+/// Fork parentage snapshots must match the forker's reconstructed stack.
+///
+/// FORK-E records the forker's current stack as `parentage[0]` and appends the forker's
+/// own ancestry, so the snapshot's method names equal the reconstructed stack and the
+/// parentage chain grows by exactly one per generation.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("fork-parentage"));
+/// assert!(report.by_rule("fork-parentage").count() >= 1);
+/// ```
+pub const FORK_PARENTAGE: RuleInfo = RuleInfo {
+    id: "fork-parentage",
+    default_severity: Severity::Warning,
+    family: RuleFamily::Concurrency,
+    summary: "fork parentage matches the forker's stack and ancestry depth",
+    justification: "FORK-E records snapshot_stack ++ ancestry (§2.3, Fig. 4)",
+};
+
+/// Object identities are defined (by `init`) before use.
+///
+/// CONS-E emits an `init` for every allocation; any later occurrence of the identity
+/// (class + creation sequence number, §3.1) in an entry's context or operands must be
+/// preceded by that `init` in trace order.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("define-before-use"));
+/// assert!(report.by_rule("define-before-use").count() >= 1);
+/// ```
+pub const DEFINE_BEFORE_USE: RuleInfo = RuleInfo {
+    id: "define-before-use",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "object identities are init'd before use",
+    justification: "CONS-E precedes any use of the allocated object (§2.3, §3.1)",
+};
+
+/// An object identity is created at most once.
+///
+/// Creation sequence numbers are per-class allocation counters; the same (class, seq)
+/// pair can never be the result of two `init` events.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("duplicate-init"));
+/// assert!(report.by_rule("duplicate-init").count() >= 1);
+/// ```
+pub const DUPLICATE_INIT: RuleInfo = RuleInfo {
+    id: "duplicate-init",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "each object identity is created exactly once",
+    justification: "creation seqs are per-class allocation counters (§3.1)",
+};
+
+/// No use of an object identity after its location was reallocated.
+///
+/// When a later `init` reuses a heap location, the previous occupant is dead; a
+/// subsequent use of the dead identity means the recorder kept a stale representation.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("use-after-death"));
+/// assert!(report.by_rule("use-after-death").count() >= 1);
+/// ```
+pub const USE_AFTER_DEATH: RuleInfo = RuleInfo {
+    id: "use-after-death",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "no use of identities whose location was reallocated",
+    justification: "locations are execution-local and unique while live (§2.2)",
+};
+
+/// An identity's heap location is stable across its uses.
+///
+/// Within one execution an object keeps its location `l`, so every occurrence of a
+/// (class, seq) identity must carry the location its `init` recorded.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("identity-confusion"));
+/// assert!(report.by_rule("identity-confusion").count() >= 1);
+/// ```
+pub const IDENTITY_CONFUSION: RuleInfo = RuleInfo {
+    id: "identity-confusion",
+    default_severity: Severity::Error,
+    family: RuleFamily::WellFormedness,
+    summary: "identities keep their init-time heap location",
+    justification: "⟨l, r⟩ representations pin l for the object's lifetime (§2.2, Fig. 8)",
+};
+
+/// Per-class creation sequence numbers increase along the trace.
+///
+/// Allocation and the `init` event are atomic with respect to the recorded
+/// interleaving, so the n-th created instance of a class appears before the (n+1)-th.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("init-order"));
+/// assert!(report.by_rule("init-order").count() >= 1);
+/// ```
+pub const INIT_ORDER: RuleInfo = RuleInfo {
+    id: "init-order",
+    default_severity: Severity::Warning,
+    family: RuleFamily::WellFormedness,
+    summary: "per-class creation seqs increase in trace order",
+    justification: "allocation+init is atomic in the interleaving (§3.1)",
+};
+
+/// Conflicting accesses to the same object field must be ordered by happens-before.
+///
+/// Happens-before is built from program order plus fork edges (the forker's history
+/// happens before everything the child does). Two accesses to the same (identity,
+/// field), at least one a write, that are unordered by this relation form a data race.
+/// Warning by default: the interleaving recorded in the trace *is* one valid schedule,
+/// but the unordered accesses make other schedules — other traces — possible.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("data-race"));
+/// assert!(report.by_rule("data-race").count() >= 1);
+/// ```
+pub const DATA_RACE: RuleInfo = RuleInfo {
+    id: "data-race",
+    default_severity: Severity::Warning,
+    family: RuleFamily::Concurrency,
+    summary: "conflicting same-field accesses are HB-ordered",
+    justification: "vector clocks over program order + fork edges (FastTrack, scoped to §2.3)",
+};
+
+/// Names in entries are well-formed (non-empty).
+///
+/// Interned symbols are content-addressed; an empty method, field or class name cannot
+/// come from the instrumentation semantics and breaks renderers and correlation keys.
+///
+/// ```
+/// use rprism_check::{check_trace, fixtures};
+/// assert!(check_trace(&fixtures::clean_trace()).is_clean());
+/// let report = check_trace(&fixtures::violating("name-wellformed"));
+/// assert!(report.by_rule("name-wellformed").count() >= 1);
+/// ```
+pub const NAME_WELLFORMED: RuleInfo = RuleInfo {
+    id: "name-wellformed",
+    default_severity: Severity::Warning,
+    family: RuleFamily::WellFormedness,
+    summary: "method, field and class names are non-empty",
+    justification: "names are interned symbols with content identity (§2.2)",
+};
+
+/// Every rule the engine implements, in registry order.
+pub const RULES: &[RuleInfo] = &[
+    ENTRY_ID_ORDER,
+    RETURN_WITHOUT_CALL,
+    RETURN_METHOD_MISMATCH,
+    METHOD_CONTEXT,
+    ACTIVE_CONTEXT,
+    UNCLOSED_CALL,
+    END_STACK,
+    MISSING_END,
+    THREAD_AFTER_END,
+    FORK_SELF,
+    DUPLICATE_FORK,
+    ORPHAN_THREAD,
+    FORK_PARENTAGE,
+    DEFINE_BEFORE_USE,
+    DUPLICATE_INIT,
+    USE_AFTER_DEATH,
+    IDENTITY_CONFUSION,
+    INIT_ORDER,
+    DATA_RACE,
+    NAME_WELLFORMED,
+];
+
+/// Looks a rule up by identifier.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// The default severity of a rule; panics on unknown ids (engine-internal use).
+pub(crate) fn default_severity(id: &str) -> Severity {
+    rule(id)
+        .unwrap_or_else(|| panic!("unknown rule id {id:?}"))
+        .default_severity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_kebab_case_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
+            assert!(
+                r.id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "rule id {} is not kebab-case",
+                r.id
+            );
+            assert_eq!(rule(r.id).unwrap().id, r.id);
+        }
+        assert!(RULES.len() >= 10, "the issue requires at least 10 rules");
+        assert!(rule("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn both_families_are_populated() {
+        assert!(RULES.iter().any(|r| r.family == RuleFamily::WellFormedness));
+        assert!(RULES.iter().any(|r| r.family == RuleFamily::Concurrency));
+    }
+}

@@ -4,7 +4,8 @@
 //! ```text
 //! rprism record <source.rp> --out <file> [--label L] [--encoding binary|jsonl]
 //! rprism record --scenario <name|all> --dir <dir> [--encoding binary|jsonl]
-//! rprism gen --out <file> [--entries N] [--seed S] [--encoding binary|jsonl]
+//! rprism gen --out <file> [--entries N] [--seed S] [--profile P] [--encoding binary|jsonl]
+//! rprism check <file ...> [--deny error|warning|info] [--format human|json] [--severity rule=sev …]
 //! rprism diff <a> <b> [<c> <d> …] [--lcs] [--max-seqs N] [--quiet] [--full]
 //! rprism analyze <or> <nr> <op> <np> [… groups of four] [--mode intersect|subtract] [--full]
 //! rprism convert <in> <out> [--encoding binary|jsonl]
@@ -34,7 +35,7 @@ use rprism::{
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("rprism: {message}");
             ExitCode::FAILURE
@@ -49,8 +50,20 @@ usage:
   rprism record --scenario <name|all> --dir <dir> [--encoding binary|jsonl]
       Export the four traces of a built-in case study (daikon, xalan-1725,
       xalan-1802, derby-1633) or of all of them.
-  rprism gen --out <file> [--entries <n>] [--seed <s>] [--encoding binary|jsonl]
+  rprism gen --out <file> [--entries <n>] [--seed <s>] [--profile <p>] [--encoding binary|jsonl]
       Generate a deterministic synthetic trace (load testing, format smoke tests).
+      Profiles: arbitrary (default; random soup), well-formed (passes every check
+      rule), and four adversarial shapes that each violate exactly one rule:
+      unbalanced-call, orphan-fork, use-after-death, racy-interleaving.
+  rprism check <file ...> [--deny error|warning|info] [--format human|json]
+               [--severity <rule>=<sev> ...]
+      Run the semantics-aware static analysis (well-formedness rules + the
+      happens-before race detector) over stored traces, streamed in one
+      bounded-memory pass. --deny sets the exit threshold (default warning);
+      --severity overrides one rule's severity (repeatable); --format json emits
+      one machine-readable report per line. Exit codes are pinned: 0 when no
+      diagnostic reaches the deny threshold, 1 when one does, 2 when a trace
+      cannot be read or decoded.
   rprism diff <a> <b> [<c> <d> ...] [--lcs] [--max-seqs <n>] [--quiet] [--full]
       Semantically difference stored trace pairs (batched via diff_many).
       Inputs are streamed through the bounded-memory prepare pipeline; --full
@@ -85,6 +98,11 @@ usage:
       Download a stored blob by content hash.
   rprism remote list --addr <host:port>
       List the server's stored traces.
+  rprism remote check <trace ...> [--addr] [--deny <sev>] [--format human|json]
+                      [--severity <rule>=<sev> ...]
+      Run the static analysis on the server over stored traces (hashes or files,
+      like diff). Output and exit codes match local `check` exactly — checking
+      the same blob locally and remotely prints byte-identical reports.
   rprism remote diff <a> <b> [--addr <host:port>] [--max-seqs <n>] [--quiet]
       Diff two stored traces on the server. <a>/<b> are 16-digit content hashes
       or local files (files are uploaded first).
@@ -111,7 +129,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--out", "--label", "--encoding", "--scenario", "--dir", "--max-seqs", "--mode",
     "--entries", "--seed", "--addr", "--repo", "--threads", "--cache-bytes",
     "--max-frame-bytes", "--timeout", "--backlog", "--cache-low-watermark",
-    "--busy-retry-ms", "--retries",
+    "--busy-retry-ms", "--retries", "--profile", "--deny", "--format", "--severity",
 ];
 
 impl Args {
@@ -152,6 +170,14 @@ impl Args {
         self.options.iter().any(|(k, _)| k == key)
     }
 
+    /// Every value given for a repeatable flag, in order.
+    fn values<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.options
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .filter_map(|(_, v)| v.as_deref())
+    }
+
     fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
         for (key, _) in &self.options {
             if !allowed.contains(&key.as_str()) {
@@ -175,24 +201,28 @@ impl Args {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return Err("missing subcommand".into());
     };
     let parsed = Args::parse(rest)?;
+    // `check` owns its exit code (pinned 0/1/2 semantics); every other subcommand
+    // maps success to 0 and any error to the generic failure code 1.
+    let done = |result: Result<(), String>| result.map(|()| ExitCode::SUCCESS);
     match command.as_str() {
-        "record" => record(&parsed),
-        "gen" => gen(&parsed),
-        "diff" => diff(&parsed),
-        "analyze" => analyze(&parsed),
-        "convert" => convert(&parsed),
-        "corpus" => corpus(&parsed),
-        "serve" => serve(&parsed),
+        "record" => done(record(&parsed)),
+        "gen" => done(gen(&parsed)),
+        "check" => check(&parsed),
+        "diff" => done(diff(&parsed)),
+        "analyze" => done(analyze(&parsed)),
+        "convert" => done(convert(&parsed)),
+        "corpus" => done(corpus(&parsed)),
+        "serve" => done(serve(&parsed)),
         "remote" => remote(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => {
             eprintln!("{USAGE}");
@@ -228,7 +258,7 @@ fn render_diff(
 }
 
 fn gen(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--out", "--entries", "--seed", "--encoding"])?;
+    args.reject_unknown(&["--out", "--entries", "--seed", "--profile", "--encoding"])?;
     if !args.positional.is_empty() {
         return Err("gen takes no positional arguments (use --out <file>)".into());
     }
@@ -243,20 +273,99 @@ fn gen(args: &Args) -> Result<(), String> {
     };
     let entries = parse_num("--entries", 10_000)?;
     let seed = parse_num("--seed", 0x5eed)?;
+    let profile: rprism::trace::testgen::GenProfile = args
+        .value("--profile")
+        .unwrap_or("arbitrary")
+        .parse()?;
     let mut rng = rprism::trace::testgen::Rng::new(seed);
-    let trace = rprism::trace::testgen::arbitrary_trace(&mut rng, entries as usize);
+    let trace = profile.generate(&mut rng, entries as usize);
     let encoding = args
         .encoding()?
         .unwrap_or_else(|| Encoding::for_path(&out));
     rprism_format::write_trace_path(&trace, &out, encoding)
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!(
-        "wrote {} ({} entries, seed {seed}, {} encoding)",
+        "wrote {} ({} entries, seed {seed}, {profile} profile, {} encoding)",
         out.display(),
         trace.len(),
         encoding
     );
     Ok(())
+}
+
+/// Parses the shared `check` flag set: the deny threshold, the output format, and any
+/// per-rule severity overrides. Used by both local `check` and `remote check` so the
+/// two accept identical configurations.
+fn check_options(args: &Args) -> Result<(rprism::CheckConfig, rprism::Severity, bool), String> {
+    let deny: rprism::Severity = match args.value("--deny") {
+        None => rprism::Severity::Warning,
+        Some(text) => text.parse().map_err(|e| format!("--deny: {e}"))?,
+    };
+    let json = match args.value("--format") {
+        None | Some("human") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(format!(
+                "unknown check format {other:?} (expected `human` or `json`)"
+            ))
+        }
+    };
+    let mut config = rprism::CheckConfig::default();
+    for spec in args.values("--severity") {
+        let (rule, sev) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--severity expects <rule>=<severity>, got {spec:?}"))?;
+        let sev: rprism::Severity = sev.parse().map_err(|e| format!("--severity {rule}: {e}"))?;
+        config = config.with_severity(rule, sev)?;
+    }
+    Ok((config, deny, json))
+}
+
+/// Renders one check report in the chosen format. The human rendering is the report's
+/// own (path-free, deterministic) text, so checking the same blob locally and via
+/// `remote check` prints byte-identical output.
+fn print_report(report: &rprism::CheckReport, json: bool) {
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+}
+
+fn check(args: &Args) -> Result<ExitCode, String> {
+    args.reject_unknown(&["--deny", "--format", "--severity"])?;
+    if args.positional.is_empty() {
+        return Err("check expects at least one trace file".into());
+    }
+    let (config, deny, json) = check_options(args)?;
+    let engine = Engine::builder()
+        .check_on_ingest(config, rprism::Severity::Error)
+        .build();
+    let mut denied = 0usize;
+    for path in &args.positional {
+        let report = match engine.check_path(path) {
+            Ok(report) => report,
+            Err(e) => {
+                // Exit code 2 is pinned to "could not read or decode a trace".
+                eprintln!("rprism: cannot check {path}: {e}");
+                return Ok(ExitCode::from(2));
+            }
+        };
+        print_report(&report, json);
+        denied += report.count_at_least(deny);
+    }
+    if args.positional.len() > 1 && !json {
+        println!(
+            "checked {} trace(s): {} diagnostic(s) at or above {deny}",
+            args.positional.len(),
+            denied
+        );
+    }
+    Ok(if denied > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn record(args: &Args) -> Result<(), String> {
@@ -556,25 +665,72 @@ fn remote_trace_arg(client: &mut rprism_server::Client, arg: &str) -> Result<u64
     Ok(put.hash)
 }
 
-fn remote(args: &[String]) -> Result<(), String> {
+fn remote(args: &[String]) -> Result<ExitCode, String> {
     let Some((verb, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return Err("remote expects a subcommand (put|get|list|diff|analyze|stats|shutdown)".into());
+        return Err(
+            "remote expects a subcommand (put|get|list|check|diff|analyze|stats|shutdown)".into(),
+        );
     };
     let parsed = Args::parse(rest)?;
+    let done = |result: Result<(), String>| result.map(|()| ExitCode::SUCCESS);
     match verb.as_str() {
-        "put" => remote_put(&parsed),
-        "get" => remote_get(&parsed),
-        "list" => remote_list(&parsed),
-        "diff" => remote_diff(&parsed),
-        "analyze" => remote_analyze(&parsed),
-        "stats" => remote_stats(&parsed),
-        "shutdown" => remote_shutdown(&parsed),
+        "put" => done(remote_put(&parsed)),
+        "get" => done(remote_get(&parsed)),
+        "list" => done(remote_list(&parsed)),
+        "check" => remote_check(&parsed),
+        "diff" => done(remote_diff(&parsed)),
+        "analyze" => done(remote_analyze(&parsed)),
+        "stats" => done(remote_stats(&parsed)),
+        "shutdown" => done(remote_shutdown(&parsed)),
         other => {
             eprintln!("{USAGE}");
             Err(format!("unknown remote subcommand {other:?}"))
         }
     }
+}
+
+fn remote_check(args: &Args) -> Result<ExitCode, String> {
+    args.reject_unknown(&[
+        "--addr",
+        "--max-frame-bytes",
+        "--timeout",
+        "--retries",
+        "--deny",
+        "--format",
+        "--severity",
+    ])?;
+    if args.positional.is_empty() {
+        return Err("remote check expects at least one trace (content hash or file)".into());
+    }
+    let (config, deny, json) = check_options(args)?;
+    let overrides: Vec<(String, rprism::Severity)> = config.overrides().to_vec();
+    let mut client = remote_client(args)?;
+    let mut denied = 0usize;
+    for arg in &args.positional {
+        let hash = remote_trace_arg(&mut client, arg)?;
+        let report = match client.check(hash, &overrides) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("rprism: cannot check {arg}: {e}");
+                return Ok(ExitCode::from(2));
+            }
+        };
+        print_report(&report, json);
+        denied += report.count_at_least(deny);
+    }
+    if args.positional.len() > 1 && !json {
+        println!(
+            "checked {} trace(s): {} diagnostic(s) at or above {deny}",
+            args.positional.len(),
+            denied
+        );
+    }
+    Ok(if denied > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn remote_put(args: &Args) -> Result<(), String> {

@@ -31,6 +31,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use rprism_check::{check_trace_with, CheckConfig, CheckReport, Checker, Severity};
 use rprism_format::{Encoding, TraceReader};
 use rprism_diff::{
     lcs_diff_prepared, views_diff_sides_correlated, DiffError, DiffSide, LcsDiffOptions,
@@ -46,7 +47,7 @@ use rprism_trace::{KeyedTrace, LeanTrace, Trace, TraceMeta};
 use rprism_views::{Correlation, ViewWeb};
 use rprism_vm::{run_traced, RunOutcome, RuntimeError, VmConfig};
 
-use crate::ingest::{stream_prepare, StreamedArtifacts};
+use crate::ingest::{stream_prepare_observed, StreamedArtifacts};
 use crate::{Error, Result};
 
 /// Default number of trace pairs kept in the pair-level correlation cache before
@@ -507,6 +508,15 @@ impl RegressionInput {
     }
 }
 
+/// The ingest-gate configuration of [`EngineBuilder::check_on_ingest`]: every loaded
+/// trace is run through the `rprism-check` streaming checker, and diagnostics at or
+/// above `deny` reject the load with [`Error::Check`].
+#[derive(Clone, Debug)]
+struct IngestCheck {
+    config: CheckConfig,
+    deny: Severity,
+}
+
 /// The session object of the public API: configuration plus prepared-artifact reuse.
 ///
 /// Build one with [`Engine::builder`] (or [`Engine::new`] for the defaults), prepare
@@ -538,6 +548,7 @@ pub struct Engine {
     render: RenderOptions,
     parallel: bool,
     encoding: Encoding,
+    ingest_check: Option<IngestCheck>,
     /// Session cache of pair-level artifacts: one view [`Correlation`] per unordered
     /// handle pair (flipped on opposite-orientation lookups). Shared by engine clones;
     /// bounded by least-recently-used eviction.
@@ -578,6 +589,7 @@ impl Engine {
             render: RenderOptions::default(),
             parallel: true,
             encoding: Encoding::default(),
+            ingest_check: None,
             correlation_cache_capacity: CORRELATION_CACHE_CAP,
         }
     }
@@ -623,7 +635,14 @@ impl Engine {
     /// Returns [`crate::Error::Format`] when the file is missing, truncated, corrupt, or
     /// uses an unsupported format version.
     pub fn load_trace(&self, path: impl AsRef<Path>) -> Result<PreparedTrace> {
-        Ok(PreparedTrace::new(rprism_format::read_trace_path(path)?))
+        let trace = rprism_format::read_trace_path(path)?;
+        if let Some(gate) = &self.ingest_check {
+            let report = check_trace_with(&trace, gate.config.clone());
+            if report.count_at_least(gate.deny) > 0 {
+                return Err(Error::Check(Box::new(report)));
+            }
+        }
+        Ok(PreparedTrace::new(trace))
     }
 
     /// Streams a serialized trace from disk straight into a prepared handle in **one
@@ -668,8 +687,103 @@ impl Engine {
     /// or uses an unsupported format version.
     pub fn load_prepared_reader(&self, input: impl std::io::Read + Send) -> Result<PreparedTrace> {
         let reader = TraceReader::new(BufReader::new(input))?;
-        let artifacts = stream_prepare(reader, self.parallel)?;
+        let artifacts = match &self.ingest_check {
+            None => stream_prepare_observed(reader, self.parallel, |_| {})?,
+            Some(gate) => {
+                // The checker rides the ingest pass as its entry observer: one decode,
+                // both the artifacts and the report, same memory bound.
+                let mut checker = Checker::with_config(gate.config.clone());
+                let artifacts =
+                    stream_prepare_observed(reader, self.parallel, |entry| checker.observe(entry))?;
+                let mut report = checker.finish();
+                report.trace_name = artifacts.meta.name.clone();
+                if report.count_at_least(gate.deny) > 0 {
+                    return Err(Error::Check(Box::new(report)));
+                }
+                artifacts
+            }
+        };
         Ok(PreparedTrace::from_streamed(artifacts))
+    }
+
+    /// Runs the `rprism-check` static analysis over a serialized trace on disk in one
+    /// bounded-memory streaming pass — the file is decoded entry by entry straight
+    /// into the checker's fold, never materializing the trace. The engine's
+    /// [`EngineBuilder::check_on_ingest`] rule configuration (severity overrides)
+    /// applies when set; the report is returned regardless of its severity — callers
+    /// decide what to deny.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] when the file is missing, truncated, corrupt,
+    /// or uses an unsupported format version.
+    pub fn check_path(&self, path: impl AsRef<Path>) -> Result<CheckReport> {
+        let file = File::open(path.as_ref()).map_err(rprism_format::FormatError::Io)?;
+        self.check_reader(file)
+    }
+
+    /// [`Engine::check_path`] over any byte source instead of a file path — the entry
+    /// point for checking blobs a trace repository or network peer streams in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] when the stream is empty, truncated, corrupt,
+    /// or uses an unsupported format version.
+    pub fn check_reader(&self, input: impl std::io::Read) -> Result<CheckReport> {
+        self.check_reader_with(input, self.check_config())
+    }
+
+    /// [`Engine::check_reader`] under an explicit rule configuration instead of the
+    /// engine's own — for callers (like the trace-repository server) that apply
+    /// per-request severity overrides over one shared engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] when the stream is empty, truncated, corrupt,
+    /// or uses an unsupported format version.
+    pub fn check_reader_with(
+        &self,
+        input: impl std::io::Read,
+        config: CheckConfig,
+    ) -> Result<CheckReport> {
+        let mut reader = TraceReader::new(BufReader::new(input))?;
+        let mut checker = Checker::with_config(config);
+        let mut batch = Vec::with_capacity(crate::ingest::BATCH_ENTRIES);
+        while reader.read_batch(&mut batch, crate::ingest::BATCH_ENTRIES)? > 0 {
+            for entry in &batch {
+                checker.observe(entry);
+            }
+        }
+        let mut report = checker.finish();
+        report.trace_name = reader.meta().name.clone();
+        Ok(report)
+    }
+
+    /// Runs the `rprism-check` static analysis over an already-prepared trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Streamed`] for streamed handles
+    /// ([`Engine::load_prepared`]), which no longer retain the entries a check needs —
+    /// gate those at load time with [`EngineBuilder::check_on_ingest`], or check the
+    /// serialized bytes directly with [`Engine::check_path`] /
+    /// [`Engine::check_reader`].
+    pub fn check_prepared(&self, trace: &PreparedTrace) -> Result<CheckReport> {
+        let Some(full) = trace.try_trace() else {
+            return Err(Error::Streamed {
+                operation: "check_prepared",
+            });
+        };
+        Ok(check_trace_with(full, self.check_config()))
+    }
+
+    /// The rule configuration checks run under: the ingest gate's when configured, the
+    /// defaults otherwise.
+    fn check_config(&self) -> CheckConfig {
+        self.ingest_check
+            .as_ref()
+            .map(|gate| gate.config.clone())
+            .unwrap_or_default()
     }
 
     /// Stores a prepared trace to disk in the engine's configured encoding
@@ -1042,6 +1156,7 @@ pub struct EngineBuilder {
     render: RenderOptions,
     parallel: bool,
     encoding: Encoding,
+    ingest_check: Option<IngestCheck>,
     correlation_cache_capacity: usize,
 }
 
@@ -1097,6 +1212,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Gates every trace load behind the `rprism-check` static analysis: after this,
+    /// [`Engine::load_trace`], [`Engine::load_prepared`] and
+    /// [`Engine::load_prepared_reader`] run the streaming checker over the decoded
+    /// entries (sharing the ingest pass — no second decode) and reject traces with
+    /// diagnostics at or above `deny` with [`Error::Check`]. Traced program runs
+    /// ([`Engine::trace`]) are not gated — the VM emits well-formed traces by
+    /// construction; the gate is for externally captured input.
+    pub fn check_on_ingest(mut self, config: CheckConfig, deny: Severity) -> Self {
+        self.ingest_check = Some(IngestCheck { config, deny });
+        self
+    }
+
     /// Number of trace pairs the session's correlation cache retains (default 128,
     /// minimum 1; least-recently-used eviction). Raise it for long-lived services that
     /// keep many hot pairs, lower it to bound memory under heavy pair churn.
@@ -1121,6 +1248,7 @@ impl EngineBuilder {
             render: self.render,
             parallel: self.parallel,
             encoding: self.encoding,
+            ingest_check: self.ingest_check,
             correlations: Arc::new(Mutex::new(CorrelationCache::new(
                 self.correlation_cache_capacity,
             ))),
@@ -1436,6 +1564,80 @@ mod tests {
         ));
         assert!(sa.describe_entry(0).is_some());
         assert!(sa.describe_entry(usize::MAX).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_prepared_passes_vm_traces_and_refuses_streamed_handles() {
+        let dir = std::env::temp_dir().join(format!("rprism-check-eng-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new();
+        let traced = engine.trace_source(&regression_sources(32, 20), "t").unwrap();
+        // The VM emits well-formed traces by construction; the checker must agree.
+        let report = engine.check_prepared(&traced).unwrap();
+        assert!(report.is_clean(), "{:#?}", report.diagnostics);
+
+        let path = dir.join("t.rtr");
+        engine.store_trace(&traced, &path).unwrap();
+        // Checking the serialized bytes streams to the same report.
+        let streamed_report = engine.check_path(&path).unwrap();
+        assert_eq!(report.diagnostics, streamed_report.diagnostics);
+
+        let streamed = engine.load_prepared(&path).unwrap();
+        assert!(matches!(
+            engine.check_prepared(&streamed),
+            Err(Error::Streamed { .. })
+        ));
+        assert!(matches!(
+            engine.check_path(dir.join("missing.rtr")),
+            Err(Error::Format(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_on_ingest_gates_both_load_paths() {
+        let dir = std::env::temp_dir().join(format!("rprism-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = Engine::new();
+        let gated = Engine::builder()
+            .check_on_ingest(CheckConfig::default(), Severity::Error)
+            .build();
+
+        let good = plain.trace_source(&regression_sources(32, 20), "ok").unwrap();
+        let good_path = dir.join("good.rtr");
+        plain.store_trace(&good, &good_path).unwrap();
+        assert!(gated.load_trace(&good_path).is_ok());
+        assert!(gated.load_prepared(&good_path).is_ok());
+
+        let bad_path = dir.join("bad.rtr");
+        let bad = rprism_check::fixtures::violating("define-before-use");
+        rprism_format::write_trace_path(&bad, &bad_path, Encoding::Binary).unwrap();
+        // The ungated engine loads the ill-formed trace without complaint …
+        assert!(plain.load_trace(&bad_path).is_ok());
+        // … the gated one rejects it on both paths, with the report attached.
+        for result in [
+            gated.load_trace(&bad_path).map(|_| ()),
+            gated.load_prepared(&bad_path).map(|_| ()),
+        ] {
+            match result {
+                Err(Error::Check(report)) => {
+                    assert_eq!(report.diagnostics[0].rule_id, "define-before-use");
+                    assert!(!report.trace_name.is_empty());
+                }
+                other => panic!("expected Error::Check, got {other:?}"),
+            }
+        }
+        // Raising the deny floor above the diagnostics admits the trace again.
+        let lenient = Engine::builder()
+            .check_on_ingest(
+                CheckConfig::default()
+                    .with_severity("define-before-use", Severity::Info)
+                    .unwrap(),
+                Severity::Warning,
+            )
+            .build();
+        assert!(lenient.load_trace(&bad_path).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

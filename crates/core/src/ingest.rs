@@ -91,20 +91,42 @@ impl StreamedArtifacts {
 /// dropped with the call frame, so a failed ingest leaves no residue beyond interned
 /// name strings (see the module docs).
 pub fn stream_prepare<R: BufRead>(
+    reader: TraceReader<R>,
+    parallel: bool,
+) -> Result<StreamedArtifacts, FormatError> {
+    stream_prepare_observed(reader, parallel, |_| {})
+}
+
+/// [`stream_prepare`] with a per-entry observer: `observe` is called once for every
+/// decoded entry, in entry order, on the calling thread, while the entry is still
+/// alive — before the pipeline consumes and drops it. This is how ingest-time
+/// analyses (the `rprism-check` streaming checker behind
+/// `EngineBuilder::check_on_ingest`) see every entry without a second decode pass and
+/// without the ingest layer depending on them.
+///
+/// The observer shares the pass's memory bound: it borrows each entry transiently and
+/// must not retain it.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] of the stream, like [`stream_prepare`].
+pub fn stream_prepare_observed<R: BufRead>(
     mut reader: TraceReader<R>,
     parallel: bool,
+    mut observe: impl FnMut(&TraceEntry),
 ) -> Result<StreamedArtifacts, FormatError> {
     let meta = reader.meta().clone();
     if parallel {
-        stream_parallel(reader, meta)
+        stream_parallel(reader, meta, &mut observe)
     } else {
-        stream_sequential(&mut reader, meta)
+        stream_sequential(&mut reader, meta, &mut observe)
     }
 }
 
 fn stream_sequential<R: BufRead>(
     reader: &mut TraceReader<R>,
     meta: TraceMeta,
+    observe: &mut impl FnMut(&TraceEntry),
 ) -> Result<StreamedArtifacts, FormatError> {
     let mut lean = LeanTrace::new(meta.clone());
     let mut keyed = KeyedTrace::default();
@@ -116,6 +138,7 @@ fn stream_sequential<R: BufRead>(
             break;
         }
         for entry in &batch {
+            observe(entry);
             lean.push(entry);
             keyed.push_entry(entry);
             web.extend(index, entry);
@@ -138,6 +161,7 @@ type Batch = (usize, Vec<TraceEntry>);
 fn stream_parallel<R: BufRead>(
     mut reader: TraceReader<R>,
     meta: TraceMeta,
+    observe: &mut impl FnMut(&TraceEntry),
 ) -> Result<StreamedArtifacts, FormatError> {
     let (stage1_tx, stage1_rx) = sync_channel::<Batch>(CHANNEL_BATCHES);
     let (stage2_tx, stage2_rx) = sync_channel::<Batch>(CHANNEL_BATCHES);
@@ -176,6 +200,11 @@ fn stream_parallel<R: BufRead>(
             match reader.read_batch(&mut batch, BATCH_ENTRIES) {
                 Ok(0) => break,
                 Ok(n) => {
+                    // The observer runs on the decode thread, in entry order, before
+                    // the batch enters the pipeline.
+                    for entry in &batch {
+                        observe(entry);
+                    }
                     // A send only fails when a builder panicked; the join below
                     // propagates that panic.
                     if stage1_tx.send((base, batch)).is_err() {

@@ -60,6 +60,7 @@
 //! `rprism-server` crate builds on this to serve one session to many network clients
 //! (`rprism serve` / `rprism remote` on the command line).
 
+pub use rprism_check as check;
 pub use rprism_diff as diff;
 pub use rprism_format as format;
 pub use rprism_lang as lang;
@@ -77,6 +78,7 @@ pub use rprism_diff::{
     LcsDiffOptions, LcsDiffOptionsBuilder, TraceDiffResult, ViewsDiffOptions,
     ViewsDiffOptionsBuilder,
 };
+pub use rprism_check::{CheckConfig, CheckReport, Severity};
 pub use rprism_format::{Encoding, FormatError};
 pub use rprism_regress::{AnalysisMode, DiffAlgorithm, RegressionReport, RenderOptions};
 
@@ -111,6 +113,10 @@ pub enum Error {
         /// The operation that was refused.
         operation: &'static str,
     },
+    /// A loaded trace was rejected by the ingest-time static analysis
+    /// ([`EngineBuilder::check_on_ingest`]): the report carries every diagnostic the
+    /// checker raised, including those below the deny threshold.
+    Check(Box<rprism_check::CheckReport>),
 }
 
 /// The crate-wide result alias.
@@ -129,6 +135,15 @@ impl std::fmt::Display for Error {
                  streaming-prepared (Engine::load_prepared) and retains only its \
                  analysis artifacts; load it with Engine::load_trace instead"
             ),
+            Error::Check(report) => {
+                let (errors, warnings, infos) = report.counts();
+                write!(
+                    f,
+                    "trace '{}' rejected by the ingest check: {errors} error(s), \
+                     {warnings} warning(s), {infos} info(s)",
+                    report.trace_name
+                )
+            }
         }
     }
 }

@@ -23,7 +23,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::time::Duration;
 
-use rprism::AnalysisMode;
+use rprism::{AnalysisMode, CheckReport, Severity};
 use rprism_format::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 
 use crate::proto::{RepoEntry, Request, Response, WireDiff, WireReport, WireStats};
@@ -390,6 +390,26 @@ impl Client {
             max_sequences,
         })? {
             Response::AnalyzeOk(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Runs the `rprism-check` static analysis over a stored trace on the server
+    /// (protocol version 3), with per-rule severity `overrides` applied over the
+    /// rule defaults. Returns the full structured report; rendering it locally
+    /// produces byte-identical output to a local `rprism check` of the same blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] for unknown hashes, unknown rule ids, and
+    /// servers older than protocol version 3 (which answer the unknown request
+    /// tag with an error frame).
+    pub fn check(&mut self, hash: u64, overrides: &[(String, Severity)]) -> Result<CheckReport> {
+        match self.call(&Request::Check {
+            hash,
+            overrides: overrides.to_vec(),
+        })? {
+            Response::CheckOk(report) => Ok(*report),
             other => Err(unexpected(other)),
         }
     }

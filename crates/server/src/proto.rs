@@ -21,21 +21,31 @@
 //! signatures equal to what a local analysis of the same traces would produce. The
 //! `remote_equivalence` integration suite pins exactly that.
 
-use rprism::{AnalysisMode, RegressionReport, TraceDiffResult};
+use rprism::check::{rules, Diagnostic};
+use rprism::{AnalysisMode, CheckReport, RegressionReport, Severity, TraceDiffResult};
 use rprism_diff::DiffSequence;
 use rprism_format::error::{FormatError, Result as FormatResult};
 use rprism_format::varint::{self, ByteSource as _};
 use rprism_regress::{DiffSet, DiffSignature};
 use rprism_trace::{intern, EventKind, Symbol, ValueFingerprint};
 
-/// The wire-protocol version; bumped on any incompatible message change. Every payload
-/// starts with this byte, so version skew fails fast with a structured error instead
-/// of a garbled decode.
+/// The wire-protocol version; bumped on any message change. Every payload starts
+/// with this byte.
 ///
 /// Version 2 added the [`Response::Busy`] load-shed frame, the
 /// [`Response::Corrupt`] quarantine answer, and the recovery counters at the end
-/// of [`WireStats`].
-pub const PROTO_VERSION: u8 = 2;
+/// of [`WireStats`]. Version 3 added [`Request::Check`] / [`Response::CheckOk`].
+///
+/// Encoders always stamp the current version; decoders accept every version from
+/// [`MIN_PROTO_VERSION`] up, and each message tag carries the version that
+/// introduced it — so a version-2 peer keeps working against a version-3 server
+/// for every version-2 message, while a version-2 frame carrying a version-3 tag
+/// is refused with a structured decode error (which the server answers with an
+/// error frame, keeping the connection alive) instead of a garbled decode.
+pub const PROTO_VERSION: u8 = 3;
+
+/// The oldest protocol version the decoders still accept (see [`PROTO_VERSION`]).
+pub const MIN_PROTO_VERSION: u8 = 2;
 
 const TAG_PUT: u8 = 0x01;
 const TAG_GET: u8 = 0x02;
@@ -44,6 +54,7 @@ const TAG_DIFF: u8 = 0x04;
 const TAG_ANALYZE: u8 = 0x05;
 const TAG_STATS: u8 = 0x06;
 const TAG_SHUTDOWN: u8 = 0x07;
+const TAG_CHECK: u8 = 0x08;
 
 const TAG_PUT_OK: u8 = 0x81;
 const TAG_GET_OK: u8 = 0x82;
@@ -52,9 +63,20 @@ const TAG_DIFF_OK: u8 = 0x84;
 const TAG_ANALYZE_OK: u8 = 0x85;
 const TAG_STATS_OK: u8 = 0x86;
 const TAG_SHUTDOWN_OK: u8 = 0x87;
+const TAG_CHECK_OK: u8 = 0x88;
 const TAG_BUSY: u8 = 0xfd;
 const TAG_CORRUPT: u8 = 0xfe;
 const TAG_ERROR: u8 = 0xff;
+
+/// The protocol version that introduced a message tag. A frame whose version byte
+/// predates its tag is a peer speaking a version it does not actually have; the
+/// decoders refuse it with a structured error naming the required version.
+fn tag_min_version(tag: u8) -> u8 {
+    match tag {
+        TAG_CHECK | TAG_CHECK_OK => 3,
+        _ => MIN_PROTO_VERSION,
+    }
+}
 
 /// One client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,6 +119,16 @@ pub enum Request {
         /// report.
         max_sequences: u64,
     },
+    /// Run the `rprism-check` static analysis over a stored trace (added in
+    /// protocol version 3).
+    Check {
+        /// The content hash of the trace to check.
+        hash: u64,
+        /// Per-rule severity overrides (`rule id → severity`), applied in order on
+        /// top of the rule defaults — the wire form of
+        /// [`CheckConfig::overrides`](rprism::CheckConfig::overrides).
+        overrides: Vec<(String, Severity)>,
+    },
     /// Repository and cache statistics.
     Stats,
     /// Gracefully stop the daemon: in-flight requests drain, then the listener exits.
@@ -129,6 +161,13 @@ pub enum Response {
     DiffOk(WireDiff),
     /// The result of a [`Request::Analyze`].
     AnalyzeOk(WireReport),
+    /// The result of a [`Request::Check`] (added in protocol version 3): the full
+    /// structured [`CheckReport`], not a rendering — the client renders locally with
+    /// the same code a local check uses, so `rprism remote check` output is
+    /// byte-identical to `rprism check` over the same blob. Diagnostic rule ids are
+    /// spelled out as strings on the wire and mapped back through the static rule
+    /// registry on decode (an unknown id is a decode error).
+    CheckOk(Box<CheckReport>),
     /// The statistics snapshot of a [`Request::Stats`].
     StatsOk(WireStats),
     /// Acknowledges a [`Request::Shutdown`]; the daemon stops accepting connections.
@@ -545,6 +584,106 @@ fn byte_mode(byte: u8, dec: &Dec<'_>) -> FormatResult<Option<AnalysisMode>> {
     })
 }
 
+fn severity_byte(severity: Severity) -> u8 {
+    match severity {
+        Severity::Info => 1,
+        Severity::Warning => 2,
+        Severity::Error => 3,
+    }
+}
+
+fn byte_severity(byte: u8, dec: &Dec<'_>) -> FormatResult<Severity> {
+    Ok(match byte {
+        1 => Severity::Info,
+        2 => Severity::Warning,
+        3 => Severity::Error,
+        other => return Err(dec.corrupt(format!("unknown severity {other:#04x}"))),
+    })
+}
+
+fn put_overrides(buf: &mut Vec<u8>, overrides: &[(String, Severity)]) {
+    put_u64(buf, overrides.len() as u64);
+    for (rule, severity) in overrides {
+        put_str(buf, rule);
+        buf.push(severity_byte(*severity));
+    }
+}
+
+fn get_overrides(dec: &mut Dec<'_>) -> FormatResult<Vec<(String, Severity)>> {
+    let count = dec.u64()?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let rule = dec.str()?;
+        let severity_raw = dec.u8()?;
+        out.push((rule, byte_severity(severity_raw, dec)?));
+    }
+    Ok(out)
+}
+
+fn put_check_report(buf: &mut Vec<u8>, report: &CheckReport) {
+    put_str(buf, &report.trace_name);
+    put_u64(buf, report.entries as u64);
+    put_u64(buf, report.threads as u64);
+    put_u64(buf, report.suppressed as u64);
+    put_u64(buf, report.diagnostics.len() as u64);
+    for diagnostic in &report.diagnostics {
+        put_str(buf, diagnostic.rule_id);
+        buf.push(severity_byte(diagnostic.severity));
+        put_u64(buf, diagnostic.entry_index as u64);
+        put_str(buf, &diagnostic.message);
+        put_u64(buf, diagnostic.related_entries.len() as u64);
+        for &related in &diagnostic.related_entries {
+            put_u64(buf, related as u64);
+        }
+    }
+}
+
+fn get_usize(dec: &mut Dec<'_>) -> FormatResult<usize> {
+    let value = dec.u64()?;
+    usize::try_from(value).map_err(|_| dec.corrupt("count overflows usize"))
+}
+
+fn get_check_report(dec: &mut Dec<'_>) -> FormatResult<CheckReport> {
+    let trace_name = dec.str()?;
+    let entries = get_usize(dec)?;
+    let threads = get_usize(dec)?;
+    let suppressed = get_usize(dec)?;
+    let count = dec.u64()?;
+    let mut diagnostics = Vec::new();
+    for _ in 0..count {
+        let rule_id = dec.str()?;
+        // Rule ids live in the static registry; mapping the wire string back
+        // through it both validates the id and recovers the `&'static str` the
+        // diagnostic model carries.
+        let rule_id = rules::rule(&rule_id)
+            .ok_or_else(|| dec.corrupt(format!("unknown rule id {rule_id:?}")))?
+            .id;
+        let severity_raw = dec.u8()?;
+        let severity = byte_severity(severity_raw, dec)?;
+        let entry_index = get_usize(dec)?;
+        let message = dec.str()?;
+        let related_count = dec.u64()?;
+        let mut related_entries = Vec::new();
+        for _ in 0..related_count {
+            related_entries.push(get_usize(dec)?);
+        }
+        diagnostics.push(Diagnostic {
+            rule_id,
+            severity,
+            entry_index,
+            message,
+            related_entries,
+        });
+    }
+    Ok(CheckReport {
+        trace_name,
+        entries,
+        threads,
+        suppressed,
+        diagnostics,
+    })
+}
+
 fn put_sequence(buf: &mut Vec<u8>, sequence: &WireSequence) {
     put_u64(buf, sequence.left.len() as u64);
     for &i in &sequence.left {
@@ -624,13 +763,19 @@ fn header(tag: u8) -> Vec<u8> {
 fn open(bytes: &[u8]) -> FormatResult<(u8, Dec<'_>)> {
     let mut dec = Dec::new(bytes);
     let version = dec.u8()?;
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(FormatError::UnsupportedVersion {
             found: u16::from(version),
             supported: u16::from(PROTO_VERSION),
         });
     }
     let tag = dec.u8()?;
+    if version < tag_min_version(tag) {
+        return Err(dec.corrupt(format!(
+            "message tag {tag:#04x} requires protocol version {}, frame is version {version}",
+            tag_min_version(tag)
+        )));
+    }
     Ok((tag, dec))
 }
 
@@ -676,6 +821,12 @@ impl Request {
                 put_u64(&mut buf, *max_sequences);
                 buf
             }
+            Request::Check { hash, overrides } => {
+                let mut buf = header(TAG_CHECK);
+                put_u64(&mut buf, *hash);
+                put_overrides(&mut buf, overrides);
+                buf
+            }
             Request::Stats => header(TAG_STATS),
             Request::Shutdown => header(TAG_SHUTDOWN),
         }
@@ -714,6 +865,10 @@ impl Request {
                     max_sequences: dec.u64()?,
                 }
             }
+            TAG_CHECK => Request::Check {
+                hash: dec.u64()?,
+                overrides: get_overrides(&mut dec)?,
+            },
             TAG_STATS => Request::Stats,
             TAG_SHUTDOWN => Request::Shutdown,
             other => return Err(dec.corrupt(format!("unknown request tag {other:#04x}"))),
@@ -792,6 +947,11 @@ impl Response {
                 }
                 put_u64(&mut buf, report.compare_ops);
                 put_str(&mut buf, &report.rendered);
+                buf
+            }
+            Response::CheckOk(report) => {
+                let mut buf = header(TAG_CHECK_OK);
+                put_check_report(&mut buf, report);
                 buf
             }
             Response::StatsOk(stats) => {
@@ -919,6 +1079,7 @@ impl Response {
                     rendered: dec.str()?,
                 })
             }
+            TAG_CHECK_OK => Response::CheckOk(Box::new(get_check_report(&mut dec)?)),
             TAG_STATS_OK => {
                 let mut values = [0u64; 15];
                 for value in &mut values {
@@ -999,6 +1160,18 @@ mod tests {
             mode: None,
             max_sequences: 10,
         });
+        round_trip_request(Request::Check {
+            hash: 7,
+            overrides: vec![],
+        });
+        round_trip_request(Request::Check {
+            hash: 0xfeed,
+            overrides: vec![
+                ("data-race".to_owned(), Severity::Error),
+                ("unclosed-call".to_owned(), Severity::Warning),
+                ("use-after-death".to_owned(), Severity::Info),
+            ],
+        });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
     }
@@ -1055,6 +1228,20 @@ mod tests {
             compare_ops: 123,
             rendered: "report".into(),
         }));
+        round_trip_response(Response::CheckOk(Box::new(CheckReport {
+            trace_name: "daikon".into(),
+            entries: 120,
+            threads: 2,
+            suppressed: 1,
+            diagnostics: vec![Diagnostic {
+                rule_id: rules::rule("data-race").unwrap().id,
+                severity: Severity::Warning,
+                entry_index: 17,
+                message: "write/write conflict".into(),
+                related_entries: vec![3, 9],
+            }],
+        })));
+        round_trip_response(Response::CheckOk(Box::default()));
         round_trip_response(Response::StatsOk(WireStats {
             blobs: 1,
             blob_bytes: 2,
@@ -1102,6 +1289,87 @@ mod tests {
         // A request is not a response and vice versa.
         assert!(Response::decode(&Request::List.encode()).is_err());
         assert!(Request::decode(&Response::ShutdownOk.encode()).is_err());
+    }
+
+    #[test]
+    fn version_2_frames_still_decode_for_version_2_messages() {
+        for request in [
+            Request::List,
+            Request::Get { hash: 9 },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let mut frame = request.encode();
+            frame[0] = 2;
+            assert_eq!(Request::decode(&frame).unwrap(), request);
+        }
+        let mut frame = Response::ShutdownOk.encode();
+        frame[0] = 2;
+        assert_eq!(Response::decode(&frame).unwrap(), Response::ShutdownOk);
+        // Version 1 frames are below the window and stay refused.
+        let mut frame = Request::List.encode();
+        frame[0] = 1;
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(FormatError::UnsupportedVersion { found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn version_3_tags_in_version_2_frames_are_structured_errors() {
+        let mut frame = Request::Check {
+            hash: 1,
+            overrides: vec![],
+        }
+        .encode();
+        frame[0] = 2;
+        let error = Request::decode(&frame).unwrap_err();
+        assert!(
+            error.to_string().contains("requires protocol version 3"),
+            "got {error}"
+        );
+        let mut frame = Response::CheckOk(Box::default()).encode();
+        frame[0] = 2;
+        assert!(Response::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_ids_and_severities_are_decode_errors() {
+        let report = CheckReport {
+            trace_name: "t".into(),
+            entries: 1,
+            threads: 1,
+            suppressed: 0,
+            diagnostics: vec![Diagnostic {
+                rule_id: rules::rule("end-stack").unwrap().id,
+                severity: Severity::Warning,
+                entry_index: 0,
+                message: "m".into(),
+                related_entries: vec![],
+            }],
+        };
+        let good = Response::CheckOk(Box::new(report)).encode();
+        // Corrupt the rule-id string ("end-stack" is the first string after the
+        // trace name and the four counts) into an unknown one.
+        let mut bad = good.clone();
+        let at = find(&bad, b"end-stack");
+        bad[at] = b'x';
+        let error = Response::decode(&bad).unwrap_err();
+        assert!(error.to_string().contains("unknown rule id"), "got {error}");
+        // An out-of-range severity byte is refused too.
+        let mut bad = good;
+        let at = find(&bad, b"end-stack") + "end-stack".len();
+        assert!(bad[at] <= 3, "expected the severity byte after the rule id");
+        bad[at] = 9;
+        let error = Response::decode(&bad).unwrap_err();
+        assert!(error.to_string().contains("unknown severity"), "got {error}");
+    }
+
+    fn find(haystack: &[u8], needle: &[u8]) -> usize {
+        haystack
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("needle present")
     }
 
     #[test]

@@ -277,3 +277,97 @@ fn graceful_shutdown_drains_in_flight_requests() {
     assert!(Client::connect(&addr.to_string(), Duration::from_millis(500)).is_err());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn remote_check_matches_a_local_check_byte_for_byte() {
+    let (addr, server, dir) = start("check");
+    let mut client = Client::connect(&addr.to_string(), TIMEOUT).unwrap();
+
+    // A trace with a seeded defect, so the report has a diagnostic to disagree on.
+    let trace = rprism_trace::testgen::GenProfile::RacyInterleaving
+        .generate(&mut Rng::new(11), 300);
+    let bytes = trace_to_bytes(&trace, Encoding::Binary).unwrap();
+    let put = client.put_bytes(bytes.clone()).unwrap();
+
+    let remote = client.check(put.hash, &[]).unwrap();
+    let local = Engine::new().check_reader(&bytes[..]).unwrap();
+    assert_eq!(remote, local, "structured reports must be identical");
+    assert_eq!(remote.render_human(), local.render_human());
+    assert_eq!(remote.render_json(), local.render_json());
+    assert_eq!(remote.by_rule("data-race").count(), 1);
+
+    // Severity overrides cross the wire and change the effective severity exactly
+    // as they would locally.
+    let overrides = vec![("data-race".to_owned(), rprism::Severity::Error)];
+    let remote = client.check(put.hash, &overrides).unwrap();
+    let config = rprism::CheckConfig::default()
+        .with_severity("data-race", rprism::Severity::Error)
+        .unwrap();
+    let local = Engine::new().check_reader_with(&bytes[..], config).unwrap();
+    assert_eq!(remote, local);
+    assert_eq!(remote.worst(), Some(rprism::Severity::Error));
+
+    // Unknown hashes and unknown rule ids are remote errors, not hangs; the
+    // connection keeps serving afterwards.
+    assert!(matches!(
+        client.check(0xdead_beef, &[]),
+        Err(ServerError::Remote(_))
+    ));
+    let bogus = vec![("no-such-rule".to_owned(), rprism::Severity::Info)];
+    assert!(matches!(
+        client.check(put.hash, &bogus),
+        Err(ServerError::Remote(_))
+    ));
+    assert!(client.check(put.hash, &[]).is_ok());
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_2_frames_interoperate_with_a_version_3_server() {
+    let (addr, server, dir) = start("proto-compat");
+
+    // A protocol-version-2 peer: its frames decode fine for version-2 messages,
+    // and a version-3 tag inside a version-2 frame gets a structured error frame —
+    // the connection survives both, and never hangs.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+
+    let mut list_v2 = Request::List.encode();
+    list_v2[0] = 2;
+    raw.write_all(&frame_to_bytes(&list_v2)).unwrap();
+    let reply = read_frame(&mut &raw, u64::MAX).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&reply).unwrap(),
+        Response::ListOk { entries } if entries.is_empty()
+    ));
+
+    let mut check_v2 = Request::Check {
+        hash: 1,
+        overrides: vec![],
+    }
+    .encode();
+    check_v2[0] = 2;
+    raw.write_all(&frame_to_bytes(&check_v2)).unwrap();
+    let reply = read_frame(&mut &raw, u64::MAX).unwrap().unwrap();
+    match Response::decode(&reply).unwrap() {
+        Response::Error { message } => assert!(
+            message.contains("requires protocol version 3"),
+            "got {message:?}"
+        ),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    // Same connection, still alive.
+    raw.write_all(&frame_to_bytes(&Request::Shutdown.encode()))
+        .unwrap();
+    let reply = read_frame(&mut &raw, u64::MAX).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&reply).unwrap(),
+        Response::ShutdownOk
+    ));
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

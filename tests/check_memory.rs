@@ -1,0 +1,112 @@
+//! Pins the memory claim of the streaming check path: `Engine::check_reader` folds a
+//! trace through the rule engine in O(threads + live objects) — its peak heap use
+//! must not scale with the entry count, while materializing the same trace does.
+//!
+//! The whole file is one test on purpose: the counting allocator is process-global,
+//! and concurrent tests would pollute each other's peak readings.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rprism::Engine;
+use rprism_format::{trace_from_bytes, trace_to_bytes, Encoding};
+use rprism_trace::testgen::{GenProfile, Rng};
+
+/// The system allocator with live/peak byte counters.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                let grown = new_size - layout.size();
+                let live = LIVE.fetch_add(grown, Ordering::Relaxed) + grown;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns its result plus the peak heap growth (bytes above the level
+/// live when it started) it caused.
+fn peak_growth<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let value = f();
+    let peak = PEAK.load(Ordering::Relaxed);
+    (value, peak.saturating_sub(baseline))
+}
+
+#[test]
+fn streaming_check_memory_is_flat_in_the_entry_count() {
+    // The interner and other process-global state allocate lazily on first touch;
+    // run one small check up front so the measured runs see a warm process.
+    let warmup = trace_to_bytes(
+        &GenProfile::WellFormed.generate(&mut Rng::new(1), 64),
+        Encoding::Binary,
+    )
+    .unwrap();
+    let engine = Engine::new();
+    engine.check_reader(&warmup[..]).unwrap();
+
+    // The largest `gen` trace this suite exercises, and a 10× smaller one to show
+    // the peak does not follow the entry count.
+    let small_bytes = trace_to_bytes(
+        &GenProfile::WellFormed.generate(&mut Rng::new(2), 20_000),
+        Encoding::Binary,
+    )
+    .unwrap();
+    let large_bytes = trace_to_bytes(
+        &GenProfile::WellFormed.generate(&mut Rng::new(2), 200_000),
+        Encoding::Binary,
+    )
+    .unwrap();
+
+    let (small_report, small_peak) = peak_growth(|| engine.check_reader(&small_bytes[..]).unwrap());
+    let (large_report, large_peak) = peak_growth(|| engine.check_reader(&large_bytes[..]).unwrap());
+    assert!(small_report.is_clean() && large_report.is_clean());
+    assert_eq!(large_report.entries, 200_000);
+    assert_eq!(large_report.threads, 4);
+
+    // O(threads + live objects): 10× the entries must not mean 10× the peak. Allow
+    // 2× slack for incidental buffers; the real signal is the order of magnitude.
+    assert!(
+        large_peak <= small_peak.max(64 * 1024) * 2,
+        "streaming peak grew with the trace: {small_peak} B at 20k entries, \
+         {large_peak} B at 200k entries"
+    );
+
+    // And materializing the same trace costs what streaming avoids: the full entry
+    // vector. The gap is the point of the streaming fold.
+    let (trace, materialized_peak) = peak_growth(|| trace_from_bytes(&large_bytes).unwrap());
+    assert_eq!(trace.entries.len(), 200_000);
+    assert!(
+        materialized_peak >= large_peak.max(1) * 8,
+        "materializing ({materialized_peak} B) should dwarf the streaming check \
+         ({large_peak} B)"
+    );
+}
