@@ -38,6 +38,13 @@
 //!    including the vector-clock race detector, in one bounded-memory pass),
 //!    printing entries per second — the budget of a `check`-on-ingest gate (the
 //!    number recorded in `BENCH_6.json`).
+//! 8. **anchored scaling** — a 100k-entry well-formed `gen` trace against a copy with
+//!    scattered mutations, differenced by the exact DP family (linear-space
+//!    Hirschberg, the only exact configuration that fits in memory at this size) and
+//!    by the anchored patience/histogram mode, printing wall time, matched pairs and
+//!    compare ops for both plus the wall-time speedup and the fraction of the exact
+//!    LCS the anchored matching recovers (the numbers recorded in `BENCH_7.json`;
+//!    size override: `RPRISM_BENCH_ANCHORED_ENTRIES`).
 //!
 //! The `--json` flag emits all numbers as one JSON object.
 //!
@@ -521,6 +528,94 @@ fn measure_put_durability(samples: usize, old: &Trace) -> DurabilityMeasured {
     }
 }
 
+struct AnchoredMeasured {
+    entries: [usize; 2],
+    mutations: usize,
+    exact_wall: Duration,
+    exact_pairs: usize,
+    exact_compare_ops: u64,
+    anchored_wall: Duration,
+    anchored_pairs: usize,
+    anchored_compare_ops: u64,
+}
+
+impl AnchoredMeasured {
+    fn speedup(&self) -> f64 {
+        self.exact_wall.as_secs_f64() / self.anchored_wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of the exact LCS the anchored matching recovered (anchors commit
+    /// early, so the anchored matching is valid but may be smaller).
+    fn recovery(&self) -> f64 {
+        self.anchored_pairs as f64 / self.exact_pairs.max(1) as f64
+    }
+}
+
+/// The `anchored_scaling` measurement (BENCH_7): a 100k-entry well-formed `gen` trace
+/// against a copy with scattered mutations (every 997th entry dropped, every 1499th
+/// duplicated — the "huge trace, sparse change" shape anchoring targets), differenced
+/// by the exact DP family and by the anchored mode.
+///
+/// The exact baseline is the *linear-space* configuration (`lcs_diff` with
+/// Hirschberg): the only exact DP-family configuration that fits in memory at this
+/// size — the quadratic table would need `4 * n * m` ≈ 40 GB — and it is measured
+/// once (it dominates wall time; its cost is deterministic). The anchored side runs
+/// best-of-`samples` with default options. Override the size with
+/// `RPRISM_BENCH_ANCHORED_ENTRIES` (CI uses a reduced size).
+fn measure_anchored_scaling(samples: usize) -> AnchoredMeasured {
+    use rprism_diff::{anchored_diff, lcs_diff, AnchoredDiffOptions, LcsDiffOptions};
+    use rprism_trace::testgen::{GenProfile, Rng};
+
+    let entries = std::env::var("RPRISM_BENCH_ANCHORED_ENTRIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000usize);
+    let base = GenProfile::WellFormed.generate(&mut Rng::new(41), entries);
+    let mut new = Trace::new(TraceMeta::new("anchored-new", "", ""));
+    let mut mutations = 0usize;
+    for (i, entry) in base.iter().enumerate() {
+        if i % 997 == 996 {
+            mutations += 1; // deletion
+            continue;
+        }
+        new.push(entry.clone());
+        if i % 1499 == 1498 {
+            mutations += 1; // insertion
+            new.push(entry.clone());
+        }
+    }
+
+    let exact = measure(1, || {
+        lcs_diff(
+            &base,
+            &new,
+            &LcsDiffOptions::builder().linear_space(true).build(),
+        )
+        .expect("linear-space LCS fits in memory")
+    });
+    let anchored = measure(samples, || {
+        anchored_diff(&base, &new, &AnchoredDiffOptions::default())
+    });
+
+    let exact_pairs = exact.result.matching.normalized_pairs().len();
+    let anchored_pairs = anchored.result.matching.normalized_pairs().len();
+    assert!(
+        anchored_pairs <= exact_pairs,
+        "anchored matched more pairs ({anchored_pairs}) than the exact LCS ({exact_pairs})"
+    );
+
+    AnchoredMeasured {
+        entries: [base.len(), new.len()],
+        mutations,
+        exact_wall: exact.wall,
+        exact_pairs,
+        exact_compare_ops: exact.result.cost.compare_ops,
+        anchored_wall: anchored.wall,
+        anchored_pairs,
+        anchored_compare_ops: anchored.result.cost.compare_ops,
+    }
+}
+
 struct CheckMeasured {
     entries: usize,
     bytes: usize,
@@ -591,6 +686,7 @@ fn main() {
     let server = measure_server_throughput(samples, &reuse_old, &reuse_new);
     let durability = measure_put_durability(samples, &old);
     let check = measure_check_throughput(samples);
+    let anchored = measure_anchored_scaling(samples);
 
     let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
     let reuse_speedup =
@@ -669,11 +765,25 @@ fn main() {
             durability.fsync_cost_ratio()
         );
         println!(
-            "  \"check_throughput\": {{ \"trace_entries\": {}, \"bytes\": {}, \"wall_seconds\": {:.6}, \"entries_per_second\": {:.0} }}",
+            "  \"check_throughput\": {{ \"trace_entries\": {}, \"bytes\": {}, \"wall_seconds\": {:.6}, \"entries_per_second\": {:.0} }},",
             check.entries,
             check.bytes,
             check.wall.as_secs_f64(),
             check.entries_per_second()
+        );
+        println!(
+            "  \"anchored_scaling\": {{ \"trace_entries\": [{}, {}], \"mutations\": {}, \"exact_linear_space\": {{ \"wall_seconds\": {:.6}, \"pairs\": {}, \"compare_ops\": {} }}, \"anchored\": {{ \"wall_seconds\": {:.6}, \"pairs\": {}, \"compare_ops\": {} }}, \"matching_recovery\": {:.6}, \"wall_time_speedup\": {:.2} }}",
+            anchored.entries[0],
+            anchored.entries[1],
+            anchored.mutations,
+            anchored.exact_wall.as_secs_f64(),
+            anchored.exact_pairs,
+            anchored.exact_compare_ops,
+            anchored.anchored_wall.as_secs_f64(),
+            anchored.anchored_pairs,
+            anchored.anchored_compare_ops,
+            anchored.recovery(),
+            anchored.speedup()
         );
         println!("}}");
     } else {
@@ -762,6 +872,23 @@ fn main() {
             "    streaming check: wall {:>10.3?}  {:>10.0} entries/s",
             check.wall,
             check.entries_per_second()
+        );
+        println!(
+            "\n  anchored scaling ({} / {} entries, {} scattered mutations):",
+            anchored.entries[0], anchored.entries[1], anchored.mutations
+        );
+        println!(
+            "    exact (linear-space DP): wall {:>10.3?}  {:>8} pairs  compare_ops {:>14}",
+            anchored.exact_wall, anchored.exact_pairs, anchored.exact_compare_ops
+        );
+        println!(
+            "    anchored:                wall {:>10.3?}  {:>8} pairs  compare_ops {:>14}",
+            anchored.anchored_wall, anchored.anchored_pairs, anchored.anchored_compare_ops
+        );
+        println!(
+            "    wall-time speedup: {:.2}x  (matching recovery {:.4})",
+            anchored.speedup(),
+            anchored.recovery()
         );
         println!("\n  trace i/o ({} entries):", old.len());
         for m in &io {

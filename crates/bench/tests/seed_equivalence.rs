@@ -11,7 +11,8 @@
 
 use rprism::Engine;
 use rprism_bench::seed_baseline::seed_views_diff;
-use rprism_diff::{views_diff, ViewsDiffOptions};
+use rprism_diff::{lcs_diff, views_diff, LcsDiffOptions, LcsKernel, ViewsDiffOptions};
+use rprism_regress::DiffAlgorithm;
 use rprism_workloads::casestudies;
 
 #[test]
@@ -24,27 +25,100 @@ fn keyed_pipeline_matches_seed_baseline_on_all_case_studies() {
         let new = &traces.traces.new_regressing;
 
         let seed = seed_views_diff(old, new, &ViewsDiffOptions::default());
-        let keyed = views_diff(old, new, &ViewsDiffOptions::default());
+        // Both secondary-LCS kernels must reproduce the seed exactly: the bit-parallel
+        // kernel (the default) replays the DP tie-breaks during traceback and meters
+        // DP-equivalent compare counts, so it is indistinguishable from `Dp` here.
+        for kernel in [LcsKernel::Dp, LcsKernel::BitParallel] {
+            let options = ViewsDiffOptions::builder().secondary_kernel(kernel).build();
+            let keyed = views_diff(old, new, &options);
 
+            assert_eq!(
+                seed.matching.normalized_pairs(),
+                keyed.matching.normalized_pairs(),
+                "{} ({kernel:?}): similarity sets diverged",
+                scenario.name
+            );
+            assert_eq!(
+                seed.sequences, keyed.sequences,
+                "{} ({kernel:?}): difference sequences diverged",
+                scenario.name
+            );
+            // The keyed pipeline folds prefix/suffix stripping into the LCS kernel, so
+            // it may only ever do *less* comparison work than the seed, never more.
+            assert!(
+                keyed.cost.compare_ops <= seed.cost.compare_ops,
+                "{} ({kernel:?}): keyed pipeline did more compares ({}) than the seed ({})",
+                scenario.name,
+                keyed.cost.compare_ops,
+                seed.cost.compare_ops
+            );
+        }
+    }
+}
+
+#[test]
+fn lcs_backends_produce_identical_matchings_on_all_case_studies() {
+    // The §3.2 baseline with the bit-parallel kernel is matching-identical to the DP
+    // kernel — same pairs, same sequences, same metered compares — on every suspected
+    // comparison of the four case studies.
+    for scenario in casestudies::all() {
+        let traces = scenario.trace_all().unwrap();
+        let old = &traces.traces.old_regressing;
+        let new = &traces.traces.new_regressing;
+
+        let run = |kernel: LcsKernel| {
+            lcs_diff(
+                old,
+                new,
+                &LcsDiffOptions::builder().kernel(kernel).build(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name))
+        };
+        let dp = run(LcsKernel::Dp);
+        let bp = run(LcsKernel::BitParallel);
         assert_eq!(
-            seed.matching.normalized_pairs(),
-            keyed.matching.normalized_pairs(),
-            "{}: similarity sets diverged",
+            dp.matching.normalized_pairs(),
+            bp.matching.normalized_pairs(),
+            "{}: LCS kernels diverged",
+            scenario.name
+        );
+        assert_eq!(dp.sequences, bp.sequences, "{}", scenario.name);
+        assert_eq!(dp.cost.compare_ops, bp.cost.compare_ops, "{}", scenario.name);
+    }
+}
+
+#[test]
+fn anchored_analysis_reaches_the_same_verdicts_as_the_exact_modes() {
+    // Verdict-equivalence, as documented in MIGRATION.md: the anchored mode's
+    // matchings may legitimately differ from the exact modes (anchors commit early),
+    // but the *analysis conclusions* must not — on every case study it covers exactly
+    // the ground-truth markers the exact views analysis covers, misses none it finds,
+    // and agrees on whether the regression was detected at all.
+    for scenario in casestudies::all() {
+        let exact = scenario
+            .analyze_and_evaluate(&DiffAlgorithm::Views(ViewsDiffOptions::default()))
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        let anchored = scenario
+            .analyze_and_evaluate(&DiffAlgorithm::Anchored(Default::default()))
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+
+        assert_eq!(exact.report.algorithm, "views");
+        assert_eq!(anchored.report.algorithm, "anchored");
+        assert_eq!(
+            anchored.quality.covered_markers, exact.quality.covered_markers,
+            "{}: anchored covered different ground-truth markers",
             scenario.name
         );
         assert_eq!(
-            seed.sequences, keyed.sequences,
-            "{}: difference sequences diverged",
+            anchored.quality.false_negatives, exact.quality.false_negatives,
+            "{}: anchored missed markers the exact analysis found",
             scenario.name
         );
-        // The keyed pipeline folds prefix/suffix stripping into lcs_dp, so it may only
-        // ever do *less* comparison work than the seed, never more.
-        assert!(
-            keyed.cost.compare_ops <= seed.cost.compare_ops,
-            "{}: keyed pipeline did more compares ({}) than the seed ({})",
-            scenario.name,
-            keyed.cost.compare_ops,
-            seed.cost.compare_ops
+        assert_eq!(
+            anchored.quality.reported_sequences > 0,
+            exact.quality.reported_sequences > 0,
+            "{}: anchored disagreed on whether a regression exists",
+            scenario.name
         );
     }
 }

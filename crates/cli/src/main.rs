@@ -6,8 +6,8 @@
 //! rprism record --scenario <name|all> --dir <dir> [--encoding binary|jsonl]
 //! rprism gen --out <file> [--entries N] [--seed S] [--profile P] [--encoding binary|jsonl]
 //! rprism check <file ...> [--deny error|warning|info] [--format human|json] [--severity rule=sev …]
-//! rprism diff <a> <b> [<c> <d> …] [--lcs] [--max-seqs N] [--quiet] [--full]
-//! rprism analyze <or> <nr> <op> <np> [… groups of four] [--mode intersect|subtract] [--full]
+//! rprism diff <a> <b> [<c> <d> …] [--algorithm views|lcs|anchored] [--lcs] [--max-seqs N] [--quiet] [--full]
+//! rprism analyze <or> <nr> <op> <np> [… groups of four] [--mode intersect|subtract] [--algorithm A] [--full]
 //! rprism convert <in> <out> [--encoding binary|jsonl]
 //! rprism corpus --dir <dir> [--check]
 //! rprism serve --addr <host:port> --repo <dir> [--threads N] [--cache-bytes B]
@@ -29,7 +29,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rprism::{
-    AnalysisMode, Encoding, Engine, LcsDiffOptions, PreparedTrace, RegressionInput, RenderOptions,
+    AnalysisMode, AnchoredDiffOptions, DiffAlgorithm, Encoding, Engine, LcsDiffOptions,
+    PreparedTrace, RegressionInput, RenderOptions, ViewsDiffOptions,
 };
 
 fn main() -> ExitCode {
@@ -64,11 +65,17 @@ usage:
       one machine-readable report per line. Exit codes are pinned: 0 when no
       diagnostic reaches the deny threshold, 1 when one does, 2 when a trace
       cannot be read or decoded.
-  rprism diff <a> <b> [<c> <d> ...] [--lcs] [--max-seqs <n>] [--quiet] [--full]
+  rprism diff <a> <b> [<c> <d> ...] [--algorithm views|lcs|anchored] [--lcs]
+              [--max-seqs <n>] [--quiet] [--full]
       Semantically difference stored trace pairs (batched via diff_many).
       Inputs are streamed through the bounded-memory prepare pipeline; --full
       loads whole traces instead (complete entry text in the rendered diff).
-  rprism analyze <or> <nr> <op> <np> [...] [--mode intersect|subtract] [--max-seqs <n>] [--full]
+      --algorithm picks the differencing family: views (default; the exact
+      §3.3 linear scan), lcs (exact §3.2 baseline; --lcs is shorthand), or
+      anchored (patience/histogram anchors — near-linear on huge traces,
+      same verdicts as the exact modes but matchings may differ).
+  rprism analyze <or> <nr> <op> <np> [...] [--mode intersect|subtract]
+                 [--algorithm views|lcs|anchored] [--max-seqs <n>] [--full]
       Run the regression-cause analysis over stored trace quadruples
       (old-regressing, new-regressing, old-passing, new-passing; batched,
       streamed like diff unless --full).
@@ -103,10 +110,13 @@ usage:
       Run the static analysis on the server over stored traces (hashes or files,
       like diff). Output and exit codes match local `check` exactly — checking
       the same blob locally and remotely prints byte-identical reports.
-  rprism remote diff <a> <b> [--addr <host:port>] [--max-seqs <n>] [--quiet]
+  rprism remote diff <a> <b> [--addr <host:port>] [--algorithm views|lcs|anchored]
+                     [--max-seqs <n>] [--quiet]
       Diff two stored traces on the server. <a>/<b> are 16-digit content hashes
-      or local files (files are uploaded first).
-  rprism remote analyze <or> <nr> <op> <np> [--addr] [--mode ...] [--max-seqs <n>]
+      or local files (files are uploaded first). --algorithm overrides the
+      server engine's differencing family (older servers reject the override).
+  rprism remote analyze <or> <nr> <op> <np> [--addr] [--mode ...]
+                        [--algorithm views|lcs|anchored] [--max-seqs <n>]
       Run the regression-cause analysis on the server (hashes or files, like diff).
   rprism remote stats --addr <host:port>
       Repository/cache statistics of the daemon.
@@ -130,6 +140,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--entries", "--seed", "--addr", "--repo", "--threads", "--cache-bytes",
     "--max-frame-bytes", "--timeout", "--backlog", "--cache-low-watermark",
     "--busy-retry-ms", "--retries", "--profile", "--deny", "--format", "--severity",
+    "--algorithm",
 ];
 
 impl Args {
@@ -430,8 +441,37 @@ fn record(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses an `--algorithm` value into the engine configuration for that family
+/// (with the family's default options).
+fn parse_algorithm(name: &str) -> Result<DiffAlgorithm, String> {
+    match name {
+        "views" => Ok(DiffAlgorithm::Views(ViewsDiffOptions::default())),
+        "lcs" => Ok(DiffAlgorithm::Lcs(LcsDiffOptions::default())),
+        "anchored" => Ok(DiffAlgorithm::Anchored(AnchoredDiffOptions::default())),
+        other => Err(format!(
+            "unknown diff algorithm {other:?} (expected `views`, `lcs` or `anchored`)"
+        )),
+    }
+}
+
+/// The `--algorithm` override of a remote verb, in wire form (`None` = server default).
+fn parse_wire_algorithm(args: &Args) -> Result<Option<rprism_server::WireAlgorithm>, String> {
+    use rprism_server::WireAlgorithm;
+    Ok(match args.value("--algorithm") {
+        None => None,
+        Some("views") => Some(WireAlgorithm::Views),
+        Some("lcs") => Some(WireAlgorithm::Lcs),
+        Some("anchored") => Some(WireAlgorithm::Anchored),
+        Some(other) => {
+            return Err(format!(
+                "unknown diff algorithm {other:?} (expected `views`, `lcs` or `anchored`)"
+            ))
+        }
+    })
+}
+
 fn diff(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--lcs", "--max-seqs", "--quiet", "--full"])?;
+    args.reject_unknown(&["--algorithm", "--lcs", "--max-seqs", "--quiet", "--full"])?;
     let paths = &args.positional;
     if paths.len() < 2 || !paths.len().is_multiple_of(2) {
         return Err(format!(
@@ -442,7 +482,14 @@ fn diff(args: &Args) -> Result<(), String> {
     let max_seqs = args.max_seqs()?;
     let full = args.switch("--full");
     let mut builder = Engine::builder();
-    if args.switch("--lcs") {
+    if let Some(name) = args.value("--algorithm") {
+        if args.switch("--lcs") && name != "lcs" {
+            return Err(format!(
+                "--lcs conflicts with --algorithm {name} (drop one of the two)"
+            ));
+        }
+        builder = builder.algorithm(parse_algorithm(name)?);
+    } else if args.switch("--lcs") {
         builder = builder.lcs_baseline(LcsDiffOptions::default());
     }
     let engine = builder.build();
@@ -472,7 +519,7 @@ fn diff(args: &Args) -> Result<(), String> {
 }
 
 fn analyze(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--mode", "--max-seqs", "--full"])?;
+    args.reject_unknown(&["--algorithm", "--mode", "--max-seqs", "--full"])?;
     let paths = &args.positional;
     if paths.is_empty() || !paths.len().is_multiple_of(4) {
         return Err(format!(
@@ -491,12 +538,14 @@ fn analyze(args: &Args) -> Result<(), String> {
             ))
         }
     };
-    let engine = Engine::builder()
-        .render_options(RenderOptions {
-            max_regression_sequences: args.max_seqs()?,
-            ..RenderOptions::default()
-        })
-        .build();
+    let mut builder = Engine::builder().render_options(RenderOptions {
+        max_regression_sequences: args.max_seqs()?,
+        ..RenderOptions::default()
+    });
+    if let Some(name) = args.value("--algorithm") {
+        builder = builder.algorithm(parse_algorithm(name)?);
+    }
+    let engine = builder.build();
     let full = args.switch("--full");
     let mut inputs = Vec::new();
     for group in paths.chunks(4) {
@@ -786,16 +835,20 @@ fn remote_list(args: &Args) -> Result<(), String> {
 }
 
 fn remote_diff(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries", "--max-seqs", "--quiet"])?;
+    args.reject_unknown(&[
+        "--addr", "--max-frame-bytes", "--timeout", "--retries", "--max-seqs", "--quiet",
+        "--algorithm",
+    ])?;
     let [left, right] = args.positional.as_slice() else {
         return Err("remote diff expects two traces (content hashes or files)".into());
     };
     let max_seqs = args.max_seqs()?;
+    let algorithm = parse_wire_algorithm(args)?;
     let mut client = remote_client(args)?;
     let left_hash = remote_trace_arg(&mut client, left)?;
     let right_hash = remote_trace_arg(&mut client, right)?;
     let diff = client
-        .diff(left_hash, right_hash, max_seqs as u64)
+        .diff_with_algorithm(left_hash, right_hash, max_seqs as u64, algorithm)
         .map_err(|e| format!("remote differencing failed: {e}"))?;
     // Same summary shape as the local `diff` subcommand, so outputs are comparable.
     println!(
@@ -815,7 +868,10 @@ fn remote_diff(args: &Args) -> Result<(), String> {
 }
 
 fn remote_analyze(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries", "--mode", "--max-seqs"])?;
+    args.reject_unknown(&[
+        "--addr", "--max-frame-bytes", "--timeout", "--retries", "--mode", "--max-seqs",
+        "--algorithm",
+    ])?;
     let [or, nr, op, np] = args.positional.as_slice() else {
         return Err(
             "remote analyze expects four traces \
@@ -833,13 +889,14 @@ fn remote_analyze(args: &Args) -> Result<(), String> {
             ))
         }
     };
+    let algorithm = parse_wire_algorithm(args)?;
     let mut client = remote_client(args)?;
     let mut hashes = [0u64; 4];
     for (slot, arg) in hashes.iter_mut().zip([or, nr, op, np]) {
         *slot = remote_trace_arg(&mut client, arg)?;
     }
     let report = client
-        .analyze(hashes, mode, args.max_seqs()? as u64)
+        .analyze_with_algorithm(hashes, mode, args.max_seqs()? as u64, algorithm)
         .map_err(|e| format!("remote analysis failed: {e}"))?;
     let regression_sequences = report.verdicts().iter().filter(|&&v| v).count();
     println!("analysis of {or} vs {nr} (expected {op} / {np}):");

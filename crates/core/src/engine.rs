@@ -34,8 +34,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use rprism_check::{check_trace_with, CheckConfig, CheckReport, Checker, Severity};
 use rprism_format::{Encoding, TraceReader};
 use rprism_diff::{
-    lcs_diff_prepared, views_diff_sides_correlated, DiffError, DiffSide, LcsDiffOptions,
-    TraceDiffResult, ViewsDiffOptions,
+    anchored_diff_prepared, lcs_diff_prepared, views_diff_sides_correlated, AnchoredDiffOptions,
+    DiffError, DiffSide, LcsDiffOptions, TraceDiffResult, ViewsDiffOptions,
 };
 use rprism_lang::parser::parse_program;
 use rprism_lang::Program;
@@ -94,9 +94,32 @@ struct CorrelationSlot {
     cell: OnceLock<CachedCorrelation>,
 }
 
+/// Cache key of one pair-level artifact: the two handles' process-unique ids as an
+/// unordered pair, plus the fingerprint of the algorithm options the artifact was built
+/// under. Without the fingerprint, one engine serving mixed configurations — a
+/// per-request `--algorithm` override, or two option sets sharing a session — could be
+/// served a cached correlation built under *different* options than the request's.
+type CorrelationKey = ((u64, u64), u64);
+
+/// Fingerprint of the views options a correlation is (or would be) built under. Covers
+/// every semantic knob but deliberately **excludes** `parallel`: worker threads change
+/// scheduling, never results, and batch fan-out runs the engine's own options with
+/// `parallel` flipped off — those must keep hitting the entry a plain `diff` built.
+fn views_options_fingerprint(options: &ViewsDiffOptions) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    options.delta.hash(&mut hasher);
+    options.window.hash(&mut hasher);
+    options.max_scan_ahead.hash(&mut hasher);
+    options.relaxed_correlation.hash(&mut hasher);
+    options.secondary_kernel.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Bounded session cache of pair-level artifacts, keyed by the two handles'
 /// process-unique ids as an **unordered** pair (ids are never reused, so a dropped
-/// handle can never alias a cached entry). Each pair holds one correlation build — in
+/// handle can never alias a cached entry) together with the options fingerprint of the
+/// requesting algorithm. Each pair holds one correlation build — in
 /// the orientation of its first query — and serves the opposite orientation as an
 /// exact transpose, so `diff(a, b)` after `diff(b, a)` (or an `analyze` whose
 /// comparisons run opposite to earlier diffs) reuses the same build instead of
@@ -105,9 +128,9 @@ struct CorrelationSlot {
 /// an evicted slot keep their `Arc` and finish undisturbed.
 #[derive(Debug)]
 struct CorrelationCache {
-    map: HashMap<(u64, u64), Arc<CorrelationSlot>>,
+    map: HashMap<CorrelationKey, Arc<CorrelationSlot>>,
     /// LRU order: least recently used at the front.
-    order: VecDeque<(u64, u64)>,
+    order: VecDeque<CorrelationKey>,
     capacity: usize,
     /// How many correlations this session actually built (cache-efficiency metric;
     /// flips are transposes, not builds).
@@ -128,19 +151,20 @@ impl CorrelationCache {
         (key.0.min(key.1), key.0.max(key.1))
     }
 
-    fn touch(&mut self, key: (u64, u64)) {
+    fn touch(&mut self, key: CorrelationKey) {
         if let Some(pos) = self.order.iter().position(|k| *k == key) {
             self.order.remove(pos);
         }
         self.order.push_back(key);
     }
 
-    /// The build slot of the (unordered) pair, inserting an empty one — and evicting
-    /// least-recently-used pairs past the capacity — on first touch.
-    fn slot(&mut self, canonical: (u64, u64)) -> Arc<CorrelationSlot> {
-        if let Some(slot) = self.map.get(&canonical) {
+    /// The build slot of the (unordered pair, options fingerprint) key, inserting an
+    /// empty one — and evicting least-recently-used keys past the capacity — on first
+    /// touch.
+    fn slot(&mut self, key: CorrelationKey) -> Arc<CorrelationSlot> {
+        if let Some(slot) = self.map.get(&key) {
             let slot = Arc::clone(slot);
-            self.touch(canonical);
+            self.touch(key);
             return slot;
         }
         while self.order.len() >= self.capacity {
@@ -149,8 +173,8 @@ impl CorrelationCache {
             }
         }
         let slot = Arc::new(CorrelationSlot::default());
-        self.order.push_back(canonical);
-        self.map.insert(canonical, Arc::clone(&slot));
+        self.order.push_back(key);
+        self.map.insert(key, Arc::clone(&slot));
         slot
     }
 }
@@ -854,6 +878,26 @@ impl Engine {
         Ok(self.diff_with(left, right, &self.algorithm)?)
     }
 
+    /// [`Engine::diff`] under an explicit algorithm, overriding the engine's configured
+    /// one for this call only. This is how a shared session (the server, most notably)
+    /// honors per-request algorithm selection without building one engine per option
+    /// set; every cached artifact is still shared where sound — the pair-correlation
+    /// cache is keyed on the options fingerprint, so an override can never be served a
+    /// correlation built under different options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Diff`] when the LCS baseline exhausts its memory budget;
+    /// the views and anchored algorithms never fail.
+    pub fn diff_with_algorithm(
+        &self,
+        left: &PreparedTrace,
+        right: &PreparedTrace,
+        algorithm: &DiffAlgorithm,
+    ) -> Result<TraceDiffResult> {
+        Ok(self.diff_with(left, right, algorithm)?)
+    }
+
     /// Differences many pairs, fanned out over a bounded scoped-thread worker pool.
     ///
     /// Results are returned in input order; each pair's cost meter is computed
@@ -889,6 +933,21 @@ impl Engine {
     /// views-based algorithm never fails.
     pub fn analyze(&self, input: &RegressionInput) -> Result<RegressionReport> {
         Ok(self.analyze_with(input, &self.algorithm)?)
+    }
+
+    /// [`Engine::analyze`] under an explicit algorithm, overriding the engine's
+    /// configured one for this call only (see [`Engine::diff_with_algorithm`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Diff`] when the LCS baseline exhausts its memory budget;
+    /// the views and anchored algorithms never fail.
+    pub fn analyze_with_algorithm(
+        &self,
+        input: &RegressionInput,
+        algorithm: &DiffAlgorithm,
+    ) -> Result<RegressionReport> {
+        Ok(self.analyze_with(input, algorithm)?)
     }
 
     /// Runs many regression analyses, fanned out over the scoped-thread worker pool.
@@ -937,15 +996,15 @@ impl Engine {
         &self,
         left: &PreparedTrace,
         right: &PreparedTrace,
-        parallel: bool,
+        options: &ViewsDiffOptions,
     ) -> Arc<Correlation> {
         let key = (left.inner.id, right.inner.id);
+        let parallel = options.parallel;
         let left_views = left.web().total_views();
-        let slot = self
-            .correlations
-            .lock()
-            .expect("cache poisoned")
-            .slot(CorrelationCache::canonical(key));
+        let slot = self.correlations.lock().expect("cache poisoned").slot((
+            CorrelationCache::canonical(key),
+            views_options_fingerprint(options),
+        ));
         // Build outside the lock: correlation construction is the expensive part, and
         // the per-pair slot already serializes a concurrent cold stampede on *this*
         // pair (one build, N−1 waiters) without holding up any other pair.
@@ -989,6 +1048,11 @@ impl Engine {
                 DiffAlgorithm::Views(options)
             }
             lcs @ DiffAlgorithm::Lcs(_) => lcs.clone(),
+            DiffAlgorithm::Anchored(options) => {
+                let mut options = options.clone();
+                options.parallel = false;
+                DiffAlgorithm::Anchored(options)
+            }
         }
     }
 
@@ -1001,7 +1065,7 @@ impl Engine {
         match algorithm {
             DiffAlgorithm::Views(options) => {
                 self.warm(&[left, right], true);
-                let correlation = self.correlation_for(left, right, options.parallel);
+                let correlation = self.correlation_for(left, right, options);
                 Ok(views_diff_sides_correlated(
                     &left.side(),
                     &right.side(),
@@ -1011,6 +1075,9 @@ impl Engine {
             }
             DiffAlgorithm::Lcs(options) => {
                 lcs_diff_prepared(left.keyed(), right.keyed(), options)
+            }
+            DiffAlgorithm::Anchored(options) => {
+                Ok(anchored_diff_prepared(left.keyed(), right.keyed(), options))
             }
         }
     }
@@ -1181,6 +1248,13 @@ impl EngineBuilder {
     /// Selects the LCS baseline (§3.2) with the given options.
     pub fn lcs_baseline(self, options: LcsDiffOptions) -> Self {
         self.algorithm(DiffAlgorithm::Lcs(options))
+    }
+
+    /// Selects the anchor-based (patience/histogram) mode with the given options.
+    /// Verdict-equivalent to the exact modes but near-linear on huge traces; matchings
+    /// may legitimately differ (see MIGRATION.md, "Choosing a diff algorithm").
+    pub fn anchored(self, options: AnchoredDiffOptions) -> Self {
+        self.algorithm(DiffAlgorithm::Anchored(options))
     }
 
     /// Default analysis mode (how the candidate set D is computed); individual
@@ -1425,6 +1499,113 @@ mod tests {
         // The baseline needs no webs; none were built.
         assert_eq!(a.web_build_count(), 0);
         assert_eq!(b.web_build_count(), 0);
+    }
+
+    #[test]
+    fn anchored_engine_diffs_and_analyzes_without_webs() {
+        let engine = Engine::builder()
+            .anchored(AnchoredDiffOptions::default())
+            .build();
+        let a = engine.trace_source(SRC, "a").unwrap();
+        let b = engine.trace_source(SRC, "b").unwrap();
+        let diff = engine.diff(&a, &b).unwrap();
+        assert_eq!(diff.algorithm, "anchored");
+        assert_eq!(diff.num_differences(), 0);
+        // Anchoring consumes only the keyed traces; no webs were built.
+        assert_eq!(a.web_build_count(), 0);
+        assert_eq!(b.web_build_count(), 0);
+
+        let input = regression_input(&engine);
+        let report = engine.analyze(&input).unwrap();
+        assert_eq!(report.algorithm, "anchored");
+        assert!(!report.suspected.is_empty());
+
+        // Batch runs agree with single calls under the anchored mode too.
+        let batch = engine.diff_many(&[(a.clone(), b.clone())]).unwrap();
+        assert_eq!(
+            batch[0].matching.normalized_pairs(),
+            diff.matching.normalized_pairs()
+        );
+    }
+
+    #[test]
+    fn per_call_algorithm_override_leaves_the_engine_default_alone() {
+        let engine = Engine::new();
+        let a = engine.trace_source(SRC, "a").unwrap();
+        let b = engine.trace_source(SRC, "b").unwrap();
+        assert_eq!(engine.diff(&a, &b).unwrap().algorithm, "views");
+        let lcs = engine
+            .diff_with_algorithm(&a, &b, &DiffAlgorithm::Lcs(LcsDiffOptions::default()))
+            .unwrap();
+        assert_eq!(lcs.algorithm, "lcs");
+        let anchored = engine
+            .diff_with_algorithm(
+                &a,
+                &b,
+                &DiffAlgorithm::Anchored(AnchoredDiffOptions::default()),
+            )
+            .unwrap();
+        assert_eq!(anchored.algorithm, "anchored");
+        // The engine's own configuration is untouched.
+        assert_eq!(engine.diff(&a, &b).unwrap().algorithm, "views");
+
+        let input = regression_input(&engine);
+        let report = engine
+            .analyze_with_algorithm(&input, &DiffAlgorithm::Anchored(AnchoredDiffOptions::default()))
+            .unwrap();
+        assert_eq!(report.algorithm, "anchored");
+        assert_eq!(engine.analyze(&input).unwrap().algorithm, "views");
+    }
+
+    #[test]
+    fn correlation_cache_is_keyed_by_the_options_fingerprint() {
+        // Regression test: the LRU used to be keyed on the handle pair alone, so one
+        // engine serving mixed option sets could hand a request a correlation built
+        // under different options. Flipping algorithms across the same pair must hit
+        // distinct entries (and non-views algorithms must not touch the cache at all).
+        let engine = Engine::new();
+        let a = engine.trace_source(SRC, "a").unwrap();
+        let b = engine.trace_source(SRC, "b").unwrap();
+        engine.diff(&a, &b).unwrap();
+        assert_eq!(engine.correlation_builds(), 1);
+        assert_eq!(engine.cached_correlations(), 1);
+
+        // Same pair, different views options: a distinct cache entry and a fresh build.
+        let strict = ViewsDiffOptions::builder().relaxed_correlation(false).build();
+        engine
+            .diff_with_algorithm(&a, &b, &DiffAlgorithm::Views(strict.clone()))
+            .unwrap();
+        assert_eq!(engine.correlation_builds(), 2);
+        assert_eq!(engine.cached_correlations(), 2);
+
+        // Re-running either option set reuses its own entry.
+        engine.diff(&a, &b).unwrap();
+        engine
+            .diff_with_algorithm(&a, &b, &DiffAlgorithm::Views(strict))
+            .unwrap();
+        assert_eq!(engine.correlation_builds(), 2);
+
+        // The same options with `parallel` flipped share the entry (scheduling is not
+        // semantics — this is what keeps diff/diff_many at one build per pair).
+        let sequential = ViewsDiffOptions::builder().parallel(false).build();
+        engine
+            .diff_with_algorithm(&a, &b, &DiffAlgorithm::Views(sequential))
+            .unwrap();
+        assert_eq!(engine.correlation_builds(), 2);
+
+        // Non-views algorithms never build or consult correlations.
+        engine
+            .diff_with_algorithm(&a, &b, &DiffAlgorithm::Lcs(LcsDiffOptions::default()))
+            .unwrap();
+        engine
+            .diff_with_algorithm(
+                &a,
+                &b,
+                &DiffAlgorithm::Anchored(AnchoredDiffOptions::default()),
+            )
+            .unwrap();
+        assert_eq!(engine.correlation_builds(), 2);
+        assert_eq!(engine.cached_correlations(), 2);
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub mod ingest;
 pub use engine::{Engine, EngineBuilder, PreparedTrace, RegressionInput};
 // The vocabulary types an Engine user needs, re-exported at the crate root.
 pub use rprism_diff::{
-    LcsDiffOptions, LcsDiffOptionsBuilder, TraceDiffResult, ViewsDiffOptions,
-    ViewsDiffOptionsBuilder,
+    AnchoredDiffOptions, AnchoredDiffOptionsBuilder, LcsDiffOptions, LcsDiffOptionsBuilder,
+    LcsKernel, TraceDiffResult, ViewsDiffOptions, ViewsDiffOptionsBuilder,
 };
 pub use rprism_check::{CheckConfig, CheckReport, Severity};
 pub use rprism_format::{Encoding, FormatError};

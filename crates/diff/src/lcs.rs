@@ -5,7 +5,7 @@
 //! Θ(n·m) in time *and* — when the subsequence itself (not just its length) must be
 //! reconstructed — in space, which is what makes it intractable on long execution traces.
 //!
-//! Three variants are provided, all generic over the element type and all metering their
+//! Four variants are provided, all generic over the element type and all metering their
 //! compare operations and working-set bytes through [`CostMeter`]:
 //!
 //! * [`lcs_dp`] — the textbook full-table algorithm with traceback (quadratic space;
@@ -13,10 +13,46 @@
 //! * [`lcs_optimized`] — full-table LCS after stripping the common prefix and suffix, the
 //!   "optimized version of the LCS algorithm (common-prefix/suffix optimizations)" used as
 //!   the baseline in §5.1,
+//! * [`lcs_bitparallel`] — a bit-parallel (Myers/Hyyrö-style, u64-word) formulation that
+//!   packs one DP row into `⌈n/64⌉` machine words and advances a whole row per left
+//!   element with a handful of word operations, falling back to [`lcs_dp`] when the
+//!   alphabet exceeds the word-packing scheme. Produces *byte-identical* matchings to
+//!   [`lcs_dp`] (same traceback tie-breaks), so it is a drop-in for the exact modes,
 //! * [`lcs_hirschberg`] — Hirschberg's linear-space divide-and-conquer algorithm
 //!   (cited as \[9\] in the paper: same result, roughly twice the computation).
 
 use crate::cost::{CostMeter, DiffError, MemoryBudget};
+
+/// Selects the exact-LCS kernel used for a matching-producing pass. Both kernels return
+/// byte-identical pair lists and meter identical compare counts; they differ only in
+/// wall-clock speed and working-set shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LcsKernel {
+    /// The classic full-table dynamic program ([`lcs_dp`]).
+    Dp,
+    /// The bit-parallel word-packed kernel ([`lcs_bitparallel`]), which itself falls back
+    /// to the DP when a sub-problem's alphabet exceeds [`MAX_BITPARALLEL_CLASSES`].
+    BitParallel,
+}
+
+/// Runs the selected exact kernel. Matchings and compare counts are identical across
+/// kernels; see [`LcsKernel`].
+///
+/// # Errors
+///
+/// Returns [`DiffError::OutOfMemory`] when the kernel's working set exceeds the budget.
+pub fn lcs_with_kernel<T: PartialEq>(
+    kernel: LcsKernel,
+    left: &[T],
+    right: &[T],
+    meter: &mut CostMeter,
+    budget: MemoryBudget,
+) -> Result<Vec<(usize, usize)>, DiffError> {
+    match kernel {
+        LcsKernel::Dp => lcs_dp(left, right, meter, budget),
+        LcsKernel::BitParallel => lcs_bitparallel(left, right, meter, budget),
+    }
+}
 
 /// Computes the length of the LCS using two rolling rows (linear space). Useful on its own
 /// and as the building block of [`lcs_hirschberg`].
@@ -65,27 +101,7 @@ pub fn lcs_dp<T: PartialEq>(
     meter: &mut CostMeter,
     budget: MemoryBudget,
 ) -> Result<Vec<(usize, usize)>, DiffError> {
-    // Common prefix.
-    let mut prefix = 0usize;
-    while prefix < left.len() && prefix < right.len() {
-        meter.count_compares(1);
-        if left[prefix] == right[prefix] {
-            prefix += 1;
-        } else {
-            break;
-        }
-    }
-    // Common suffix (not overlapping the prefix).
-    let mut suffix = 0usize;
-    while suffix < left.len() - prefix && suffix < right.len() - prefix {
-        meter.count_compares(1);
-        if left[left.len() - 1 - suffix] == right[right.len() - 1 - suffix] {
-            suffix += 1;
-        } else {
-            break;
-        }
-    }
-
+    let (prefix, suffix) = strip_common(left, right, meter);
     let mut pairs: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
     let mid = lcs_dp_table(
         &left[prefix..left.len() - suffix],
@@ -102,6 +118,36 @@ pub fn lcs_dp<T: PartialEq>(
     Ok(pairs)
 }
 
+/// Lengths of the common prefix and the (non-overlapping) common suffix, metered one
+/// compare per examined element pair — shared by every stripped entry point so their
+/// compare accounting is identical.
+///
+/// The loop conditions guarantee `prefix + suffix <= min(left.len(), right.len())`, so
+/// the `len - suffix` slice arithmetic at every call site is subtraction-safe even for
+/// empty, one-sided-empty, and all-equal inputs (the degenerate shapes the regression
+/// tests below pin).
+fn strip_common<T: PartialEq>(left: &[T], right: &[T], meter: &mut CostMeter) -> (usize, usize) {
+    let mut prefix = 0usize;
+    while prefix < left.len() && prefix < right.len() {
+        meter.count_compares(1);
+        if left[prefix] == right[prefix] {
+            prefix += 1;
+        } else {
+            break;
+        }
+    }
+    let mut suffix = 0usize;
+    while suffix < left.len() - prefix && suffix < right.len() - prefix {
+        meter.count_compares(1);
+        if left[left.len() - 1 - suffix] == right[right.len() - 1 - suffix] {
+            suffix += 1;
+        } else {
+            break;
+        }
+    }
+    (prefix, suffix)
+}
+
 /// The unstripped table core of [`lcs_dp`] (crate-visible so the property tests can
 /// compare the stripped entry point against it).
 pub(crate) fn lcs_dp_table<T: PartialEq>(
@@ -115,6 +161,13 @@ pub(crate) fn lcs_dp_table<T: PartialEq>(
     }
     let rows = left.len() + 1;
     let cols = right.len() + 1;
+    // Invariant: cells store u32 LCS lengths, so sides beyond u32::MAX entries would
+    // silently truncate. Unreachable in practice — such a table is ~2^64 cells and the
+    // budget check below rejects it long before — but pinned here for the audit trail.
+    debug_assert!(
+        left.len() <= u32::MAX as usize && right.len() <= u32::MAX as usize,
+        "LCS table cells are u32; inputs beyond u32::MAX entries are unsupported"
+    );
     // Each cell stores a u32 LCS length.
     let table_bytes = (rows as u64) * (cols as u64) * std::mem::size_of::<u32>() as u64;
     budget.check(table_bytes)?;
@@ -168,6 +221,161 @@ pub fn lcs_optimized<T: PartialEq>(
     budget: MemoryBudget,
 ) -> Result<Vec<(usize, usize)>, DiffError> {
     lcs_dp(left, right, meter, budget)
+}
+
+/// Maximum number of distinct equality classes the bit-parallel word-packing scheme
+/// handles; sub-problems with larger alphabets fall back to the DP kernel.
+pub const MAX_BITPARALLEL_CLASSES: usize = 64;
+
+/// Bit-parallel LCS (Myers/Hyyrö-style) with the same prefix/suffix stripping, matching,
+/// and compare accounting as [`lcs_dp`].
+///
+/// One DP row is packed into `⌈n/64⌉` words; per left element the whole row advances with
+/// the carry recurrence `V' = (V + (V & M)) | (V & !M)`, where bit `j` of `V_i` records
+/// whether `table[i][j+1] == table[i][j]` and `M` is the match mask of the element's
+/// equality class over `right`. Every row's bit-vector is retained (32× smaller than the
+/// u32 table), so the traceback can reconstruct any `table[i][j]` as the count of zero
+/// bits in `V_i`'s first `j` positions and replay [`lcs_dp`]'s exact tie-break rule — the
+/// returned pair list is byte-identical to the DP's, which is what lets the exact diff
+/// modes adopt this kernel without perturbing the seed-equivalence oracle.
+///
+/// Match masks are built from true equality classes (full `PartialEq`, not hashes), so
+/// interned-key hash collisions cannot corrupt the matching. Sub-problems whose `right`
+/// side has more than [`MAX_BITPARALLEL_CLASSES`] distinct classes fall back to
+/// the plain DP table automatically. Compare operations are metered at the DP-equivalent
+/// count (`m·n` for the fill plus one per traceback step) so cost accounting — and every
+/// invariant the equivalence suites pin on it — is unchanged; the win is wall-clock only.
+///
+/// # Errors
+///
+/// Returns [`DiffError::OutOfMemory`] when the retained row bit-vectors (or the DP table,
+/// on fallback) exceed the memory budget.
+pub fn lcs_bitparallel<T: PartialEq>(
+    left: &[T],
+    right: &[T],
+    meter: &mut CostMeter,
+    budget: MemoryBudget,
+) -> Result<Vec<(usize, usize)>, DiffError> {
+    let (prefix, suffix) = strip_common(left, right, meter);
+    let mut pairs: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
+    let mid_left = &left[prefix..left.len() - suffix];
+    let mid_right = &right[prefix..right.len() - suffix];
+    let mid = match lcs_bitparallel_table(mid_left, mid_right, meter, budget)? {
+        Some(mid) => mid,
+        None => lcs_dp_table(mid_left, mid_right, meter, budget)?,
+    };
+    pairs.extend(mid.into_iter().map(|(i, j)| (i + prefix, j + prefix)));
+    pairs.extend(
+        (0..suffix)
+            .rev()
+            .map(|k| (left.len() - 1 - k, right.len() - 1 - k)),
+    );
+    Ok(pairs)
+}
+
+/// The word-packed core of [`lcs_bitparallel`]. Returns `Ok(None)` when the alphabet of
+/// `right` exceeds [`MAX_BITPARALLEL_CLASSES`] equality classes (the caller falls back to
+/// the DP core); crate-visible so the property tests can hit the packed path directly.
+pub(crate) fn lcs_bitparallel_table<T: PartialEq>(
+    left: &[T],
+    right: &[T],
+    meter: &mut CostMeter,
+    budget: MemoryBudget,
+) -> Result<Option<Vec<(usize, usize)>>, DiffError> {
+    if left.is_empty() || right.is_empty() {
+        return Ok(Some(Vec::new()));
+    }
+    let (m, n) = (left.len(), right.len());
+    let words = n.div_ceil(64);
+
+    // Partition `right` into equality classes by full element equality (linear scan over
+    // representatives: the class count is capped at 64, so this is O(n·64) worst case and
+    // allocation-light). Class discovery is deliberately not metered: on fallback the DP
+    // core meters from zero, keeping the total identical to a pure-DP run.
+    let mut reps: Vec<usize> = Vec::new();
+    let mut masks: Vec<u64> = Vec::new(); // reps.len() stripes of `words` words each
+    for (j, r) in right.iter().enumerate() {
+        let class = match reps.iter().position(|&rep| right[rep] == *r) {
+            Some(c) => c,
+            None => {
+                if reps.len() == MAX_BITPARALLEL_CLASSES {
+                    return Ok(None);
+                }
+                reps.push(j);
+                masks.resize(masks.len() + words, 0);
+                reps.len() - 1
+            }
+        };
+        masks[class * words + j / 64] |= 1u64 << (j % 64);
+    }
+
+    // Row i's bit-vector: bit j set ⇔ table[i][j+1] == table[i][j], so
+    // table[i][j] = number of zero bits among V_i's first j positions. Row 0 is all-ones
+    // (the zero row). Slack bits above n in the top word stay all-ones by construction
+    // (the `v & !mask` term), so carries out of the valid region are absorbed harmlessly.
+    let row_bytes = (m as u64 + 1) * words as u64 * 8;
+    let mask_bytes = masks.len() as u64 * 8;
+    budget.check(row_bytes + mask_bytes)?;
+    meter.allocate(row_bytes + mask_bytes);
+    let mut rows = vec![u64::MAX; (m + 1) * words];
+    for i in 1..=m {
+        let class = reps.iter().position(|&rep| right[rep] == left[i - 1]);
+        let (prev_rows, cur_rows) = rows.split_at_mut(i * words);
+        let prev = &prev_rows[(i - 1) * words..];
+        let cur = &mut cur_rows[..words];
+        match class {
+            // No occurrence in `right`: M = 0 and the recurrence degenerates to V' = V.
+            None => cur.copy_from_slice(prev),
+            Some(c) => {
+                let mask = &masks[c * words..(c + 1) * words];
+                let mut carry = 0u64;
+                for w in 0..words {
+                    let v = prev[w];
+                    let u = v & mask[w];
+                    let (sum, c1) = v.overflowing_add(u);
+                    let (sum, c2) = sum.overflowing_add(carry);
+                    carry = u64::from(c1 | c2);
+                    cur[w] = sum | (v & !mask[w]);
+                }
+            }
+        }
+    }
+    // DP-equivalent fill accounting (see the entry point's docs).
+    meter.count_compares(m as u64 * n as u64);
+
+    // table[i][j], reconstructed as the zero-bit count of V_i's first j positions.
+    let cell = |i: usize, j: usize| -> u32 {
+        let row = &rows[i * words..(i + 1) * words];
+        let mut zeros = 0u32;
+        for word in row.iter().take(j / 64) {
+            zeros += word.count_zeros();
+        }
+        let rem = j % 64;
+        if rem > 0 {
+            zeros += (!row[j / 64] & ((1u64 << rem) - 1)).count_ones();
+        }
+        zeros
+    };
+
+    // Traceback replaying lcs_dp_table's exact rule: diagonal on equality, else prefer
+    // moving up on ties — identical decisions, identical pair list.
+    let mut pairs = Vec::with_capacity(cell(m, n) as usize);
+    let (mut i, mut j) = (m, n);
+    while i > 0 && j > 0 {
+        meter.count_compares(1);
+        if left[i - 1] == right[j - 1] {
+            pairs.push((i - 1, j - 1));
+            i -= 1;
+            j -= 1;
+        } else if cell(i - 1, j) >= cell(i, j - 1) {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    pairs.reverse();
+    meter.release(row_bytes + mask_bytes);
+    Ok(Some(pairs))
 }
 
 /// Hirschberg's linear-space LCS.
@@ -364,6 +572,165 @@ mod tests {
         let pairs2 = lcs_dp(&xs, &ys, &mut meter2, MemoryBudget::bytes(4096)).unwrap();
         assert_eq!(pairs2.len(), xs.len() - 1);
         assert!(meter2.stats().peak_bytes <= 4096);
+    }
+
+    #[test]
+    fn bitparallel_matches_dp_pairs_exactly() {
+        let cases = [
+            ("ABCBDAB", "BDCABA"),
+            ("XMJYAUZ", "MZJAWXU"),
+            ("THEQUICKBROWNFOX", "THELAZYBROWNDOG"),
+            ("AAAA", "AA"),
+            ("ABAB", "BABA"),
+            ("", "ABC"),
+            ("ABC", ""),
+            ("SAME", "SAME"),
+        ];
+        for (l, r) in cases {
+            let (left, right) = (chars(l), chars(r));
+            let mut m_dp = CostMeter::new();
+            let mut m_bp = CostMeter::new();
+            let dp = lcs_dp(&left, &right, &mut m_dp, MemoryBudget::unlimited()).unwrap();
+            let bp = lcs_bitparallel(&left, &right, &mut m_bp, MemoryBudget::unlimited()).unwrap();
+            assert_eq!(dp, bp, "pair lists diverged on ({l:?}, {r:?})");
+            assert_eq!(
+                m_dp.stats().compare_ops,
+                m_bp.stats().compare_ops,
+                "compare accounting diverged on ({l:?}, {r:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn bitparallel_handles_multi_word_rows() {
+        // 150 columns spans three u64 words, exercising carry propagation across words.
+        let left: Vec<u32> = (0..140).map(|i| i % 7).collect();
+        let right: Vec<u32> = (0..150).map(|i| (i * 5 + 2) % 7).collect();
+        let mut m_dp = CostMeter::new();
+        let mut m_bp = CostMeter::new();
+        let dp = lcs_dp(&left, &right, &mut m_dp, MemoryBudget::unlimited()).unwrap();
+        let bp = lcs_bitparallel(&left, &right, &mut m_bp, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(dp, bp);
+        assert_eq!(m_dp.stats().compare_ops, m_bp.stats().compare_ops);
+    }
+
+    #[test]
+    fn bitparallel_falls_back_beyond_64_classes() {
+        // 80 distinct symbols on the right: the packed core refuses and the entry point
+        // silently routes through the DP, still producing identical pairs.
+        let left: Vec<u32> = (0..80).rev().collect();
+        let right: Vec<u32> = (0..80).collect();
+        let mut meter = CostMeter::new();
+        let packed =
+            lcs_bitparallel_table(&left, &right, &mut meter, MemoryBudget::unlimited()).unwrap();
+        assert!(packed.is_none(), "packed core must refuse >64 classes");
+        let mut m_dp = CostMeter::new();
+        let mut m_bp = CostMeter::new();
+        let dp = lcs_dp(&left, &right, &mut m_dp, MemoryBudget::unlimited()).unwrap();
+        let bp = lcs_bitparallel(&left, &right, &mut m_bp, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(dp, bp);
+        assert_eq!(m_dp.stats().compare_ops, m_bp.stats().compare_ops);
+    }
+
+    #[test]
+    fn bitparallel_respects_memory_budget() {
+        let left: Vec<u32> = (0..2000).map(|i| i % 50).collect();
+        let right: Vec<u32> = (0..2000).map(|i| (i * 7 + 1) % 50).collect();
+        let mut meter = CostMeter::new();
+        let result = lcs_bitparallel(&left, &right, &mut meter, MemoryBudget::bytes(1024));
+        assert!(matches!(result, Err(DiffError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn kernel_selector_routes_to_both_kernels() {
+        let left = chars("ABCBDAB");
+        let right = chars("BDCABA");
+        let mut m1 = CostMeter::new();
+        let mut m2 = CostMeter::new();
+        let dp = lcs_with_kernel(LcsKernel::Dp, &left, &right, &mut m1, MemoryBudget::unlimited())
+            .unwrap();
+        let bp = lcs_with_kernel(
+            LcsKernel::BitParallel,
+            &left,
+            &right,
+            &mut m2,
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(dp, bp);
+    }
+
+    // Degenerate-shape regressions for the stripped length arithmetic: each pins the
+    // exact matching (not just its length) so any future change to the prefix/suffix
+    // bookkeeping that shifts an index trips immediately.
+
+    #[test]
+    fn degenerate_all_equal_strips_to_empty_table() {
+        // All-equal traces: everything is prefix, the middle is empty-after-strip.
+        for kernel in [LcsKernel::Dp, LcsKernel::BitParallel] {
+            let xs: Vec<u32> = vec![7; 100];
+            let mut meter = CostMeter::new();
+            let pairs =
+                lcs_with_kernel(kernel, &xs, &xs, &mut meter, MemoryBudget::bytes(64)).unwrap();
+            let expected: Vec<(usize, usize)> = (0..100).map(|i| (i, i)).collect();
+            assert_eq!(pairs, expected, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_one_sided_empty_matches_nothing() {
+        for kernel in [LcsKernel::Dp, LcsKernel::BitParallel] {
+            let xs: Vec<u32> = (0..10).collect();
+            let empty: Vec<u32> = Vec::new();
+            let mut meter = CostMeter::new();
+            assert!(
+                lcs_with_kernel(kernel, &xs, &empty, &mut meter, MemoryBudget::unlimited())
+                    .unwrap()
+                    .is_empty(),
+                "{kernel:?}: left-nonempty/right-empty"
+            );
+            assert!(
+                lcs_with_kernel(kernel, &empty, &xs, &mut meter, MemoryBudget::unlimited())
+                    .unwrap()
+                    .is_empty(),
+                "{kernel:?}: left-empty/right-nonempty"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_prefix_swallows_shorter_side() {
+        // One side is a strict prefix of the other: after stripping, one side is empty
+        // while the other still has entries — `len - suffix` must stay subtraction-safe
+        // and the matching must cover exactly the shorter side.
+        for kernel in [LcsKernel::Dp, LcsKernel::BitParallel] {
+            let long: Vec<u32> = (0..50).collect();
+            let short: Vec<u32> = (0..30).collect();
+            let mut meter = CostMeter::new();
+            let pairs =
+                lcs_with_kernel(kernel, &long, &short, &mut meter, MemoryBudget::bytes(64))
+                    .unwrap();
+            let expected: Vec<(usize, usize)> = (0..30).map(|i| (i, i)).collect();
+            assert_eq!(pairs, expected, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shared_prefix_and_suffix_overlap_safely() {
+        // left = right with one element removed: prefix+suffix stripping covers the
+        // whole shorter side; the suffix loop must not re-claim prefix elements.
+        for kernel in [LcsKernel::Dp, LcsKernel::BitParallel] {
+            let long: Vec<u32> = (0..21).collect();
+            let short: Vec<u32> = (0..21).filter(|&x| x != 10).collect();
+            let mut meter = CostMeter::new();
+            let pairs =
+                lcs_with_kernel(kernel, &long, &short, &mut meter, MemoryBudget::unlimited())
+                    .unwrap();
+            assert_eq!(pairs.len(), 20, "{kernel:?}");
+            for (i, j) in &pairs {
+                assert_eq!(long[*i], short[*j], "{kernel:?}");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Instant;
 use rprism_trace::{KeyRef, KeyedTrace, Trace};
 
 use crate::cost::{CostMeter, DiffError, MemoryBudget};
-use crate::lcs::{lcs_hirschberg, lcs_optimized};
+use crate::lcs::{lcs_hirschberg, lcs_with_kernel, LcsKernel};
 use crate::matching::Matching;
 use crate::result::TraceDiffResult;
 
@@ -31,6 +31,11 @@ pub struct LcsDiffOptions {
     /// Use Hirschberg's linear-space algorithm instead of the full table. Slower (about
     /// twice the compare operations) but immune to the memory budget.
     pub linear_space: bool,
+    /// Exact kernel for the quadratic path (ignored under `linear_space`). The default
+    /// stays [`LcsKernel::Dp`] — the paper's baseline — but [`LcsKernel::BitParallel`]
+    /// produces byte-identical matchings with a ~32× smaller working set and word-packed
+    /// row updates.
+    pub kernel: LcsKernel,
 }
 
 impl Default for LcsDiffOptions {
@@ -38,6 +43,7 @@ impl Default for LcsDiffOptions {
         LcsDiffOptions {
             memory_budget: MemoryBudget::unlimited(),
             linear_space: false,
+            kernel: LcsKernel::Dp,
         }
     }
 }
@@ -76,6 +82,12 @@ impl LcsDiffOptionsBuilder {
     /// Use Hirschberg's linear-space variant instead of the full table.
     pub fn linear_space(mut self, linear: bool) -> Self {
         self.options.linear_space = linear;
+        self
+    }
+
+    /// Select the exact kernel of the quadratic path (DP table or bit-parallel).
+    pub fn kernel(mut self, kernel: LcsKernel) -> Self {
+        self.options.kernel = kernel;
         self
     }
 
@@ -151,7 +163,13 @@ pub fn lcs_diff_prepared(
     let pairs = if options.linear_space {
         lcs_hirschberg(&left_keys, &right_keys, &mut meter)
     } else {
-        lcs_optimized(&left_keys, &right_keys, &mut meter, options.memory_budget)?
+        lcs_with_kernel(
+            options.kernel,
+            &left_keys,
+            &right_keys,
+            &mut meter,
+            options.memory_budget,
+        )?
     };
 
     let matching = Matching::from_pairs(left_keyed.len(), right_keyed.len(), pairs);
@@ -219,10 +237,9 @@ mod tests {
     #[test]
     fn memory_budget_failure_is_reported() {
         let a = trace_of(BASE, "a");
-        let opts = LcsDiffOptions {
-            memory_budget: MemoryBudget::bytes(16),
-            linear_space: false,
-        };
+        let opts = LcsDiffOptions::builder()
+            .memory_budget(MemoryBudget::bytes(16))
+            .build();
         // With identical traces the prefix optimization avoids the table entirely, so
         // force a difference in the first entry by comparing against a different program.
         let c = trace_of(&BASE.replace("new SP(null)", "new SP(new Range(0,0))"), "c");
@@ -238,10 +255,10 @@ mod tests {
         let lin = lcs_diff(
             &a,
             &b,
-            &LcsDiffOptions {
-                memory_budget: MemoryBudget::bytes(1),
-                linear_space: true,
-            },
+            &LcsDiffOptions::builder()
+                .memory_budget(MemoryBudget::bytes(1))
+                .linear_space(true)
+                .build(),
         )
         .unwrap();
         assert_eq!(quad.num_similar(), lin.num_similar());

@@ -49,6 +49,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod anchored;
 pub mod cost;
 pub mod lcs;
 mod proptests;
@@ -57,8 +58,14 @@ pub mod matching;
 pub mod result;
 pub mod views_diff;
 
+pub use anchored::{
+    anchored_diff, anchored_diff_prepared, AnchoredDiffOptions, AnchoredDiffOptionsBuilder,
+};
 pub use cost::{CostMeter, CostStats, DiffError, MemoryBudget};
-pub use lcs::{lcs_dp, lcs_hirschberg, lcs_length, lcs_optimized};
+pub use lcs::{
+    lcs_bitparallel, lcs_dp, lcs_hirschberg, lcs_length, lcs_optimized, lcs_with_kernel,
+    LcsKernel, MAX_BITPARALLEL_CLASSES,
+};
 pub use lcs_diff::{lcs_diff, lcs_diff_keyed, lcs_diff_prepared, LcsDiffOptions, LcsDiffOptionsBuilder};
 pub use matching::{DiffKind, DiffSequence, Matching};
 pub use result::TraceDiffResult;

@@ -6,10 +6,14 @@
 #![cfg(test)]
 
 use rprism_trace::testgen::{arbitrary_entry, Rng};
-use rprism_trace::{event_eq, intern, resolve, EventKey, KeyedTrace, Trace};
+use rprism_trace::{event_eq, intern, resolve, EventKey, KeyRef, KeyedTrace, Trace};
 
+use crate::anchored::{anchored_diff_prepared, AnchoredDiffOptions};
 use crate::cost::{CostMeter, MemoryBudget};
-use crate::lcs::{lcs_dp, lcs_dp_table, lcs_hirschberg, lcs_length, lcs_optimized};
+use crate::lcs::{
+    lcs_bitparallel, lcs_bitparallel_table, lcs_dp, lcs_dp_table, lcs_hirschberg, lcs_length,
+    lcs_optimized,
+};
 
 const CASES: usize = 64;
 
@@ -116,6 +120,118 @@ fn optimization_is_sound_and_never_slower() {
         let mut m_alias = CostMeter::new();
         let alias = lcs_optimized(&left, &right, &mut m_alias, MemoryBudget::unlimited()).unwrap();
         assert_eq!(alias, stripped);
+    }
+}
+
+/// The bit-parallel kernel is byte-identical to the DP on random sequences — not just
+/// the LCS length but the exact matched pair list and the compare accounting, over both
+/// small alphabets (many repeats: the carry-heavy case) and wide ones.
+#[test]
+fn bitparallel_equals_dp_on_random_sequences() {
+    let mut rng = Rng::new(808);
+    for _ in 0..CASES {
+        let (left, right) = sequences(&mut rng, 80);
+        let mut m_dp = CostMeter::new();
+        let mut m_bp = CostMeter::new();
+        let dp = lcs_dp(&left, &right, &mut m_dp, MemoryBudget::unlimited()).unwrap();
+        let bp = lcs_bitparallel(&left, &right, &mut m_bp, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(dp, bp, "pairs diverged on {left:?} / {right:?}");
+        assert_eq!(dp.len(), lcs_length(&left, &right, &mut CostMeter::new()));
+        assert_eq!(
+            m_dp.stats().compare_ops,
+            m_bp.stats().compare_ops,
+            "compare accounting diverged on {left:?} / {right:?}"
+        );
+    }
+}
+
+/// Same equivalence over >64-distinct-symbol inputs, which force the packed core to
+/// refuse and the entry point to fall back to the DP — the fallback must be seamless.
+#[test]
+fn bitparallel_equals_dp_beyond_the_packing_limit() {
+    let mut rng = Rng::new(909);
+    for _ in 0..CASES {
+        // The right side starts with 100 guaranteed-distinct symbols (then random
+        // draws), so its alphabet always exceeds the 64-class packing limit and every
+        // case exercises the refusal.
+        let left: Vec<u16> = (0..rng.usize(80, 160)).map(|_| rng.range(0, 200) as u16).collect();
+        let mut right: Vec<u16> = (0..100u16).collect();
+        right.extend((0..rng.usize(0, 60)).map(|_| rng.range(0, 200) as u16));
+        let refused =
+            lcs_bitparallel_table(&left, &right, &mut CostMeter::new(), MemoryBudget::unlimited())
+                .unwrap()
+                .is_none();
+        assert!(refused, "100 distinct symbols must exceed 64 classes");
+        let mut m_dp = CostMeter::new();
+        let mut m_bp = CostMeter::new();
+        let dp = lcs_dp(&left, &right, &mut m_dp, MemoryBudget::unlimited()).unwrap();
+        let bp = lcs_bitparallel(&left, &right, &mut m_bp, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(dp, bp);
+        assert_eq!(m_dp.stats().compare_ops, m_bp.stats().compare_ops);
+    }
+}
+
+/// Bit-parallel ≡ DP on random *interned* key sequences (the production element type:
+/// `KeyRef` equality is hash-check-then-operands, exercising the equality-class mask
+/// construction rather than plain scalar equality).
+#[test]
+fn bitparallel_equals_dp_on_interned_keys() {
+    let mut rng = Rng::new(1010);
+    for _ in 0..8 {
+        let mut left = Trace::named("prop-bp-left");
+        let mut right = Trace::named("prop-bp-right");
+        for _ in 0..rng.usize(0, 90) {
+            left.push(arbitrary_entry(&mut rng));
+        }
+        for _ in 0..rng.usize(0, 90) {
+            right.push(arbitrary_entry(&mut rng));
+        }
+        let lk = KeyedTrace::build(&left);
+        let rk = KeyedTrace::build(&right);
+        let lkeys: Vec<KeyRef<'_>> = (0..lk.len()).map(|i| lk.key(i)).collect();
+        let rkeys: Vec<KeyRef<'_>> = (0..rk.len()).map(|i| rk.key(i)).collect();
+        let mut m_dp = CostMeter::new();
+        let mut m_bp = CostMeter::new();
+        let dp = lcs_dp(&lkeys, &rkeys, &mut m_dp, MemoryBudget::unlimited()).unwrap();
+        let bp = lcs_bitparallel(&lkeys, &rkeys, &mut m_bp, MemoryBudget::unlimited()).unwrap();
+        assert_eq!(dp, bp);
+        assert_eq!(m_dp.stats().compare_ops, m_bp.stats().compare_ops);
+    }
+}
+
+/// Anchored matchings are always *valid* (monotone, `=e`-equal pairs) and never larger
+/// than the exact LCS; on identical inputs they are complete.
+#[test]
+fn anchored_matchings_are_valid_and_bounded_by_exact_lcs() {
+    let mut rng = Rng::new(1111);
+    for _ in 0..8 {
+        let mut left = Trace::named("prop-anch-left");
+        let mut right = Trace::named("prop-anch-right");
+        for _ in 0..rng.usize(0, 80) {
+            left.push(arbitrary_entry(&mut rng));
+        }
+        for _ in 0..rng.usize(0, 80) {
+            right.push(arbitrary_entry(&mut rng));
+        }
+        let lk = KeyedTrace::build(&left);
+        let rk = KeyedTrace::build(&right);
+        // max_segment 1 forces real anchoring even at these sizes.
+        let options = AnchoredDiffOptions::builder().max_segment(1).build();
+        let anchored = anchored_diff_prepared(&lk, &rk, &options);
+        let pairs = anchored.matching.normalized_pairs();
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+        for (i, j) in &pairs {
+            assert!(lk.key_eq(*i, &rk, *j));
+        }
+        let lkeys: Vec<KeyRef<'_>> = (0..lk.len()).map(|i| lk.key(i)).collect();
+        let rkeys: Vec<KeyRef<'_>> = (0..rk.len()).map(|i| rk.key(i)).collect();
+        let exact = lcs_dp(&lkeys, &rkeys, &mut CostMeter::new(), MemoryBudget::unlimited())
+            .unwrap();
+        assert!(pairs.len() <= exact.len(), "anchored matched more than the LCS");
+        let identical = anchored_diff_prepared(&lk, &lk, &options);
+        assert_eq!(identical.num_similar(), lk.len());
     }
 }
 

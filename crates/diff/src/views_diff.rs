@@ -38,7 +38,7 @@ use rprism_views::correlate::relaxed::same_distance_from_anchor;
 use rprism_views::{build_web_pair, Correlation, ViewId, ViewKind, ViewWeb};
 
 use crate::cost::{CostMeter, MemoryBudget};
-use crate::lcs::lcs_dp;
+use crate::lcs::{lcs_with_kernel, LcsKernel};
 use crate::matching::Matching;
 use crate::result::TraceDiffResult;
 
@@ -69,6 +69,11 @@ pub struct ViewsDiffOptions {
     /// the calling thread. The result is identical either way; per-worker cost meters
     /// are merged deterministically.
     pub parallel: bool,
+    /// Exact-LCS kernel for the windowed secondary passes. Both kernels produce
+    /// byte-identical matchings and compare counts (see [`LcsKernel`]); the bit-parallel
+    /// default wins wall-clock on wide windows and falls back to the DP per sub-problem
+    /// when the window's alphabet exceeds the word-packing scheme.
+    pub secondary_kernel: LcsKernel,
 }
 
 impl Default for ViewsDiffOptions {
@@ -79,6 +84,7 @@ impl Default for ViewsDiffOptions {
             max_scan_ahead: 96,
             relaxed_correlation: true,
             parallel: true,
+            secondary_kernel: LcsKernel::BitParallel,
         }
     }
 }
@@ -133,6 +139,12 @@ impl ViewsDiffOptionsBuilder {
     /// Toggle worker threads for preparation, correlation and per-thread differencing.
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.options.parallel = parallel;
+        self
+    }
+
+    /// Select the exact-LCS kernel for the windowed secondary passes.
+    pub fn secondary_kernel(mut self, kernel: LcsKernel) -> Self {
+        self.options.secondary_kernel = kernel;
         self
     }
 
@@ -654,9 +666,16 @@ impl<'a> Differ<'a> {
         scratch
             .rkeys
             .extend(rwin.iter().map(|&x| self.right.keyed.key(x)));
-        // Windows are constant-sized, so the quadratic LCS here is O(1) per call.
-        if let Ok(pairs) = lcs_dp(&scratch.lkeys, &scratch.rkeys, meter, MemoryBudget::unlimited())
-        {
+        // Windows are constant-sized, so the quadratic LCS here is O(1) per call. Both
+        // kernels return identical pairs with identical compare accounting, so the
+        // kernel knob cannot perturb the matching or any cost invariant.
+        if let Ok(pairs) = lcs_with_kernel(
+            self.options.secondary_kernel,
+            &scratch.lkeys,
+            &scratch.rkeys,
+            meter,
+            MemoryBudget::unlimited(),
+        ) {
             for (wi, wj) in pairs {
                 matching.push(lwin[wi], rwin[wj]);
             }
@@ -935,13 +954,12 @@ mod tests {
         let narrow = views_diff(
             &a,
             &b,
-            &ViewsDiffOptions {
-                delta: 0,
-                window: 1,
-                max_scan_ahead: 4,
-                relaxed_correlation: false,
-                parallel: true,
-            },
+            &ViewsDiffOptions::builder()
+                .delta(0)
+                .window(1)
+                .max_scan_ahead(4)
+                .relaxed_correlation(false)
+                .build(),
         );
         let wide = views_diff(&a, &b, &ViewsDiffOptions::default());
         assert!(wide.cost.compare_ops >= narrow.cost.compare_ops);

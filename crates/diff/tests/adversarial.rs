@@ -1,0 +1,166 @@
+//! Adversarial fuzzing of every differencing backend: each `rprism gen` profile —
+//! including the four shapes that each violate one well-formedness rule — is piped
+//! through the views scan (both secondary kernels), the LCS baseline (both kernels)
+//! and the anchored mode. Hostile, semantically broken traces must never panic any
+//! backend, the two kernels of an exact backend must stay matching-identical, and
+//! every produced matching must be structurally valid.
+
+#![allow(deprecated)] // views_diff: the one-shot shim is the convenient fuzz harness.
+
+use rprism_diff::{
+    anchored_diff, lcs_diff, views_diff, AnchoredDiffOptions, LcsDiffOptions, LcsKernel,
+    TraceDiffResult, ViewsDiffOptions,
+};
+use rprism_trace::testgen::{GenProfile, Rng};
+use rprism_trace::{KeyedTrace, Trace};
+
+/// Structural validity of a *subsequence* matching (LCS, anchored): both sides
+/// strictly increasing (monotone, no index reuse), in range, and every pair
+/// `=e`-equal under the interned keys.
+fn assert_valid_alignment(result: &TraceDiffResult, left: &Trace, right: &Trace, context: &str) {
+    let (lk, rk) = (KeyedTrace::build(left), KeyedTrace::build(right));
+    let pairs = result.matching.normalized_pairs();
+    for window in pairs.windows(2) {
+        assert!(
+            window[0].0 < window[1].0 && window[0].1 < window[1].1,
+            "{context}: matching is not monotone: {:?}",
+            window
+        );
+    }
+    for &(l, r) in &pairs {
+        assert!(l < left.len() && r < right.len(), "{context}: pair out of range");
+        assert!(
+            lk.key_eq(l, &rk, r),
+            "{context}: matched entries are not =e-equal at ({l}, {r})"
+        );
+    }
+}
+
+/// Views matchings are per-view similarity sets, not one global alignment — their
+/// global trace indices interleave across views — so only range validity holds.
+fn assert_in_range(result: &TraceDiffResult, left: &Trace, right: &Trace, context: &str) {
+    for &(l, r) in &result.matching.normalized_pairs() {
+        assert!(l < left.len() && r < right.len(), "{context}: pair out of range");
+    }
+}
+
+/// Regression for the histogram-fallback split policy: on a large well-formed trace
+/// with *no* globally unique keys, splitting at a key's first occurrence peels one
+/// tiny chunk per recursion level, exhausts `max_depth`, and hands the quadratic
+/// leaf kernel a near-full-size segment. The balanced midpoint split must keep the
+/// anchored mode far below quadratic compare cost while recovering essentially the
+/// whole exact matching.
+#[test]
+fn balanced_fallback_splits_stay_subquadratic_without_unique_keys() {
+    let entries = 4000;
+    let base = GenProfile::WellFormed.generate(&mut Rng::new(41), entries);
+    // The BENCH_7 mutation shape: sparse drops and duplications spread uniformly.
+    let mut mutated = Trace::new(base.meta.clone());
+    for (i, entry) in base.entries.iter().enumerate() {
+        if i % 997 == 996 {
+            continue;
+        }
+        mutated.entries.push(entry.clone());
+        if i % 1499 == 1498 {
+            mutated.entries.push(entry.clone());
+        }
+    }
+
+    let exact = lcs_diff(
+        &base,
+        &mutated,
+        &LcsDiffOptions::builder().linear_space(true).build(),
+    )
+    .expect("exact baseline failed");
+    let anchored = anchored_diff(&base, &mutated, &AnchoredDiffOptions::default());
+
+    let exact_pairs = exact.matching.normalized_pairs().len();
+    let anchored_pairs = anchored.matching.normalized_pairs().len();
+    assert!(anchored_pairs <= exact_pairs);
+    assert!(
+        anchored_pairs * 10 >= exact_pairs * 9,
+        "anchored recovered only {anchored_pairs} of {exact_pairs} exact pairs"
+    );
+    // Exact linear-space cost is ~2·m·n compares; the anchored mode must stay at
+    // least an order of magnitude below plain m·n even in the unique-key-free case.
+    let quadratic = base.len() as u64 * mutated.len() as u64;
+    assert!(
+        anchored.cost.compare_ops < quadratic / 10,
+        "anchored burned {} compares (quadratic would be {quadratic})",
+        anchored.cost.compare_ops
+    );
+    assert_valid_alignment(&anchored, &base, &mutated, "balanced fallback");
+}
+
+#[test]
+fn hostile_gen_profiles_never_panic_any_backend() {
+    let mut rng = Rng::new(0x5eed_f00d);
+    // Every profile against itself (different seeds) and against the arbitrary soup,
+    // so backends see both homogeneous hostile shapes and mixed-shape comparisons.
+    let mut pairings: Vec<(GenProfile, GenProfile)> = GenProfile::ALL
+        .iter()
+        .map(|&p| (p, p))
+        .collect();
+    pairings.extend(GenProfile::ALL.iter().map(|&p| (GenProfile::Arbitrary, p)));
+
+    for (left_profile, right_profile) in pairings {
+        let left = left_profile.generate(&mut Rng::new(rng.next_u64()), 240);
+        let right = right_profile.generate(&mut Rng::new(rng.next_u64()), 260);
+        let context = format!("{left_profile:?} vs {right_profile:?}");
+
+        // Views: both secondary kernels, matching-identical.
+        let views: Vec<TraceDiffResult> = [LcsKernel::Dp, LcsKernel::BitParallel]
+            .iter()
+            .map(|&kernel| {
+                views_diff(
+                    &left,
+                    &right,
+                    &ViewsDiffOptions::builder().secondary_kernel(kernel).build(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            views[0].matching.normalized_pairs(),
+            views[1].matching.normalized_pairs(),
+            "{context}: views kernels diverged"
+        );
+        assert_eq!(
+            views[0].cost.compare_ops, views[1].cost.compare_ops,
+            "{context}: views kernels metered different compares"
+        );
+        assert_in_range(&views[0], &left, &right, &format!("{context} (views)"));
+
+        // LCS baseline: both kernels, matching-identical.
+        let lcs: Vec<TraceDiffResult> = [LcsKernel::Dp, LcsKernel::BitParallel]
+            .iter()
+            .map(|&kernel| {
+                lcs_diff(
+                    &left,
+                    &right,
+                    &LcsDiffOptions::builder().kernel(kernel).build(),
+                )
+                .unwrap_or_else(|e| panic!("{context}: lcs failed: {e}"))
+            })
+            .collect();
+        assert_eq!(
+            lcs[0].matching.normalized_pairs(),
+            lcs[1].matching.normalized_pairs(),
+            "{context}: LCS kernels diverged"
+        );
+        assert_valid_alignment(&lcs[0], &left, &right, &format!("{context} (lcs)"));
+
+        // Anchored: valid (not necessarily maximal) matchings, never a panic — with
+        // aggressive segmentation to exercise the recursion, not just the leaf path.
+        let anchored = anchored_diff(
+            &left,
+            &right,
+            &AnchoredDiffOptions::builder().max_segment(8).build(),
+        );
+        assert_eq!(anchored.algorithm, "anchored");
+        assert_valid_alignment(&anchored, &left, &right, &format!("{context} (anchored)"));
+        assert!(
+            anchored.matching.normalized_pairs().len() <= lcs[0].matching.normalized_pairs().len(),
+            "{context}: anchored matched more than the exact LCS"
+        );
+    }
+}

@@ -20,8 +20,8 @@
 use std::time::{Duration, Instant};
 
 use rprism_diff::{
-    lcs_diff_prepared, views_diff_sides, DiffError, DiffSequence, DiffSide, LcsDiffOptions,
-    TraceDiffResult, ViewsDiffOptions,
+    anchored_diff_prepared, lcs_diff_prepared, views_diff_sides, AnchoredDiffOptions, DiffError,
+    DiffSequence, DiffSide, LcsDiffOptions, TraceDiffResult, ViewsDiffOptions,
 };
 use rprism_trace::{KeyedTrace, LeanTrace, Trace};
 use rprism_views::ViewWeb;
@@ -156,6 +156,10 @@ pub enum DiffAlgorithm {
     Views(ViewsDiffOptions),
     /// The LCS baseline of §3.2.
     Lcs(LcsDiffOptions),
+    /// The anchor-based (patience/histogram) mode: near-linear on huge traces, valid
+    /// but not necessarily maximal matchings — verdict-equivalent, not
+    /// matching-identical, to the exact modes (see MIGRATION.md).
+    Anchored(AnchoredDiffOptions),
 }
 
 impl DiffAlgorithm {
@@ -164,6 +168,7 @@ impl DiffAlgorithm {
         match self {
             DiffAlgorithm::Views(_) => "views",
             DiffAlgorithm::Lcs(_) => "lcs",
+            DiffAlgorithm::Anchored(_) => "anchored",
         }
     }
 }
@@ -355,6 +360,9 @@ pub fn analyze_prepared(
             options,
         )),
         DiffAlgorithm::Lcs(options) => lcs_diff_prepared(left.keyed, right.keyed, options),
+        DiffAlgorithm::Anchored(options) => {
+            Ok(anchored_diff_prepared(left.keyed, right.keyed, options))
+        }
     })
 }
 

@@ -26,7 +26,7 @@ use std::time::Duration;
 use rprism::{AnalysisMode, CheckReport, Severity};
 use rprism_format::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 
-use crate::proto::{RepoEntry, Request, Response, WireDiff, WireReport, WireStats};
+use crate::proto::{RepoEntry, Request, Response, WireAlgorithm, WireDiff, WireReport, WireStats};
 use crate::{Result, ServerError};
 
 /// The outcome of a [`Client::put_bytes`]/[`Client::put_path`].
@@ -357,10 +357,30 @@ impl Client {
     ///
     /// Returns [`ServerError::Remote`] for unknown hashes or a failed diff.
     pub fn diff(&mut self, left: u64, right: u64, max_sequences: u64) -> Result<WireDiff> {
+        self.diff_with_algorithm(left, right, max_sequences, None)
+    }
+
+    /// [`Client::diff`] with an explicit differencing-algorithm override; `None`
+    /// uses the server engine's default and emits the exact pre-override frame, so
+    /// this also talks to servers that predate the override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] for unknown hashes or a failed diff — and
+    /// from pre-override servers when an override is requested (they reject the
+    /// trailing byte as a malformed frame).
+    pub fn diff_with_algorithm(
+        &mut self,
+        left: u64,
+        right: u64,
+        max_sequences: u64,
+        algorithm: Option<WireAlgorithm>,
+    ) -> Result<WireDiff> {
         match self.call(&Request::Diff {
             left,
             right,
             max_sequences,
+            algorithm,
         })? {
             Response::DiffOk(diff) => Ok(diff),
             other => Err(unexpected(other)),
@@ -381,6 +401,23 @@ impl Client {
         mode: Option<AnalysisMode>,
         max_sequences: u64,
     ) -> Result<WireReport> {
+        self.analyze_with_algorithm(hashes, mode, max_sequences, None)
+    }
+
+    /// [`Client::analyze`] with an explicit differencing-algorithm override;
+    /// `None` uses the server engine's default (see
+    /// [`Client::diff_with_algorithm`] for the compatibility contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] for unknown hashes or a failed analysis.
+    pub fn analyze_with_algorithm(
+        &mut self,
+        hashes: [u64; 4],
+        mode: Option<AnalysisMode>,
+        max_sequences: u64,
+        algorithm: Option<WireAlgorithm>,
+    ) -> Result<WireReport> {
         match self.call(&Request::Analyze {
             old_regressing: hashes[0],
             new_regressing: hashes[1],
@@ -388,6 +425,7 @@ impl Client {
             new_passing: hashes[3],
             mode,
             max_sequences,
+            algorithm,
         })? {
             Response::AnalyzeOk(report) => Ok(report),
             other => Err(unexpected(other)),

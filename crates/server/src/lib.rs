@@ -53,6 +53,7 @@ mod repo;
 mod server;
 
 pub use client::{Client, PutOutcome, RetryPolicy};
+pub use proto::WireAlgorithm;
 pub use fs::{FaultyFs, RepoFs, StdFs};
 pub use repo::{RepoOptions, RepoStats, TraceRepo, DEFAULT_CACHE_BUDGET};
 pub use server::{Conn, Server, ServerConfig};

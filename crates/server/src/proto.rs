@@ -78,6 +78,20 @@ fn tag_min_version(tag: u8) -> u8 {
     }
 }
 
+/// The differencing algorithm a [`Request::Diff`] / [`Request::Analyze`] asks the
+/// server to use. The server applies its configured options for the chosen family;
+/// only the algorithm itself travels on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireAlgorithm {
+    /// Views-based differencing (§3.3) — the server default.
+    Views,
+    /// The quadratic LCS baseline (§3.2).
+    Lcs,
+    /// Anchor-based (patience/histogram) differencing: near-linear on huge traces,
+    /// verdict-equivalent to the exact modes but matchings may legitimately differ.
+    Anchored,
+}
+
 /// One client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -102,6 +116,12 @@ pub enum Request {
         right: u64,
         /// How many difference sequences the server renders into the textual report.
         max_sequences: u64,
+        /// Differencing-algorithm override (`None` uses the server engine's default).
+        ///
+        /// Encoded as an *optional trailing byte*: requests without an override emit
+        /// the exact pre-override frame, so old clients and old servers interoperate
+        /// unchanged (the protocol version stays 3).
+        algorithm: Option<WireAlgorithm>,
     },
     /// Run the §4.1 regression-cause analysis over four stored traces.
     Analyze {
@@ -118,6 +138,9 @@ pub enum Request {
         /// How many regression-related sequences the server renders into the textual
         /// report.
         max_sequences: u64,
+        /// Differencing-algorithm override, trailing-optional exactly as in
+        /// [`Request::Diff`].
+        algorithm: Option<WireAlgorithm>,
     },
     /// Run the `rprism-check` static analysis over a stored trace (added in
     /// protocol version 3).
@@ -531,6 +554,13 @@ impl<'a> Dec<'a> {
         Ok(out)
     }
 
+    /// `true` while undecoded bytes remain — the gate for trailing-optional fields
+    /// (read the field iff a newer client appended it; [`Dec::finish`] still rejects
+    /// anything left over after every decoder ran).
+    fn has_remaining(&self) -> bool {
+        self.pos < self.bytes.len()
+    }
+
     fn finish(&self) -> FormatResult<()> {
         if self.pos != self.bytes.len() {
             return Err(self.corrupt(format!(
@@ -581,6 +611,23 @@ fn byte_mode(byte: u8, dec: &Dec<'_>) -> FormatResult<Option<AnalysisMode>> {
         1 => Some(AnalysisMode::Intersect),
         2 => Some(AnalysisMode::SubtractRegressionSet),
         other => return Err(dec.corrupt(format!("unknown analysis mode {other:#04x}"))),
+    })
+}
+
+fn algorithm_byte(algorithm: WireAlgorithm) -> u8 {
+    match algorithm {
+        WireAlgorithm::Views => 1,
+        WireAlgorithm::Lcs => 2,
+        WireAlgorithm::Anchored => 3,
+    }
+}
+
+fn byte_algorithm(byte: u8, dec: &Dec<'_>) -> FormatResult<WireAlgorithm> {
+    Ok(match byte {
+        1 => WireAlgorithm::Views,
+        2 => WireAlgorithm::Lcs,
+        3 => WireAlgorithm::Anchored,
+        other => return Err(dec.corrupt(format!("unknown diff algorithm {other:#04x}"))),
     })
 }
 
@@ -798,11 +845,17 @@ impl Request {
                 left,
                 right,
                 max_sequences,
+                algorithm,
             } => {
                 let mut buf = header(TAG_DIFF);
                 put_u64(&mut buf, *left);
                 put_u64(&mut buf, *right);
                 put_u64(&mut buf, *max_sequences);
+                // Trailing-optional: absent means "server default" and reproduces the
+                // pre-override frame byte for byte.
+                if let Some(algorithm) = algorithm {
+                    buf.push(algorithm_byte(*algorithm));
+                }
                 buf
             }
             Request::Analyze {
@@ -812,6 +865,7 @@ impl Request {
                 new_passing,
                 mode,
                 max_sequences,
+                algorithm,
             } => {
                 let mut buf = header(TAG_ANALYZE);
                 for hash in [old_regressing, new_regressing, old_passing, new_passing] {
@@ -819,6 +873,9 @@ impl Request {
                 }
                 buf.push(mode_byte(*mode));
                 put_u64(&mut buf, *max_sequences);
+                if let Some(algorithm) = algorithm {
+                    buf.push(algorithm_byte(*algorithm));
+                }
                 buf
             }
             Request::Check { hash, overrides } => {
@@ -844,11 +901,23 @@ impl Request {
             TAG_PUT => Request::Put { bytes: dec.bytes()? },
             TAG_GET => Request::Get { hash: dec.u64()? },
             TAG_LIST => Request::List,
-            TAG_DIFF => Request::Diff {
-                left: dec.u64()?,
-                right: dec.u64()?,
-                max_sequences: dec.u64()?,
-            },
+            TAG_DIFF => {
+                let left = dec.u64()?;
+                let right = dec.u64()?;
+                let max_sequences = dec.u64()?;
+                let algorithm = if dec.has_remaining() {
+                    let raw = dec.u8()?;
+                    Some(byte_algorithm(raw, &dec)?)
+                } else {
+                    None
+                };
+                Request::Diff {
+                    left,
+                    right,
+                    max_sequences,
+                    algorithm,
+                }
+            }
             TAG_ANALYZE => {
                 let old_regressing = dec.u64()?;
                 let new_regressing = dec.u64()?;
@@ -856,13 +925,21 @@ impl Request {
                 let new_passing = dec.u64()?;
                 let mode_raw = dec.u8()?;
                 let mode = byte_mode(mode_raw, &dec)?;
+                let max_sequences = dec.u64()?;
+                let algorithm = if dec.has_remaining() {
+                    let raw = dec.u8()?;
+                    Some(byte_algorithm(raw, &dec)?)
+                } else {
+                    None
+                };
                 Request::Analyze {
                     old_regressing,
                     new_regressing,
                     old_passing,
                     new_passing,
                     mode,
-                    max_sequences: dec.u64()?,
+                    max_sequences,
+                    algorithm,
                 }
             }
             TAG_CHECK => Request::Check {
@@ -1143,7 +1220,16 @@ mod tests {
             left: 1,
             right: u64::MAX,
             max_sequences: 5,
+            algorithm: None,
         });
+        for algorithm in [WireAlgorithm::Views, WireAlgorithm::Lcs, WireAlgorithm::Anchored] {
+            round_trip_request(Request::Diff {
+                left: 1,
+                right: u64::MAX,
+                max_sequences: 5,
+                algorithm: Some(algorithm),
+            });
+        }
         round_trip_request(Request::Analyze {
             old_regressing: 1,
             new_regressing: 2,
@@ -1151,6 +1237,7 @@ mod tests {
             new_passing: 4,
             mode: Some(AnalysisMode::SubtractRegressionSet),
             max_sequences: 5,
+            algorithm: Some(WireAlgorithm::Anchored),
         });
         round_trip_request(Request::Analyze {
             old_regressing: 1,
@@ -1159,6 +1246,7 @@ mod tests {
             new_passing: 4,
             mode: None,
             max_sequences: 10,
+            algorithm: None,
         });
         round_trip_request(Request::Check {
             hash: 7,
@@ -1174,6 +1262,60 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn pre_override_diff_and_analyze_frames_still_decode() {
+        // The algorithm override is a trailing-optional byte: frames hand-built the
+        // way a pre-override client built them (no byte) must decode to `None`, and a
+        // request without an override must emit exactly that legacy frame.
+        let mut legacy_diff = vec![PROTO_VERSION, 0x04];
+        for value in [7u64, 9, 3] {
+            put_u64(&mut legacy_diff, value);
+        }
+        assert_eq!(
+            Request::decode(&legacy_diff).unwrap(),
+            Request::Diff {
+                left: 7,
+                right: 9,
+                max_sequences: 3,
+                algorithm: None,
+            }
+        );
+        assert_eq!(
+            Request::Diff {
+                left: 7,
+                right: 9,
+                max_sequences: 3,
+                algorithm: None,
+            }
+            .encode(),
+            legacy_diff
+        );
+
+        let mut legacy_analyze = vec![PROTO_VERSION, 0x05];
+        for hash in [1u64, 2, 3, 4] {
+            put_u64(&mut legacy_analyze, hash);
+        }
+        legacy_analyze.push(0); // mode: engine default
+        put_u64(&mut legacy_analyze, 6);
+        assert_eq!(
+            Request::decode(&legacy_analyze).unwrap(),
+            Request::Analyze {
+                old_regressing: 1,
+                new_regressing: 2,
+                old_passing: 3,
+                new_passing: 4,
+                mode: None,
+                max_sequences: 6,
+                algorithm: None,
+            }
+        );
+
+        // An unknown algorithm byte is rejected, not silently defaulted.
+        let mut bad = legacy_diff.clone();
+        bad.push(9);
+        assert!(Request::decode(&bad).is_err());
     }
 
     #[test]

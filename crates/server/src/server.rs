@@ -44,10 +44,24 @@ use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use rprism::{Engine, PreparedTrace, RegressionInput};
+use rprism::{
+    AnchoredDiffOptions, DiffAlgorithm, Engine, LcsDiffOptions, PreparedTrace, RegressionInput,
+    ViewsDiffOptions,
+};
 use rprism_format::frame::{read_frame, write_frame};
 
-use crate::proto::{Request, Response, WireDiff, WireReport, WireStats};
+use crate::proto::{Request, Response, WireAlgorithm, WireDiff, WireReport, WireStats};
+
+/// Maps a wire algorithm override to a concrete [`DiffAlgorithm`] with the default
+/// options of its family — only the algorithm choice travels on the wire; tuning
+/// stays a server-side concern.
+fn algorithm_for(wire: WireAlgorithm) -> DiffAlgorithm {
+    match wire {
+        WireAlgorithm::Views => DiffAlgorithm::Views(ViewsDiffOptions::default()),
+        WireAlgorithm::Lcs => DiffAlgorithm::Lcs(LcsDiffOptions::default()),
+        WireAlgorithm::Anchored => DiffAlgorithm::Anchored(AnchoredDiffOptions::default()),
+    }
+}
 use crate::repo::{RepoOptions, TraceRepo, DEFAULT_CACHE_BUDGET};
 use crate::{Result, ServerError};
 
@@ -435,10 +449,14 @@ impl Worker {
                 left,
                 right,
                 max_sequences,
+                algorithm,
             } => {
                 let left = self.repo.prepared(left)?;
                 let right = self.repo.prepared(right)?;
-                let result = engine.diff(&left, &right)?;
+                let result = match algorithm {
+                    None => engine.diff(&left, &right)?,
+                    Some(wire) => engine.diff_with_algorithm(&left, &right, &algorithm_for(wire))?,
+                };
                 let rendered = render_diff(&result, &left, &right, max_sequences as usize);
                 Ok(Response::DiffOk(WireDiff::from_result(&result, rendered)))
             }
@@ -449,6 +467,7 @@ impl Worker {
                 new_passing,
                 mode,
                 max_sequences,
+                algorithm,
             } => {
                 let mut input = RegressionInput::new(
                     self.repo.prepared(old_regressing)?,
@@ -459,7 +478,10 @@ impl Worker {
                 if let Some(mode) = mode {
                     input = input.with_mode(mode);
                 }
-                let report = engine.analyze(&input)?;
+                let report = match algorithm {
+                    None => engine.analyze(&input)?,
+                    Some(wire) => engine.analyze_with_algorithm(&input, &algorithm_for(wire))?,
+                };
                 // Render under the caller's sequence bound (engine defaults for the
                 // rest) so remote reports read exactly like local ones.
                 let render = rprism_regress::RenderOptions {

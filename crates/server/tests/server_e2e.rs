@@ -11,7 +11,7 @@ use rprism::Engine;
 use rprism_format::frame::{frame_to_bytes, read_frame};
 use rprism_format::{trace_to_bytes, Encoding};
 use rprism_server::proto::{Request, Response};
-use rprism_server::{Client, Server, ServerConfig, ServerError};
+use rprism_server::{Client, Server, ServerConfig, ServerError, WireAlgorithm};
 use rprism_trace::testgen::{arbitrary_trace, Rng};
 use rprism_trace::Trace;
 
@@ -105,6 +105,65 @@ fn full_request_vocabulary_round_trips() {
     assert_eq!(client.get(put.hash).unwrap(), old_bytes);
     client.shutdown().unwrap();
     handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn algorithm_overrides_choose_the_backend_per_request() {
+    let (addr, server, dir) = start("algo");
+    let mut client = Client::connect(&addr.to_string(), TIMEOUT).unwrap();
+
+    let old = sample(11, 140);
+    let new = sample(12, 140);
+    let left = client
+        .put_bytes(trace_to_bytes(&old, Encoding::Binary).unwrap())
+        .unwrap()
+        .hash;
+    let right = client
+        .put_bytes(trace_to_bytes(&new, Encoding::Binary).unwrap())
+        .unwrap()
+        .hash;
+
+    // Each override is honored per request; the server default (views) is untouched.
+    let default = client.diff(left, right, 2).unwrap();
+    assert_eq!(default.algorithm, "views");
+    for (wire, label) in [
+        (WireAlgorithm::Views, "views"),
+        (WireAlgorithm::Lcs, "lcs"),
+        (WireAlgorithm::Anchored, "anchored"),
+    ] {
+        let diff = client
+            .diff_with_algorithm(left, right, 2, Some(wire))
+            .unwrap();
+        assert_eq!(diff.algorithm, label);
+    }
+    // An explicit views override is byte-identical to the default.
+    let views = client
+        .diff_with_algorithm(left, right, 2, Some(WireAlgorithm::Views))
+        .unwrap();
+    assert_eq!(views, default);
+
+    // The remote LCS override matches a local LCS engine exactly.
+    let remote_lcs = client
+        .diff_with_algorithm(left, right, 2, Some(WireAlgorithm::Lcs))
+        .unwrap();
+    let engine = Engine::builder()
+        .lcs_baseline(rprism::LcsDiffOptions::default())
+        .build();
+    let local = engine
+        .diff(&engine.prepare(old.clone()), &engine.prepare(new.clone()))
+        .unwrap();
+    assert_eq!(remote_lcs.pairs_local(), local.matching.normalized_pairs());
+    assert_eq!(remote_lcs.compare_ops, local.cost.compare_ops);
+
+    // Analyze honors the override too.
+    let report = client
+        .analyze_with_algorithm([left, right, left, right], None, 2, Some(WireAlgorithm::Anchored))
+        .unwrap();
+    assert_eq!(report.algorithm, "anchored");
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
 
