@@ -45,6 +45,12 @@
 //!    compare ops for both plus the wall-time speedup and the fraction of the exact
 //!    LCS the anchored matching recovers (the numbers recorded in `BENCH_7.json`;
 //!    size override: `RPRISM_BENCH_ANCHORED_ENTRIES`).
+//! 9. **watch latency** — the ordinary-evolution pair diffed live through
+//!    `Engine::watch` (256-entry chunks, the streaming-ingest batch quantum):
+//!    time to the first provisional event after the watch starts, verdict lag
+//!    after the last entry arrives (`finish()` wall), and total watch wall vs
+//!    the batch `Engine::diff` of the same pair, with identical matchings
+//!    asserted (the numbers recorded in `BENCH_8.json`).
 //!
 //! The `--json` flag emits all numbers as one JSON object.
 //!
@@ -655,6 +661,67 @@ fn measure_check_throughput(samples: usize) -> CheckMeasured {
     }
 }
 
+struct WatchLatencyMeasured {
+    entries: usize,
+    chunk: usize,
+    batch_wall: Duration,
+    first_event_wall: Duration,
+    verdict_lag: Duration,
+    total_wall: Duration,
+    provisional_events: usize,
+}
+
+/// The `watch_latency` measurement (BENCH_8): the ordinary-evolution pair streamed
+/// through a live [`Engine::watch`] in 256-entry chunks. Three numbers per sample —
+/// time from watch start to the first provisional event, verdict lag after the last
+/// entry (the `finish()` reconciliation), total watch wall — against the batch diff
+/// of the same pair; best total wins, matchings are asserted identical.
+fn measure_watch_latency(samples: usize, old: &Trace, new: &Trace) -> WatchLatencyMeasured {
+    const CHUNK: usize = 256;
+    let engine = Engine::new();
+    let pold = engine.prepare(old.clone());
+    let pnew = engine.prepare(new.clone());
+    let batch = measure(samples, || engine.diff(&pold, &pnew).expect("views never fails"));
+
+    let mut measured = WatchLatencyMeasured {
+        entries: new.len(),
+        chunk: CHUNK,
+        batch_wall: batch.wall,
+        first_event_wall: Duration::MAX,
+        verdict_lag: Duration::MAX,
+        total_wall: Duration::MAX,
+        provisional_events: 0,
+    };
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        let mut watch = engine.watch(&pold, new.meta.clone());
+        let mut first_event = None;
+        let mut provisional = 0usize;
+        for slice in new.entries.chunks(CHUNK) {
+            provisional += watch.push_entries(slice).expect("no ingest gate").len();
+            if first_event.is_none() && provisional > 0 {
+                first_event = Some(start.elapsed());
+            }
+        }
+        let eof = start.elapsed();
+        let outcome = watch.finish().expect("no ingest gate");
+        let total = start.elapsed();
+        assert_eq!(
+            outcome.result.matching.normalized_pairs(),
+            batch.result.matching.normalized_pairs(),
+            "live watch diverged from the batch diff"
+        );
+        assert!(provisional > 0, "the evolution pair must stream events");
+        if total < measured.total_wall {
+            measured.total_wall = total;
+            measured.first_event_wall = first_event.unwrap_or(total);
+            measured.verdict_lag = total - eof;
+            measured.provisional_events = provisional;
+        }
+    }
+    measured
+}
+
 fn main() {
     let mut json = false;
     let mut iterations = 400usize;
@@ -687,6 +754,7 @@ fn main() {
     let durability = measure_put_durability(samples, &old);
     let check = measure_check_throughput(samples);
     let anchored = measure_anchored_scaling(samples);
+    let watch = measure_watch_latency(samples, &reuse_old, &reuse_new);
 
     let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
     let reuse_speedup =
@@ -772,7 +840,7 @@ fn main() {
             check.entries_per_second()
         );
         println!(
-            "  \"anchored_scaling\": {{ \"trace_entries\": [{}, {}], \"mutations\": {}, \"exact_linear_space\": {{ \"wall_seconds\": {:.6}, \"pairs\": {}, \"compare_ops\": {} }}, \"anchored\": {{ \"wall_seconds\": {:.6}, \"pairs\": {}, \"compare_ops\": {} }}, \"matching_recovery\": {:.6}, \"wall_time_speedup\": {:.2} }}",
+            "  \"anchored_scaling\": {{ \"trace_entries\": [{}, {}], \"mutations\": {}, \"exact_linear_space\": {{ \"wall_seconds\": {:.6}, \"pairs\": {}, \"compare_ops\": {} }}, \"anchored\": {{ \"wall_seconds\": {:.6}, \"pairs\": {}, \"compare_ops\": {} }}, \"matching_recovery\": {:.6}, \"wall_time_speedup\": {:.2} }},",
             anchored.entries[0],
             anchored.entries[1],
             anchored.mutations,
@@ -784,6 +852,16 @@ fn main() {
             anchored.anchored_compare_ops,
             anchored.recovery(),
             anchored.speedup()
+        );
+        println!(
+            "  \"watch_latency\": {{ \"trace_entries\": {}, \"chunk_entries\": {}, \"provisional_events\": {}, \"batch_wall_seconds\": {:.6}, \"first_event_seconds\": {:.6}, \"verdict_lag_seconds\": {:.6}, \"watch_total_wall_seconds\": {:.6} }}",
+            watch.entries,
+            watch.chunk,
+            watch.provisional_events,
+            watch.batch_wall.as_secs_f64(),
+            watch.first_event_wall.as_secs_f64(),
+            watch.verdict_lag.as_secs_f64(),
+            watch.total_wall.as_secs_f64()
         );
         println!("}}");
     } else {
@@ -889,6 +967,18 @@ fn main() {
             "    wall-time speedup: {:.2}x  (matching recovery {:.4})",
             anchored.speedup(),
             anchored.recovery()
+        );
+        println!(
+            "\n  watch latency ({} streamed entries, {}-entry chunks, {} provisional events):",
+            watch.entries, watch.chunk, watch.provisional_events
+        );
+        println!(
+            "    batch diff wall {:>10.3?}   watch total {:>10.3?}",
+            watch.batch_wall, watch.total_wall
+        );
+        println!(
+            "    first provisional event after {:>10.3?}   verdict lag after EOF {:>10.3?}",
+            watch.first_event_wall, watch.verdict_lag
         );
         println!("\n  trace i/o ({} entries):", old.len());
         for m in &io {

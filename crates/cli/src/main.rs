@@ -118,6 +118,18 @@ usage:
   rprism remote analyze <or> <nr> <op> <np> [--addr] [--mode ...]
                         [--algorithm views|lcs|anchored] [--max-seqs <n>]
       Run the regression-cause analysis on the server (hashes or files, like diff).
+  rprism remote watch <old> <file|-> [--addr] [--max-seqs <n>] [--quiet]
+                      [--follow] [--poll-ms <ms>] [--idle-ms <ms>]
+      Diff a growing trace live against the stored trace <old>: the file (or
+      stdin with `-`) is streamed to the server in chunks as it is produced, and
+      provisional match/retract/diverge events print as the server's incremental
+      differ advances (lines prefixed `~`). At end of input the final report
+      prints, byte-identical to `remote diff` of the same pair. --follow keeps
+      tailing a file that is still being written, polling every --poll-ms
+      (default 200) until it stops growing for --idle-ms (default 5000); without
+      it the watch ends at the first end-of-file. A server with an ingest check
+      (`--deny` on serve is a future hook; engines configured with
+      check_on_ingest) aborts the watch mid-stream on a denied diagnostic.
   rprism remote stats --addr <host:port>
       Repository/cache statistics of the daemon.
   rprism remote shutdown --addr <host:port>
@@ -140,7 +152,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--entries", "--seed", "--addr", "--repo", "--threads", "--cache-bytes",
     "--max-frame-bytes", "--timeout", "--backlog", "--cache-low-watermark",
     "--busy-retry-ms", "--retries", "--profile", "--deny", "--format", "--severity",
-    "--algorithm",
+    "--algorithm", "--poll-ms", "--idle-ms",
 ];
 
 impl Args {
@@ -718,7 +730,8 @@ fn remote(args: &[String]) -> Result<ExitCode, String> {
     let Some((verb, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return Err(
-            "remote expects a subcommand (put|get|list|check|diff|analyze|stats|shutdown)".into(),
+            "remote expects a subcommand (put|get|list|check|diff|watch|analyze|stats|shutdown)"
+                .into(),
         );
     };
     let parsed = Args::parse(rest)?;
@@ -729,6 +742,7 @@ fn remote(args: &[String]) -> Result<ExitCode, String> {
         "list" => done(remote_list(&parsed)),
         "check" => remote_check(&parsed),
         "diff" => done(remote_diff(&parsed)),
+        "watch" => done(remote_watch(&parsed)),
         "analyze" => done(remote_analyze(&parsed)),
         "stats" => done(remote_stats(&parsed)),
         "shutdown" => done(remote_shutdown(&parsed)),
@@ -865,6 +879,152 @@ fn remote_diff(args: &Args) -> Result<(), String> {
         print!("{}", diff.rendered);
     }
     Ok(())
+}
+
+/// How much of the watched source is sent per `PutStream` frame. Small enough to
+/// keep provisional events flowing while a trace is still being written, large
+/// enough that a finished file costs only a handful of round trips.
+const WATCH_CHUNK: usize = 64 * 1024;
+
+fn remote_watch(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "--addr", "--max-frame-bytes", "--timeout", "--retries", "--max-seqs", "--quiet",
+        "--follow", "--poll-ms", "--idle-ms",
+    ])?;
+    let [old, source] = args.positional.as_slice() else {
+        return Err("remote watch expects an old trace (hash or file) and a source (file or -)"
+            .into());
+    };
+    let max_seqs = args.max_seqs()?;
+    let quiet = args.switch("--quiet");
+    let follow = args.switch("--follow");
+    let poll_ms: u64 = match args.value("--poll-ms") {
+        None => 200,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--poll-ms expects milliseconds, got {v:?}"))?,
+    };
+    let idle_ms: u64 = match args.value("--idle-ms") {
+        None => 5_000,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--idle-ms expects milliseconds, got {v:?}"))?,
+    };
+    if follow && source.as_str() == "-" {
+        return Err("--follow applies to files; stdin is already tailed until EOF".into());
+    }
+
+    let mut client = remote_client(args)?;
+    let old_hash = remote_trace_arg(&mut client, old)?;
+    client
+        .watch_start(old_hash, max_seqs as u64)
+        .map_err(|e| format!("cannot start watch: {e}"))?;
+
+    // Deliver one chunk and render the provisional events it produced. An ingest
+    // denial tears the watch down server-side; render the report like a local
+    // `check` would and stop.
+    let push = |client: &mut rprism_server::Client, bytes: Vec<u8>| -> Result<(), String> {
+        match client.watch_chunk(bytes) {
+            Ok(events) => {
+                if !quiet {
+                    print_watch_events(&events);
+                }
+                Ok(())
+            }
+            Err(rprism_server::ServerError::CheckDenied(report)) => {
+                print_report(&report, false);
+                Err("watch denied by the server's ingest check".into())
+            }
+            Err(e) => Err(format!("watch failed: {e}")),
+        }
+    };
+
+    if source.as_str() == "-" {
+        let mut stdin = std::io::stdin().lock();
+        loop {
+            let mut buf = vec![0u8; WATCH_CHUNK];
+            let n = std::io::Read::read(&mut stdin, &mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            buf.truncate(n);
+            push(&mut client, buf)?;
+        }
+    } else {
+        let mut file = std::fs::File::open(source)
+            .map_err(|e| format!("cannot open {source}: {e}"))?;
+        let poll = std::time::Duration::from_millis(poll_ms.max(1));
+        let mut idled = std::time::Duration::ZERO;
+        loop {
+            let mut buf = vec![0u8; WATCH_CHUNK];
+            let n = std::io::Read::read(&mut file, &mut buf)
+                .map_err(|e| format!("cannot read {source}: {e}"))?;
+            if n > 0 {
+                buf.truncate(n);
+                push(&mut client, buf)?;
+                idled = std::time::Duration::ZERO;
+                continue;
+            }
+            // At end-of-file. Keep tailing under --follow until the file has
+            // stopped growing for --idle-ms; otherwise the trace is complete.
+            if !follow || idled.as_millis() >= u128::from(idle_ms) {
+                break;
+            }
+            std::thread::sleep(poll);
+            idled += poll;
+        }
+    }
+
+    let (events, diff) = match client.watch_finish(Vec::new()) {
+        Ok(done) => done,
+        Err(rprism_server::ServerError::CheckDenied(report)) => {
+            print_report(&report, false);
+            return Err("watch denied by the server's ingest check".into());
+        }
+        Err(e) => return Err(format!("watch failed: {e}")),
+    };
+    if !quiet {
+        print_watch_events(&events);
+    }
+    // Same summary shape as `remote diff`, so at end of input the verdict is
+    // byte-identical to diffing the finished pair.
+    println!(
+        "{} vs {}: {} differences in {} sequences ({} similar entries, {} compare ops, {})",
+        old,
+        source,
+        diff.num_differences,
+        diff.num_sequences(),
+        diff.pairs.len(),
+        diff.compare_ops,
+        diff.algorithm,
+    );
+    if !quiet {
+        print!("{}", diff.rendered);
+    }
+    Ok(())
+}
+
+/// Renders the provisional events of one watch batch, one `~`-prefixed line each,
+/// so live progress is visually distinct from the final report.
+fn print_watch_events(events: &[rprism_server::WireWatchEvent]) {
+    for event in events {
+        match event {
+            rprism_server::WireWatchEvent::Match { left, right } => {
+                println!("~ match    seq {left} = seq {right}");
+            }
+            rprism_server::WireWatchEvent::Invalidate { left, right } => {
+                println!("~ retract  seq {left} = seq {right}");
+            }
+            rprism_server::WireWatchEvent::Difference { left, right } => {
+                println!(
+                    "~ diverge  {} left / {} right sequence(s) provisionally unmatched",
+                    left.len(),
+                    right.len()
+                );
+            }
+        }
+    }
 }
 
 fn remote_analyze(args: &Args) -> Result<(), String> {

@@ -26,16 +26,17 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rprism_check::{check_trace_with, CheckConfig, CheckReport, Checker, Severity};
-use rprism_format::{Encoding, TraceReader};
+use rprism_format::{Encoding, TailBatch, TraceReader};
 use rprism_diff::{
     anchored_diff_prepared, lcs_diff_prepared, views_diff_sides_correlated, AnchoredDiffOptions,
-    DiffError, DiffSide, LcsDiffOptions, TraceDiffResult, ViewsDiffOptions,
+    DiffError, DiffSession, DiffSide, LcsDiffOptions, ProvisionalEvent, TraceDiffResult,
+    ViewsDiffOptions,
 };
 use rprism_lang::parser::parse_program;
 use rprism_lang::Program;
@@ -48,6 +49,7 @@ use rprism_views::{Correlation, ViewWeb};
 use rprism_vm::{run_traced, RunOutcome, RuntimeError, VmConfig};
 
 use crate::ingest::{stream_prepare_observed, StreamedArtifacts};
+use crate::watch::{Watch, WatchOutcome};
 use crate::{Error, Result};
 
 /// Default number of trace pairs kept in the pair-level correlation cache before
@@ -439,7 +441,7 @@ impl PreparedTrace {
 
     /// The handle as a [`DiffSide`], forcing the artifact builds if they have not
     /// happened yet.
-    fn side(&self) -> DiffSide<'_> {
+    pub(crate) fn side(&self) -> DiffSide<'_> {
         let keyed = self.keyed();
         let web = self.web();
         match &self.inner.store {
@@ -728,6 +730,85 @@ impl Engine {
             }
         };
         Ok(PreparedTrace::from_streamed(artifacts))
+    }
+
+    /// Opens a push-driven live watch: an incremental diff of a *new* trace that is
+    /// still being produced against the prepared `old` handle. Feed entries with
+    /// [`Watch::push_entries`] as they arrive (any chunk boundaries), collect the
+    /// provisional events, and call [`Watch::finish`] at end of stream for the
+    /// authoritative verdict — byte-identical (matching, difference sequences, compare
+    /// counts) to [`Engine::diff`] of the same two traces.
+    ///
+    /// The watch always diffs under the views semantics (the only incremental
+    /// algorithm): the engine's views options when its algorithm is
+    /// [`DiffAlgorithm::Views`], the default views options otherwise. When the engine
+    /// has an ingest gate ([`EngineBuilder::check_on_ingest`]), every pushed entry
+    /// streams through the checker and a denied diagnostic aborts the watch
+    /// mid-stream with [`crate::Error::Check`].
+    ///
+    /// `meta` identifies the watched trace (for serialized streams,
+    /// [`Engine::watch_prepared`] takes it from the stream header instead).
+    pub fn watch(&self, old: &PreparedTrace, meta: TraceMeta) -> Watch {
+        let options = match &self.algorithm {
+            DiffAlgorithm::Views(options) => options.clone(),
+            _ => ViewsDiffOptions::default(),
+        };
+        let session = DiffSession::new(meta.clone(), options);
+        let gate = self
+            .ingest_check
+            .as_ref()
+            .map(|gate| (Checker::with_config(gate.config.clone()), gate.deny));
+        Watch::new(old.clone(), meta, session, gate)
+    }
+
+    /// Drives a [`TraceReader`] to completion as a live watch of `old`: each decoded
+    /// batch is folded straight into key derivation, web extension and the suspended
+    /// lock-step scan ([`Engine::watch`]) — the new trace is never materialized, the
+    /// same bounded-memory property as [`Engine::load_prepared`].
+    ///
+    /// The reader is driven in tail mode, so a source that ends mid-record (a growing
+    /// file, a draining socket) does not error: `on_event` receives every provisional
+    /// event as it is produced, and whenever the source runs dry `wait` decides what
+    /// happens — return `true` to re-poll (after sleeping, typically), `false` to
+    /// declare end of input, at which point the remaining bytes must decode under
+    /// strict end-of-stream semantics (JSONL's final-line grace applies; a mid-record
+    /// binary tail is a truncation error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Format`] on truncation or corruption, and
+    /// [`crate::Error::Check`] when the ingest gate denies the watched trace.
+    pub fn watch_prepared<R: BufRead>(
+        &self,
+        old: &PreparedTrace,
+        mut reader: TraceReader<R>,
+        mut on_event: impl FnMut(&ProvisionalEvent),
+        mut wait: impl FnMut() -> bool,
+    ) -> Result<WatchOutcome> {
+        let mut watch = self.watch(old, reader.meta().clone());
+        let mut batch = Vec::with_capacity(crate::ingest::BATCH_ENTRIES);
+        loop {
+            match reader.read_batch_tail(&mut batch, crate::ingest::BATCH_ENTRIES)? {
+                TailBatch::Entries(_) => {
+                    for event in watch.push_entries(&batch)? {
+                        on_event(&event);
+                    }
+                }
+                TailBatch::End => break,
+                TailBatch::Pending => {
+                    if wait() {
+                        continue;
+                    }
+                    while reader.read_batch(&mut batch, crate::ingest::BATCH_ENTRIES)? > 0 {
+                        for event in watch.push_entries(&batch)? {
+                            on_event(&event);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        watch.finish()
     }
 
     /// Runs the `rprism-check` static analysis over a serialized trace on disk in one

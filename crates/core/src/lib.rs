@@ -71,12 +71,15 @@ pub use rprism_vm as vm;
 
 mod engine;
 pub mod ingest;
+mod watch;
 
 pub use engine::{Engine, EngineBuilder, PreparedTrace, RegressionInput};
+pub use watch::{Watch, WatchOutcome};
 // The vocabulary types an Engine user needs, re-exported at the crate root.
 pub use rprism_diff::{
-    AnchoredDiffOptions, AnchoredDiffOptionsBuilder, LcsDiffOptions, LcsDiffOptionsBuilder,
-    LcsKernel, TraceDiffResult, ViewsDiffOptions, ViewsDiffOptionsBuilder,
+    AnchoredDiffOptions, AnchoredDiffOptionsBuilder, DiffSession, LcsDiffOptions,
+    LcsDiffOptionsBuilder, LcsKernel, ProvisionalEvent, TraceDiffResult, ViewsDiffOptions,
+    ViewsDiffOptionsBuilder,
 };
 pub use rprism_check::{CheckConfig, CheckReport, Severity};
 pub use rprism_format::{Encoding, FormatError};

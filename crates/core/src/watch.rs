@@ -1,0 +1,134 @@
+//! Live (incremental) differencing: a fixed prepared *old* trace watched against a
+//! *new* trace that is still being produced.
+//!
+//! [`Watch`] is the engine-level wrapper around [`rprism_diff::DiffSession`]: it owns a
+//! clone of the old handle (forcing its keyed/web artifacts once, like a batch diff
+//! would), feeds every arriving entry through the optional ingest checker
+//! ([`crate::EngineBuilder::check_on_ingest`]), and folds key derivation, web extension
+//! and the suspended lock-step scan into each push — the new trace is never
+//! materialized. [`Watch::finish`] produces the authoritative verdict, byte-identical
+//! (matching, difference sequences, compare counts) to
+//! [`Engine::diff`](crate::Engine::diff) of the same two traces, plus a streamed
+//! [`PreparedTrace`] handle for the watched side so reports render exactly like the
+//! batch path's.
+//!
+//! Construction goes through [`Engine::watch`](crate::Engine::watch) (push-driven, the
+//! server's mode) or [`Engine::watch_prepared`](crate::Engine::watch_prepared) (drives
+//! a [`TraceReader`](rprism_format::TraceReader) to completion, tailing across
+//! incomplete-record boundaries).
+
+use rprism_check::{Checker, Severity};
+use rprism_diff::{DiffSession, ProvisionalEvent, SessionArtifacts, TraceDiffResult};
+use rprism_trace::{TraceEntry, TraceMeta};
+
+use crate::ingest::StreamedArtifacts;
+use crate::{Error, PreparedTrace, Result};
+
+/// An in-progress live diff: push new-trace entries as they arrive, collect
+/// provisional events, then [`finish`](Watch::finish) for the authoritative verdict.
+///
+/// The provisional stream is monotone: a `(left, right)` pair retracted by an
+/// `Invalidate` event is never re-reported as a `Match`, not even by the final
+/// reconciliation. See [`rprism_diff::DiffSession`] for the exact event semantics.
+pub struct Watch {
+    old: PreparedTrace,
+    session: DiffSession,
+    name: String,
+    gate: Option<(Checker, Severity)>,
+}
+
+/// Everything a finished watch produces.
+#[derive(Debug)]
+pub struct WatchOutcome {
+    /// The authoritative diff, byte-identical to the batch
+    /// [`Engine::diff`](crate::Engine::diff) of the same pair.
+    pub result: TraceDiffResult,
+    /// Final reconciliation events: `Match` for authoritative pairs never reported
+    /// provisionally, then `Invalidate` for provisional pairs the verdict dropped.
+    pub events: Vec<ProvisionalEvent>,
+    /// The watched trace as a streamed prepared handle (keys and web already built),
+    /// for rendering the final report or further queries.
+    pub new_trace: PreparedTrace,
+}
+
+impl Watch {
+    pub(crate) fn new(
+        old: PreparedTrace,
+        meta: TraceMeta,
+        session: DiffSession,
+        gate: Option<(Checker, Severity)>,
+    ) -> Self {
+        Watch {
+            old,
+            session,
+            name: meta.name,
+            gate,
+        }
+    }
+
+    /// Number of new-trace entries consumed so far.
+    pub fn right_len(&self) -> usize {
+        self.session.right_len()
+    }
+
+    /// Appends a chunk of new-trace entries (in trace order, any chunk boundaries) and
+    /// advances the incremental scan, returning the provisional events the chunk
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Check`] as soon as the ingest gate's streaming checker raises
+    /// a diagnostic at or above the deny threshold — the watch aborts mid-stream
+    /// instead of diffing a trace the session is configured to reject. The report
+    /// carries every diagnostic raised up to that point.
+    pub fn push_entries(&mut self, entries: &[TraceEntry]) -> Result<Vec<ProvisionalEvent>> {
+        if let Some((mut checker, deny)) = self.gate.take() {
+            for entry in entries {
+                checker.observe(entry);
+            }
+            if checker.raised_at_least(deny) > 0 {
+                let mut report = checker.finish();
+                report.trace_name = self.name.clone();
+                return Err(Error::Check(Box::new(report)));
+            }
+            self.gate = Some((checker, deny));
+        }
+        Ok(self.session.push_entries(&self.old.side(), entries))
+    }
+
+    /// Ends the stream: runs the checker's end-of-trace rules, then computes the
+    /// authoritative verdict over the accumulated artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Check`] when the ingest gate's end-of-trace diagnostics reach
+    /// the deny threshold (mirroring the batch
+    /// [`Engine::load_prepared`](crate::Engine::load_prepared) gate).
+    pub fn finish(self) -> Result<WatchOutcome> {
+        if let Some((checker, deny)) = self.gate {
+            let mut report = checker.finish();
+            report.trace_name = self.name.clone();
+            if report.count_at_least(deny) > 0 {
+                return Err(Error::Check(Box::new(report)));
+            }
+        }
+        let finish = self.session.finish(&self.old.side());
+        let SessionArtifacts {
+            meta,
+            lean,
+            keyed,
+            web,
+        } = finish.artifacts;
+        let new_trace = PreparedTrace::from_streamed(StreamedArtifacts {
+            meta,
+            lean,
+            keyed,
+            web,
+        });
+        Ok(WatchOutcome {
+            result: finish.result,
+            events: finish.events,
+            new_trace,
+        })
+    }
+}

@@ -56,6 +56,7 @@ mod proptests;
 pub mod lcs_diff;
 pub mod matching;
 pub mod result;
+pub mod session;
 pub mod views_diff;
 
 pub use anchored::{
@@ -69,6 +70,7 @@ pub use lcs::{
 pub use lcs_diff::{lcs_diff, lcs_diff_keyed, lcs_diff_prepared, LcsDiffOptions, LcsDiffOptionsBuilder};
 pub use matching::{DiffKind, DiffSequence, Matching};
 pub use result::TraceDiffResult;
+pub use session::{DiffSession, ProvisionalEvent, SessionArtifacts, SessionFinish};
 #[allow(deprecated)]
 pub use views_diff::{views_diff, views_diff_with_webs};
 pub use views_diff::{

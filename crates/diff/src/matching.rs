@@ -42,6 +42,12 @@ impl Matching {
         self.pairs.push((left, right));
     }
 
+    /// The recorded pairs in insertion order, duplicates included — the raw scan
+    /// output ([`normalized_pairs`](Self::normalized_pairs) is the canonical form).
+    pub fn raw_pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
     /// Merges another matching (over the same traces) into this one.
     pub fn extend(&mut self, other: &Matching) {
         self.pairs.extend_from_slice(&other.pairs);

@@ -163,8 +163,8 @@ impl ViewsDiffOptionsBuilder {
 /// compare counts of a full side over the same trace.
 #[derive(Clone, Copy, Debug)]
 pub struct DiffSide<'a> {
-    keyed: &'a KeyedTrace,
-    web: &'a ViewWeb,
+    pub(crate) keyed: &'a KeyedTrace,
+    pub(crate) web: &'a ViewWeb,
     ctx: EntryCtx<'a>,
 }
 
@@ -389,7 +389,8 @@ pub fn views_diff_sides_correlated(
 
 /// Shared body of [`views_diff_sides`] / [`views_diff_sides_correlated`]; `start`
 /// anchors the result's `elapsed` so each public entry point times exactly the work it
-/// performs.
+/// performs. The lock-step scan itself lives in [`crate::session::scan_sides`] — the
+/// single implementation shared with the incremental [`crate::DiffSession`].
 fn views_diff_sides_from(
     start: Instant,
     left: &DiffSide<'_>,
@@ -401,72 +402,7 @@ fn views_diff_sides_from(
 
     meter.allocate(keyed_bytes(left.keyed) + keyed_bytes(right.keyed));
 
-    let differ = Differ {
-        left: *left,
-        right: *right,
-        correlation,
-        options,
-    };
-
-    // Collect the correlated thread-view pairs up front; each pair is independent.
-    let pairs: Vec<(&[usize], &[usize])> = correlation
-        .thread_pairs()
-        .into_iter()
-        .filter_map(|(lt, rt)| {
-            let lv = left.web.thread_view_entries(lt)?;
-            let rv = right.web.thread_view_entries(rt)?;
-            Some((lv, rv))
-        })
-        .collect();
-
-    let mut matching = Matching::new(left.len(), right.len());
-    if options.parallel && pairs.len() > 1 {
-        // Bounded worker pool: thread pairs are dealt round-robin to at most
-        // `available_parallelism` workers (a trace with hundreds of threads must not
-        // spawn hundreds of OS threads). Chunk assignment is deterministic and workers
-        // are merged in worker order, so the cost accounting is deterministic too.
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(pairs.len());
-        let results: Vec<(Matching, CostMeter)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let differ = &differ;
-                    let pairs = &pairs;
-                    scope.spawn(move || {
-                        let mut worker_matching =
-                            Matching::new(differ.left.len(), differ.right.len());
-                        let mut worker_meter = CostMeter::new();
-                        let mut scratch = Scratch::default();
-                        for (lv, rv) in pairs.iter().skip(w).step_by(workers) {
-                            differ.diff_thread_pair(
-                                lv,
-                                rv,
-                                &mut worker_matching,
-                                &mut worker_meter,
-                                &mut scratch,
-                            );
-                        }
-                        (worker_matching, worker_meter)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("diff worker panicked"))
-                .collect()
-        });
-        for (worker_matching, worker_meter) in results {
-            matching.extend(&worker_matching);
-            meter.merge(&worker_meter);
-        }
-    } else {
-        let mut scratch = Scratch::default();
-        for (lv, rv) in pairs {
-            differ.diff_thread_pair(lv, rv, &mut matching, &mut meter, &mut scratch);
-        }
-    }
+    let matching = crate::session::scan_sides(left, right, correlation, options, &mut meter);
 
     let sequences = matching.difference_sequences();
     TraceDiffResult {
@@ -485,23 +421,27 @@ fn keyed_bytes(keyed: &KeyedTrace) -> u64 {
 /// Reusable per-worker buffers so the mismatch exploration allocates nothing after
 /// warm-up.
 #[derive(Default)]
-struct Scratch<'a> {
+pub(crate) struct Scratch<'a> {
     explored: HashSet<(u32, u32)>,
     lkeys: Vec<KeyRef<'a>>,
     rkeys: Vec<KeyRef<'a>>,
 }
 
-struct Differ<'a> {
-    left: DiffSide<'a>,
-    right: DiffSide<'a>,
-    correlation: &'a Correlation,
-    options: &'a ViewsDiffOptions,
+/// The per-comparison machinery of one differencing run: both sides, their view
+/// correlation, and the exploration options. The lock-step drive loop lives in
+/// [`crate::session::PairScan`]; this type supplies the three primitives it composes
+/// (`=e` head comparison, secondary-view exploration, post-mismatch scan-ahead).
+pub(crate) struct Differ<'a> {
+    pub(crate) left: DiffSide<'a>,
+    pub(crate) right: DiffSide<'a>,
+    pub(crate) correlation: &'a Correlation,
+    pub(crate) options: &'a ViewsDiffOptions,
 }
 
 impl<'a> Differ<'a> {
     /// `=e` between base-trace entries by precomputed key: never allocates.
     #[inline]
-    fn entries_eq(&self, left_idx: usize, right_idx: usize) -> bool {
+    pub(crate) fn entries_eq(&self, left_idx: usize, right_idx: usize) -> bool {
         self.left.keyed.key_eq(left_idx, self.right.keyed, right_idx)
     }
 
@@ -540,47 +480,11 @@ impl<'a> Differ<'a> {
         correlated.then_some((l, r))
     }
 
-    /// Evaluates one pair of correlated thread views under the Fig. 12 rules.
-    fn diff_thread_pair(
-        &self,
-        lv: &[usize],
-        rv: &[usize],
-        matching: &mut Matching,
-        meter: &mut CostMeter,
-        scratch: &mut Scratch<'a>,
-    ) {
-        let mut i = 0usize;
-        let mut j = 0usize;
-        while i < lv.len() && j < rv.len() {
-            meter.count_compares(1);
-            if self.entries_eq(lv[i], rv[j]) {
-                // STEP-VIEW-MATCH
-                matching.push(lv[i], rv[j]);
-                i += 1;
-                j += 1;
-                continue;
-            }
-            // STEP-VIEW-NOMATCH: explore linked secondary views near the mismatch …
-            self.explore_secondary_views(lv, rv, i, j, matching, meter, scratch);
-            // … then skip to the next point of correspondence in the thread views.
-            match self.next_correspondence(lv, rv, i, j, meter) {
-                Some((a, b)) => {
-                    i += a;
-                    j += b;
-                }
-                None => {
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-    }
-
     /// `LinkedSimilarEntries`: for entries within Δ of the two mismatch positions whose
     /// views of some type correlate, run LCS over fixed-size windows of the correlated
     /// views and add every matched pair to Π.
     #[allow(clippy::too_many_arguments)]
-    fn explore_secondary_views(
+    pub(crate) fn explore_secondary_views(
         &self,
         lv: &[usize],
         rv: &[usize],
@@ -684,7 +588,7 @@ impl<'a> Differ<'a> {
 
     /// Finds the closest `(a, b)` offsets such that the thread-view heads at `i + a` /
     /// `j + b` are `=e`-equal, minimizing the number of skipped entries `a + b`.
-    fn next_correspondence(
+    pub(crate) fn next_correspondence(
         &self,
         lv: &[usize],
         rv: &[usize],

@@ -56,6 +56,7 @@ use rprism_trace::{CreationSeq, EntryId, Loc};
 
 use crate::error::{FormatError, Result};
 use crate::varint::{self, ByteSource};
+use crate::TailEntry;
 
 /// The four magic bytes opening every binary trace.
 pub const MAGIC: [u8; 4] = *b"RPTR";
@@ -338,6 +339,24 @@ pub struct BinaryTraceReader<R: Read> {
     fields: Vec<Option<FieldName>>,
     entries_read: u64,
     done: bool,
+    /// Bytes consumed from `input` since the last committed record boundary, retained
+    /// so an incomplete record can be re-decoded after the source grows (a tailed file
+    /// or a byte stream that ends mid-record is a *state*, not necessarily an error).
+    replay: Vec<u8>,
+    replay_pos: usize,
+    /// Where the last incomplete read ran dry, for strict-mode truncation reports.
+    dry_offset: u64,
+}
+
+/// Rollback point for one record decode: everything a partial decode may have mutated.
+/// The replay buffer itself is not part of the checkpoint — restoring simply rewinds
+/// `replay_pos` to serve the same bytes again.
+#[derive(Clone, Copy)]
+struct Checkpoint {
+    offset: u64,
+    hash: Fnv64,
+    strings: usize,
+    entries_read: u64,
 }
 
 impl<R: Read> BinaryTraceReader<R> {
@@ -353,6 +372,9 @@ impl<R: Read> BinaryTraceReader<R> {
             fields: Vec::new(),
             entries_read: 0,
             done: false,
+            replay: Vec::new(),
+            replay_pos: 0,
+            dry_offset: 0,
         };
         let mut magic = [0u8; 4];
         reader.read_hashed(&mut magic)?;
@@ -380,12 +402,65 @@ impl<R: Read> BinaryTraceReader<R> {
         let version_label = reader.read_string()?;
         let test_case = reader.read_string()?;
         reader.meta = TraceMeta::new(name, version_label, test_case);
+        reader.commit();
         Ok(reader)
     }
 
     /// The trace metadata from the header.
     pub fn meta(&self) -> &TraceMeta {
         &self.meta
+    }
+
+    /// The next byte, served from the replay buffer first, then from the input (and
+    /// recorded for replay). `None` means the input has no byte *right now* — a clean
+    /// end for a complete stream, a wait state for a growing one.
+    fn pull_byte(&mut self) -> Result<Option<u8>> {
+        if self.replay_pos < self.replay.len() {
+            let b = self.replay[self.replay_pos];
+            self.replay_pos += 1;
+            return Ok(Some(b));
+        }
+        let mut byte = [0u8; 1];
+        loop {
+            match self.input.read(&mut byte) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {
+                    self.replay.push(byte[0]);
+                    self.replay_pos = self.replay.len();
+                    return Ok(Some(byte[0]));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FormatError::Io(e)),
+            }
+        }
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            offset: self.offset,
+            hash: self.hash,
+            strings: self.strings.len(),
+            entries_read: self.entries_read,
+        }
+    }
+
+    /// Rewinds to `cp`: decode state rolls back and the bytes consumed since then are
+    /// queued for replay on the next attempt.
+    fn restore(&mut self, cp: Checkpoint) {
+        self.offset = cp.offset;
+        self.hash = cp.hash;
+        self.strings.truncate(cp.strings);
+        self.methods.truncate(cp.strings);
+        self.fields.truncate(cp.strings);
+        self.entries_read = cp.entries_read;
+        self.replay_pos = 0;
+    }
+
+    /// Declares every replayed byte consumed for good: the stream is at a record
+    /// boundary and this record can never be re-decoded.
+    fn commit(&mut self) {
+        self.replay.drain(..self.replay_pos);
+        self.replay_pos = 0;
     }
 
     /// Reads exactly `buf.len()` bytes, feeding them into the running checksum.
@@ -396,37 +471,25 @@ impl<R: Read> BinaryTraceReader<R> {
     }
 
     fn read_raw(&mut self, buf: &mut [u8]) -> Result<()> {
-        let mut filled = 0;
-        while filled < buf.len() {
-            match self.input.read(&mut buf[filled..]) {
-                Ok(0) => {
-                    return Err(FormatError::Truncated {
-                        offset: self.offset + filled as u64,
-                    })
-                }
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(FormatError::Io(e)),
-            }
+        for slot in buf.iter_mut() {
+            let Some(b) = self.pull_byte()? else {
+                return Err(FormatError::Truncated { offset: self.offset });
+            };
+            *slot = b;
+            self.offset += 1;
         }
-        self.offset += buf.len() as u64;
         Ok(())
     }
 
     /// Reads one byte, or `None` at a clean end of input.
     fn read_optional_byte(&mut self) -> Result<Option<u8>> {
-        let mut byte = [0u8; 1];
-        loop {
-            match self.input.read(&mut byte) {
-                Ok(0) => return Ok(None),
-                Ok(_) => {
-                    self.offset += 1;
-                    self.hash.update(&byte);
-                    return Ok(Some(byte[0]));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(FormatError::Io(e)),
+        match self.pull_byte()? {
+            Some(b) => {
+                self.offset += 1;
+                self.hash.update(&[b]);
+                Ok(Some(b))
             }
+            None => Ok(None),
         }
     }
 
@@ -657,48 +720,105 @@ impl<R: Read> BinaryTraceReader<R> {
         Ok(())
     }
 
-    /// Decodes the next entry, or returns `Ok(None)` after a verified footer.
-    ///
-    /// The entry's id is its position in the stream, matching the
-    /// [`Trace`](rprism_trace::Trace) invariant.
-    pub fn next_entry(&mut self) -> Result<Option<TraceEntry>> {
-        if self.done {
+    /// Decodes one record starting at the current boundary. `Ok(None)` means no tag
+    /// byte is available right now.
+    fn read_record(&mut self) -> Result<Option<Record>> {
+        let Some(tag) = self.read_optional_byte()? else {
             return Ok(None);
+        };
+        match tag {
+            TAG_SYM => {
+                let s = self.read_string()?;
+                self.strings.push(s.into_boxed_str());
+                self.methods.push(None);
+                self.fields.push(None);
+                Ok(Some(Record::Sym))
+            }
+            TAG_ENTRY => {
+                let tid = ThreadId(self.read_varint()?);
+                let method = self.read_varint()?;
+                let method = self.method_name(method)?;
+                let active = self.read_objrep()?;
+                let event = self.read_event()?;
+                let eid = EntryId(self.entries_read);
+                self.entries_read += 1;
+                Ok(Some(Record::Entry(TraceEntry::new(
+                    eid, tid, method, active, event,
+                ))))
+            }
+            TAG_END => {
+                self.read_footer()?;
+                Ok(Some(Record::End))
+            }
+            other => Err(FormatError::Corrupt {
+                offset: self.offset - 1,
+                detail: format!("unknown record tag {other:#04x}"),
+            }),
+        }
+    }
+
+    /// Decodes the next entry, treating a stream that currently ends mid-record (or at
+    /// a record boundary without a footer) as the resumable [`TailEntry::Pending`]
+    /// state: the partial record's bytes are retained and re-decoded on the next call,
+    /// so the reader keeps working once the underlying source has grown. Corruption
+    /// (bad tags, checksum mismatches, invalid ids) remains a hard error.
+    pub fn next_entry_tail(&mut self) -> Result<TailEntry> {
+        if self.done {
+            return Ok(TailEntry::End);
         }
         loop {
-            let Some(tag) = self.read_optional_byte()? else {
-                return Err(FormatError::Truncated { offset: self.offset });
-            };
-            match tag {
-                TAG_SYM => {
-                    let s = self.read_string()?;
-                    self.strings.push(s.into_boxed_str());
-                    self.methods.push(None);
-                    self.fields.push(None);
+            let cp = self.checkpoint();
+            match self.read_record() {
+                Ok(Some(Record::Sym)) => self.commit(),
+                Ok(Some(Record::Entry(entry))) => {
+                    self.commit();
+                    return Ok(TailEntry::Entry(entry));
                 }
-                TAG_ENTRY => {
-                    let tid = ThreadId(self.read_varint()?);
-                    let method = self.read_varint()?;
-                    let method = self.method_name(method)?;
-                    let active = self.read_objrep()?;
-                    let event = self.read_event()?;
-                    let eid = EntryId(self.entries_read);
-                    self.entries_read += 1;
-                    return Ok(Some(TraceEntry::new(eid, tid, method, active, event)));
+                Ok(Some(Record::End)) => {
+                    self.commit();
+                    return Ok(TailEntry::End);
                 }
-                TAG_END => {
-                    self.read_footer()?;
-                    return Ok(None);
+                Ok(None) => {
+                    self.dry_offset = self.offset;
+                    self.restore(cp);
+                    return Ok(TailEntry::Pending);
                 }
-                other => {
-                    return Err(FormatError::Corrupt {
-                        offset: self.offset - 1,
-                        detail: format!("unknown record tag {other:#04x}"),
-                    })
+                Err(FormatError::Truncated { offset }) => {
+                    self.dry_offset = offset;
+                    self.restore(cp);
+                    return Ok(TailEntry::Pending);
                 }
+                Err(e) => return Err(e),
             }
         }
     }
+
+    /// Decodes the next entry, or returns `Ok(None)` after a verified footer.
+    ///
+    /// The entry's id is its position in the stream, matching the
+    /// [`Trace`](rprism_trace::Trace) invariant. A stream that ends without a verified
+    /// footer reports [`FormatError::Truncated`] — but the reader is *not* poisoned:
+    /// the incomplete record's bytes are retained, so calling again after the
+    /// underlying source has grown resumes cleanly (see [`Self::next_entry_tail`]).
+    pub fn next_entry(&mut self) -> Result<Option<TraceEntry>> {
+        match self.next_entry_tail()? {
+            TailEntry::Entry(entry) => Ok(Some(entry)),
+            TailEntry::End => Ok(None),
+            TailEntry::Pending => Err(FormatError::Truncated {
+                offset: self.dry_offset,
+            }),
+        }
+    }
+}
+
+/// One decoded record of the binary stream (see [`BinaryTraceReader::read_record`]).
+// The Entry payload is moved straight out to the caller; boxing it would cost an
+// allocation per decoded entry on the ingest hot path.
+#[allow(clippy::large_enum_variant)]
+enum Record {
+    Sym,
+    Entry(TraceEntry),
+    End,
 }
 
 impl<R: Read> ByteSource for BinaryTraceReader<R> {

@@ -46,6 +46,7 @@ use rprism_trace::{
 
 use crate::error::{FormatError, Result};
 use crate::json::{self, Json};
+use crate::TailEntry;
 
 /// The JSONL schema version this crate reads and writes (kept in lock step with the
 /// binary [`FORMAT_VERSION`](crate::binary::FORMAT_VERSION)).
@@ -316,8 +317,17 @@ impl<R: BufRead> JsonlTraceReader<R> {
     /// drop the bytes already consumed. This loop retries `Interrupted` with nothing
     /// lost (the fault-injection suite pins that).
     fn next_line(&mut self) -> Result<Option<String>> {
+        self.next_line_mode(false)
+    }
+
+    /// The line-assembly loop behind both read modes. `self.buffer` persists partial
+    /// lines across calls: in tail mode an input that runs dry mid-line returns
+    /// `Ok(None)` with the partial bytes retained, and the next call picks up where
+    /// the writer left off. In strict mode end-of-input ends the stream — with the
+    /// hand-authoring grace that a final unterminated line still counts as a line.
+    fn next_line_mode(&mut self, tail: bool) -> Result<Option<String>> {
         loop {
-            self.buffer.clear();
+            let mut complete = false;
             loop {
                 let available = match self.input.fill_buf() {
                     Ok(available) => available,
@@ -331,6 +341,7 @@ impl<R: BufRead> JsonlTraceReader<R> {
                     Some(i) => {
                         self.buffer.extend_from_slice(&available[..=i]);
                         self.input.consume(i + 1);
+                        complete = true;
                         break;
                     }
                     None => {
@@ -340,8 +351,16 @@ impl<R: BufRead> JsonlTraceReader<R> {
                     }
                 }
             }
-            if self.buffer.is_empty() {
-                return Ok(None);
+            if !complete {
+                if tail {
+                    // Mid-line as of now (or between lines): keep whatever arrived
+                    // buffered and report that no complete line is available yet.
+                    return Ok(None);
+                }
+                if self.buffer.is_empty() {
+                    return Ok(None);
+                }
+                // Unterminated final line: fall through and take it as a line.
             }
             self.line_no += 1;
             let text = std::str::from_utf8(&self.buffer).map_err(|_| FormatError::Json {
@@ -349,8 +368,14 @@ impl<R: BufRead> JsonlTraceReader<R> {
                 detail: "line is not valid UTF-8".into(),
             })?;
             let line = text.trim_end_matches(['\r', '\n']).trim();
-            if !line.is_empty() {
-                return Ok(Some(line.to_owned()));
+            let line = (!line.is_empty()).then(|| line.to_owned());
+            self.buffer.clear();
+            match line {
+                Some(line) => return Ok(Some(line)),
+                // A blank grace line at end of input ends the stream; a blank
+                // terminated line is simply skipped.
+                None if !complete => return Ok(None),
+                None => {}
             }
         }
     }
@@ -502,18 +527,10 @@ impl<R: BufRead> JsonlTraceReader<R> {
         Ok(event)
     }
 
-    /// Parses the next entry line, or returns `Ok(None)` at the end of the stream
-    /// (verifying the trailer count when a trailer is present).
-    pub fn next_entry(&mut self) -> Result<Option<TraceEntry>> {
-        if self.done {
-            return Ok(None);
-        }
-        let Some(line) = self.next_line()? else {
-            // Hand-authored files may omit the trailer; end of input ends the trace.
-            self.done = true;
-            return Ok(None);
-        };
-        let pairs = self.parse_obj(&line)?;
+    /// Parses one non-blank line as either an entry (`Some`) or the trailer (`None`,
+    /// with the declared count verified).
+    fn parse_entry_line(&mut self, line: &str) -> Result<Option<TraceEntry>> {
+        let pairs = self.parse_obj(line)?;
         // The trailer is the only object with an `entries` key.
         if pairs.iter().any(|(k, _)| k == "entries") {
             let mut fields = ObjFields::new(&pairs, self.line_no);
@@ -525,10 +542,6 @@ impl<R: BufRead> JsonlTraceReader<R> {
                     self.entries_read
                 )));
             }
-            if self.next_line()?.is_some() {
-                return Err(self.err("content after the trailer line"));
-            }
-            self.done = true;
             return Ok(None);
         }
         let line_no = self.line_no;
@@ -541,6 +554,56 @@ impl<R: BufRead> JsonlTraceReader<R> {
         let eid = EntryId(self.entries_read);
         self.entries_read += 1;
         Ok(Some(TraceEntry::new(eid, tid, method, active, event)))
+    }
+
+    /// Parses the next entry line, or returns `Ok(None)` at the end of the stream
+    /// (verifying the trailer count when a trailer is present).
+    pub fn next_entry(&mut self) -> Result<Option<TraceEntry>> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(line) = self.next_line()? else {
+            // Hand-authored files may omit the trailer; end of input ends the trace.
+            self.done = true;
+            return Ok(None);
+        };
+        match self.parse_entry_line(&line)? {
+            Some(entry) => Ok(Some(entry)),
+            None => {
+                if self.next_line()?.is_some() {
+                    return Err(self.err("content after the trailer line"));
+                }
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Parses the next entry off a *growing* stream: only complete (newline-terminated)
+    /// lines are consumed, so an input that currently ends mid-line reports the
+    /// resumable [`TailEntry::Pending`] state with the partial bytes retained for the
+    /// next call. Because a trailer-less JSONL stream ends implicitly, `Pending` is
+    /// also what a finished-but-trailerless stream looks like — the caller decides
+    /// when the source has stopped growing and switches to [`Self::next_entry`],
+    /// which applies the strict end-of-input semantics (unterminated-final-line grace
+    /// included) to whatever remains.
+    pub fn next_entry_tail(&mut self) -> Result<TailEntry> {
+        if self.done {
+            return Ok(TailEntry::End);
+        }
+        let Some(line) = self.next_line_mode(true)? else {
+            return Ok(TailEntry::Pending);
+        };
+        match self.parse_entry_line(&line)? {
+            Some(entry) => Ok(TailEntry::Entry(entry)),
+            None => {
+                // Trailer seen: the trace is complete. The strict after-trailer
+                // content check happens when (and if) the caller drains the stream
+                // strictly; a growing source has nothing after the trailer yet.
+                self.done = true;
+                Ok(TailEntry::End)
+            }
+        }
     }
 }
 

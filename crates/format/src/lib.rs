@@ -73,6 +73,7 @@ pub mod fault;
 pub mod frame;
 pub mod json;
 pub mod jsonl;
+pub mod tail;
 pub mod varint;
 
 use std::fs::File;
@@ -84,6 +85,35 @@ use rprism_trace::{Trace, TraceEntry, TraceMeta};
 pub use binary::{BinaryTraceReader, BinaryTraceWriter, Fnv64, FORMAT_VERSION, MAGIC};
 pub use error::{FormatError, Result};
 pub use jsonl::{JsonlTraceReader, JsonlTraceWriter, JSONL_VERSION};
+pub use tail::TailDecoder;
+
+/// One step of reading a trace stream that may still be growing (see
+/// [`TraceReader::next_entry_tail`]).
+// The Entry payload is moved straight out to the caller; boxing it would cost an
+// allocation per decoded entry on the ingest hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum TailEntry {
+    /// A fully decoded entry.
+    Entry(TraceEntry),
+    /// The stream currently ends mid-record (or at a record boundary without a
+    /// verified end). Not an error: the partial bytes are retained, and calling again
+    /// after the source has grown resumes exactly where decoding left off.
+    Pending,
+    /// The verified end of the trace (binary footer / JSONL trailer).
+    End,
+}
+
+/// Outcome of one [`TraceReader::read_batch_tail`] call over a growing stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailBatch {
+    /// This many entries were decoded into the output batch (always non-zero).
+    Entries(usize),
+    /// No complete entry is available right now; try again after the source grows.
+    Pending,
+    /// The verified end of the trace was reached with no further entries.
+    End,
+}
 
 /// The two on-disk encodings of a trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -269,6 +299,20 @@ impl<R: BufRead> TraceReader<R> {
         }
     }
 
+    /// Decodes the next entry off a stream that may still be growing: an input that
+    /// currently ends mid-record is the resumable [`TailEntry::Pending`] state, not an
+    /// error — the partial record's bytes are retained and decoding resumes on the
+    /// next call once the underlying source has more data. Corruption remains a hard
+    /// error. When the caller decides the source has stopped growing, it switches to
+    /// [`Self::next_entry`] / [`Self::read_batch`], which apply each encoding's strict
+    /// end-of-stream semantics to whatever remains.
+    pub fn next_entry_tail(&mut self) -> Result<TailEntry> {
+        match self {
+            TraceReader::Binary(r) => r.next_entry_tail(),
+            TraceReader::Jsonl(r) => r.next_entry_tail(),
+        }
+    }
+
     /// Decodes up to `max` further entries into `out` (which is cleared first),
     /// returning how many arrived — `0` only after the verified end of the stream.
     /// This is the batch-granular form streaming consumers use to amortize per-entry
@@ -286,6 +330,40 @@ impl<R: BufRead> TraceReader<R> {
             }
         }
         Ok(out.len())
+    }
+
+    /// The tail-mode form of [`Self::read_batch`]: decodes up to `max` entries into
+    /// `out` (cleared first) from a stream that may still be growing. An input that
+    /// ends mid-record yields whatever complete entries preceded the cut and then the
+    /// [`TailBatch::Pending`] state instead of a truncation error; calling again after
+    /// the source grows resumes exactly where decoding stopped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first *corruption* error (bad tags, checksum/trailer mismatches,
+    /// schema violations); running out of bytes is never an error in this mode.
+    pub fn read_batch_tail(&mut self, out: &mut Vec<TraceEntry>, max: usize) -> Result<TailBatch> {
+        out.clear();
+        while out.len() < max {
+            match self.next_entry_tail()? {
+                TailEntry::Entry(entry) => out.push(entry),
+                TailEntry::Pending => {
+                    return Ok(if out.is_empty() {
+                        TailBatch::Pending
+                    } else {
+                        TailBatch::Entries(out.len())
+                    });
+                }
+                TailEntry::End => {
+                    return Ok(if out.is_empty() {
+                        TailBatch::End
+                    } else {
+                        TailBatch::Entries(out.len())
+                    });
+                }
+            }
+        }
+        Ok(TailBatch::Entries(out.len()))
     }
 
     /// Reads all remaining entries into a [`Trace`], validating the stream end.
@@ -532,6 +610,113 @@ mod tests {
         let bytes = trace_to_bytes(&trace, Encoding::Binary).unwrap();
         assert!(content_hash(&bytes[..bytes.len() - 3]).is_err());
         assert!(content_hash(&b""[..]).is_err());
+    }
+
+    /// A `Read` over a shared queue that can grow between reads — `Ok(0)` whenever the
+    /// queue is momentarily empty, like a tailed file at its current end.
+    struct GrowingSource(std::rc::Rc<std::cell::RefCell<std::collections::VecDeque<u8>>>);
+
+    impl Read for GrowingSource {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let mut queue = self.0.borrow_mut();
+            let n = buf.len().min(queue.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = queue.pop_front().unwrap();
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_batch_tail_resumes_after_the_source_grows() {
+        // Regression for tailing a growing file: a stream cut mid-record must be a
+        // resumable Pending state, and decoding must pick up exactly where it stopped
+        // once the rest of the bytes arrive — for both encodings.
+        let trace = sample_trace(31, 30);
+        for encoding in [Encoding::Binary, Encoding::Jsonl] {
+            let bytes = trace_to_bytes(&trace, encoding).unwrap();
+            let queue = std::rc::Rc::new(std::cell::RefCell::new(
+                std::collections::VecDeque::new(),
+            ));
+            let cuts = [bytes.len() / 3, 2 * bytes.len() / 3, bytes.len()];
+            queue.borrow_mut().extend(bytes[..cuts[0]].iter().copied());
+            let mut reader =
+                TraceReader::new(BufReader::new(GrowingSource(queue.clone()))).unwrap();
+            let mut got = Vec::new();
+            let mut batch = Vec::new();
+            let mut ended = false;
+            let mut fed = cuts[0];
+            for &cut in &cuts[1..] {
+                loop {
+                    match reader.read_batch_tail(&mut batch, 8).unwrap() {
+                        TailBatch::Entries(n) => {
+                            assert_eq!(n, batch.len());
+                            got.append(&mut batch);
+                        }
+                        TailBatch::Pending => break,
+                        TailBatch::End => {
+                            ended = true;
+                            break;
+                        }
+                    }
+                }
+                assert!(!ended, "stream ended before all bytes were fed");
+                queue.borrow_mut().extend(bytes[fed..cut].iter().copied());
+                fed = cut;
+            }
+            loop {
+                match reader.read_batch_tail(&mut batch, 8).unwrap() {
+                    TailBatch::Entries(_) => got.append(&mut batch),
+                    TailBatch::Pending => panic!("{encoding}: pending after full stream"),
+                    TailBatch::End => break,
+                }
+            }
+            assert_eq!(got.len(), trace.len(), "{encoding}");
+            for (a, b) in got.iter().zip(trace.iter()) {
+                assert_eq!(a, b, "{encoding}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_read_batch_truncation_does_not_poison_a_binary_reader() {
+        // The latent batch-reader edge case: `read_batch` on a file that ends
+        // mid-record used to consume the partial record irrecoverably, so retrying
+        // after the file grew mis-decoded from the middle of a record. Now the error
+        // is still reported (strict mode) but the reader stays at the last record
+        // boundary and the retry succeeds.
+        let trace = sample_trace(17, 25);
+        let bytes = trace_to_bytes(&trace, Encoding::Binary).unwrap();
+        let queue = std::rc::Rc::new(std::cell::RefCell::new(
+            std::collections::VecDeque::new(),
+        ));
+        let cut = bytes.len() / 2;
+        queue.borrow_mut().extend(bytes[..cut].iter().copied());
+        let mut reader = TraceReader::new(BufReader::new(GrowingSource(queue.clone()))).unwrap();
+        let mut got = Vec::new();
+        let mut batch = Vec::new();
+        loop {
+            match reader.read_batch(&mut batch, 8) {
+                Ok(0) => panic!("stream must not end cleanly without a footer"),
+                Ok(_) => got.append(&mut batch),
+                Err(FormatError::Truncated { .. }) => {
+                    got.append(&mut batch); // entries decoded before the cut survive
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        queue.borrow_mut().extend(bytes[cut..].iter().copied());
+        loop {
+            match reader.read_batch(&mut batch, 8).unwrap() {
+                0 => break,
+                _ => got.append(&mut batch),
+            }
+        }
+        assert_eq!(got.len(), trace.len());
+        for (a, b) in got.iter().zip(trace.iter()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -26,7 +26,9 @@ use std::time::Duration;
 use rprism::{AnalysisMode, CheckReport, Severity};
 use rprism_format::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 
-use crate::proto::{RepoEntry, Request, Response, WireAlgorithm, WireDiff, WireReport, WireStats};
+use crate::proto::{
+    RepoEntry, Request, Response, WireAlgorithm, WireDiff, WireReport, WireStats, WireWatchEvent,
+};
 use crate::{Result, ServerError};
 
 /// The outcome of a [`Client::put_bytes`]/[`Client::put_path`].
@@ -290,6 +292,7 @@ impl Client {
                 Err(ServerError::Busy { retry_after_ms })
             }
             Response::Corrupt { hash, .. } => Err(ServerError::CorruptTrace { hash }),
+            Response::CheckDenied(report) => Err(ServerError::CheckDenied(report)),
             other => Ok(other),
         }
     }
@@ -452,6 +455,61 @@ impl Client {
         }
     }
 
+    /// Opens a live watch against the stored trace `old` (protocol version 4): the
+    /// connection enters watch mode, and [`Client::watch_chunk`] /
+    /// [`Client::watch_finish`] stream the new trace's serialized bytes up as they
+    /// are produced. `max_sequences` bounds the final report's rendering, exactly as
+    /// in [`Client::diff`].
+    ///
+    /// Watch requests are **stateful** and therefore never retried: a torn exchange
+    /// mid-watch surfaces as an error, and the caller restarts the watch from the
+    /// beginning (the server discards the half-fed session with the connection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] for unknown hashes and for servers older
+    /// than protocol version 4.
+    pub fn watch_start(&mut self, old: u64, max_sequences: u64) -> Result<()> {
+        match self.call(&Request::WatchStart { old, max_sequences })? {
+            Response::WatchStarted => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends one chunk of the watched trace's serialized bytes — cut anywhere, even
+    /// mid-record — and returns the provisional events the server's incremental
+    /// diff produced from it (often empty: the chunk may not have completed a
+    /// record, or completed only entries that match so far).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::CheckDenied`] when the server's ingest check denies
+    /// the trace mid-stream (the watch is torn down), [`ServerError::Remote`] when
+    /// no watch is active, and transport errors as [`ServerError::Io`].
+    pub fn watch_chunk(&mut self, bytes: Vec<u8>) -> Result<Vec<WireWatchEvent>> {
+        match self.call(&Request::PutStream { bytes, last: false })? {
+            Response::WatchEvent { events } => Ok(events),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends the final chunk (may be empty) and closes the watch: the server drains
+    /// its decoder under strict end-of-stream semantics, finishes the incremental
+    /// session, and answers with the reconciliation events plus the authoritative
+    /// diff — byte-identical to a [`Client::diff`] of the same pair.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::watch_chunk`], plus [`ServerError::Remote`] when the streamed
+    /// bytes end mid-record in the binary encoding (truncation is only decidable
+    /// here).
+    pub fn watch_finish(&mut self, bytes: Vec<u8>) -> Result<(Vec<WireWatchEvent>, WireDiff)> {
+        match self.call(&Request::PutStream { bytes, last: true })? {
+            Response::WatchDone { events, diff } => Ok((events, diff)),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Fetches the server's statistics snapshot.
     ///
     /// # Errors
@@ -478,12 +536,18 @@ impl Client {
 }
 
 /// Whether a request is safe to replay after a torn exchange. Everything except
-/// `Shutdown`: puts are content-addressed (a replay converges on the same hash
-/// without writing twice) and every other request is a pure read. A lost shutdown
-/// acknowledgement is *not* replayed — the first attempt may well have stopped the
-/// server, and "connection refused" would mask that success.
+/// `Shutdown` and the watch requests: puts are content-addressed (a replay
+/// converges on the same hash without writing twice) and every other request is a
+/// pure read. A lost shutdown acknowledgement is *not* replayed — the first
+/// attempt may well have stopped the server, and "connection refused" would mask
+/// that success. Watch requests are stateful (the server accumulates a
+/// per-connection session), so replaying one after a reconnect would feed a fresh
+/// connection that has no session — the caller restarts the watch instead.
 fn retryable(request: &Request) -> bool {
-    !matches!(request, Request::Shutdown)
+    !matches!(
+        request,
+        Request::Shutdown | Request::WatchStart { .. } | Request::PutStream { .. }
+    )
 }
 
 /// Seeds the xorshift64* jitter state (zero is a fixed point; displace it).

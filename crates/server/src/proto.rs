@@ -22,7 +22,9 @@
 //! `remote_equivalence` integration suite pins exactly that.
 
 use rprism::check::{rules, Diagnostic};
-use rprism::{AnalysisMode, CheckReport, RegressionReport, Severity, TraceDiffResult};
+use rprism::{
+    AnalysisMode, CheckReport, ProvisionalEvent, RegressionReport, Severity, TraceDiffResult,
+};
 use rprism_diff::DiffSequence;
 use rprism_format::error::{FormatError, Result as FormatResult};
 use rprism_format::varint::{self, ByteSource as _};
@@ -35,14 +37,18 @@ use rprism_trace::{intern, EventKind, Symbol, ValueFingerprint};
 /// Version 2 added the [`Response::Busy`] load-shed frame, the
 /// [`Response::Corrupt`] quarantine answer, and the recovery counters at the end
 /// of [`WireStats`]. Version 3 added [`Request::Check`] / [`Response::CheckOk`].
+/// Version 4 added the live-watch exchange — [`Request::WatchStart`],
+/// [`Request::PutStream`], [`Response::WatchStarted`], [`Response::WatchEvent`],
+/// [`Response::WatchDone`] — and the structured [`Response::CheckDenied`] answer
+/// for a watch aborted by the server's ingest check.
 ///
 /// Encoders always stamp the current version; decoders accept every version from
 /// [`MIN_PROTO_VERSION`] up, and each message tag carries the version that
-/// introduced it — so a version-2 peer keeps working against a version-3 server
-/// for every version-2 message, while a version-2 frame carrying a version-3 tag
+/// introduced it — so a version-2 peer keeps working against a version-4 server
+/// for every version-2 message, while a version-2 frame carrying a newer tag
 /// is refused with a structured decode error (which the server answers with an
 /// error frame, keeping the connection alive) instead of a garbled decode.
-pub const PROTO_VERSION: u8 = 3;
+pub const PROTO_VERSION: u8 = 4;
 
 /// The oldest protocol version the decoders still accept (see [`PROTO_VERSION`]).
 pub const MIN_PROTO_VERSION: u8 = 2;
@@ -55,6 +61,8 @@ const TAG_ANALYZE: u8 = 0x05;
 const TAG_STATS: u8 = 0x06;
 const TAG_SHUTDOWN: u8 = 0x07;
 const TAG_CHECK: u8 = 0x08;
+const TAG_WATCH_START: u8 = 0x09;
+const TAG_PUT_STREAM: u8 = 0x0a;
 
 const TAG_PUT_OK: u8 = 0x81;
 const TAG_GET_OK: u8 = 0x82;
@@ -64,6 +72,10 @@ const TAG_ANALYZE_OK: u8 = 0x85;
 const TAG_STATS_OK: u8 = 0x86;
 const TAG_SHUTDOWN_OK: u8 = 0x87;
 const TAG_CHECK_OK: u8 = 0x88;
+const TAG_WATCH_STARTED: u8 = 0x89;
+const TAG_WATCH_EVENT: u8 = 0x8a;
+const TAG_WATCH_DONE: u8 = 0x8b;
+const TAG_CHECK_DENIED: u8 = 0x8c;
 const TAG_BUSY: u8 = 0xfd;
 const TAG_CORRUPT: u8 = 0xfe;
 const TAG_ERROR: u8 = 0xff;
@@ -74,6 +86,8 @@ const TAG_ERROR: u8 = 0xff;
 fn tag_min_version(tag: u8) -> u8 {
     match tag {
         TAG_CHECK | TAG_CHECK_OK => 3,
+        TAG_WATCH_START | TAG_PUT_STREAM | TAG_WATCH_STARTED | TAG_WATCH_EVENT
+        | TAG_WATCH_DONE | TAG_CHECK_DENIED => 4,
         _ => MIN_PROTO_VERSION,
     }
 }
@@ -152,6 +166,27 @@ pub enum Request {
         /// [`CheckConfig::overrides`](rprism::CheckConfig::overrides).
         overrides: Vec<(String, Severity)>,
     },
+    /// Open a live watch against a stored trace (added in protocol version 4): the
+    /// connection enters watch mode, and subsequent [`Request::PutStream`] chunks
+    /// carry the growing new trace. The strict one-request/one-response alternation
+    /// is preserved — every chunk is individually acknowledged.
+    WatchStart {
+        /// Content hash of the stored old (left) trace to diff against.
+        old: u64,
+        /// How many difference sequences the server renders into the final report.
+        max_sequences: u64,
+    },
+    /// One chunk of the watched trace's serialized bytes (either encoding), cut at
+    /// **arbitrary** byte boundaries — mid-record, mid-varint, even mid-header. The
+    /// server resumes decoding exactly where the previous chunk stopped. Only valid
+    /// after [`Request::WatchStart`] on the same connection.
+    PutStream {
+        /// The next serialized bytes, appended to everything sent before.
+        bytes: Vec<u8>,
+        /// `true` on the final chunk: the server drains its decoder with strict
+        /// end-of-input semantics and answers [`Response::WatchDone`].
+        last: bool,
+    },
     /// Repository and cache statistics.
     Stats,
     /// Gracefully stop the daemon: in-flight requests drain, then the listener exits.
@@ -191,6 +226,30 @@ pub enum Response {
     /// spelled out as strings on the wire and mapped back through the static rule
     /// registry on decode (an unknown id is a decode error).
     CheckOk(Box<CheckReport>),
+    /// Acknowledges a [`Request::WatchStart`] (added in protocol version 4): the
+    /// old trace is loaded and the connection is in watch mode.
+    WatchStarted,
+    /// Acknowledges a non-final [`Request::PutStream`] chunk with the provisional
+    /// events the chunk produced (possibly none — e.g. the chunk ended mid-record).
+    WatchEvent {
+        /// Provisional events, in emission order.
+        events: Vec<WireWatchEvent>,
+    },
+    /// Answers the final [`Request::PutStream`] chunk: the reconciliation events the
+    /// finish produced plus the authoritative diff, byte-identical to a
+    /// [`Request::Diff`] of the same pair.
+    WatchDone {
+        /// Final reconciliation events (authoritative pairs never reported
+        /// provisionally, then retractions of provisional pairs the verdict dropped).
+        events: Vec<WireWatchEvent>,
+        /// The authoritative diff, rendered with the watch's `max_sequences`.
+        diff: WireDiff,
+    },
+    /// The server's ingest check denied the watched trace mid-stream (added in
+    /// protocol version 4): the full structured report travels back, the watch is
+    /// torn down, and the connection stays open. Unlike [`Response::Error`], the
+    /// client can render the diagnostics exactly as a local denied check would.
+    CheckDenied(Box<CheckReport>),
     /// The statistics snapshot of a [`Request::Stats`].
     StatsOk(WireStats),
     /// Acknowledges a [`Request::Shutdown`]; the daemon stops accepting connections.
@@ -312,6 +371,70 @@ impl WireSequence {
         DiffSequence {
             left: self.left.iter().map(|&i| i as usize).collect(),
             right: self.right.iter().map(|&i| i as usize).collect(),
+        }
+    }
+}
+
+/// A [`ProvisionalEvent`] in wire form (added in protocol version 4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireWatchEvent {
+    /// The pair entered the provisional similarity set.
+    Match {
+        /// Old-trace entry index.
+        left: u64,
+        /// New-trace entry index.
+        right: u64,
+    },
+    /// A previously emitted pair was retracted.
+    Invalidate {
+        /// Old-trace entry index.
+        left: u64,
+        /// New-trace entry index.
+        right: u64,
+    },
+    /// A provisionally divergent region; either side may be empty, never both.
+    Difference {
+        /// Skipped old-trace entry indices.
+        left: Vec<u64>,
+        /// Skipped new-trace entry indices.
+        right: Vec<u64>,
+    },
+}
+
+impl WireWatchEvent {
+    /// Builds the wire form of a local provisional event.
+    pub fn from_event(event: &ProvisionalEvent) -> Self {
+        match event {
+            ProvisionalEvent::Match { left, right } => WireWatchEvent::Match {
+                left: *left as u64,
+                right: *right as u64,
+            },
+            ProvisionalEvent::Invalidate { left, right } => WireWatchEvent::Invalidate {
+                left: *left as u64,
+                right: *right as u64,
+            },
+            ProvisionalEvent::Difference { left, right } => WireWatchEvent::Difference {
+                left: left.iter().map(|&i| i as u64).collect(),
+                right: right.iter().map(|&i| i as u64).collect(),
+            },
+        }
+    }
+
+    /// The event as the local type (for rendering and equivalence checks).
+    pub fn to_event(&self) -> ProvisionalEvent {
+        match self {
+            WireWatchEvent::Match { left, right } => ProvisionalEvent::Match {
+                left: *left as usize,
+                right: *right as usize,
+            },
+            WireWatchEvent::Invalidate { left, right } => ProvisionalEvent::Invalidate {
+                left: *left as usize,
+                right: *right as usize,
+            },
+            WireWatchEvent::Difference { left, right } => ProvisionalEvent::Difference {
+                left: left.iter().map(|&i| i as usize).collect(),
+                right: right.iter().map(|&i| i as usize).collect(),
+            },
         }
     }
 }
@@ -731,6 +854,58 @@ fn get_check_report(dec: &mut Dec<'_>) -> FormatResult<CheckReport> {
     })
 }
 
+fn put_watch_events(buf: &mut Vec<u8>, events: &[WireWatchEvent]) {
+    put_u64(buf, events.len() as u64);
+    for event in events {
+        match event {
+            WireWatchEvent::Match { left, right } => {
+                buf.push(1);
+                put_u64(buf, *left);
+                put_u64(buf, *right);
+            }
+            WireWatchEvent::Invalidate { left, right } => {
+                buf.push(2);
+                put_u64(buf, *left);
+                put_u64(buf, *right);
+            }
+            WireWatchEvent::Difference { left, right } => {
+                buf.push(3);
+                put_u64(buf, left.len() as u64);
+                for &i in left {
+                    put_u64(buf, i);
+                }
+                put_u64(buf, right.len() as u64);
+                for &i in right {
+                    put_u64(buf, i);
+                }
+            }
+        }
+    }
+}
+
+fn get_watch_events(dec: &mut Dec<'_>) -> FormatResult<Vec<WireWatchEvent>> {
+    let count = dec.u64()?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        out.push(match dec.u8()? {
+            1 => WireWatchEvent::Match {
+                left: dec.u64()?,
+                right: dec.u64()?,
+            },
+            2 => WireWatchEvent::Invalidate {
+                left: dec.u64()?,
+                right: dec.u64()?,
+            },
+            3 => WireWatchEvent::Difference {
+                left: dec.u64s()?,
+                right: dec.u64s()?,
+            },
+            other => return Err(dec.corrupt(format!("unknown watch event kind {other:#04x}"))),
+        });
+    }
+    Ok(out)
+}
+
 fn put_sequence(buf: &mut Vec<u8>, sequence: &WireSequence) {
     put_u64(buf, sequence.left.len() as u64);
     for &i in &sequence.left {
@@ -746,6 +921,52 @@ fn get_sequence(dec: &mut Dec<'_>) -> FormatResult<WireSequence> {
     Ok(WireSequence {
         left: dec.u64s()?,
         right: dec.u64s()?,
+    })
+}
+
+fn put_diff(buf: &mut Vec<u8>, diff: &WireDiff) {
+    put_str(buf, &diff.algorithm);
+    put_u64(buf, diff.left_len);
+    put_u64(buf, diff.right_len);
+    put_u64(buf, diff.pairs.len() as u64);
+    for &(l, r) in &diff.pairs {
+        put_u64(buf, l);
+        put_u64(buf, r);
+    }
+    put_u64(buf, diff.sequences.len() as u64);
+    for sequence in &diff.sequences {
+        put_sequence(buf, sequence);
+    }
+    put_u64(buf, diff.compare_ops);
+    put_u64(buf, diff.num_differences);
+    put_str(buf, &diff.rendered);
+}
+
+fn get_diff(dec: &mut Dec<'_>) -> FormatResult<WireDiff> {
+    let algorithm = dec.str()?;
+    let left_len = dec.u64()?;
+    let right_len = dec.u64()?;
+    let pair_count = dec.u64()?;
+    let mut pairs = Vec::new();
+    for _ in 0..pair_count {
+        let l = dec.u64()?;
+        let r = dec.u64()?;
+        pairs.push((l, r));
+    }
+    let sequence_count = dec.u64()?;
+    let mut sequences = Vec::new();
+    for _ in 0..sequence_count {
+        sequences.push(get_sequence(dec)?);
+    }
+    Ok(WireDiff {
+        algorithm,
+        left_len,
+        right_len,
+        pairs,
+        sequences,
+        compare_ops: dec.u64()?,
+        num_differences: dec.u64()?,
+        rendered: dec.str()?,
     })
 }
 
@@ -884,6 +1105,18 @@ impl Request {
                 put_overrides(&mut buf, overrides);
                 buf
             }
+            Request::WatchStart { old, max_sequences } => {
+                let mut buf = header(TAG_WATCH_START);
+                put_u64(&mut buf, *old);
+                put_u64(&mut buf, *max_sequences);
+                buf
+            }
+            Request::PutStream { bytes, last } => {
+                let mut buf = header(TAG_PUT_STREAM);
+                put_bytes(&mut buf, bytes);
+                buf.push(u8::from(*last));
+                buf
+            }
             Request::Stats => header(TAG_STATS),
             Request::Shutdown => header(TAG_SHUTDOWN),
         }
@@ -946,6 +1179,14 @@ impl Request {
                 hash: dec.u64()?,
                 overrides: get_overrides(&mut dec)?,
             },
+            TAG_WATCH_START => Request::WatchStart {
+                old: dec.u64()?,
+                max_sequences: dec.u64()?,
+            },
+            TAG_PUT_STREAM => Request::PutStream {
+                bytes: dec.bytes()?,
+                last: dec.bool()?,
+            },
             TAG_STATS => Request::Stats,
             TAG_SHUTDOWN => Request::Shutdown,
             other => return Err(dec.corrupt(format!("unknown request tag {other:#04x}"))),
@@ -988,21 +1229,7 @@ impl Response {
             }
             Response::DiffOk(diff) => {
                 let mut buf = header(TAG_DIFF_OK);
-                put_str(&mut buf, &diff.algorithm);
-                put_u64(&mut buf, diff.left_len);
-                put_u64(&mut buf, diff.right_len);
-                put_u64(&mut buf, diff.pairs.len() as u64);
-                for &(l, r) in &diff.pairs {
-                    put_u64(&mut buf, l);
-                    put_u64(&mut buf, r);
-                }
-                put_u64(&mut buf, diff.sequences.len() as u64);
-                for sequence in &diff.sequences {
-                    put_sequence(&mut buf, sequence);
-                }
-                put_u64(&mut buf, diff.compare_ops);
-                put_u64(&mut buf, diff.num_differences);
-                put_str(&mut buf, &diff.rendered);
+                put_diff(&mut buf, diff);
                 buf
             }
             Response::AnalyzeOk(report) => {
@@ -1028,6 +1255,23 @@ impl Response {
             }
             Response::CheckOk(report) => {
                 let mut buf = header(TAG_CHECK_OK);
+                put_check_report(&mut buf, report);
+                buf
+            }
+            Response::WatchStarted => header(TAG_WATCH_STARTED),
+            Response::WatchEvent { events } => {
+                let mut buf = header(TAG_WATCH_EVENT);
+                put_watch_events(&mut buf, events);
+                buf
+            }
+            Response::WatchDone { events, diff } => {
+                let mut buf = header(TAG_WATCH_DONE);
+                put_watch_events(&mut buf, events);
+                put_diff(&mut buf, diff);
+                buf
+            }
+            Response::CheckDenied(report) => {
+                let mut buf = header(TAG_CHECK_DENIED);
                 put_check_report(&mut buf, report);
                 buf
             }
@@ -1101,33 +1345,7 @@ impl Response {
                 }
                 Response::ListOk { entries }
             }
-            TAG_DIFF_OK => {
-                let algorithm = dec.str()?;
-                let left_len = dec.u64()?;
-                let right_len = dec.u64()?;
-                let pair_count = dec.u64()?;
-                let mut pairs = Vec::new();
-                for _ in 0..pair_count {
-                    let l = dec.u64()?;
-                    let r = dec.u64()?;
-                    pairs.push((l, r));
-                }
-                let sequence_count = dec.u64()?;
-                let mut sequences = Vec::new();
-                for _ in 0..sequence_count {
-                    sequences.push(get_sequence(&mut dec)?);
-                }
-                Response::DiffOk(WireDiff {
-                    algorithm,
-                    left_len,
-                    right_len,
-                    pairs,
-                    sequences,
-                    compare_ops: dec.u64()?,
-                    num_differences: dec.u64()?,
-                    rendered: dec.str()?,
-                })
-            }
+            TAG_DIFF_OK => Response::DiffOk(get_diff(&mut dec)?),
             TAG_ANALYZE_OK => {
                 let algorithm = dec.str()?;
                 let mode_raw = dec.u8()?;
@@ -1157,6 +1375,16 @@ impl Response {
                 })
             }
             TAG_CHECK_OK => Response::CheckOk(Box::new(get_check_report(&mut dec)?)),
+            TAG_WATCH_STARTED => Response::WatchStarted,
+            TAG_WATCH_EVENT => Response::WatchEvent {
+                events: get_watch_events(&mut dec)?,
+            },
+            TAG_WATCH_DONE => {
+                let events = get_watch_events(&mut dec)?;
+                let diff = get_diff(&mut dec)?;
+                Response::WatchDone { events, diff }
+            }
+            TAG_CHECK_DENIED => Response::CheckDenied(Box::new(get_check_report(&mut dec)?)),
             TAG_STATS_OK => {
                 let mut values = [0u64; 15];
                 for value in &mut values {
@@ -1259,6 +1487,18 @@ mod tests {
                 ("unclosed-call".to_owned(), Severity::Warning),
                 ("use-after-death".to_owned(), Severity::Info),
             ],
+        });
+        round_trip_request(Request::WatchStart {
+            old: 0xdead_beef,
+            max_sequences: 12,
+        });
+        round_trip_request(Request::PutStream {
+            bytes: vec![0x00, 0xff, 0x7f],
+            last: false,
+        });
+        round_trip_request(Request::PutStream {
+            bytes: vec![],
+            last: true,
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
@@ -1401,6 +1641,44 @@ mod tests {
             quarantined: 14,
             cache_shrinks: 15,
         }));
+        round_trip_response(Response::WatchStarted);
+        round_trip_response(Response::WatchEvent { events: vec![] });
+        round_trip_response(Response::WatchEvent {
+            events: vec![
+                WireWatchEvent::Match { left: 0, right: 0 },
+                WireWatchEvent::Invalidate { left: 3, right: 4 },
+                WireWatchEvent::Difference {
+                    left: vec![5, 6],
+                    right: vec![],
+                },
+            ],
+        });
+        round_trip_response(Response::WatchDone {
+            events: vec![WireWatchEvent::Match { left: 9, right: 9 }],
+            diff: WireDiff {
+                algorithm: "views".into(),
+                left_len: 10,
+                right_len: 10,
+                pairs: vec![(0, 0)],
+                sequences: vec![],
+                compare_ops: 77,
+                num_differences: 0,
+                rendered: "no differences\n".into(),
+            },
+        });
+        round_trip_response(Response::CheckDenied(Box::new(CheckReport {
+            trace_name: "denied".into(),
+            entries: 5,
+            threads: 1,
+            suppressed: 0,
+            diagnostics: vec![Diagnostic {
+                rule_id: rules::rule("data-race").unwrap().id,
+                severity: Severity::Error,
+                entry_index: 2,
+                message: "boom".into(),
+                related_entries: vec![0],
+            }],
+        })));
         round_trip_response(Response::ShutdownOk);
         round_trip_response(Response::Busy { retry_after_ms: 250 });
         round_trip_response(Response::Corrupt {
@@ -1473,6 +1751,66 @@ mod tests {
         let mut frame = Response::CheckOk(Box::default()).encode();
         frame[0] = 2;
         assert!(Response::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn version_4_tags_in_older_frames_are_structured_errors() {
+        // Watch messages need protocol 4: a version-2 or version-3 frame carrying
+        // one is a structured refusal, while version-3 frames of version-3 messages
+        // (and version-2 frames of version-2 messages) keep decoding byte-identically.
+        for older in [2u8, 3] {
+            let mut frame = Request::WatchStart {
+                old: 1,
+                max_sequences: 4,
+            }
+            .encode();
+            frame[0] = older;
+            let error = Request::decode(&frame).unwrap_err();
+            assert!(
+                error.to_string().contains("requires protocol version 4"),
+                "got {error}"
+            );
+            let mut frame = Request::PutStream {
+                bytes: vec![1],
+                last: true,
+            }
+            .encode();
+            frame[0] = older;
+            assert!(Request::decode(&frame).is_err());
+            for response in [
+                Response::WatchStarted,
+                Response::WatchEvent { events: vec![] },
+                Response::CheckDenied(Box::default()),
+            ] {
+                let mut frame = response.encode();
+                frame[0] = older;
+                assert!(Response::decode(&frame).is_err());
+            }
+        }
+        // Version-3 frames of version-3 messages still decode.
+        let request = Request::Check {
+            hash: 1,
+            overrides: vec![],
+        };
+        let mut frame = request.encode();
+        frame[0] = 3;
+        assert_eq!(Request::decode(&frame).unwrap(), request);
+    }
+
+    #[test]
+    fn wire_watch_events_convert_to_local_events_and_back() {
+        let events = [
+            ProvisionalEvent::Match { left: 1, right: 2 },
+            ProvisionalEvent::Invalidate { left: 1, right: 2 },
+            ProvisionalEvent::Difference {
+                left: vec![3],
+                right: vec![4, 5],
+            },
+        ];
+        for event in &events {
+            let wire = WireWatchEvent::from_event(event);
+            assert_eq!(&wire.to_event(), event);
+        }
     }
 
     #[test]

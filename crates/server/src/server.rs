@@ -46,11 +46,14 @@ use std::time::Duration;
 
 use rprism::{
     AnchoredDiffOptions, DiffAlgorithm, Engine, LcsDiffOptions, PreparedTrace, RegressionInput,
-    ViewsDiffOptions,
+    ViewsDiffOptions, Watch,
 };
 use rprism_format::frame::{read_frame, write_frame};
+use rprism_format::{TailBatch, TailDecoder};
 
-use crate::proto::{Request, Response, WireAlgorithm, WireDiff, WireReport, WireStats};
+use crate::proto::{
+    Request, Response, WireAlgorithm, WireDiff, WireReport, WireStats, WireWatchEvent,
+};
 
 /// Maps a wire algorithm override to a concrete [`DiffAlgorithm`] with the default
 /// options of its family — only the algorithm choice travels on the wire; tuning
@@ -332,6 +335,24 @@ struct Worker {
     request_deadline: Duration,
 }
 
+/// Per-connection live-watch state ([`Request::WatchStart`] … final
+/// [`Request::PutStream`]): the stored old trace, the push-driven decoder resuming
+/// across arbitrary chunk boundaries, and the engine's incremental diff session.
+/// The session is created lazily, on the first chunk that completes the stream
+/// header — a watch can legally start with a chunk too short to even name the trace.
+/// Any failure mid-watch drops this state, so a later chunk on the same connection
+/// gets a structured "no active watch" error instead of feeding a dead session.
+struct WatchState {
+    old: PreparedTrace,
+    decoder: TailDecoder,
+    watch: Option<Watch>,
+    max_sequences: usize,
+}
+
+/// Entries drained from the tail decoder per [`Watch::push_entries`] call — the same
+/// batch quantum the engine's streaming ingest uses.
+const WATCH_BATCH: usize = 256;
+
 impl Worker {
     /// Serves one connection to completion. Panics are contained per connection.
     fn serve_connection<C: Conn>(&self, stream: &mut C) {
@@ -357,6 +378,9 @@ impl Worker {
     fn connection_loop<C: Conn>(&self, stream: &mut C) -> Result<()> {
         stream.set_nodelay(true)?;
         stream.set_write_timeout(Some(self.request_deadline))?;
+        // The connection's live-watch state, if a watch is open. Strictly
+        // per-connection: it dies with the loop, and a second WatchStart replaces it.
+        let mut watch: Option<WatchState> = None;
         loop {
             // Idle wait: poll (peek, no bytes consumed) for the next frame's first
             // byte, so a worker parked on an idle connection notices a shutdown and
@@ -391,7 +415,7 @@ impl Worker {
             let response = match Request::decode(&payload) {
                 Ok(request) => {
                     let is_shutdown = matches!(request, Request::Shutdown);
-                    let response = self.handle(request);
+                    let response = self.handle(request, &mut watch);
                     self.requests_served.fetch_add(1, Ordering::Relaxed);
                     if is_shutdown {
                         write_response(stream, &response)?;
@@ -414,21 +438,26 @@ impl Worker {
 
     /// Executes one request. Every failure becomes a structured response frame:
     /// a quarantined blob answers [`Response::Corrupt`] (the hash-bearing variant
-    /// clients heal by re-uploading), everything else [`Response::Error`].
-    fn handle(&self, request: Request) -> Response {
-        match self.try_handle(request) {
+    /// clients heal by re-uploading), a watch denied by the ingest check answers
+    /// [`Response::CheckDenied`] with the full report, everything else
+    /// [`Response::Error`].
+    fn handle(&self, request: Request, watch: &mut Option<WatchState>) -> Response {
+        match self.try_handle(request, watch) {
             Ok(response) => response,
             Err(e @ ServerError::CorruptTrace { hash }) => Response::Corrupt {
                 hash,
                 message: e.to_string(),
             },
+            Err(ServerError::Engine(rprism::Error::Check(report))) => {
+                Response::CheckDenied(report)
+            }
             Err(e) => Response::Error {
                 message: e.to_string(),
             },
         }
     }
 
-    fn try_handle(&self, request: Request) -> Result<Response> {
+    fn try_handle(&self, request: Request, watch: &mut Option<WatchState>) -> Result<Response> {
         let engine = self.repo.engine();
         match request {
             Request::Put { bytes } => {
@@ -510,6 +539,28 @@ impl Worker {
                 let report = engine.check_reader_with(&bytes[..], config)?;
                 Ok(Response::CheckOk(Box::new(report)))
             }
+            Request::WatchStart { old, max_sequences } => {
+                // Replacing an unfinished watch is allowed — the old state just drops.
+                *watch = Some(WatchState {
+                    old: self.repo.prepared(old)?,
+                    decoder: TailDecoder::new(),
+                    watch: None,
+                    max_sequences: max_sequences as usize,
+                });
+                Ok(Response::WatchStarted)
+            }
+            Request::PutStream { bytes, last } => {
+                let mut state = watch.take().ok_or_else(|| {
+                    ServerError::Remote("PutStream without an active watch (send WatchStart first)".into())
+                })?;
+                // Errors (decode failures, check denials) leave the state dropped, so
+                // later chunks fail structurally instead of feeding a dead session.
+                let response = self.fold_chunk(&mut state, &bytes, last)?;
+                if !last {
+                    *watch = Some(state);
+                }
+                Ok(response)
+            }
             Request::Stats => {
                 let repo = self.repo.stats();
                 Ok(Response::StatsOk(WireStats {
@@ -535,6 +586,75 @@ impl Worker {
                 Ok(Response::ShutdownOk)
             }
         }
+    }
+
+    /// Folds one [`Request::PutStream`] chunk into the watch: decode what is now
+    /// decodable, push it through the engine's incremental session, and answer with
+    /// the chunk's provisional events — or, on the last chunk, drain the decoder
+    /// under strict end-of-stream semantics, finish the session, and answer
+    /// [`Response::WatchDone`] with the authoritative diff.
+    fn fold_chunk(&self, state: &mut WatchState, bytes: &[u8], last: bool) -> Result<Response> {
+        let engine = self.repo.engine();
+        state.decoder.push_bytes(bytes).map_err(ServerError::Format)?;
+        let mut events: Vec<WireWatchEvent> = Vec::new();
+        let mut batch = Vec::new();
+        loop {
+            // The session exists only once the stream header has arrived and named
+            // the trace; until then every chunk is Pending with no events.
+            if state.watch.is_none() {
+                match state.decoder.meta() {
+                    Some(meta) => state.watch = Some(engine.watch(&state.old, meta.clone())),
+                    None => break,
+                }
+            }
+            match state
+                .decoder
+                .read_batch(&mut batch, WATCH_BATCH)
+                .map_err(ServerError::Format)?
+            {
+                TailBatch::Entries(_) => {
+                    let session = state.watch.as_mut().expect("session exists past header");
+                    for event in session.push_entries(&batch)? {
+                        events.push(WireWatchEvent::from_event(&event));
+                    }
+                }
+                TailBatch::Pending | TailBatch::End => break,
+            }
+        }
+        if !last {
+            return Ok(Response::WatchEvent { events });
+        }
+        // Final chunk: strict end-of-input drain (a binary stream cut mid-record is
+        // truncation *now*; JSONL gets its final-line grace), then the authoritative
+        // verdict, rendered exactly as a batch Diff of the same pair would be.
+        batch.clear();
+        state.decoder.finish(&mut batch).map_err(ServerError::Format)?;
+        if state.watch.is_none() {
+            let meta = state
+                .decoder
+                .meta()
+                .expect("finish parsed the header or errored")
+                .clone();
+            state.watch = Some(engine.watch(&state.old, meta));
+        }
+        let mut session = state.watch.take().expect("session exists at finish");
+        if !batch.is_empty() {
+            for event in session.push_entries(&batch)? {
+                events.push(WireWatchEvent::from_event(&event));
+            }
+        }
+        let outcome = session.finish()?;
+        events.extend(outcome.events.iter().map(WireWatchEvent::from_event));
+        let rendered = render_diff(
+            &outcome.result,
+            &state.old,
+            &outcome.new_trace,
+            state.max_sequences,
+        );
+        Ok(Response::WatchDone {
+            events,
+            diff: WireDiff::from_result(&outcome.result, rendered),
+        })
     }
 }
 
@@ -714,6 +834,188 @@ mod tests {
             "got {responses:?}"
         );
         assert!(matches!(&responses[1], Response::ListOk { entries } if entries.is_empty()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Two source programs whose traces share a long common prefix (an "ordinary
+    /// evolution"): the incremental scan emits provisional matches well before the
+    /// upload ends.
+    fn evolution_pair(engine: &Engine) -> (PreparedTrace, PreparedTrace) {
+        let old_src = "class C extends Object { Int x; Unit set(Int v) { this.x = v; } }
+             main { let c = new C(0); c.set(1); c.set(2); c.set(3); c.set(4); }";
+        let new_src = "class C extends Object { Int x; Unit set(Int v) { this.x = v; } }
+             main { let c = new C(0); c.set(1); c.set(2); c.set(3); c.set(99); }";
+        (
+            engine.trace_source(old_src, "old").unwrap(),
+            engine.trace_source(new_src, "new").unwrap(),
+        )
+    }
+
+    #[test]
+    fn chunked_watch_answers_the_exact_batch_diff() {
+        let dir = temp_repo("watch-equiv");
+        let worker = worker(&dir);
+        let engine = worker.repo.engine();
+        let (old, new) = evolution_pair(engine);
+        let old_bytes =
+            rprism_format::trace_to_bytes(old.trace(), rprism_format::Encoding::Binary).unwrap();
+        let new_bytes =
+            rprism_format::trace_to_bytes(new.trace(), rprism_format::Encoding::Binary).unwrap();
+        let (old_hash, _, _) = worker.repo.put_bytes(&old_bytes).unwrap();
+        let (new_hash, _, _) = worker.repo.put_bytes(&new_bytes).unwrap();
+
+        // One connection: start a watch, stream the new trace in 64-byte chunks
+        // (cut mid-record, mid-varint, wherever the boundary lands), then ask for
+        // the batch diff of the same stored pair.
+        let mut input = framed(
+            &Request::WatchStart {
+                old: old_hash,
+                max_sequences: 8,
+            }
+            .encode(),
+        );
+        let chunks: Vec<&[u8]> = new_bytes.chunks(64).collect();
+        for (i, chunk) in chunks.iter().enumerate() {
+            input.extend(framed(
+                &Request::PutStream {
+                    bytes: chunk.to_vec(),
+                    last: i == chunks.len() - 1,
+                }
+                .encode(),
+            ));
+        }
+        input.extend(framed(
+            &Request::Diff {
+                left: old_hash,
+                right: new_hash,
+                max_sequences: 8,
+                algorithm: None,
+            }
+            .encode(),
+        ));
+        let mut conn = MemConn::new(input);
+        worker.serve_connection(&mut conn);
+
+        let responses = conn.responses();
+        assert_eq!(responses.len(), chunks.len() + 2, "got {responses:?}");
+        assert!(matches!(&responses[0], Response::WatchStarted));
+        let mut provisional = 0usize;
+        for response in &responses[1..chunks.len()] {
+            match response {
+                Response::WatchEvent { events } => provisional += events.len(),
+                other => panic!("expected WatchEvent, got {other:?}"),
+            }
+        }
+        assert!(
+            provisional > 0,
+            "an ordinary evolution must produce provisional events before the upload ends"
+        );
+        let (done_events, watch_diff) = match &responses[chunks.len()] {
+            Response::WatchDone { events, diff } => (events, diff),
+            other => panic!("expected WatchDone, got {other:?}"),
+        };
+        assert!(done_events
+            .iter()
+            .all(|e| !matches!(e, WireWatchEvent::Difference { .. })));
+        let batch_diff = match &responses[chunks.len() + 1] {
+            Response::DiffOk(diff) => diff,
+            other => panic!("expected DiffOk, got {other:?}"),
+        };
+        // The watch's final answer is the batch answer — matching, sequences,
+        // compare count, and the rendered report, byte for byte.
+        assert_eq!(watch_diff, batch_diff);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn put_stream_without_watch_start_is_refused_and_the_connection_survives() {
+        let dir = temp_repo("watch-orphan-chunk");
+        let worker = worker(&dir);
+        let mut input = framed(
+            &Request::PutStream {
+                bytes: vec![1, 2, 3],
+                last: false,
+            }
+            .encode(),
+        );
+        input.extend(framed(&Request::List.encode()));
+        let mut conn = MemConn::new(input);
+        worker.serve_connection(&mut conn);
+        let responses = conn.responses();
+        assert_eq!(responses.len(), 2, "got {responses:?}");
+        assert!(
+            matches!(&responses[0], Response::Error { message }
+                if message.contains("without an active watch")),
+            "got {responses:?}"
+        );
+        assert!(matches!(&responses[1], Response::ListOk { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_check_denies_a_watch_mid_stream_with_the_structured_report() {
+        let dir = temp_repo("watch-denied");
+        let engine = Engine::builder()
+            .check_on_ingest(rprism::CheckConfig::default(), rprism::Severity::Error)
+            .build();
+        let worker = Worker {
+            repo: Arc::new(TraceRepo::open(&dir, engine, DEFAULT_CACHE_BUDGET).unwrap()),
+            stop: Arc::new(AtomicBool::new(false)),
+            requests_served: Arc::new(AtomicU64::new(0)),
+            max_frame: rprism_format::frame::DEFAULT_MAX_PAYLOAD,
+            request_deadline: FRAME_READ_TIMEOUT,
+        };
+        let (old, _) = evolution_pair(worker.repo.engine());
+        let old_bytes =
+            rprism_format::trace_to_bytes(old.trace(), rprism_format::Encoding::Binary).unwrap();
+        let (old_hash, _, _) = worker.repo.put_bytes(&old_bytes).unwrap();
+        let bad = rprism_check::fixtures::violating("define-before-use");
+        let bad_bytes =
+            rprism_format::trace_to_bytes(&bad, rprism_format::Encoding::Binary).unwrap();
+
+        // The whole ill-formed trace arrives in one NON-last chunk: the denial must
+        // come back on that chunk — mid-stream, before any end-of-upload — and tear
+        // the watch down, so the next chunk is refused structurally.
+        let mut input = framed(
+            &Request::WatchStart {
+                old: old_hash,
+                max_sequences: 4,
+            }
+            .encode(),
+        );
+        input.extend(framed(
+            &Request::PutStream {
+                bytes: bad_bytes,
+                last: false,
+            }
+            .encode(),
+        ));
+        input.extend(framed(
+            &Request::PutStream {
+                bytes: vec![],
+                last: true,
+            }
+            .encode(),
+        ));
+        let mut conn = MemConn::new(input);
+        worker.serve_connection(&mut conn);
+        let responses = conn.responses();
+        assert_eq!(responses.len(), 3, "got {responses:?}");
+        assert!(matches!(&responses[0], Response::WatchStarted));
+        match &responses[1] {
+            Response::CheckDenied(report) => {
+                assert!(report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.rule_id == "define-before-use"));
+            }
+            other => panic!("expected CheckDenied, got {other:?}"),
+        }
+        assert!(
+            matches!(&responses[2], Response::Error { message }
+                if message.contains("without an active watch")),
+            "got {responses:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

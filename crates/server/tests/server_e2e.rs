@@ -430,3 +430,101 @@ fn version_2_frames_interoperate_with_a_version_3_server() {
     server.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A small program-evolution pair with a long common prefix, so a chunked watch
+/// produces provisional matches before the divergent tail arrives.
+fn evolution_pair(engine: &Engine) -> (rprism::PreparedTrace, rprism::PreparedTrace) {
+    let old_src = "class C extends Object { Int x; Unit set(Int v) { this.x = v; } }
+         main { let c = new C(0); c.set(1); c.set(2); c.set(3); c.set(4); }";
+    let new_src = "class C extends Object { Int x; Unit set(Int v) { this.x = v; } }
+         main { let c = new C(0); c.set(1); c.set(2); c.set(3); c.set(99); }";
+    (
+        engine.trace_source(old_src, "old").unwrap(),
+        engine.trace_source(new_src, "new").unwrap(),
+    )
+}
+
+#[test]
+fn live_socket_watch_streams_events_and_matches_remote_diff() {
+    let (addr, server, dir) = start("watch");
+    let mut client = Client::connect(&addr.to_string(), TIMEOUT).unwrap();
+
+    let engine = Engine::new();
+    let (old, new) = evolution_pair(&engine);
+    let old_hash = client
+        .put_bytes(trace_to_bytes(old.trace(), Encoding::Binary).unwrap())
+        .unwrap()
+        .hash;
+    let new_bytes = trace_to_bytes(new.trace(), Encoding::Binary).unwrap();
+    let new_hash = client.put_bytes(new_bytes.clone()).unwrap().hash;
+    let batch = client.diff(old_hash, new_hash, 5).unwrap();
+
+    // Stream the new trace in small chunks over the real socket; provisional events
+    // must flow before end of input, and the final verdict must equal the batch diff.
+    client.watch_start(old_hash, 5).unwrap();
+    let mut provisional = 0usize;
+    let mut chunks = new_bytes.chunks(64);
+    let last = chunks.next_back().unwrap_or(&[]);
+    for chunk in chunks {
+        provisional += client.watch_chunk(chunk.to_vec()).unwrap().len();
+    }
+    let (_, watched) = client.watch_finish(last.to_vec()).unwrap();
+    assert!(
+        provisional > 0,
+        "no provisional events before end of input over the live socket"
+    );
+    assert_eq!(
+        watched, batch,
+        "live watch verdict diverged from the batch remote diff"
+    );
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn live_socket_watch_is_denied_mid_stream_by_the_ingest_check() {
+    let dir = temp_repo("watch-deny");
+    let mut config = ServerConfig::new("127.0.0.1:0", &dir);
+    config.engine = Engine::builder()
+        .check_on_ingest(rprism::CheckConfig::default(), rprism::Severity::Error)
+        .build();
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(&addr.to_string(), TIMEOUT).unwrap();
+
+    let engine = Engine::new();
+    let (old, _) = evolution_pair(&engine);
+    let old_hash = client
+        .put_bytes(trace_to_bytes(old.trace(), Encoding::Binary).unwrap())
+        .unwrap()
+        .hash;
+
+    // The whole ill-formed trace goes out in one NON-final chunk: the denial must
+    // arrive mid-stream, before any end-of-upload, as the structured report frame.
+    let bad = rprism_check::fixtures::violating("define-before-use");
+    let bad_bytes = trace_to_bytes(&bad, Encoding::Binary).unwrap();
+    client.watch_start(old_hash, 5).unwrap();
+    match client.watch_chunk(bad_bytes) {
+        Err(ServerError::CheckDenied(report)) => {
+            assert!(report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule_id == "define-before-use"));
+        }
+        other => panic!("expected a mid-stream check denial, got {other:?}"),
+    }
+
+    // The watch is torn down but the connection survives for ordinary requests.
+    assert!(matches!(
+        client.watch_chunk(vec![0u8; 4]),
+        Err(ServerError::Remote(message)) if message.contains("without an active watch")
+    ));
+    assert_eq!(client.list().unwrap().len(), 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
