@@ -51,6 +51,12 @@
 //!    after the last entry arrives (`finish()` wall), and total watch wall vs
 //!    the batch `Engine::diff` of the same pair, with identical matchings
 //!    asserted (the numbers recorded in `BENCH_8.json`).
+//! 10. **obs overhead** — the stored pair streamed in and diffed through an engine
+//!     with the disabled observer (every recording call inert) vs one recording
+//!     into an enabled `rprism-obs` domain (pipeline spans, phase timers,
+//!     histograms, span ring), printing wall time for both and the overhead
+//!     ratio, asserted ≤ 3% (above a small absolute jitter floor) with identical
+//!     diffs (the numbers recorded in `BENCH_9.json`).
 //!
 //! The `--json` flag emits all numbers as one JSON object.
 //!
@@ -722,6 +728,92 @@ fn measure_watch_latency(samples: usize, old: &Trace, new: &Trace) -> WatchLaten
     measured
 }
 
+struct ObsOverheadMeasured {
+    entries: usize,
+    stripped_wall: Duration,
+    instrumented_wall: Duration,
+}
+
+impl ObsOverheadMeasured {
+    /// Fractional wall-time cost of full instrumentation: `instrumented/stripped - 1`.
+    fn overhead_ratio(&self) -> f64 {
+        self.instrumented_wall.as_secs_f64() / self.stripped_wall.as_secs_f64().max(1e-12)
+            - 1.0
+    }
+}
+
+/// The `obs_overhead` measurement (BENCH_9): the stored pair streamed in
+/// (`load_prepared`) and diffed per sample, through an engine with the disabled
+/// observer vs one recording into an enabled [`rprism::Obs`] domain — the full
+/// instrumentation path: `engine.load` spans, per-phase decode/key/web timers,
+/// log-scale histograms and the bounded span ring. Best wall per side over
+/// `samples`, identical diffs asserted, and the overhead gated at 3% (beyond a
+/// 2 ms absolute jitter floor, below which the ratio measures scheduler noise,
+/// not instrumentation).
+fn measure_obs_overhead(samples: usize, old: &Trace, new: &Trace) -> ObsOverheadMeasured {
+    use rprism::Obs;
+
+    let dir = std::env::temp_dir().join(format!("rprism-perf-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let store = Engine::new();
+    let pa = dir.join("old.rtr");
+    let pb = dir.join("new.rtr");
+    store.store_trace(&store.prepare(old.clone()), &pa).unwrap();
+    store.store_trace(&store.prepare(new.clone()), &pb).unwrap();
+
+    let obs = Obs::enabled();
+    let stripped = Engine::builder().build();
+    let instrumented = Engine::builder().obs(obs.clone()).build();
+    let timed = |engine: &Engine| -> (Duration, Vec<_>) {
+        let mut wall = Duration::MAX;
+        let mut pairs = Vec::new();
+        for _ in 0..samples {
+            let start = std::time::Instant::now();
+            let la = engine.load_prepared(&pa).expect("load old");
+            let lb = engine.load_prepared(&pb).expect("load new");
+            let diff = engine.diff(&la, &lb).expect("views never fails");
+            wall = wall.min(start.elapsed());
+            pairs = diff.matching.normalized_pairs();
+        }
+        (wall, pairs)
+    };
+
+    let (stripped_wall, stripped_pairs) = timed(&stripped);
+    let (instrumented_wall, instrumented_pairs) = timed(&instrumented);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(
+        stripped_pairs, instrumented_pairs,
+        "instrumentation must not change the diff"
+    );
+    // Sanity: the instrumented side actually recorded — every sample's two loads
+    // landed in the `engine.load` span histogram.
+    let recorded = obs
+        .snapshot()
+        .entries
+        .iter()
+        .any(|(name, _)| name == "engine.load");
+    assert!(recorded, "instrumented engine recorded no engine.load spans");
+
+    let measured = ObsOverheadMeasured {
+        entries: old.len() + new.len(),
+        stripped_wall,
+        instrumented_wall,
+    };
+    let delta = measured
+        .instrumented_wall
+        .saturating_sub(measured.stripped_wall);
+    assert!(
+        measured.overhead_ratio() <= 0.03 || delta <= Duration::from_millis(2),
+        "observability overhead {:.2}% exceeds the 3% budget \
+         (stripped {:?}, instrumented {:?})",
+        measured.overhead_ratio() * 100.0,
+        measured.stripped_wall,
+        measured.instrumented_wall
+    );
+    measured
+}
+
 fn main() {
     let mut json = false;
     let mut iterations = 400usize;
@@ -755,6 +847,7 @@ fn main() {
     let check = measure_check_throughput(samples);
     let anchored = measure_anchored_scaling(samples);
     let watch = measure_watch_latency(samples, &reuse_old, &reuse_new);
+    let obs = measure_obs_overhead(samples, &reuse_old, &reuse_new);
 
     let speedup = seed.wall.as_secs_f64() / keyed.wall.as_secs_f64().max(1e-12);
     let reuse_speedup =
@@ -854,7 +947,7 @@ fn main() {
             anchored.speedup()
         );
         println!(
-            "  \"watch_latency\": {{ \"trace_entries\": {}, \"chunk_entries\": {}, \"provisional_events\": {}, \"batch_wall_seconds\": {:.6}, \"first_event_seconds\": {:.6}, \"verdict_lag_seconds\": {:.6}, \"watch_total_wall_seconds\": {:.6} }}",
+            "  \"watch_latency\": {{ \"trace_entries\": {}, \"chunk_entries\": {}, \"provisional_events\": {}, \"batch_wall_seconds\": {:.6}, \"first_event_seconds\": {:.6}, \"verdict_lag_seconds\": {:.6}, \"watch_total_wall_seconds\": {:.6} }},",
             watch.entries,
             watch.chunk,
             watch.provisional_events,
@@ -862,6 +955,13 @@ fn main() {
             watch.first_event_wall.as_secs_f64(),
             watch.verdict_lag.as_secs_f64(),
             watch.total_wall.as_secs_f64()
+        );
+        println!(
+            "  \"obs_overhead\": {{ \"trace_entries\": {}, \"stripped\": {{ \"wall_seconds\": {:.6} }}, \"instrumented\": {{ \"wall_seconds\": {:.6} }}, \"overhead_ratio\": {:.4}, \"budget\": 0.03 }}",
+            obs.entries,
+            obs.stripped_wall.as_secs_f64(),
+            obs.instrumented_wall.as_secs_f64(),
+            obs.overhead_ratio()
         );
         println!("}}");
     } else {
@@ -979,6 +1079,18 @@ fn main() {
         println!(
             "    first provisional event after {:>10.3?}   verdict lag after EOF {:>10.3?}",
             watch.first_event_wall, watch.verdict_lag
+        );
+        println!(
+            "\n  obs overhead ({} entries, load + diff per sample):",
+            obs.entries
+        );
+        println!(
+            "    disabled observer: wall {:>10.3?}   enabled (spans + histograms): wall {:>10.3?}",
+            obs.stripped_wall, obs.instrumented_wall
+        );
+        println!(
+            "    overhead: {:.2}% (budget 3%)",
+            obs.overhead_ratio() * 100.0
         );
         println!("\n  trace i/o ({} entries):", old.len());
         for m in &io {

@@ -12,7 +12,8 @@
 //! rprism corpus --dir <dir> [--check]
 //! rprism serve --addr <host:port> --repo <dir> [--threads N] [--cache-bytes B]
 //!              [--backlog N] [--cache-low-watermark B] [--busy-retry-ms MS] [--no-fsync]
-//! rprism remote put|get|list|diff|analyze|stats|shutdown ... --addr <host:port> [--retries N]
+//!              [--slow-ms MS] [--obs-trace <file>]
+//! rprism remote put|get|list|diff|analyze|stats|metrics|obs-trace|shutdown ... --addr <host:port> [--retries N]
 //! ```
 //!
 //! Trace files are read with content sniffing (binary `.rtr` or JSONL text, regardless
@@ -85,7 +86,7 @@ usage:
       Regenerate the golden case-study corpus (or verify it, failing on drift).
   rprism serve --addr <host:port> --repo <dir> [--threads <n>] [--cache-bytes <b>]
                [--max-frame-bytes <b>] [--backlog <n>] [--cache-low-watermark <b>]
-               [--busy-retry-ms <ms>] [--no-fsync]
+               [--busy-retry-ms <ms>] [--no-fsync] [--slow-ms <ms>] [--obs-trace <file>]
       Run the trace-repository daemon: content-addressed storage plus remote
       diff/analyze over a framed TCP protocol, served by a bounded thread pool
       sharing one analysis engine. Puts are crash-safe (fsync + rename-commit) by
@@ -93,6 +94,10 @@ usage:
       accept backlog (--backlog, default 2x threads) is full, connections are shed
       with an explicit Busy frame hinting --busy-retry-ms, and the prepared cache
       is shrunk to --cache-low-watermark bytes to relieve memory pressure.
+      --slow-ms logs every request slower than the threshold to stderr as one
+      structured line with a per-phase time breakdown; --obs-trace writes the
+      daemon's self-trace (its own recent execution as a binary .rtr trace) to
+      the given path on shutdown.
   rprism remote put <file ...> --addr <host:port>
       Upload traces (either encoding); prints each trace's content hash.
       Re-uploads of content the server already holds are deduplicated.
@@ -132,6 +137,16 @@ usage:
       check_on_ingest) aborts the watch mid-stream on a denied diagnostic.
   rprism remote stats --addr <host:port>
       Repository/cache statistics of the daemon.
+  rprism remote metrics --addr <host:port> [--watch] [--interval-ms <ms>]
+      Scrape the daemon's metrics in Prometheus text exposition format: every
+      counter, gauge and span-latency summary (p50/p90/p99), plus this client's
+      own retry/backoff/deadline counters. --watch re-scrapes every
+      --interval-ms (default 2000) until interrupted.
+  rprism remote obs-trace <out.rtr> --addr <host:port>
+      Fetch the daemon's self-trace: its recent execution (request spans,
+      repository I/O, pipeline phases) replayed onto the trace model and
+      written as a binary .rtr file that `rprism check`/`rprism diff` analyze
+      like any other trace.
   rprism remote shutdown --addr <host:port>
       Gracefully stop the daemon (in-flight requests drain first).";
 
@@ -152,7 +167,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--entries", "--seed", "--addr", "--repo", "--threads", "--cache-bytes",
     "--max-frame-bytes", "--timeout", "--backlog", "--cache-low-watermark",
     "--busy-retry-ms", "--retries", "--profile", "--deny", "--format", "--severity",
-    "--algorithm", "--poll-ms", "--idle-ms",
+    "--algorithm", "--poll-ms", "--idle-ms", "--slow-ms", "--obs-trace", "--interval-ms",
 ];
 
 impl Args {
@@ -630,6 +645,8 @@ fn serve(args: &Args) -> Result<(), String> {
         "--cache-low-watermark",
         "--busy-retry-ms",
         "--no-fsync",
+        "--slow-ms",
+        "--obs-trace",
     ])?;
     if !args.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
@@ -666,6 +683,14 @@ fn serve(args: &Args) -> Result<(), String> {
         config.busy_retry_ms = retry_ms
             .parse()
             .map_err(|_| format!("--busy-retry-ms expects milliseconds, got {retry_ms:?}"))?;
+    }
+    if let Some(slow_ms) = args.value("--slow-ms") {
+        config.slow_request_ms = Some(slow_ms.parse().map_err(|_| {
+            format!("--slow-ms expects milliseconds, got {slow_ms:?}")
+        })?);
+    }
+    if let Some(path) = args.value("--obs-trace") {
+        config.obs_trace_path = Some(PathBuf::from(path));
     }
     // Trade crash-durability for put throughput (useful for ephemeral repos).
     config.durable = !args.switch("--no-fsync");
@@ -730,7 +755,8 @@ fn remote(args: &[String]) -> Result<ExitCode, String> {
     let Some((verb, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return Err(
-            "remote expects a subcommand (put|get|list|check|diff|watch|analyze|stats|shutdown)"
+            "remote expects a subcommand \
+             (put|get|list|check|diff|watch|analyze|stats|metrics|obs-trace|shutdown)"
                 .into(),
         );
     };
@@ -745,6 +771,8 @@ fn remote(args: &[String]) -> Result<ExitCode, String> {
         "watch" => done(remote_watch(&parsed)),
         "analyze" => done(remote_analyze(&parsed)),
         "stats" => done(remote_stats(&parsed)),
+        "metrics" => done(remote_metrics(&parsed)),
+        "obs-trace" => done(remote_obs_trace(&parsed)),
         "shutdown" => done(remote_shutdown(&parsed)),
         other => {
             eprintln!("{USAGE}");
@@ -1104,6 +1132,59 @@ fn remote_stats(args: &Args) -> Result<(), String> {
     println!(
         "engine: {} correlation build(s), {} pair(s) cached",
         stats.correlation_builds, stats.cached_correlations
+    );
+    Ok(())
+}
+
+fn remote_metrics(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "--addr", "--max-frame-bytes", "--timeout", "--retries", "--watch", "--interval-ms",
+    ])?;
+    if !args.positional.is_empty() {
+        return Err("remote metrics takes no positional arguments".into());
+    }
+    let watch = args.switch("--watch");
+    let interval_ms: u64 = match args.value("--interval-ms") {
+        None => 2_000,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--interval-ms expects milliseconds, got {v:?}"))?,
+    };
+    let mut client = remote_client(args)?;
+    loop {
+        let text = client.metrics().map_err(|e| e.to_string())?;
+        print!("{text}");
+        // This client's own counters (retries, Busy backoffs, deadline expiries)
+        // live process-locally, not on the server — append them so one scrape
+        // shows both sides of the conversation.
+        let mine = rprism_obs::global()
+            .snapshot()
+            .retain_prefix("client.")
+            .render_prometheus("rprism");
+        print!("{mine}");
+        if !watch {
+            return Ok(());
+        }
+        println!("--- re-scraping in {interval_ms} ms ---");
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+    }
+}
+
+fn remote_obs_trace(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--addr", "--max-frame-bytes", "--timeout", "--retries"])?;
+    let [out] = args.positional.as_slice() else {
+        return Err("remote obs-trace expects one output file".into());
+    };
+    let mut client = remote_client(args)?;
+    let bytes = client.obs_trace().map_err(|e| e.to_string())?;
+    let summary = rprism_format::content_summary(&bytes[..])
+        .map_err(|e| format!("server sent an undecodable self-trace: {e}"))?;
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out} ({} entries, {} bytes) — analyze it like any trace, e.g. \
+         `rprism check {out}`",
+        summary.entries,
+        bytes.len()
     );
     Ok(())
 }

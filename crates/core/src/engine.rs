@@ -48,7 +48,9 @@ use rprism_trace::{KeyedTrace, LeanTrace, Trace, TraceMeta};
 use rprism_views::{Correlation, ViewWeb};
 use rprism_vm::{run_traced, RunOutcome, RuntimeError, VmConfig};
 
-use crate::ingest::{stream_prepare_observed, StreamedArtifacts};
+use rprism_obs::Obs;
+
+use crate::ingest::{stream_prepare_timed, StreamedArtifacts};
 use crate::watch::{Watch, WatchOutcome};
 use crate::{Error, Result};
 
@@ -575,6 +577,10 @@ pub struct Engine {
     parallel: bool,
     encoding: Encoding,
     ingest_check: Option<IngestCheck>,
+    /// The observability domain pipeline spans and phase timers record into
+    /// ([`EngineBuilder::obs`] / [`Engine::with_obs`]); disabled (free and inert) by
+    /// default.
+    obs: Obs,
     /// Session cache of pair-level artifacts: one view [`Correlation`] per unordered
     /// handle pair (flipped on opposite-orientation lookups). Shared by engine clones;
     /// bounded by least-recently-used eviction.
@@ -616,8 +622,24 @@ impl Engine {
             parallel: true,
             encoding: Encoding::default(),
             ingest_check: None,
+            obs: Obs::disabled(),
             correlation_cache_capacity: CORRELATION_CACHE_CAP,
         }
+    }
+
+    /// The observability domain this engine records into (disabled unless configured
+    /// via [`EngineBuilder::obs`] or [`Engine::with_obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A clone of this engine recording into `obs`. Everything else — including the
+    /// session correlation cache — is shared with the original, so attaching an
+    /// observer to an existing session loses no cached artifacts.
+    pub fn with_obs(&self, obs: Obs) -> Engine {
+        let mut engine = self.clone();
+        engine.obs = obs;
+        engine
     }
 
     /// The configured differencing algorithm.
@@ -712,23 +734,27 @@ impl Engine {
     /// Returns [`crate::Error::Format`] when the stream is empty, truncated, corrupt,
     /// or uses an unsupported format version.
     pub fn load_prepared_reader(&self, input: impl std::io::Read + Send) -> Result<PreparedTrace> {
+        let _load = self.obs.span("engine.load");
         let reader = TraceReader::new(BufReader::new(input))?;
-        let artifacts = match &self.ingest_check {
-            None => stream_prepare_observed(reader, self.parallel, |_| {})?,
+        let (artifacts, phases) = match &self.ingest_check {
+            None => stream_prepare_timed(reader, self.parallel, |_| {})?,
             Some(gate) => {
                 // The checker rides the ingest pass as its entry observer: one decode,
                 // both the artifacts and the report, same memory bound.
                 let mut checker = Checker::with_config(gate.config.clone());
-                let artifacts =
-                    stream_prepare_observed(reader, self.parallel, |entry| checker.observe(entry))?;
+                let (artifacts, phases) =
+                    stream_prepare_timed(reader, self.parallel, |entry| checker.observe(entry))?;
                 let mut report = checker.finish();
                 report.trace_name = artifacts.meta.name.clone();
                 if report.count_at_least(gate.deny) > 0 {
                     return Err(Error::Check(Box::new(report)));
                 }
-                artifacts
+                (artifacts, phases)
             }
         };
+        self.obs.phase("pipeline.decode", phases.decode);
+        self.obs.phase("pipeline.key", phases.key);
+        self.obs.phase("pipeline.web", phases.web);
         Ok(PreparedTrace::from_streamed(artifacts))
     }
 
@@ -1143,6 +1169,7 @@ impl Engine {
         right: &PreparedTrace,
         algorithm: &DiffAlgorithm,
     ) -> std::result::Result<TraceDiffResult, DiffError> {
+        let _scan = self.obs.span("pipeline.scan");
         match algorithm {
             DiffAlgorithm::Views(options) => {
                 self.warm(&[left, right], true);
@@ -1305,6 +1332,7 @@ pub struct EngineBuilder {
     parallel: bool,
     encoding: Encoding,
     ingest_check: Option<IngestCheck>,
+    obs: Obs,
     correlation_cache_capacity: usize,
 }
 
@@ -1387,6 +1415,15 @@ impl EngineBuilder {
         self
     }
 
+    /// The observability domain the engine records pipeline spans (`engine.load`,
+    /// `pipeline.scan`) and ingest phase timers (`pipeline.decode` / `pipeline.key` /
+    /// `pipeline.web`) into. Defaults to the disabled observer, under which every
+    /// recording call is free and inert.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Engine {
         let mut algorithm = self.algorithm;
@@ -1404,6 +1441,7 @@ impl EngineBuilder {
             parallel: self.parallel,
             encoding: self.encoding,
             ingest_check: self.ingest_check,
+            obs: self.obs,
             correlations: Arc::new(Mutex::new(CorrelationCache::new(
                 self.correlation_cache_capacity,
             ))),
@@ -1719,6 +1757,43 @@ mod tests {
 
         let err = engine.load_trace(dir.join("missing.rtr")).unwrap_err();
         assert!(matches!(err, crate::Error::Format(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observed_engines_record_pipeline_spans_and_phases() {
+        let dir = std::env::temp_dir().join(format!("rprism-engine-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = rprism_obs::Obs::enabled();
+        let engine = Engine::builder().obs(obs.clone()).build();
+        assert!(engine.obs().is_enabled());
+        let a = engine.trace_source(&regression_sources(32, 20), "a").unwrap();
+        let b = engine.trace_source(&regression_sources(1, 20), "b").unwrap();
+        let pa = dir.join("a.rtr");
+        let pb = dir.join("b.rtr");
+        engine.store_trace(&a, &pa).unwrap();
+        engine.store_trace(&b, &pb).unwrap();
+
+        let la = engine.load_prepared(&pa).unwrap();
+        let lb = engine.load_prepared(&pb).unwrap();
+        engine.diff(&la, &lb).unwrap();
+
+        let snapshot = obs.snapshot();
+        for metric in ["engine.load", "pipeline.decode", "pipeline.key", "pipeline.web"] {
+            let Some(crate::obs::MetricValue::Histogram(h)) = snapshot.get(metric) else {
+                panic!("missing histogram {metric}");
+            };
+            assert_eq!(h.count, 2, "{metric} observed per load");
+        }
+        let names: Vec<&str> = obs.recent_spans().iter().map(|s| s.name).collect();
+        assert!(names.contains(&"engine.load"));
+        assert!(names.contains(&"pipeline.scan"));
+
+        // `with_obs` swaps the observer but shares the session caches.
+        let detached = engine.with_obs(rprism_obs::Obs::disabled());
+        assert!(!detached.obs().is_enabled());
+        detached.diff(&la, &lb).unwrap();
+        assert_eq!(detached.correlation_builds(), engine.correlation_builds());
         std::fs::remove_dir_all(&dir).ok();
     }
 

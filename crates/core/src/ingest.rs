@@ -41,6 +41,7 @@
 
 use std::io::BufRead;
 use std::sync::mpsc::sync_channel;
+use std::time::{Duration, Instant};
 
 use rprism_format::{FormatError, TraceReader};
 use rprism_trace::{KeyedTrace, LeanTrace, TraceEntry, TraceMeta};
@@ -79,6 +80,20 @@ impl StreamedArtifacts {
     }
 }
 
+/// Wall time the three ingest phases accumulated over one streaming pass. Timing is
+/// per batch (two `Instant` reads per phase per 256 entries), so the cost of always
+/// collecting it is noise; in parallel mode the phases overlap, so the components can
+/// legitimately sum to more than the pass's elapsed wall time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Decoding batches off the reader (checksums, varints, string heap).
+    pub decode: Duration,
+    /// Keyed-trace and lean-context construction.
+    pub key: Duration,
+    /// View-web extension.
+    pub web: Duration,
+}
+
 /// Drives a [`TraceReader`] to completion, building the prepared artifacts in one
 /// bounded-memory pass. With `parallel` set, keyed/web/lean construction runs on
 /// scoped worker threads fed by bounded channels of entry batches, overlapping with
@@ -111,10 +126,25 @@ pub fn stream_prepare<R: BufRead>(
 ///
 /// Propagates the first [`FormatError`] of the stream, like [`stream_prepare`].
 pub fn stream_prepare_observed<R: BufRead>(
+    reader: TraceReader<R>,
+    parallel: bool,
+    observe: impl FnMut(&TraceEntry),
+) -> Result<StreamedArtifacts, FormatError> {
+    stream_prepare_timed(reader, parallel, observe).map(|(artifacts, _)| artifacts)
+}
+
+/// [`stream_prepare_observed`], additionally reporting how long each ingest phase
+/// took ([`PhaseTimes`]). This is what the engine's pipeline instrumentation records
+/// into the `pipeline.decode` / `pipeline.key` / `pipeline.web` histograms.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] of the stream, like [`stream_prepare`].
+pub fn stream_prepare_timed<R: BufRead>(
     mut reader: TraceReader<R>,
     parallel: bool,
     mut observe: impl FnMut(&TraceEntry),
-) -> Result<StreamedArtifacts, FormatError> {
+) -> Result<(StreamedArtifacts, PhaseTimes), FormatError> {
     let meta = reader.meta().clone();
     if parallel {
         stream_parallel(reader, meta, &mut observe)
@@ -127,30 +157,45 @@ fn stream_sequential<R: BufRead>(
     reader: &mut TraceReader<R>,
     meta: TraceMeta,
     observe: &mut impl FnMut(&TraceEntry),
-) -> Result<StreamedArtifacts, FormatError> {
+) -> Result<(StreamedArtifacts, PhaseTimes), FormatError> {
     let mut lean = LeanTrace::new(meta.clone());
     let mut keyed = KeyedTrace::default();
     let mut web = ViewWeb::empty();
     let mut batch = Vec::with_capacity(BATCH_ENTRIES);
     let mut index = 0usize;
+    let mut times = PhaseTimes::default();
     loop {
-        if reader.read_batch(&mut batch, BATCH_ENTRIES)? == 0 {
+        let decode_start = Instant::now();
+        let n = reader.read_batch(&mut batch, BATCH_ENTRIES)?;
+        times.decode += decode_start.elapsed();
+        if n == 0 {
             break;
         }
         for entry in &batch {
             observe(entry);
+        }
+        let key_start = Instant::now();
+        for entry in &batch {
             lean.push(entry);
             keyed.push_entry(entry);
+        }
+        times.key += key_start.elapsed();
+        let web_start = Instant::now();
+        for entry in &batch {
             web.extend(index, entry);
             index += 1;
         }
+        times.web += web_start.elapsed();
     }
-    Ok(StreamedArtifacts {
-        meta,
-        lean,
-        keyed,
-        web,
-    })
+    Ok((
+        StreamedArtifacts {
+            meta,
+            lean,
+            keyed,
+            web,
+        },
+        times,
+    ))
 }
 
 /// One decoded batch moving through the pipeline: the base entry index plus the
@@ -162,7 +207,7 @@ fn stream_parallel<R: BufRead>(
     mut reader: TraceReader<R>,
     meta: TraceMeta,
     observe: &mut impl FnMut(&TraceEntry),
-) -> Result<StreamedArtifacts, FormatError> {
+) -> Result<(StreamedArtifacts, PhaseTimes), FormatError> {
     let (stage1_tx, stage1_rx) = sync_channel::<Batch>(CHANNEL_BATCHES);
     let (stage2_tx, stage2_rx) = sync_channel::<Batch>(CHANNEL_BATCHES);
     let lean_meta = meta.clone();
@@ -171,33 +216,43 @@ fn stream_parallel<R: BufRead>(
         let keyed_builder = scope.spawn(move || {
             let mut keyed = KeyedTrace::default();
             let mut lean = LeanTrace::new(lean_meta);
+            let mut busy = Duration::ZERO;
             while let Ok(batch) = stage1_rx.recv() {
+                let start = Instant::now();
                 for entry in &batch.1 {
                     keyed.push_entry(entry);
                     lean.push(entry);
                 }
+                busy += start.elapsed();
                 if stage2_tx.send(batch).is_err() {
                     break; // stage 2 panicked; the join below propagates it
                 }
             }
-            (keyed, lean)
+            (keyed, lean, busy)
         });
         // Stage 2: view web, then drop the batch — the only place entries die.
         let web_builder = scope.spawn(move || {
             let mut web = ViewWeb::empty();
+            let mut busy = Duration::ZERO;
             while let Ok(batch) = stage2_rx.recv() {
+                let start = Instant::now();
                 for (offset, entry) in batch.1.iter().enumerate() {
                     web.extend(batch.0 + offset, entry);
                 }
+                busy += start.elapsed();
             }
-            web
+            (web, busy)
         });
 
         let mut base = 0usize;
+        let mut decode = Duration::ZERO;
         let mut outcome: Result<(), FormatError> = Ok(());
         loop {
             let mut batch = Vec::with_capacity(BATCH_ENTRIES);
-            match reader.read_batch(&mut batch, BATCH_ENTRIES) {
+            let decode_start = Instant::now();
+            let read = reader.read_batch(&mut batch, BATCH_ENTRIES);
+            decode += decode_start.elapsed();
+            match read {
                 Ok(0) => break,
                 Ok(n) => {
                     // The observer runs on the decode thread, in entry order, before
@@ -220,13 +275,22 @@ fn stream_parallel<R: BufRead>(
         }
         // Closing the channel lets the pipeline drain and finish.
         drop(stage1_tx);
-        let (keyed, lean) = keyed_builder.join().expect("keyed/lean builder panicked");
-        let web = web_builder.join().expect("web builder panicked");
-        outcome.map(|()| StreamedArtifacts {
-            meta,
-            lean,
-            keyed,
-            web,
+        let (keyed, lean, key) = keyed_builder.join().expect("keyed/lean builder panicked");
+        let (web, web_busy) = web_builder.join().expect("web builder panicked");
+        outcome.map(|()| {
+            (
+                StreamedArtifacts {
+                    meta,
+                    lean,
+                    keyed,
+                    web,
+                },
+                PhaseTimes {
+                    decode,
+                    key,
+                    web: web_busy,
+                },
+            )
         })
     })
 }

@@ -64,6 +64,7 @@ pub use rprism_check as check;
 pub use rprism_diff as diff;
 pub use rprism_format as format;
 pub use rprism_lang as lang;
+pub use rprism_obs as obs;
 pub use rprism_regress as regress;
 pub use rprism_trace as trace;
 pub use rprism_views as views;
@@ -83,6 +84,7 @@ pub use rprism_diff::{
 };
 pub use rprism_check::{CheckConfig, CheckReport, Severity};
 pub use rprism_format::{Encoding, FormatError};
+pub use rprism_obs::Obs;
 pub use rprism_regress::{AnalysisMode, DiffAlgorithm, RegressionReport, RenderOptions};
 
 #[allow(deprecated)]

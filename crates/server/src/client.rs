@@ -17,6 +17,12 @@
 //! so a transport failure mid-exchange reconnects and replays. A server
 //! [`Response::Busy`] shed is retried for any request, honoring the server's
 //! `retry_after_ms` hint as the backoff floor.
+//!
+//! Retries, Busy backoffs and deadline expiries used to be invisible — a client
+//! could be limping through three attempts per call and nothing showed it. They now
+//! count into the process-global observer ([`rprism_obs::global`]) as
+//! `client.retries`, `client.busy_backoffs` and `client.deadline_hits`, which
+//! `rprism remote metrics` prints alongside the server's scrape.
 
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -150,6 +156,7 @@ impl Client {
                     })
                 }
                 Err(e) if attempt < retry.max_attempts => {
+                    rprism_obs::global().counter("client.retries").inc();
                     previous = backoff(&retry, &mut rng, previous, None);
                     let _ = e;
                 }
@@ -212,6 +219,7 @@ impl Client {
                         if attempt >= self.retry.max_attempts || !retryable(request) {
                             return Err(e);
                         }
+                        rprism_obs::global().counter("client.retries").inc();
                         previous = backoff(&self.retry, &mut self.rng, previous, None);
                         continue;
                     }
@@ -220,10 +228,14 @@ impl Client {
             match self.call_once(request) {
                 Ok(response) => return Ok(response),
                 Err(e) => {
+                    if deadline_expired(&e) {
+                        rprism_obs::global().counter("client.deadline_hits").inc();
+                    }
                     let hint = match &e {
                         // A shed: any request is safe to retry — the server read
                         // nothing. Honor its backoff hint as the floor.
                         ServerError::Busy { retry_after_ms } => {
+                            rprism_obs::global().counter("client.busy_backoffs").inc();
                             Some(Duration::from_millis(u64::from(*retry_after_ms)))
                         }
                         // A torn exchange: only idempotent requests replay.
@@ -233,6 +245,7 @@ impl Client {
                     if attempt >= self.retry.max_attempts {
                         return Err(e);
                     }
+                    rprism_obs::global().counter("client.retries").inc();
                     previous = backoff(&self.retry, &mut self.rng, previous, hint);
                 }
             }
@@ -522,6 +535,37 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics rendered in the Prometheus text exposition
+    /// format (protocol version 5): every counter, gauge and span-latency summary
+    /// the daemon registered, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] from servers older than protocol version 5
+    /// and transport errors as [`ServerError::Io`].
+    pub fn metrics(&mut self) -> Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsOk { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's **self-trace** (protocol version 5): its recent
+    /// execution — request spans, repository I/O, pipeline phases — replayed onto
+    /// the trace model and serialized as canonical binary `.rtr` bytes, loadable
+    /// and checkable like any stored trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Remote`] from servers older than protocol version 5
+    /// and transport errors as [`ServerError::Io`].
+    pub fn obs_trace(&mut self) -> Result<Vec<u8>> {
+        match self.call(&Request::ObsTrace)? {
+            Response::ObsTraceOk { bytes } => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Asks the daemon to shut down gracefully (in-flight requests drain first).
     ///
     /// # Errors
@@ -582,6 +626,15 @@ fn backoff(policy: &RetryPolicy, rng: &mut u64, previous: Duration, hint: Option
     let sleep = jitter.max(hint.unwrap_or(Duration::ZERO));
     std::thread::sleep(sleep);
     sleep
+}
+
+/// Whether an error is the client-side deadline expiring (the read/write timeout
+/// given to [`Client::connect`]), as opposed to any other transport failure.
+fn deadline_expired(e: &ServerError) -> bool {
+    matches!(e, ServerError::Io(io) if matches!(
+        io.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    ))
 }
 
 fn unexpected(response: Response) -> ServerError {

@@ -40,15 +40,19 @@ use rprism_trace::{intern, EventKind, Symbol, ValueFingerprint};
 /// Version 4 added the live-watch exchange — [`Request::WatchStart`],
 /// [`Request::PutStream`], [`Response::WatchStarted`], [`Response::WatchEvent`],
 /// [`Response::WatchDone`] — and the structured [`Response::CheckDenied`] answer
-/// for a watch aborted by the server's ingest check.
+/// for a watch aborted by the server's ingest check. Version 5 added the
+/// observability pair — [`Request::Metrics`] / [`Response::MetricsOk`] (the
+/// server-rendered Prometheus exposition) and [`Request::ObsTrace`] /
+/// [`Response::ObsTraceOk`] (the server's own recent execution serialized as a
+/// canonical trace blob).
 ///
 /// Encoders always stamp the current version; decoders accept every version from
 /// [`MIN_PROTO_VERSION`] up, and each message tag carries the version that
-/// introduced it — so a version-2 peer keeps working against a version-4 server
+/// introduced it — so a version-2 peer keeps working against a version-5 server
 /// for every version-2 message, while a version-2 frame carrying a newer tag
 /// is refused with a structured decode error (which the server answers with an
 /// error frame, keeping the connection alive) instead of a garbled decode.
-pub const PROTO_VERSION: u8 = 4;
+pub const PROTO_VERSION: u8 = 5;
 
 /// The oldest protocol version the decoders still accept (see [`PROTO_VERSION`]).
 pub const MIN_PROTO_VERSION: u8 = 2;
@@ -63,6 +67,8 @@ const TAG_SHUTDOWN: u8 = 0x07;
 const TAG_CHECK: u8 = 0x08;
 const TAG_WATCH_START: u8 = 0x09;
 const TAG_PUT_STREAM: u8 = 0x0a;
+const TAG_METRICS: u8 = 0x0b;
+const TAG_OBS_TRACE: u8 = 0x0c;
 
 const TAG_PUT_OK: u8 = 0x81;
 const TAG_GET_OK: u8 = 0x82;
@@ -76,6 +82,8 @@ const TAG_WATCH_STARTED: u8 = 0x89;
 const TAG_WATCH_EVENT: u8 = 0x8a;
 const TAG_WATCH_DONE: u8 = 0x8b;
 const TAG_CHECK_DENIED: u8 = 0x8c;
+const TAG_METRICS_OK: u8 = 0x8d;
+const TAG_OBS_TRACE_OK: u8 = 0x8e;
 const TAG_BUSY: u8 = 0xfd;
 const TAG_CORRUPT: u8 = 0xfe;
 const TAG_ERROR: u8 = 0xff;
@@ -88,6 +96,7 @@ fn tag_min_version(tag: u8) -> u8 {
         TAG_CHECK | TAG_CHECK_OK => 3,
         TAG_WATCH_START | TAG_PUT_STREAM | TAG_WATCH_STARTED | TAG_WATCH_EVENT
         | TAG_WATCH_DONE | TAG_CHECK_DENIED => 4,
+        TAG_METRICS | TAG_OBS_TRACE | TAG_METRICS_OK | TAG_OBS_TRACE_OK => 5,
         _ => MIN_PROTO_VERSION,
     }
 }
@@ -189,6 +198,15 @@ pub enum Request {
     },
     /// Repository and cache statistics.
     Stats,
+    /// The server's metrics rendered in the Prometheus text exposition format (added
+    /// in protocol version 5). Rendering happens server-side from one consistent
+    /// snapshot, so what a client prints is byte-identical to what the server saw.
+    Metrics,
+    /// The server's own recent execution — its pipeline/repo/request spans plus a
+    /// metric snapshot — serialized as a canonical binary trace blob (added in
+    /// protocol version 5). The blob loads like any stored trace: `rprism check`,
+    /// `rprism diff`, `Engine::load_prepared` all accept it.
+    ObsTrace,
     /// Gracefully stop the daemon: in-flight requests drain, then the listener exits.
     Shutdown,
 }
@@ -252,6 +270,18 @@ pub enum Response {
     CheckDenied(Box<CheckReport>),
     /// The statistics snapshot of a [`Request::Stats`].
     StatsOk(WireStats),
+    /// The Prometheus text exposition of a [`Request::Metrics`] (added in protocol
+    /// version 5).
+    MetricsOk {
+        /// The rendered exposition, exactly as the server would serve it.
+        text: String,
+    },
+    /// The serialized self-trace of a [`Request::ObsTrace`] (added in protocol
+    /// version 5).
+    ObsTraceOk {
+        /// The canonical binary `.rtr` bytes of the server's self-trace.
+        bytes: Vec<u8>,
+    },
     /// Acknowledges a [`Request::Shutdown`]; the daemon stops accepting connections.
     ShutdownOk,
     /// The server is saturated and shed this connection before serving any request;
@@ -1118,6 +1148,8 @@ impl Request {
                 buf
             }
             Request::Stats => header(TAG_STATS),
+            Request::Metrics => header(TAG_METRICS),
+            Request::ObsTrace => header(TAG_OBS_TRACE),
             Request::Shutdown => header(TAG_SHUTDOWN),
         }
     }
@@ -1188,6 +1220,8 @@ impl Request {
                 last: dec.bool()?,
             },
             TAG_STATS => Request::Stats,
+            TAG_METRICS => Request::Metrics,
+            TAG_OBS_TRACE => Request::ObsTrace,
             TAG_SHUTDOWN => Request::Shutdown,
             other => return Err(dec.corrupt(format!("unknown request tag {other:#04x}"))),
         };
@@ -1296,6 +1330,16 @@ impl Response {
                 ] {
                     put_u64(&mut buf, value);
                 }
+                buf
+            }
+            Response::MetricsOk { text } => {
+                let mut buf = header(TAG_METRICS_OK);
+                put_str(&mut buf, text);
+                buf
+            }
+            Response::ObsTraceOk { bytes } => {
+                let mut buf = header(TAG_OBS_TRACE_OK);
+                put_bytes(&mut buf, bytes);
                 buf
             }
             Response::ShutdownOk => header(TAG_SHUTDOWN_OK),
@@ -1408,6 +1452,8 @@ impl Response {
                     cache_shrinks: values[14],
                 })
             }
+            TAG_METRICS_OK => Response::MetricsOk { text: dec.str()? },
+            TAG_OBS_TRACE_OK => Response::ObsTraceOk { bytes: dec.bytes()? },
             TAG_SHUTDOWN_OK => Response::ShutdownOk,
             TAG_BUSY => Response::Busy {
                 retry_after_ms: u32::try_from(dec.u64()?)
@@ -1501,6 +1547,8 @@ mod tests {
             last: true,
         });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Metrics);
+        round_trip_request(Request::ObsTrace);
         round_trip_request(Request::Shutdown);
     }
 
@@ -1679,6 +1727,12 @@ mod tests {
                 related_entries: vec![0],
             }],
         })));
+        round_trip_response(Response::MetricsOk {
+            text: "# TYPE rprism_cache_hits counter\nrprism_cache_hits 3\n".into(),
+        });
+        round_trip_response(Response::ObsTraceOk {
+            bytes: vec![0x52, 0x54, 0x52, 0x00],
+        });
         round_trip_response(Response::ShutdownOk);
         round_trip_response(Response::Busy { retry_after_ms: 250 });
         round_trip_response(Response::Corrupt {
@@ -1795,6 +1849,120 @@ mod tests {
         let mut frame = request.encode();
         frame[0] = 3;
         assert_eq!(Request::decode(&frame).unwrap(), request);
+    }
+
+    #[test]
+    fn version_5_tags_in_older_frames_are_structured_errors() {
+        // The observability messages need protocol 5; every older version in the
+        // window refuses them with a structured error naming the required version.
+        for older in [2u8, 3, 4] {
+            for request in [Request::Metrics, Request::ObsTrace] {
+                let mut frame = request.encode();
+                frame[0] = older;
+                let error = Request::decode(&frame).unwrap_err();
+                assert!(
+                    error.to_string().contains("requires protocol version 5"),
+                    "got {error}"
+                );
+            }
+            for response in [
+                Response::MetricsOk { text: String::new() },
+                Response::ObsTraceOk { bytes: vec![] },
+            ] {
+                let mut frame = response.encode();
+                frame[0] = older;
+                assert!(Response::decode(&frame).is_err());
+            }
+        }
+        // Version-4 frames of version-4 messages still decode byte-identically.
+        let request = Request::WatchStart {
+            old: 1,
+            max_sequences: 4,
+        };
+        let mut frame = request.encode();
+        frame[0] = 4;
+        assert_eq!(Request::decode(&frame).unwrap(), request);
+    }
+
+    #[test]
+    fn pre_v5_frames_are_pinned_byte_for_byte() {
+        // Hand-built frames with explicit version bytes 2/3/4 — exactly what an
+        // older peer emits — must keep decoding to the same messages after the v5
+        // bump, and a current encoder must produce the identical body (only the
+        // version byte differs). This pins the old wire format, not just decoder
+        // tolerance.
+        let mut v2_get = vec![2u8, 0x02];
+        put_u64(&mut v2_get, 0xfeed);
+        assert_eq!(Request::decode(&v2_get).unwrap(), Request::Get { hash: 0xfeed });
+        assert_eq!(Request::Get { hash: 0xfeed }.encode()[1..], v2_get[1..]);
+
+        let v2_stats = vec![2u8, 0x06];
+        assert_eq!(Request::decode(&v2_stats).unwrap(), Request::Stats);
+        assert_eq!(Request::Stats.encode()[1..], v2_stats[1..]);
+
+        let mut v2_stats_ok = vec![2u8, 0x86];
+        for value in 1u64..=15 {
+            put_u64(&mut v2_stats_ok, value);
+        }
+        let decoded = Response::decode(&v2_stats_ok).unwrap();
+        let Response::StatsOk(stats) = &decoded else {
+            panic!("expected StatsOk, got {decoded:?}");
+        };
+        assert_eq!(stats.blobs, 1);
+        assert_eq!(stats.cache_shrinks, 15);
+        assert_eq!(decoded.encode()[1..], v2_stats_ok[1..]);
+
+        let mut v3_check = vec![3u8, 0x08];
+        put_u64(&mut v3_check, 42);
+        put_u64(&mut v3_check, 0); // no overrides
+        assert_eq!(
+            Request::decode(&v3_check).unwrap(),
+            Request::Check {
+                hash: 42,
+                overrides: vec![],
+            }
+        );
+
+        let mut v4_watch = vec![4u8, 0x09];
+        put_u64(&mut v4_watch, 7);
+        put_u64(&mut v4_watch, 3);
+        assert_eq!(
+            Request::decode(&v4_watch).unwrap(),
+            Request::WatchStart {
+                old: 7,
+                max_sequences: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn stats_ok_field_order_is_pinned() {
+        // The Stats frame is 15 varints in this exact order; reordering the
+        // `WireStats` fields (e.g. while re-plumbing them onto the metrics registry)
+        // would silently corrupt every older client. Sequential values make any
+        // swap visible.
+        let stats = WireStats {
+            blobs: 1,
+            blob_bytes: 2,
+            prepared_cached: 3,
+            prepared_cached_bytes: 4,
+            cache_budget_bytes: 5,
+            prepared_hits: 6,
+            prepared_misses: 7,
+            evictions: 8,
+            dedup_hits: 9,
+            requests_served: 10,
+            correlation_builds: 11,
+            cached_correlations: 12,
+            orphans_removed: 13,
+            quarantined: 14,
+            cache_shrinks: 15,
+        };
+        let mut expected = vec![PROTO_VERSION, 0x86];
+        for value in 1u64..=15 {
+            put_u64(&mut expected, value);
+        }
+        assert_eq!(Response::StatsOk(stats).encode(), expected);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use rprism::{Engine, PreparedTrace};
 use rprism_format::content_summary;
+use rprism_obs::{Counter, Gauge, Obs};
 
 use crate::fs::{RepoFs, StdFs};
 use crate::proto::RepoEntry;
@@ -72,6 +73,11 @@ pub struct RepoOptions {
     pub durable: bool,
     /// The filesystem the repository performs all disk operations through.
     pub fs: Arc<dyn RepoFs>,
+    /// The observability domain the repository's counters, gauges and spans
+    /// (`repo.put` / `repo.get` / `repo.load`, `cache.*`) register in. With the
+    /// default disabled observer the counters still count — they are just not
+    /// registered anywhere — so [`TraceRepo::stats`] works identically either way.
+    pub obs: Obs,
 }
 
 impl Default for RepoOptions {
@@ -80,6 +86,7 @@ impl Default for RepoOptions {
             cache_budget: DEFAULT_CACHE_BUDGET,
             durable: true,
             fs: Arc::new(StdFs),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -105,9 +112,12 @@ struct PreparedCache {
     /// the blob — N identical loads would multiply both wall time and the transient
     /// O(artifacts) heap).
     in_flight: std::collections::HashSet<u64>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    /// Hit/miss/eviction counters, registered in the repository's observability
+    /// domain (`cache.hits` / `cache.misses` / `cache.evictions`): the registry is
+    /// the single source of truth, and [`RepoStats`] reads these same cells.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl PreparedCache {
@@ -162,13 +172,26 @@ pub struct TraceRepo {
     cache: Mutex<PreparedCache>,
     /// Wakes waiters of the single-flight guard when an in-flight load finishes.
     load_done: Condvar,
-    dedup_hits: AtomicU64,
+    /// The observability domain repository spans (`repo.put` / `repo.get` /
+    /// `repo.load`) record into.
+    obs: Obs,
+    /// Registered counters (`repo.*` / `cache.*` names). [`TraceRepo::stats`]
+    /// reads these same cells — the registry is the single source of truth.
+    dedup_hits: Counter,
+    orphans_removed: Counter,
+    quarantined: Counter,
+    cache_shrinks: Counter,
+    /// Cold misses that waited on another worker's in-flight load of the same
+    /// hash instead of streaming the blob themselves.
+    stampede_waits: Counter,
+    /// Point-in-time gauges, refreshed whenever [`TraceRepo::stats`] assembles a
+    /// snapshot (they mirror its fields for scrapes).
+    blobs_gauge: Gauge,
+    blob_bytes_gauge: Gauge,
+    prepared_gauge: Gauge,
+    cache_weight_gauge: Gauge,
     /// Distinguishes the staging files of concurrent puts of identical content.
     staging_seq: AtomicU64,
-    /// Orphaned `.tmp` files swept by this open's startup recovery.
-    orphans_removed: u64,
-    quarantined: AtomicU64,
-    cache_shrinks: AtomicU64,
 }
 
 impl TraceRepo {
@@ -272,21 +295,45 @@ impl TraceRepo {
                 },
             );
         }
-        Ok(TraceRepo {
+        let obs = options.obs;
+        // An enabled observer is threaded into the engine too (sharing its
+        // correlation cache), so repository loads record the pipeline phase spans
+        // into the same domain the repo counters live in.
+        let engine = if obs.is_enabled() {
+            engine.with_obs(obs.clone())
+        } else {
+            engine
+        };
+        let cache = PreparedCache {
+            hits: obs.counter("cache.hits"),
+            misses: obs.counter("cache.misses"),
+            evictions: obs.counter("cache.evictions"),
+            ..PreparedCache::default()
+        };
+        let repo = TraceRepo {
             dir,
             engine,
             fs,
             durable: options.durable,
             cache_budget: options.cache_budget.max(1),
             index: Mutex::new(index),
-            cache: Mutex::new(PreparedCache::default()),
+            cache: Mutex::new(cache),
             load_done: Condvar::new(),
-            dedup_hits: AtomicU64::new(0),
+            dedup_hits: obs.counter("repo.dedup_hits"),
+            orphans_removed: obs.counter("repo.orphans_removed"),
+            quarantined: obs.counter("repo.quarantined"),
+            cache_shrinks: obs.counter("cache.shrinks"),
+            stampede_waits: obs.counter("cache.stampede_waits"),
+            blobs_gauge: obs.gauge("repo.blobs"),
+            blob_bytes_gauge: obs.gauge("repo.blob_bytes"),
+            prepared_gauge: obs.gauge("cache.prepared"),
+            cache_weight_gauge: obs.gauge("cache.weight_bytes"),
             staging_seq: AtomicU64::new(0),
-            orphans_removed,
-            quarantined: AtomicU64::new(quarantined),
-            cache_shrinks: AtomicU64::new(0),
-        })
+            obs,
+        };
+        repo.orphans_removed.add(orphans_removed);
+        repo.quarantined.add(quarantined);
+        Ok(repo)
     }
 
     /// The shared analysis engine.
@@ -304,7 +351,7 @@ impl TraceRepo {
     /// either way).
     fn quarantine(&self, path: &Path) {
         if quarantine_file(self.fs.as_ref(), &self.dir, path) {
-            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            self.quarantined.inc();
         }
     }
 
@@ -318,6 +365,7 @@ impl TraceRepo {
     /// Returns [`ServerError::Format`] for corrupt uploads and [`ServerError::Io`]
     /// when the blob cannot be written.
     pub fn put_bytes(&self, bytes: &[u8]) -> Result<(u64, bool, u64)> {
+        let _put = self.obs.span("repo.put");
         // Hash/validate outside the lock — this is the expensive part of a put.
         let summary = rprism_format::content_summary(bytes).map_err(ServerError::Format)?;
         if self
@@ -326,7 +374,7 @@ impl TraceRepo {
             .expect("repo index poisoned")
             .contains_key(&summary.hash)
         {
-            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            self.dedup_hits.inc();
             return Ok((summary.hash, true, summary.entries));
         }
         // Stage the blob *outside* the lock (the disk write is the slow part and must
@@ -357,7 +405,7 @@ impl TraceRepo {
         if index.contains_key(&summary.hash) {
             // A racing put of the same content won; ours is redundant.
             drop(index);
-            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            self.dedup_hits.inc();
             self.fs.remove_file(&staging).ok();
             return Ok((summary.hash, true, summary.entries));
         }
@@ -391,6 +439,7 @@ impl TraceRepo {
     ///
     /// Returns [`ServerError::UnknownTrace`] for hashes the repository does not hold.
     pub fn get_bytes(&self, hash: u64) -> Result<Vec<u8>> {
+        let _get = self.obs.span("repo.get");
         if !self.index.lock().expect("repo index poisoned").contains_key(&hash) {
             return Err(ServerError::UnknownTrace { hash });
         }
@@ -426,13 +475,14 @@ impl TraceRepo {
             let mut cache = self.cache.lock().expect("prepared cache poisoned");
             loop {
                 if let Some(handle) = cache.handles.get(&hash).cloned() {
-                    cache.hits += 1;
+                    cache.hits.inc();
                     cache.touch(hash);
                     return Ok(handle);
                 }
                 if cache.in_flight.insert(hash) {
                     break;
                 }
+                self.stampede_waits.inc();
                 cache = self
                     .load_done
                     .wait(cache)
@@ -440,15 +490,17 @@ impl TraceRepo {
             }
         }
         // Stream outside the lock — this is the expensive part.
+        let load_span = self.obs.span("repo.load");
         let loaded = self
             .fs
             .open_read(&self.blob_path(hash))
             .map_err(|e| rprism::Error::Format(rprism_format::FormatError::Io(e)))
             .and_then(|input| self.engine.load_prepared_reader(input));
+        drop(load_span);
         let mut cache = self.cache.lock().expect("prepared cache poisoned");
         cache.in_flight.remove(&hash);
         self.load_done.notify_all();
-        cache.misses += 1;
+        cache.misses.inc();
         let handle = match loaded {
             Ok(handle) => handle,
             // An unreadable byte (bad magic, failed checksum, truncation) means the
@@ -486,7 +538,7 @@ impl TraceRepo {
                 continue;
             }
             if cache.handles.remove(&evicted).is_some() {
-                cache.evictions += 1;
+                cache.evictions.inc();
                 let evicted_weight = self
                     .index
                     .lock()
@@ -514,7 +566,7 @@ impl TraceRepo {
             };
             if cache.handles.remove(&victim).is_some() {
                 evicted += 1;
-                cache.evictions += 1;
+                cache.evictions.inc();
                 let weight = self
                     .index
                     .lock()
@@ -531,7 +583,7 @@ impl TraceRepo {
             cache.weight = 0;
         }
         if evicted > 0 {
-            self.cache_shrinks.fetch_add(1, Ordering::Relaxed);
+            self.cache_shrinks.inc();
         }
         evicted
     }
@@ -551,7 +603,11 @@ impl TraceRepo {
             .collect()
     }
 
-    /// A statistics snapshot.
+    /// A statistics snapshot. Counters come straight off the registry cells the
+    /// repository increments (one source of truth), and the point-in-time gauges
+    /// (`repo.blobs` / `repo.blob_bytes` / `cache.prepared` / `cache.weight_bytes`)
+    /// are refreshed here so a metrics scrape that snapshots after calling this
+    /// sees the same figures.
     pub fn stats(&self) -> RepoStats {
         let (blobs, blob_bytes) = {
             let index = self.index.lock().expect("repo index poisoned");
@@ -560,20 +616,33 @@ impl TraceRepo {
                 index.values().map(|info| info.bytes).sum(),
             )
         };
-        let cache = self.cache.lock().expect("prepared cache poisoned");
+        let (prepared_cached, prepared_cached_bytes, hits, misses, evictions) = {
+            let cache = self.cache.lock().expect("prepared cache poisoned");
+            (
+                cache.handles.len() as u64,
+                cache.weight,
+                cache.hits.get(),
+                cache.misses.get(),
+                cache.evictions.get(),
+            )
+        };
+        self.blobs_gauge.set(blobs as i64);
+        self.blob_bytes_gauge.set(blob_bytes as i64);
+        self.prepared_gauge.set(prepared_cached as i64);
+        self.cache_weight_gauge.set(prepared_cached_bytes as i64);
         RepoStats {
             blobs,
             blob_bytes,
-            prepared_cached: cache.handles.len() as u64,
-            prepared_cached_bytes: cache.weight,
+            prepared_cached,
+            prepared_cached_bytes,
             cache_budget_bytes: self.cache_budget,
-            prepared_hits: cache.hits,
-            prepared_misses: cache.misses,
-            evictions: cache.evictions,
-            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
-            orphans_removed: self.orphans_removed,
-            quarantined: self.quarantined.load(Ordering::Relaxed),
-            cache_shrinks: self.cache_shrinks.load(Ordering::Relaxed),
+            prepared_hits: hits,
+            prepared_misses: misses,
+            evictions,
+            dedup_hits: self.dedup_hits.get(),
+            orphans_removed: self.orphans_removed.get(),
+            quarantined: self.quarantined.get(),
+            cache_shrinks: self.cache_shrinks.get(),
         }
     }
 }
@@ -772,6 +841,43 @@ mod tests {
             repo.prepared(h).unwrap();
         }
         assert_eq!(repo.stats().prepared_misses, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_and_registry_read_the_same_cells() {
+        let dir = temp_repo("obs");
+        let obs = Obs::enabled();
+        let options = RepoOptions {
+            obs: obs.clone(),
+            ..RepoOptions::default()
+        };
+        let repo = TraceRepo::open_with(&dir, Engine::new(), options).unwrap();
+        let bytes = sample_bytes(0x90, 50, Encoding::Binary);
+        let (hash, _, _) = repo.put_bytes(&bytes).unwrap();
+        repo.put_bytes(&bytes).unwrap(); // dedup hit
+        repo.prepared(hash).unwrap(); // miss (streaming load)
+        repo.prepared(hash).unwrap(); // hit
+
+        let stats = repo.stats();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(stats.prepared_hits));
+        assert_eq!(snap.counter("cache.misses"), Some(stats.prepared_misses));
+        assert_eq!(snap.counter("repo.dedup_hits"), Some(stats.dedup_hits));
+        assert_eq!(snap.counter("cache.stampede_waits"), Some(0));
+        // stats() refreshed the point-in-time gauges.
+        assert_eq!(snap.gauge("repo.blobs"), Some(stats.blobs as i64));
+        assert_eq!(snap.gauge("repo.blob_bytes"), Some(stats.blob_bytes as i64));
+        assert_eq!(snap.gauge("cache.prepared"), Some(1));
+        // The repository recorded put/get/load spans by name.
+        let names: Vec<&'static str> =
+            obs.recent_spans().iter().map(|r| r.name).collect();
+        assert!(names.contains(&"repo.put"));
+        assert!(names.contains(&"repo.load"));
+        assert!(
+            names.contains(&"engine.load"),
+            "repo load reaches the engine pipeline spans via the shared domain: {names:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -39,10 +39,10 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rprism::{
     AnchoredDiffOptions, DiffAlgorithm, Engine, LcsDiffOptions, PreparedTrace, RegressionInput,
@@ -50,6 +50,7 @@ use rprism::{
 };
 use rprism_format::frame::{read_frame, write_frame};
 use rprism_format::{TailBatch, TailDecoder};
+use rprism_obs::{Counter, Obs};
 
 use crate::proto::{
     Request, Response, WireAlgorithm, WireDiff, WireReport, WireStats, WireWatchEvent,
@@ -117,6 +118,18 @@ pub struct ServerConfig {
     pub request_deadline: Duration,
     /// The analysis engine configuration shared by every request.
     pub engine: Engine,
+    /// The observability domain the daemon records into. `None` (the default) makes
+    /// [`Server::bind`] create a fresh enabled [`Obs`] — a daemon always answers
+    /// [`Request::Metrics`] and [`Request::ObsTrace`]; pass an explicit observer to
+    /// share a domain (tests) or [`Obs::disabled`] to strip instrumentation.
+    pub obs: Option<Obs>,
+    /// When set, any request whose handler runs at least this many milliseconds is
+    /// logged to stderr as one structured `slow-request` line with its per-phase
+    /// breakdown. `None` (the default) disables the log.
+    pub slow_request_ms: Option<u64>,
+    /// When set, the server serializes its own recent execution (the span ring, as
+    /// a canonical binary `.rtr` trace) to this path on shutdown.
+    pub obs_trace_path: Option<std::path::PathBuf>,
 }
 
 impl ServerConfig {
@@ -140,6 +153,9 @@ impl ServerConfig {
             durable: true,
             request_deadline: FRAME_READ_TIMEOUT,
             engine: Engine::new(),
+            obs: None,
+            slow_request_ms: None,
+            obs_trace_path: None,
         }
     }
 }
@@ -156,7 +172,10 @@ pub struct Server {
     cache_low_watermark: u64,
     request_deadline: Duration,
     stop: Arc<AtomicBool>,
-    requests_served: Arc<AtomicU64>,
+    obs: Obs,
+    slow_request_ms: Option<u64>,
+    obs_trace_path: Option<std::path::PathBuf>,
+    requests_served: Counter,
 }
 
 impl Server {
@@ -170,12 +189,14 @@ impl Server {
     /// Returns [`ServerError::Repo`] for repository problems and
     /// [`ServerError::Io`] when the address cannot be bound.
     pub fn bind(config: ServerConfig) -> Result<Server> {
+        let obs = config.obs.unwrap_or_else(Obs::enabled);
         let repo = TraceRepo::open_with(
             &config.repo_dir,
             config.engine.clone(),
             RepoOptions {
                 cache_budget: config.cache_budget,
                 durable: config.durable,
+                obs: obs.clone(),
                 ..RepoOptions::default()
             },
         )?;
@@ -190,7 +211,10 @@ impl Server {
             cache_low_watermark: config.cache_low_watermark,
             request_deadline: config.request_deadline,
             stop: Arc::new(AtomicBool::new(false)),
-            requests_served: Arc::new(AtomicU64::new(0)),
+            requests_served: obs.counter("server.requests_total"),
+            slow_request_ms: config.slow_request_ms,
+            obs_trace_path: config.obs_trace_path,
+            obs,
         })
     }
 
@@ -220,12 +244,14 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let (queue_tx, queue_rx) = sync_channel::<TcpStream>(self.backlog);
         let queue_rx = Arc::new(Mutex::new(queue_rx));
-        std::thread::scope(|scope| {
+        let outcome = std::thread::scope(|scope| {
             for _ in 0..self.threads {
                 let worker = Worker {
                     repo: Arc::clone(&self.repo),
                     stop: Arc::clone(&self.stop),
-                    requests_served: Arc::clone(&self.requests_served),
+                    obs: self.obs.clone(),
+                    slow_request_ms: self.slow_request_ms,
+                    requests_served: self.requests_served.clone(),
                     max_frame: self.max_frame,
                     request_deadline: self.request_deadline,
                 };
@@ -264,7 +290,20 @@ impl Server {
             // connections, then exit; the scope joins them.
             drop(queue_tx);
             Ok(())
-        })
+        });
+        // The pool has joined: the ring now holds the daemon's complete recent
+        // execution, so this dump and a final ObsTrace answer agree. Best-effort —
+        // a failed dump is logged, not a shutdown error.
+        if let Some(path) = &self.obs_trace_path {
+            let trace = self.obs.self_trace("rprism-server");
+            let written = rprism_format::trace_to_bytes(&trace, rprism_format::Encoding::Binary)
+                .map_err(std::io::Error::other)
+                .and_then(|bytes| std::fs::write(path, bytes));
+            if let Err(e) = written {
+                eprintln!("rprism-server: cannot write obs trace to {}: {e}", path.display());
+            }
+        }
+        outcome
     }
 
     /// Sheds one connection under saturation: answer a single [`Response::Busy`]
@@ -330,7 +369,9 @@ impl Conn for TcpStream {
 struct Worker {
     repo: Arc<TraceRepo>,
     stop: Arc<AtomicBool>,
-    requests_served: Arc<AtomicU64>,
+    obs: Obs,
+    slow_request_ms: Option<u64>,
+    requests_served: Counter,
     max_frame: u64,
     request_deadline: Duration,
 }
@@ -415,8 +456,24 @@ impl Worker {
             let response = match Request::decode(&payload) {
                 Ok(request) => {
                     let is_shutdown = matches!(request, Request::Shutdown);
-                    let response = self.handle(request, &mut watch);
-                    self.requests_served.fetch_add(1, Ordering::Relaxed);
+                    let kind = request_span_name(&request);
+                    // Per-request span + phase scope: the handler's inner spans
+                    // (repo I/O, pipeline phases) accumulate into this thread's
+                    // scope, which the slow-request log drains into its breakdown.
+                    rprism_obs::begin_phases();
+                    let started = Instant::now();
+                    let response = {
+                        let _request = self.obs.span(kind);
+                        self.handle(request, &mut watch)
+                    };
+                    let phases = rprism_obs::take_phases();
+                    self.requests_served.inc();
+                    if let Some(slow_ms) = self.slow_request_ms {
+                        let elapsed = started.elapsed();
+                        if elapsed.as_millis() as u64 >= slow_ms {
+                            log_slow_request(kind, elapsed, &phases);
+                        }
+                    }
                     if is_shutdown {
                         write_response(stream, &response)?;
                         return Ok(());
@@ -573,13 +630,28 @@ impl Worker {
                     prepared_misses: repo.prepared_misses,
                     evictions: repo.evictions,
                     dedup_hits: repo.dedup_hits,
-                    requests_served: self.requests_served.load(Ordering::Relaxed),
+                    requests_served: self.requests_served.get(),
                     correlation_builds: engine.correlation_builds(),
                     cached_correlations: engine.cached_correlations() as u64,
                     orphans_removed: repo.orphans_removed,
                     quarantined: repo.quarantined,
                     cache_shrinks: repo.cache_shrinks,
                 }))
+            }
+            Request::Metrics => {
+                // Refresh the point-in-time gauges (repo.blobs, cache.weight_bytes,
+                // …) so the scrape reflects the repository as of this request.
+                let _ = self.repo.stats();
+                Ok(Response::MetricsOk {
+                    text: self.obs.snapshot().render_prometheus("rprism"),
+                })
+            }
+            Request::ObsTrace => {
+                let trace = self.obs.self_trace("rprism-server");
+                let bytes =
+                    rprism_format::trace_to_bytes(&trace, rprism_format::Encoding::Binary)
+                        .map_err(ServerError::Format)?;
+                Ok(Response::ObsTraceOk { bytes })
             }
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);
@@ -656,6 +728,42 @@ impl Worker {
             diff: WireDiff::from_result(&outcome.result, rendered),
         })
     }
+}
+
+/// The `request.*` span name of a request kind — the top level of the span
+/// taxonomy (each handler's inner spans nest under it in the self-trace).
+fn request_span_name(request: &Request) -> &'static str {
+    match request {
+        Request::Put { .. } => "request.put",
+        Request::Get { .. } => "request.get",
+        Request::List => "request.list",
+        Request::Diff { .. } => "request.diff",
+        Request::Analyze { .. } => "request.analyze",
+        Request::Check { .. } => "request.check",
+        Request::WatchStart { .. } => "request.watch_start",
+        Request::PutStream { .. } => "request.put_stream",
+        Request::Stats => "request.stats",
+        Request::Shutdown => "request.shutdown",
+        Request::Metrics => "request.metrics",
+        Request::ObsTrace => "request.obs_trace",
+    }
+}
+
+/// Formats one structured `slow-request` line: the request kind, its total handler
+/// time, and every phase the handler recorded (`key=value` pairs, one line, grep-
+/// and split-friendly). The request's own span is elided — it duplicates `total_us`.
+fn slow_request_line(kind: &str, elapsed: Duration, phases: &[(&'static str, u64)]) -> String {
+    let mut line = format!("slow-request kind={kind} total_us={}", elapsed.as_micros());
+    for (name, us) in phases {
+        if *name != kind {
+            line.push_str(&format!(" {name}_us={us}"));
+        }
+    }
+    line
+}
+
+fn log_slow_request(kind: &str, elapsed: Duration, phases: &[(&'static str, u64)]) {
+    eprintln!("{}", slow_request_line(kind, elapsed, phases));
 }
 
 /// Frames and writes one response in a single `write_all` (the frame is built in
@@ -760,10 +868,20 @@ mod tests {
     }
 
     fn worker(dir: &PathBuf) -> Worker {
+        worker_with(dir, Engine::new(), Obs::enabled())
+    }
+
+    fn worker_with(dir: &PathBuf, engine: Engine, obs: Obs) -> Worker {
+        let options = RepoOptions {
+            obs: obs.clone(),
+            ..RepoOptions::default()
+        };
         Worker {
-            repo: Arc::new(TraceRepo::open(dir, Engine::new(), DEFAULT_CACHE_BUDGET).unwrap()),
+            repo: Arc::new(TraceRepo::open_with(dir, engine, options).unwrap()),
             stop: Arc::new(AtomicBool::new(false)),
-            requests_served: Arc::new(AtomicU64::new(0)),
+            requests_served: obs.counter("server.requests_total"),
+            obs,
+            slow_request_ms: None,
             max_frame: rprism_format::frame::DEFAULT_MAX_PAYLOAD,
             request_deadline: FRAME_READ_TIMEOUT,
         }
@@ -958,13 +1076,7 @@ mod tests {
         let engine = Engine::builder()
             .check_on_ingest(rprism::CheckConfig::default(), rprism::Severity::Error)
             .build();
-        let worker = Worker {
-            repo: Arc::new(TraceRepo::open(&dir, engine, DEFAULT_CACHE_BUDGET).unwrap()),
-            stop: Arc::new(AtomicBool::new(false)),
-            requests_served: Arc::new(AtomicU64::new(0)),
-            max_frame: rprism_format::frame::DEFAULT_MAX_PAYLOAD,
-            request_deadline: FRAME_READ_TIMEOUT,
-        };
+        let worker = worker_with(&dir, engine, Obs::enabled());
         let (old, _) = evolution_pair(worker.repo.engine());
         let old_bytes =
             rprism_format::trace_to_bytes(old.trace(), rprism_format::Encoding::Binary).unwrap();
@@ -1017,6 +1129,64 @@ mod tests {
             "got {responses:?}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_and_obs_trace_answer_over_the_wire() {
+        let dir = temp_repo("obs-wire");
+        let obs = Obs::enabled();
+        let worker = worker_with(&dir, Engine::new(), obs.clone());
+        let (old, _) = evolution_pair(worker.repo.engine());
+        let bytes =
+            rprism_format::trace_to_bytes(old.trace(), rprism_format::Encoding::Binary).unwrap();
+        let (hash, _, _) = worker.repo.put_bytes(&bytes).unwrap();
+
+        // One connection: a get (generating repo spans), a metrics scrape, then the
+        // self-trace fetch.
+        let mut input = framed(&Request::Get { hash }.encode());
+        input.extend(framed(&Request::Metrics.encode()));
+        input.extend(framed(&Request::ObsTrace.encode()));
+        let mut conn = MemConn::new(input);
+        worker.serve_connection(&mut conn);
+        let responses = conn.responses();
+        assert_eq!(responses.len(), 3, "got {responses:?}");
+        assert!(matches!(&responses[0], Response::GetOk { .. }));
+        let text = match &responses[1] {
+            Response::MetricsOk { text } => text,
+            other => panic!("expected MetricsOk, got {other:?}"),
+        };
+        // Counters, gauges and span histograms all reach the exposition; the gauge
+        // refresh ran as part of the scrape.
+        assert!(text.contains("rprism_repo_blobs 1"), "{text}");
+        assert!(text.contains("rprism_request_get_count 1"), "{text}");
+        assert!(text.contains("# TYPE rprism_server_requests_total counter"), "{text}");
+        let trace_bytes = match &responses[2] {
+            Response::ObsTraceOk { bytes } => bytes,
+            other => panic!("expected ObsTraceOk, got {other:?}"),
+        };
+        // The self-trace is a loadable, lint-clean rprism trace.
+        worker
+            .repo
+            .engine()
+            .load_prepared_reader(&trace_bytes[..])
+            .expect("self-trace loads like any stored trace");
+        let trace = rprism_format::trace_from_bytes(trace_bytes).unwrap();
+        assert_eq!(trace.meta.name, "rprism-server");
+        let report = rprism_check::check_trace(&trace);
+        assert!(report.is_clean(), "self-trace must be lint-clean: {report:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_request_breakdown_names_the_phases() {
+        let line = slow_request_line(
+            "request.get",
+            Duration::from_micros(1500),
+            &[("repo.get", 1200), ("request.get", 1500)],
+        );
+        // The request's own span is elided (it duplicates total_us); inner phases
+        // appear as key=value pairs.
+        assert_eq!(line, "slow-request kind=request.get total_us=1500 repo.get_us=1200");
     }
 
     #[test]
